@@ -1,0 +1,88 @@
+// E3 — Reproduces **Figure 2**: a heavy interval I of length |I| ~ r contains
+// *some* of the cluster; extending it by |I| on each side (the 3x interval
+// I-hat) contains *all* of it, because the cluster has diameter <= 2r... the
+// paper draws exactly this construction (GoodCenter step 9c).
+//
+// The bench projects a planted cluster onto random directions, picks the
+// heavy length-4r cell (noisily, as GoodCenter does), and measures how often
+// the raw interval I vs the extended interval I-hat covers the whole cluster
+// projection.
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "dpcluster/dp/stable_histogram.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/la/qr.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+#include "dpcluster/workload/table.h"
+
+namespace dpcluster {
+namespace {
+
+constexpr std::size_t kClusterSize = 800;
+constexpr int kTrials = 60;
+
+}  // namespace
+}  // namespace dpcluster
+
+int main() {
+  using namespace dpcluster;
+  bench::Banner(
+      "Figure 2: heavy interval I vs extended interval I-hat (cells of 4r, "
+      "cluster diameter 2r)");
+  TextTable table({"d", "r", "I covers cluster %", "I-hat covers cluster %",
+                   "I-hat/|I| length"});
+  Rng rng(7);
+  for (std::size_t d : {2u, 8u, 32u}) {
+    for (double r : {0.01, 0.05}) {
+      int covers_i = 0;
+      int covers_ihat = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        // A cluster of diameter 2r at a random location.
+        std::vector<double> center(d);
+        for (double& c : center) c = 0.2 + 0.6 * rng.NextDouble();
+        PointSet cluster(d);
+        for (std::size_t i = 0; i < kClusterSize; ++i) {
+          cluster.Add(SampleBall(rng, center, r));
+        }
+        // Random direction (first vector of a random orthonormal basis).
+        const Matrix basis = RandomOrthonormalBasis(rng, d);
+        const auto z = basis.Row(0);
+
+        const double cell = 4.0 * r;
+        std::unordered_map<std::int64_t, std::size_t> cells;
+        double lo = 1e18;
+        double hi = -1e18;
+        for (std::size_t i = 0; i < cluster.size(); ++i) {
+          const double proj = Dot(cluster[i], z);
+          lo = std::min(lo, proj);
+          hi = std::max(hi, proj);
+          ++cells[static_cast<std::int64_t>(std::floor(proj / cell))];
+        }
+        auto choice = ChooseHeavyCell<std::int64_t, std::hash<std::int64_t>>(
+            rng, cells, PrivacyParams{1.0, 1e-8});
+        if (!choice.ok()) continue;
+        const double left = static_cast<double>(choice->key) * cell;
+        const double right = left + cell;
+        if (lo >= left && hi <= right) ++covers_i;
+        if (lo >= left - cell && hi <= right + cell) ++covers_ihat;
+      }
+      table.AddRow({TextTable::FmtInt(static_cast<long long>(d)),
+                    TextTable::Fmt(r, 2),
+                    TextTable::Fmt(100.0 * covers_i / kTrials, 1),
+                    TextTable::Fmt(100.0 * covers_ihat / kTrials, 1), "3.0"});
+    }
+  }
+  table.Print();
+  bench::Note(
+      "\nExpected shape (Figure 2): the raw heavy interval I often clips the"
+      "\ncluster (its projection, of width up to 2r, straddles a cell edge),"
+      "\nbut the 3x extension I-hat virtually always covers all of it — the"
+      "\nstep that makes GoodCenter's truncation safe.");
+  return 0;
+}

@@ -1,0 +1,173 @@
+// E13 — google-benchmark micro-benchmarks of the DP and geometry primitives
+// the pipeline is built from (S2, S6-S13 in DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dpcluster/core/radius_profile.h"
+#include "dpcluster/dp/above_threshold.h"
+#include "dpcluster/dp/exponential_mechanism.h"
+#include "dpcluster/dp/noisy_average.h"
+#include "dpcluster/dp/stable_histogram.h"
+#include "dpcluster/dp/step_function.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/pairwise.h"
+#include "dpcluster/la/jl_transform.h"
+#include "dpcluster/la/qr.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+namespace {
+
+void BM_SampleLaplace(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleLaplace(rng, 1.0));
+  }
+}
+BENCHMARK(BM_SampleLaplace);
+
+void BM_SampleGaussian(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleGaussian(rng, 1.0));
+  }
+}
+BENCHMARK(BM_SampleGaussian);
+
+void BM_ExpMechStepFunction(benchmark::State& state) {
+  Rng rng(3);
+  const auto pieces = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> starts(pieces);
+  std::vector<double> values(pieces);
+  for (std::size_t p = 0; p < pieces; ++p) {
+    starts[p] = p * 1000;
+    values[p] = static_cast<double>(p % 50);
+  }
+  const StepFunction q = StepFunction::FromBreakpoints(
+      pieces * 1000 + 5, std::move(starts), std::move(values));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExponentialMechanism::SelectFromStepFunction(rng, q, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pieces));
+}
+BENCHMARK(BM_ExpMechStepFunction)->Arg(1000)->Arg(100000);
+
+void BM_AboveThresholdQuery(benchmark::State& state) {
+  Rng rng(4);
+  auto at = AboveThreshold::Create(rng, 1.0, 1e12);  // Never fires.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(at->Process(rng, 1.0));
+  }
+}
+BENCHMARK(BM_AboveThresholdQuery);
+
+void BM_StableHistogram(benchmark::State& state) {
+  Rng rng(5);
+  const auto cells = static_cast<std::size_t>(state.range(0));
+  std::unordered_map<std::int64_t, std::size_t> counts;
+  for (std::size_t c = 0; c < cells; ++c) counts[static_cast<std::int64_t>(c)] = c % 97 + 1;
+  counts[-1] = 100000;
+  const PrivacyParams params{1.0, 1e-9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (ChooseHeavyCell<std::int64_t, std::hash<std::int64_t>>(rng, counts,
+                                                                params)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(cells));
+}
+BENCHMARK(BM_StableHistogram)->Arg(1000)->Arg(10000);
+
+void BM_NoisyAverage(benchmark::State& state) {
+  Rng rng(6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  PointSet s(8);
+  const std::vector<double> center(8, 0.5);
+  for (std::size_t i = 0; i < n; ++i) s.Add(SampleBall(rng, center, 0.1));
+  const PrivacyParams params{1.0, 1e-9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NoisyAverage(rng, s, center, 0.2, params));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NoisyAverage)->Arg(1000)->Arg(10000);
+
+void BM_JlProject(benchmark::State& state) {
+  Rng rng(7);
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const JlTransform jl(rng, d, 16);
+  std::vector<double> x(d, 0.3);
+  std::vector<double> out(16);
+  for (auto _ : state) {
+    jl.Apply(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_JlProject)->Arg(16)->Arg(256);
+
+void BM_RandomOrthonormalBasis(benchmark::State& state) {
+  Rng rng(8);
+  const auto d = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandomOrthonormalBasis(rng, d));
+  }
+}
+BENCHMARK(BM_RandomOrthonormalBasis)->Arg(16)->Arg(64);
+
+void BM_RadiusProfileBuild(benchmark::State& state) {
+  Rng rng(9);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const GridDomain domain(1u << 12, 2);
+  PointSet s(2);
+  std::vector<double> p(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[0] = domain.Snap(rng.NextDouble());
+    p[1] = domain.Snap(rng.NextDouble());
+    s.Add(p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RadiusProfile::Build(s, n / 2, domain, n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RadiusProfileBuild)->Arg(256)->Arg(1024);
+
+void BM_StepFunctionWindowMin(benchmark::State& state) {
+  const auto pieces = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> starts(pieces);
+  std::vector<double> values(pieces);
+  for (std::size_t p = 0; p < pieces; ++p) {
+    starts[p] = p * 7;
+    values[p] = static_cast<double>((p * 31) % 100);
+  }
+  const StepFunction f = StepFunction::FromBreakpoints(
+      pieces * 7 + 3, std::move(starts), std::move(values));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.MaxEndpointWindowMin(pieces));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pieces));
+}
+BENCHMARK(BM_StepFunctionWindowMin)->Arg(1000)->Arg(100000);
+
+void BM_PairwiseCappedTopAverage(benchmark::State& state) {
+  Rng rng(10);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  PointSet s(4);
+  const std::vector<double> c(4, 0.5);
+  for (std::size_t i = 0; i < n; ++i) s.Add(SampleBall(rng, c, 0.4));
+  const auto pd = PairwiseDistances::Compute(s, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pd->CappedTopAverage(0.2, n / 2));
+  }
+}
+BENCHMARK(BM_PairwiseCappedTopAverage)->Arg(512)->Arg(2048);
+
+}  // namespace
+}  // namespace dpcluster
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// E9 — Theorem 6.3 (sample and aggregate): compiling a non-private estimator
+// into a private one via the 1-cluster aggregator. Compares against the naive
+// global-sensitivity mean (NoisyAverage over the whole cube) on clean and
+// contaminated data, and sweeps the block size m (the stability parameter).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dpcluster/dp/noisy_average.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+#include "dpcluster/sa/estimators.h"
+#include "dpcluster/sa/sample_aggregate.h"
+#include "dpcluster/workload/table.h"
+
+namespace dpcluster {
+namespace {
+
+constexpr int kTrials = 3;
+constexpr std::size_t kN = 72000;
+constexpr double kEps = 8.0;
+
+PointSet MakeData(Rng& rng, double contamination) {
+  PointSet s(2);
+  const std::vector<double> mean = {0.35, 0.65};
+  for (std::size_t i = 0; i < kN; ++i) {
+    std::vector<double> p(2);
+    if (rng.NextDouble() < contamination) {
+      p = {rng.NextDouble(), rng.NextDouble()};
+    } else {
+      for (std::size_t j = 0; j < 2; ++j) {
+        p[j] = std::clamp(mean[j] + SampleGaussian(rng, 0.02), 0.0, 1.0);
+      }
+    }
+    s.Add(p);
+  }
+  return s;
+}
+
+double SaError(Rng& rng, const PointSet& s, std::size_t m, bool median) {
+  SampleAggregateOptions options;
+  options.params = {kEps, 1e-9};
+  options.beta = 0.1;
+  options.block_size = m;
+  options.alpha = 0.8;
+  const GridDomain domain(1u << 12, 2);
+  const std::vector<double> mean = {0.35, 0.65};
+  double err = 0.0;
+  int ok = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto result = SampleAggregate(
+        rng, s, median ? MedianEstimator() : MeanEstimator(), domain, options);
+    if (!result.ok()) continue;
+    err += Distance(result->point, mean);
+    ++ok;
+  }
+  return ok > 0 ? err / ok : -1.0;
+}
+
+double NaiveError(Rng& rng, const PointSet& s) {
+  const std::vector<double> mean = {0.35, 0.65};
+  const std::vector<double> cube_center = {0.5, 0.5};
+  double err = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto out = NoisyAverage(rng, s, cube_center, std::sqrt(2.0) / 2.0,
+                                  {std::min(kEps, 0.99), 1e-9});
+    err += out.ok() ? Distance(out->average, mean) : 1.0;
+  }
+  return err / kTrials;
+}
+
+}  // namespace
+}  // namespace dpcluster
+
+int main() {
+  using namespace dpcluster;
+  Rng rng(29);
+
+  bench::Banner(
+      "Theorem 6.3 / sample & aggregate, private mean of 2D data (n=72000, "
+      "eps=8, true mean (0.35, 0.65))");
+  {
+    TextTable table({"estimator", "contamination", "block m", "L2 error",
+                     "naive global-mean error"});
+    for (double contamination : {0.0, 0.3}) {
+      const PointSet s = MakeData(rng, contamination);
+      const double naive = NaiveError(rng, s);
+      for (std::size_t m : {10u, 20u, 40u}) {
+        const double err_mean = SaError(rng, s, m, /*median=*/false);
+        table.AddRow({"SA + mean", TextTable::Fmt(contamination, 2),
+                      TextTable::FmtInt(static_cast<long long>(m)),
+                      err_mean < 0 ? "-" : TextTable::Fmt(err_mean, 4),
+                      TextTable::Fmt(naive, 4)});
+      }
+      const double err_med = SaError(rng, s, 10, /*median=*/true);
+      table.AddRow({"SA + median", TextTable::Fmt(contamination, 2), "10",
+                    err_med < 0 ? "-" : TextTable::Fmt(err_med, 4),
+                    TextTable::Fmt(naive, 4)});
+    }
+    table.Print();
+  }
+  bench::Note(
+      "\nExpected shape (Thm 6.3 / Section 6): on clean data both SA and the"
+      "\nnaive mean are accurate; under contamination the naive mean is biased"
+      "\nby the junk mass while SA with a robust estimator (median) stays on"
+      "\nthe clean center — and SA's radius does not pay the sqrt(d) factor of"
+      "\nthe [16]-style aggregation (Theorem 6.2's caveat)."
+      "\nLarger blocks m = fewer aggregator inputs k = noisier aggregation;"
+      "\nsmaller m = less stable estimates: the m sweep shows the tradeoff.");
+  return 0;
+}

@@ -1,0 +1,193 @@
+// E1 — Reproduces **Table 1** of the paper: "Comparing different solutions
+// from past work and our result".
+//
+// Paper rows (analytic bounds):            This harness (measured):
+//   Private aggregation [16]  w=O(sqrt(d)/eps), majority only
+//   Exponential mechanism [14] w=1, Delta=O~(d) log^2|X|/eps, time poly(|X|^d)
+//   Query release thresholds [3,4] (d=1)  w=1, Delta=2^{O(log*|X|)}/eps
+//   This work                 w=O(sqrt(log n)), Delta=O~(1/eps), poly time
+//
+// Scenario A (d=1, minority cluster) runs every method; Scenario B (d=2)
+// shows the exponential mechanism hitting its poly(|X|^d) wall and the
+// noisy-mean baseline failing on minority clusters, while this work still
+// answers. Shapes to check: who runs, who handles minority clusters, and the
+// measured (Delta, w) ordering. Absolute values are not the paper's (it
+// reports bounds, not experiments).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dpcluster/baselines/exp_mech_baseline.h"
+#include "dpcluster/baselines/noisy_mean_baseline.h"
+#include "dpcluster/baselines/nonprivate_baseline.h"
+#include "dpcluster/baselines/threshold_release_1d.h"
+#include "dpcluster/core/one_cluster.h"
+#include "dpcluster/workload/metrics.h"
+#include "dpcluster/workload/synthetic.h"
+#include "dpcluster/workload/table.h"
+
+namespace dpcluster {
+namespace {
+
+constexpr int kTrials = 5;
+constexpr double kEps = 2.0;
+constexpr double kDelta = 1e-9;
+
+struct Row {
+  std::string method;
+  double delta_mean = 0.0;   // t - captured.
+  double w_eff_mean = 0.0;   // tight_radius / r_opt lower bound.
+  double ms_mean = 0.0;
+  bool ran = false;
+  std::string note;
+};
+
+template <typename Solver>
+Row RunMethod(const std::string& name, const ClusterWorkload& w, Rng& rng,
+              Solver&& solve, const std::string& note = "") {
+  Row row;
+  row.method = name;
+  row.note = note;
+  int ok_trials = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Result<Ball> ball = Status::Internal("unset");
+    const double ms = bench::TimeMs([&] { ball = solve(rng); });
+    if (!ball.ok()) {
+      row.note = ball.status().ToString().substr(0, 48);
+      continue;
+    }
+    const auto metrics = Evaluate(w.points, w.t, *ball);
+    if (!metrics.ok()) continue;
+    row.delta_mean += std::max(0.0, metrics->delta);
+    row.w_eff_mean += metrics->w_effective;
+    row.ms_mean += ms;
+    ++ok_trials;
+  }
+  if (ok_trials > 0) {
+    row.ran = true;
+    row.delta_mean /= ok_trials;
+    row.w_eff_mean /= ok_trials;
+    row.ms_mean /= ok_trials;
+  }
+  return row;
+}
+
+void PrintRows(const std::vector<Row>& rows) {
+  TextTable table({"method", "Delta (t-captured)", "w (effective)", "time ms",
+                   "note"});
+  for (const Row& r : rows) {
+    if (r.ran) {
+      table.AddRow({r.method, TextTable::Fmt(r.delta_mean, 1),
+                    TextTable::Fmt(r.w_eff_mean, 2), TextTable::Fmt(r.ms_mean, 1),
+                    r.note});
+    } else {
+      table.AddRow({r.method, "-", "-", "-", r.note});
+    }
+  }
+  table.Print();
+}
+
+void ScenarioA() {
+  bench::Banner(
+      "Table 1 / Scenario A: d=1, |X|=2^14, n=2048, minority cluster t=n/4, "
+      "eps=2");
+  Rng rng(1001);
+  PlantedClusterSpec spec;
+  spec.n = 2048;
+  spec.t = 512;
+  spec.dim = 1;
+  spec.levels = 1u << 14;
+  spec.cluster_radius = 0.01;
+  const ClusterWorkload w = MakePlantedCluster(rng, spec);
+
+  std::vector<Row> rows;
+
+  rows.push_back(RunMethod("non-private exact", w, rng, [&](Rng&) {
+    return NonPrivateBestEffort(w.points, w.t);
+  }, "reference"));
+
+  rows.push_back(RunMethod("private aggregation [16]", w, rng, [&](Rng& r) {
+    NoisyMeanBaselineOptions o;
+    o.params = {kEps, kDelta};
+    return NoisyMeanBaseline(r, w.points, w.t, w.domain, o);
+  }, "mean misses minority cluster"));
+
+  rows.push_back(RunMethod("exponential mechanism [14]", w, rng, [&](Rng& r) {
+    ExpMechBaselineOptions o;
+    o.params = {kEps, 0.0};
+    return ExpMechBaseline(r, w.points, w.t, w.domain, o);
+  }, "time poly(|X|^d)"));
+
+  rows.push_back(RunMethod("query release thresholds [3,4]", w, rng, [&](Rng& r) -> Result<Ball> {
+    ThresholdRelease1DOptions o;
+    o.params = {kEps, 0.0};
+    DPC_ASSIGN_OR_RETURN(ThresholdRelease1D release,
+                         ThresholdRelease1D::Build(r, w.points, w.domain, o));
+    return release.SmallestHeavyInterval(static_cast<double>(w.t));
+  }, "d=1 only; dyadic-tree variant"));
+
+  rows.push_back(RunMethod("this work (Thm 3.2)", w, rng, [&](Rng& r) -> Result<Ball> {
+    OneClusterOptions o;
+    o.params = {kEps, kDelta};
+    o.beta = 0.1;
+    DPC_ASSIGN_OR_RETURN(OneClusterResult result,
+                         OneCluster(r, w.points, w.t, w.domain, o));
+    return result.ball;
+  }));
+
+  PrintRows(rows);
+}
+
+void ScenarioB() {
+  bench::Banner(
+      "Table 1 / Scenario B: d=2, |X|=2^14 per axis, n=4096, two 30% "
+      "clusters (no majority), eps=2");
+  Rng rng(2002);
+  const ClusterWorkload w = MakeTwoClusters(rng, 4096, 2, 1u << 14, 0.01, 0.3);
+
+  std::vector<Row> rows;
+
+  rows.push_back(RunMethod("non-private 2-approx", w, rng, [&](Rng&) {
+    return NonPrivateTwoApprox(w.points, w.t);
+  }, "reference"));
+
+  rows.push_back(RunMethod("private aggregation [16]", w, rng, [&](Rng& r) {
+    NoisyMeanBaselineOptions o;
+    o.params = {kEps, kDelta};
+    return NoisyMeanBaseline(r, w.points, w.t, w.domain, o);
+  }, "needs majority cluster"));
+
+  rows.push_back(RunMethod("exponential mechanism [14]", w, rng, [&](Rng& r) {
+    ExpMechBaselineOptions o;
+    o.params = {kEps, 0.0};
+    return ExpMechBaseline(r, w.points, w.t, w.domain, o);
+  }));
+
+  rows.push_back(RunMethod("this work (Thm 3.2)", w, rng, [&](Rng& r) -> Result<Ball> {
+    OneClusterOptions o;
+    o.params = {kEps, kDelta};
+    o.beta = 0.1;
+    DPC_ASSIGN_OR_RETURN(OneClusterResult result,
+                         OneCluster(r, w.points, w.t, w.domain, o));
+    return result.ball;
+  }));
+
+  PrintRows(rows);
+  bench::Note(
+      "\nExpected shape (paper Table 1): [16] pays w ~ sqrt(d)/eps and only"
+      "\nworks for majority clusters; [14] achieves w ~ 1 but is shut out as"
+      "\nsoon as |X|^d grows; threshold release handles d=1 only; this work"
+      "\nanswers every scenario with small Delta and moderate w.");
+}
+
+}  // namespace
+}  // namespace dpcluster
+
+int main() {
+  dpcluster::ScenarioA();
+  dpcluster::ScenarioB();
+  return 0;
+}

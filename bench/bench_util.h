@@ -1,0 +1,36 @@
+// Shared helpers for the reproduction benchmark harness.
+
+#ifndef DPCLUSTER_BENCH_BENCH_UTIL_H_
+#define DPCLUSTER_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace dpcluster {
+namespace bench {
+
+/// Wall-clock milliseconds of a callable.
+template <typename F>
+double TimeMs(F&& f) {
+  const auto start = std::chrono::steady_clock::now();
+  f();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Section banner in the harness output.
+inline void Banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+}  // namespace bench
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_BENCH_BENCH_UTIL_H_

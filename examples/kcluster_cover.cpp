@@ -1,0 +1,52 @@
+// k-ball covering (Observation 3.5): iterate the 1-cluster solver k times,
+// removing covered points between rounds, to privately sketch the cluster
+// structure of a dataset — the paper's heuristic route from 1-cluster to
+// k-clustering.
+
+#include <cstdio>
+
+#include "dpcluster/core/k_cluster.h"
+#include "dpcluster/workload/synthetic.h"
+
+int main() {
+  using namespace dpcluster;
+  Rng rng(555);
+
+  // Three shops' worth of purchase locations plus 5% noise.
+  const std::size_t k = 3;
+  const ClusterWorkload w =
+      MakeGaussianMixture(rng, 4000, k, 2, 1u << 12, 0.012, 0.05);
+
+  KClusterOptions options;
+  options.params = {24.0, 1e-8};  // Total budget, split across the k rounds.
+  options.beta = 0.2;
+  options.k = k;
+
+  std::printf("Covering a %zu-component mixture (n=%zu) with %zu private "
+              "balls, total eps=%.0f...\n\n",
+              k, w.points.size(), k, options.params.epsilon);
+
+  const auto result = KCluster(rng, w.points, w.domain, options);
+  if (!result.ok()) {
+    std::printf("KCluster failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  for (std::size_t i = 0; i < result->rounds.size(); ++i) {
+    const Ball& ball = result->rounds[i].ball;
+    std::printf("ball %zu: center (%.3f, %.3f), radius %.3f\n", i + 1,
+                ball.center[0], ball.center[1], ball.radius);
+  }
+  std::printf("\nPlanted component centers:\n");
+  for (const Ball& planted : w.all_planted) {
+    std::printf("         (%.3f, %.3f)\n", planted.center[0], planted.center[1]);
+  }
+  std::printf("\nUncovered points (evaluation only): %zu of %zu (%.1f%%)\n",
+              result->uncovered, w.points.size(),
+              100.0 * static_cast<double>(result->uncovered) /
+                  static_cast<double>(w.points.size()));
+  std::printf("Each round ran with eps=%.1f (basic composition; the paper's\n"
+              "k <~ (eps n)^{2/3} bound is exactly this budget split).\n",
+              options.params.epsilon / static_cast<double>(k));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Outlier screening — Section 1.1's second motivation: find a ball holding
+// ~90% of the data, treat membership as the inlier predicate h, and run the
+// downstream private analysis on the screened data. Restricting the domain to
+// the ball shrinks the global sensitivity, so the same epsilon buys far less
+// noise — often the difference between a useless and a useful release.
+
+#include <cmath>
+#include <cstdio>
+
+#include "dpcluster/core/outlier.h"
+#include "dpcluster/dp/noisy_average.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+
+int main() {
+  using namespace dpcluster;
+  Rng rng(77);
+
+  // Sensor readings: 90% behave (cluster of radius 0.02 around the true
+  // operating point), 10% are faulty and report garbage.
+  const GridDomain domain(1u << 14, 2);
+  const std::vector<double> operating_point = {0.42, 0.58};
+  const std::size_t n = 4000;
+  PointSet readings(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 10 == 0) {
+      readings.Add(std::vector<double>{rng.NextDouble(), rng.NextDouble()});
+    } else {
+      readings.Add(SampleBall(rng, operating_point, 0.02));
+    }
+  }
+  domain.SnapAll(readings);
+
+  // --- Naive private mean: sensitivity is the whole cube. -----------------
+  const std::vector<double> cube_center = {0.5, 0.5};
+  const auto naive = NoisyAverage(rng, readings, cube_center,
+                                  std::sqrt(2.0) / 2.0, {0.5, 1e-9});
+
+  // --- Screened private mean: find the 90% ball first. --------------------
+  OutlierScreenOptions screen_opts;
+  screen_opts.inlier_fraction = 0.9;
+  screen_opts.one_cluster.params = {4.0, 1e-9};
+  screen_opts.one_cluster.beta = 0.1;
+  screen_opts.refine = {0.5, 0.1};
+  const auto screen = BuildOutlierScreen(rng, readings, domain, screen_opts);
+  if (!screen.ok()) {
+    std::printf("screen failed: %s\n", screen.status().ToString().c_str());
+    return 1;
+  }
+  const auto screened = NoisyAverage(rng, readings, screen->ball.center,
+                                     screen->ball.radius, {0.5, 1e-9});
+
+  std::printf("True operating point        : (%.4f, %.4f)\n",
+              operating_point[0], operating_point[1]);
+  if (naive.ok()) {
+    std::printf("Naive private mean          : (%.4f, %.4f)   error %.4f\n",
+                naive->average[0], naive->average[1],
+                Distance(naive->average, operating_point));
+  }
+  std::printf("Released inlier ball        : center (%.4f, %.4f), radius %.4f\n",
+              screen->ball.center[0], screen->ball.center[1],
+              screen->ball.radius);
+  if (screened.ok()) {
+    std::printf("Screened private mean       : (%.4f, %.4f)   error %.4f\n",
+                screened->average[0], screened->average[1],
+                Distance(screened->average, operating_point));
+  }
+
+  // The predicate h can also screen a dataset for further analysis.
+  const PointSet inliers = screen->Inliers(readings);
+  std::printf("\nScreen keeps %zu of %zu readings (evaluation only); the\n"
+              "noise reach dropped from %.3f (cube) to %.3f (ball) — the\n"
+              "sensitivity reduction Section 1.1 describes.\n",
+              inliers.size(), readings.size(), std::sqrt(2.0) / 2.0,
+              screen->ball.radius);
+  return 0;
+}

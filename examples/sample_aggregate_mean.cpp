@@ -1,0 +1,63 @@
+// Sample and aggregate (Section 6): compile an off-the-shelf, non-private
+// estimator into a differentially private one. The estimator here is the
+// coordinate median — robust, but with terrible global sensitivity, so the
+// naive "add noise to the output" route is useless. SA instead runs it on
+// disjoint blocks and aggregates the block outputs with the 1-cluster solver:
+// if the estimator is subsample-stable, the aggregate is both private and
+// accurate (Theorem 6.3) — without paying the sqrt(d) radius factor of the
+// original sample-and-aggregate of [16].
+
+#include <algorithm>
+#include <cstdio>
+
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+#include "dpcluster/sa/estimators.h"
+#include "dpcluster/sa/sample_aggregate.h"
+
+int main() {
+  using namespace dpcluster;
+  Rng rng(99);
+
+  // Salaries-like data: heavy cluster around the typical value plus 15%
+  // adversarial rows pinned at the domain edge.
+  const std::size_t n = 54000;
+  PointSet data(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        (rng.NextDouble() < 0.15)
+            ? 1.0
+            : std::clamp(0.37 + SampleGaussian(rng, 0.03), 0.0, 1.0);
+    data.Add(std::vector<double>{x});
+  }
+
+  SampleAggregateOptions options;
+  options.params = {4.0, 1e-9};
+  options.beta = 0.1;
+  options.block_size = 15;  // The stability parameter m.
+  options.alpha = 0.8;
+  const GridDomain out_domain(1u << 12, 1);
+
+  std::printf("Compiling the (non-private) coordinate median into a private\n"
+              "estimator via SA: n=%zu rows, blocks of m=%zu, eps=%.1f\n\n",
+              n, options.block_size, options.params.epsilon);
+
+  const auto result =
+      SampleAggregate(rng, data, MedianEstimator(), out_domain, options);
+  if (!result.ok()) {
+    std::printf("SA failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Blocks evaluated (k)        : %zu\n", result->blocks);
+  std::printf("Released stable point z     : %.4f   (clean median ~0.37)\n",
+              result->point[0]);
+  std::printf("Aggregator ball radius      : %.4f\n", result->radius);
+  std::printf("Amplified privacy (Lemma 6.4): (%.3f, %.2e)-DP\n",
+              result->amplified.epsilon, result->amplified.delta);
+  std::printf("\nThe 15%% adversarial rows shift the global mean by ~0.09 but\n"
+              "cannot move the block medians, so the aggregate stays on the\n"
+              "clean value — the \"compile non-private analyses\" promise of\n"
+              "the sample-and-aggregate framework.\n");
+  return 0;
+}

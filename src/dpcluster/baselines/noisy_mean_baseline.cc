@@ -1,0 +1,54 @@
+#include "dpcluster/baselines/noisy_mean_baseline.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/core/radius_refine.h"
+#include "dpcluster/dp/noisy_average.h"
+#include "dpcluster/geo/ball.h"
+
+namespace dpcluster {
+
+Status NoisyMeanBaselineOptions::Validate() const {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("NoisyMeanBaseline: beta must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+Result<Ball> NoisyMeanBaseline(Rng& rng, const PointSet& s, std::size_t t,
+                               const GridDomain& domain,
+                               const NoisyMeanBaselineOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  if (s.empty()) return Status::InvalidArgument("NoisyMeanBaseline: empty dataset");
+  if (t < 1 || t > s.size()) {
+    return Status::InvalidArgument("NoisyMeanBaseline: 1 <= t <= n required");
+  }
+  const std::size_t d = s.dim();
+  const double eps = options.params.epsilon;
+
+  // Phase 1 (eps/2, delta/2): noisy mean over the whole cube. The reach is the
+  // cube's circumradius — this is exactly the sqrt(d) the paper's pipeline
+  // avoids.
+  std::vector<double> cube_center(d, domain.axis_length() / 2.0);
+  const double reach =
+      0.5 * domain.axis_length() * std::sqrt(static_cast<double>(d));
+  DPC_ASSIGN_OR_RETURN(
+      NoisyAverageOutput avg,
+      NoisyAverage(rng, s, cube_center, reach, options.params.Fraction(0.5)));
+
+  // Phase 2 (eps/2): noisy binary search for the smallest grid radius whose
+  // ball around the released center holds ~t points.
+  Ball ball;
+  ball.center = avg.average;
+  RadiusRefineOptions refine;
+  refine.epsilon = eps / 2.0;
+  refine.beta = options.beta;
+  DPC_ASSIGN_OR_RETURN(ball.radius,
+                       RefineRadius(rng, s, ball.center, t, domain, refine));
+  return ball;
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,39 @@
+// Baseline: private aggregation in the style of Nissim-Raskhodnikova-Smith [16]
+// (Table 1, row 1). The center is a noisy average of *all* points (global
+// reach = the whole cube, so the noise carries the sqrt(d)/eps factor), the
+// radius is found by a noisy binary search for the smallest ball around that
+// center holding ~t points.
+//
+// Expected behaviour, which bench_table1 measures: works only when the cluster
+// holds a majority of the points (otherwise the mean lands between clusters),
+// and pays w = O(sqrt(d)/eps) in the radius.
+
+#ifndef DPCLUSTER_BASELINES_NOISY_MEAN_BASELINE_H_
+#define DPCLUSTER_BASELINES_NOISY_MEAN_BASELINE_H_
+
+#include <cstddef>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/privacy_params.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+struct NoisyMeanBaselineOptions {
+  PrivacyParams params{1.0, 1e-9};
+  double beta = 0.1;
+
+  Status Validate() const;
+};
+
+/// Runs the baseline; (eps, delta)-DP overall (half budget each phase).
+Result<Ball> NoisyMeanBaseline(Rng& rng, const PointSet& s, std::size_t t,
+                               const GridDomain& domain,
+                               const NoisyMeanBaselineOptions& options);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_BASELINES_NOISY_MEAN_BASELINE_H_

@@ -1,0 +1,58 @@
+#include "dpcluster/baselines/nonprivate_baseline.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/geo/minimal_ball.h"
+
+namespace dpcluster {
+
+Result<Ball> NonPrivateBestEffort(const PointSet& s, std::size_t t) {
+  if (s.dim() == 1) return SmallestInterval1D(s, t);
+  return TwoApproxSmallestBall(s, t);
+}
+
+Result<Ball> NonPrivateTwoApprox(const PointSet& s, std::size_t t) {
+  return TwoApproxSmallestBall(s, t);
+}
+
+Result<Ball> NonPrivateLocalSearch(const PointSet& s, std::size_t t, double alpha,
+                                   std::size_t max_candidates) {
+  if (!(alpha > 0.0) || !(alpha <= 1.0)) {
+    return Status::InvalidArgument("NonPrivateLocalSearch: alpha must be in (0,1]");
+  }
+  DPC_ASSIGN_OR_RETURN(Ball base, TwoApproxSmallestBall(s, t));
+  if (base.radius == 0.0) return base;
+  const std::size_t d = s.dim();
+  const double pitch = alpha * base.radius;
+  const auto side = static_cast<std::size_t>(std::floor(2.0 / alpha)) + 1;
+
+  // Candidate count side^d; bail out to the 2-approx when over budget.
+  double total = 1.0;
+  for (std::size_t i = 0; i < d; ++i) total *= static_cast<double>(side);
+  if (total > static_cast<double>(max_candidates)) return base;
+
+  Ball best = base;
+  std::vector<std::size_t> idx(d, 0);
+  std::vector<double> cand(d);
+  const auto count = static_cast<std::size_t>(total);
+  for (std::size_t c = 0; c < count; ++c) {
+    for (std::size_t j = 0; j < d; ++j) {
+      cand[j] = base.center[j] - base.radius +
+                static_cast<double>(idx[j]) * pitch;
+    }
+    const double r = RadiusCapturing(s, cand, t);
+    if (r < best.radius) {
+      best.radius = r;
+      best.center = cand;
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      if (++idx[j] < side) break;
+      idx[j] = 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,33 @@
+// Non-private reference solvers wrapped in the common (center, radius) shape
+// used by the Table 1 harness: the exact 1D interval, the 2-approximation over
+// input centers (Section 3, fact 3), and a PTAS-flavoured grid refinement
+// around the 2-approximation (Section 3, fact 2 stand-in: local search over a
+// (1+alpha) grid of candidate centers near the 2-approx ball).
+
+#ifndef DPCLUSTER_BASELINES_NONPRIVATE_BASELINE_H_
+#define DPCLUSTER_BASELINES_NONPRIVATE_BASELINE_H_
+
+#include <cstddef>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/point_set.h"
+
+namespace dpcluster {
+
+/// Exact smallest interval for d == 1; the 2-approximation otherwise.
+Result<Ball> NonPrivateBestEffort(const PointSet& s, std::size_t t);
+
+/// The 2-approximation for any d (smallest ball centered at an input point).
+Result<Ball> NonPrivateTwoApprox(const PointSet& s, std::size_t t);
+
+/// Refines the 2-approximation toward (1+alpha) r_opt by searching ball
+/// centers on a local grid of pitch alpha * r2 inside the 2-approx ball
+/// (cells within the ball only; O((3/alpha)^d) candidates — small d only).
+/// Falls back to the 2-approximation when the candidate budget is exceeded.
+Result<Ball> NonPrivateLocalSearch(const PointSet& s, std::size_t t, double alpha,
+                                   std::size_t max_candidates = 200000);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_BASELINES_NONPRIVATE_BASELINE_H_

@@ -1,0 +1,130 @@
+#include "dpcluster/baselines/threshold_release_1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/common/math_util.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+
+Status ThresholdRelease1DOptions::Validate() const {
+  DPC_RETURN_IF_ERROR(params.Validate());
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("ThresholdRelease1D: beta must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+Result<ThresholdRelease1D> ThresholdRelease1D::Build(
+    Rng& rng, const PointSet& s, const GridDomain& domain,
+    const ThresholdRelease1DOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  if (s.dim() != 1 || domain.dim() != 1) {
+    return Status::InvalidArgument("ThresholdRelease1D: requires d == 1");
+  }
+
+  const std::uint64_t x = domain.levels();
+  const int tree_levels = CeilLog2(x) + 1;  // Dyadic levels incl. leaves.
+  const std::uint64_t width = std::uint64_t{1} << (tree_levels - 1);
+  const double eps_level =
+      options.params.epsilon / static_cast<double>(tree_levels);
+  // Replacement neighbors move one point: two cells per level change by 1.
+  const double scale = 2.0 / eps_level;
+
+  // Exact leaf histogram over grid levels.
+  std::vector<double> exact(width, 0.0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double v = std::clamp(s[i][0], 0.0, domain.axis_length());
+    auto level = static_cast<std::uint64_t>(std::llround(v / domain.step()));
+    if (level >= x) level = x - 1;
+    exact[level] += 1.0;
+  }
+
+  // Noisy dyadic tree, released level by level; each level is one histogram.
+  // noisy[l][j] estimates the count of the dyadic block j at granularity 2^l.
+  std::vector<std::vector<double>> noisy(static_cast<std::size_t>(tree_levels));
+  {
+    std::vector<double> blocks = exact;
+    for (int l = 0; l < tree_levels; ++l) {
+      auto& level_counts = noisy[static_cast<std::size_t>(l)];
+      level_counts.resize(blocks.size());
+      for (std::size_t j = 0; j < blocks.size(); ++j) {
+        level_counts[j] = blocks[j] + SampleLaplace(rng, scale);
+      }
+      // Coarsen for the next level.
+      std::vector<double> next((blocks.size() + 1) / 2, 0.0);
+      for (std::size_t j = 0; j < blocks.size(); ++j) next[j / 2] += blocks[j];
+      blocks = std::move(next);
+    }
+  }
+
+  // Post-processing: prefix counts from canonical-node decompositions.
+  ThresholdRelease1D release;
+  release.levels_ = x;
+  release.grid_step_ = domain.step();
+  release.prefix_.resize(x);
+  for (std::uint64_t i = 0; i < x; ++i) {
+    // Sum canonical nodes covering [0, i]: walk the binary representation.
+    double sum = 0.0;
+    std::uint64_t pos = 0;  // Next uncovered leaf.
+    for (int l = tree_levels - 1; l >= 0; --l) {
+      const std::uint64_t block = std::uint64_t{1} << l;
+      if (pos + block <= i + 1) {
+        sum += noisy[static_cast<std::size_t>(l)][pos >> l];
+        pos += block;
+      }
+    }
+    release.prefix_[i] = sum;
+  }
+  // Enforce monotone prefix counts (isotonic clean-up, still post-processing).
+  for (std::uint64_t i = 1; i < x; ++i) {
+    release.prefix_[i] = std::max(release.prefix_[i], release.prefix_[i - 1]);
+  }
+
+  const double ll = static_cast<double>(tree_levels);
+  release.error_bound_ = scale * std::sqrt(2.0 * ll) *
+                         std::log(2.0 * static_cast<double>(x) / options.beta);
+  return release;
+}
+
+double ThresholdRelease1D::PrefixCount(std::uint64_t level) const {
+  DPC_CHECK_LT(level, levels_);
+  return prefix_[level];
+}
+
+double ThresholdRelease1D::IntervalCount(std::uint64_t lo, std::uint64_t hi) const {
+  DPC_CHECK_LE(lo, hi);
+  DPC_CHECK_LT(hi, levels_);
+  const double left = lo == 0 ? 0.0 : prefix_[lo - 1];
+  return prefix_[hi] - left;
+}
+
+Result<Ball> ThresholdRelease1D::SmallestHeavyInterval(double target) const {
+  std::uint64_t best_lo = 0;
+  std::uint64_t best_hi = 0;
+  bool found = false;
+  std::uint64_t lo = 0;
+  for (std::uint64_t hi = 0; hi < levels_; ++hi) {
+    while (lo < hi && IntervalCount(lo + 1, hi) >= target) ++lo;
+    if (IntervalCount(lo, hi) >= target) {
+      if (!found || hi - lo < best_hi - best_lo) {
+        best_lo = lo;
+        best_hi = hi;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    return Status::NoPrivateAnswer(
+        "ThresholdRelease1D: no interval reaches the target count");
+  }
+  Ball ball;
+  ball.center = {0.5 * static_cast<double>(best_lo + best_hi) * grid_step_};
+  ball.radius = 0.5 * static_cast<double>(best_hi - best_lo) * grid_step_;
+  return ball;
+}
+
+}  // namespace dpcluster

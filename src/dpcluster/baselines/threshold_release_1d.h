@@ -1,0 +1,72 @@
+// Baseline: query release for threshold functions, d = 1 (Table 1, row 3).
+//
+// The paper cites the 2^{O(log*|X|)} release of [3, 4]; as documented in
+// DESIGN.md (substitution #5) this build ships the standard hierarchical
+// (dyadic tree) Laplace release instead: every level of the dyadic tree over X
+// is a disjoint histogram, each level gets eps/(L+1), and any interval count
+// is answered by <= 2L canonical nodes, giving additive error
+// O(log^{1.5}|X| / eps) — the classical bound this row is labeled with in the
+// bench output.
+//
+// Post-processing (free under DP): a two-pointer sweep over the released
+// prefix counts finds the shortest grid interval with estimated count >= t,
+// which solves the 1-cluster problem for d = 1 with w = 1.
+
+#ifndef DPCLUSTER_BASELINES_THRESHOLD_RELEASE_1D_H_
+#define DPCLUSTER_BASELINES_THRESHOLD_RELEASE_1D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/privacy_params.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+struct ThresholdRelease1DOptions {
+  PrivacyParams params{1.0, 0.0};  // Pure eps-DP.
+  double beta = 0.1;
+
+  Status Validate() const;
+};
+
+/// The released synthetic structure: noisy dyadic prefix counts over X.
+class ThresholdRelease1D {
+ public:
+  /// Builds the release from a 1D dataset. (eps, 0)-DP.
+  static Result<ThresholdRelease1D> Build(Rng& rng, const PointSet& s,
+                                          const GridDomain& domain,
+                                          const ThresholdRelease1DOptions& options);
+
+  /// Estimated number of points with value <= grid level `level`.
+  double PrefixCount(std::uint64_t level) const;
+
+  /// Estimated count in the closed grid-level interval [lo, hi].
+  double IntervalCount(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Post-processing: shortest grid interval with estimated count >= target,
+  /// returned as a 1D ball. Fails if no interval qualifies.
+  Result<Ball> SmallestHeavyInterval(double target) const;
+
+  std::uint64_t levels() const { return levels_; }
+
+  /// The classical error bound O(log^{1.5}|X|/eps) for interval queries
+  /// (1-beta tail across all |X|^2 intervals).
+  double ErrorBound() const { return error_bound_; }
+
+ private:
+  ThresholdRelease1D() = default;
+
+  std::uint64_t levels_ = 0;
+  double grid_step_ = 1.0;
+  double error_bound_ = 0.0;
+  std::vector<double> prefix_;  // prefix_[i] = estimated #{x <= level i}.
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_BASELINES_THRESHOLD_RELEASE_1D_H_

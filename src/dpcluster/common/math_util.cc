@@ -1,0 +1,61 @@
+#include "dpcluster/common/math_util.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+int IteratedLog(double x) {
+  int count = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++count;
+    DPC_CHECK_LT(count, 64);  // log* of any representable double is tiny.
+  }
+  return count;
+}
+
+double Tower(int j) {
+  DPC_CHECK_GE(j, 0);
+  double v = 1.0;
+  for (int i = 0; i < j; ++i) {
+    if (v > 1023.0) return std::numeric_limits<double>::infinity();
+    v = std::exp2(v);
+  }
+  return v;
+}
+
+int FloorLog2(std::uint64_t x) {
+  DPC_CHECK_GE(x, 1u);
+  return 63 - std::countl_zero(x);
+}
+
+int CeilLog2(std::uint64_t x) {
+  DPC_CHECK_GE(x, 1u);
+  int fl = FloorLog2(x);
+  return (std::uint64_t{1} << fl) == x ? fl : fl + 1;
+}
+
+double LogSumExp(std::span<const double> values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  double m = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(m)) return m;  // All -inf, or contains +inf.
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - m);
+  return m + std::log(sum);
+}
+
+double PaperGamma(double domain_points, double epsilon, double beta, double delta) {
+  DPC_CHECK_GT(epsilon, 0.0);
+  DPC_CHECK_GT(beta, 0.0);
+  DPC_CHECK_GT(delta, 0.0);
+  const double ls = static_cast<double>(IteratedLog(domain_points));
+  return std::pow(8.0, ls) * (144.0 * ls / epsilon) *
+         std::log(24.0 * ls / (beta * delta));
+}
+
+}  // namespace dpcluster

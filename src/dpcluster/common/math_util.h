@@ -1,0 +1,39 @@
+// Small numeric helpers shared across the library: iterated logarithm (log*),
+// integer log2, numerically stable log-sum-exp, and the tower function used by
+// the paper's lower-bound statement (Corollary 5.4).
+
+#ifndef DPCLUSTER_COMMON_MATH_UTIL_H_
+#define DPCLUSTER_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <span>
+
+namespace dpcluster {
+
+/// Iterated logarithm base 2: the number of times log2 must be applied to x
+/// before the result is <= 1. IteratedLog(x) = 0 for x <= 1.
+/// Examples: log*(2)=1, log*(4)=2, log*(16)=3, log*(65536)=4, log*(2^65536)=5.
+int IteratedLog(double x);
+
+/// tower(0)=1, tower(j)=2^tower(j-1), saturating at +infinity (returned as
+/// double). Used by the lower-bound demo (Corollary 5.4).
+double Tower(int j);
+
+/// floor(log2(x)) for x >= 1.
+int FloorLog2(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1; CeilLog2(1) == 0.
+int CeilLog2(std::uint64_t x);
+
+/// Numerically stable log(sum_i exp(v_i)). Returns -infinity on empty input.
+double LogSumExp(std::span<const double> values);
+
+/// The paper's Gamma promise for GoodRadius (Algorithm 1, verbatim constants):
+///   Gamma = 8^{log*(2|X|sqrt(d))} * (144 log*(2|X|sqrt(d)) / eps)
+///           * log(24 log*(2|X|sqrt(d)) / (beta delta)).
+/// `domain_points` is 2|X|sqrt(d) (the solution-grid size).
+double PaperGamma(double domain_points, double epsilon, double beta, double delta);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_COMMON_MATH_UTIL_H_

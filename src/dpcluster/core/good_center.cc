@@ -1,0 +1,255 @@
+#include "dpcluster/core/good_center.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/dp/above_threshold.h"
+#include "dpcluster/dp/accountant.h"
+#include "dpcluster/dp/noisy_average.h"
+#include "dpcluster/dp/stable_histogram.h"
+#include "dpcluster/geo/partition.h"
+#include "dpcluster/la/jl_transform.h"
+#include "dpcluster/la/matrix.h"
+#include "dpcluster/la/qr.h"
+#include "dpcluster/la/vector_ops.h"
+
+namespace dpcluster {
+namespace {
+
+using BoxKey = std::vector<std::int64_t>;
+using BoxCounts = std::unordered_map<BoxKey, std::size_t, BoxIndexHash>;
+
+// Box-occupancy histogram of the projected points for one random partition.
+BoxCounts CountBoxes(const Matrix& projected, const BoxPartition& partition) {
+  BoxCounts counts;
+  counts.reserve(projected.rows());
+  BoxKey key(projected.cols());
+  for (std::size_t i = 0; i < projected.rows(); ++i) {
+    const auto row = projected.Row(i);
+    for (std::size_t a = 0; a < key.size(); ++a) {
+      key[a] = partition.axis(a).IndexOf(row[a]);
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+std::size_t MaxCount(const BoxCounts& counts) {
+  std::size_t best = 0;
+  for (const auto& [key, c] : counts) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace
+
+GoodCenterOptions GoodCenterOptions::PaperConstants() {
+  GoodCenterOptions o;
+  o.jl_constant = 46.0;
+  o.max_jl_dim = 0;
+  o.box_side_factor = 300.0;
+  o.threshold_offset_factor = 100.0;
+  o.interval_multiplier = 3.0;
+  o.axis_cell_factor = 0.0;  // Verbatim worst-case interval length.
+  o.max_rounds = 0;  // Resolved to the paper's 2n log(1/beta)/beta at run time.
+  o.domain_axis_length = 0.0;  // No domain clamping in the verbatim preset.
+  return o;
+}
+
+Status GoodCenterOptions::Validate() const {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("GoodCenter: beta must be in (0,1)");
+  }
+  if (!(jl_constant > 0.0)) {
+    return Status::InvalidArgument("GoodCenter: jl_constant must be positive");
+  }
+  if (!(box_side_factor >= 4.0)) {
+    return Status::InvalidArgument(
+        "GoodCenter: box_side_factor must be >= 4 (the box must be able to "
+        "contain the projected cluster, whose diameter is ~3r)");
+  }
+  if (!(threshold_offset_factor >= 0.0)) {
+    return Status::InvalidArgument(
+        "GoodCenter: threshold_offset_factor must be >= 0");
+  }
+  if (!(interval_multiplier >= 3.0)) {
+    return Status::InvalidArgument(
+        "GoodCenter: interval_multiplier must be >= 3 (Lemma 4.9 bound)");
+  }
+  return Status::OK();
+}
+
+Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
+                                    double r, const GoodCenterOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  const std::size_t n = s.size();
+  const std::size_t d = s.dim();
+  if (n == 0) return Status::InvalidArgument("GoodCenter: empty dataset");
+  if (t < 1 || t > n) {
+    return Status::InvalidArgument("GoodCenter: t must satisfy 1 <= t <= n");
+  }
+  if (!(r > 0.0) || !std::isfinite(r)) {
+    return Status::InvalidArgument("GoodCenter: radius r must be positive");
+  }
+
+  const double eps = options.params.epsilon;
+  const double delta = options.params.delta;
+  const double beta = options.beta;
+  const PrivacyParams quarter{eps / 4.0, delta / 4.0};
+
+  GoodCenterResult result;
+
+  // ---- Step 1: JL projection into R^k. -----------------------------------
+  std::size_t k = static_cast<std::size_t>(
+      std::ceil(options.jl_constant * std::log(2.0 * static_cast<double>(n) / beta)));
+  if (options.max_jl_dim > 0) k = std::min(k, options.max_jl_dim);
+  k = std::max<std::size_t>(k, 2);
+  result.jl_dim = k;
+
+  const JlTransform jl(rng, d, k);
+  Matrix projected(n, k);
+  for (std::size_t i = 0; i < n; ++i) jl.Apply(s[i], projected.Row(i));
+
+  // ---- Step 2: AboveThreshold over the box-partition queries (eps/4). ----
+  const double threshold =
+      static_cast<double>(t) -
+      (options.threshold_offset_factor / eps) *
+          std::log(2.0 * static_cast<double>(n) / beta);
+  DPC_ASSIGN_OR_RETURN(AboveThreshold sparse_vector,
+                       AboveThreshold::Create(rng, eps / 4.0, threshold));
+
+  // ---- Steps 3-6: random box partitions until a heavy box exists. --------
+  std::size_t max_rounds = options.max_rounds;
+  if (max_rounds == 0) {
+    max_rounds = static_cast<std::size_t>(
+        std::ceil(2.0 * static_cast<double>(n) * std::log(1.0 / beta) / beta));
+  }
+  const double box_side = options.box_side_factor * r;
+  BoxCounts counts;
+  bool found = false;
+  BoxPartition partition(rng, k, box_side);
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    partition = BoxPartition(rng, k, box_side);
+    counts = CountBoxes(projected, partition);
+    result.rounds_used = round + 1;
+    DPC_ASSIGN_OR_RETURN(
+        bool top,
+        sparse_vector.Process(rng, static_cast<double>(MaxCount(counts))));
+    if (top) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::DeadlineExceeded(
+        "GoodCenter: no box partition captured the cluster within max_rounds "
+        "(is there really a ball of radius r holding t points?)");
+  }
+
+  // ---- Step 7: stable histogram chooses the heavy box (eps/4, delta/4). ---
+  DPC_ASSIGN_OR_RETURN(auto box_choice,
+                       (ChooseHeavyCell<BoxKey, BoxIndexHash>(rng, counts, quarter)));
+  result.noisy_box_count = box_choice.noisy_count;
+
+  std::vector<std::size_t> d_indices;
+  {
+    BoxKey key(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = projected.Row(i);
+      bool match = true;
+      for (std::size_t a = 0; a < k; ++a) {
+        if (partition.axis(a).IndexOf(row[a]) != box_choice.key[a]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) d_indices.push_back(i);
+    }
+  }
+  const PointSet d_set = s.Subset(d_indices);
+
+  // ---- Steps 8-9: rotate and pick a heavy interval per axis. --------------
+  const Matrix basis = RandomOrthonormalBasis(rng, d);
+  const double cube_diameter =
+      options.domain_axis_length > 0.0
+          ? options.domain_axis_length * std::sqrt(static_cast<double>(d))
+          : std::numeric_limits<double>::infinity();
+  double p_len;
+  if (options.axis_cell_factor > 0.0) {
+    p_len = options.axis_cell_factor * r;
+  } else {
+    p_len = options.interval_multiplier * options.box_side_factor * r *
+            std::sqrt(static_cast<double>(k) *
+                      std::log(static_cast<double>(d) * static_cast<double>(n) /
+                               beta) /
+                      static_cast<double>(d));
+  }
+  // The projection of any two cube points onto a unit vector differs by at
+  // most the cube diameter, so it is also a valid per-axis spread bound.
+  p_len = std::min(p_len, cube_diameter);
+
+  // Budget: d stable histograms composed into (eps/4, delta/4). Advanced
+  // composition (the paper's eps/(10 sqrt(d ln(8/delta))) choice) only beats
+  // basic composition once d exceeds ~2 ln(1/delta); use whichever grants the
+  // larger per-axis epsilon.
+  const double eps_axis_advanced =
+      InverseAdvancedEpsilon(eps / 4.0, d, delta / 8.0);
+  const double eps_axis_basic = (eps / 4.0) / static_cast<double>(d);
+  const bool use_advanced = eps_axis_advanced > eps_axis_basic;
+  const PrivacyParams axis_params{
+      use_advanced ? eps_axis_advanced : eps_axis_basic,
+      use_advanced ? delta / (8.0 * static_cast<double>(d))
+                   : delta / (4.0 * static_cast<double>(d))};
+
+  std::vector<double> mids(d);
+  std::vector<double> proj_buf(d_set.size());
+  for (std::size_t axis = 0; axis < d; ++axis) {
+    const auto z = basis.Row(axis);
+    std::unordered_map<std::int64_t, std::size_t> cells;
+    for (std::size_t i = 0; i < d_set.size(); ++i) {
+      proj_buf[i] = Dot(d_set[i], z);
+      ++cells[static_cast<std::int64_t>(std::floor(proj_buf[i] / p_len))];
+    }
+    auto interval_choice = ChooseHeavyCell<std::int64_t, std::hash<std::int64_t>>(
+        rng, cells, axis_params);
+    if (!interval_choice.ok()) {
+      return Status::NoPrivateAnswer(
+          "GoodCenter: axis " + std::to_string(axis) +
+          " interval selection failed (" + interval_choice.status().message() +
+          "); the heavy box holds too few points for this budget");
+    }
+    // Interval [j p, (j+1) p) extended by p on both sides; same midpoint.
+    mids[axis] =
+        (static_cast<double>(interval_choice->key) + 0.5) * p_len;
+  }
+
+  // ---- Step 10: the bounding sphere C of the extended box. ----------------
+  std::vector<double> center_c(d);
+  basis.MultiplyTransposed(mids, center_c);
+  double radius_c = 1.5 * p_len * std::sqrt(static_cast<double>(d));
+  if (options.domain_axis_length > 0.0) {
+    // Clamping c into the cube only shrinks its distance to any data point,
+    // and any two cube points are within the cube diameter of each other —
+    // so the clamped sphere still covers D while capping the averaging reach.
+    for (double& x : center_c) {
+      x = std::clamp(x, 0.0, options.domain_axis_length);
+    }
+    radius_c = std::min(radius_c, cube_diameter);
+  }
+
+  // ---- Step 11: NoisyAVG of D ∩ C (eps/4, delta/4). -----------------------
+  DPC_ASSIGN_OR_RETURN(NoisyAverageOutput avg,
+                       NoisyAverage(rng, d_set, center_c, radius_c, quarter));
+  result.center = std::move(avg.average);
+  result.noisy_inlier_count = avg.noisy_count;
+  result.noise_sigma = avg.sigma;
+  result.guarantee_radius = (std::sqrt(2.0) * options.box_side_factor + 1.0) * r *
+                            std::sqrt(static_cast<double>(k));
+  return result;
+}
+
+}  // namespace dpcluster

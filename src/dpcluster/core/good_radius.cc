@@ -1,0 +1,199 @@
+#include "dpcluster/core/good_radius.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/common/math_util.h"
+#include "dpcluster/core/radius_profile.h"
+#include "dpcluster/geo/pairwise.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+namespace {
+
+// Builds the Algorithm 1 quality
+//   Q(g) = 1/2 * min{ t - L(r_g / 2),  L(r_g) - t + 4 Gamma }
+// as a step function over solution-grid indices g, from the fine profile.
+StepFunction BuildQuality(const RadiusProfile& profile, double t, double gamma) {
+  const StepFunction& fine = profile.fine_l();
+  const std::uint64_t grid = profile.solution_grid_size();
+
+  // Q changes value only where L(r_g) changes (fine index 2g crosses a fine
+  // breakpoint b => g = ceil(b/2)) or where L(r_g/2) changes (fine index g
+  // crosses b => g = b).
+  std::vector<std::uint64_t> candidates;
+  candidates.reserve(2 * fine.num_pieces() + 1);
+  candidates.push_back(0);
+  for (std::uint64_t b : fine.starts()) {
+    if (b < grid) candidates.push_back(b);
+    const std::uint64_t half = (b + 1) / 2;
+    if (half < grid) candidates.push_back(half);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<std::uint64_t> starts;
+  std::vector<double> values;
+  starts.reserve(candidates.size());
+  values.reserve(candidates.size());
+  for (std::uint64_t g : candidates) {
+    const double l_full = fine.ValueAt(2 * g);
+    const double l_half = fine.ValueAt(g);
+    const double q = 0.5 * std::min(t - l_half, l_full - t + 4.0 * gamma);
+    if (!values.empty() && values.back() == q) continue;
+    starts.push_back(g);
+    values.push_back(q);
+  }
+  return StepFunction::FromBreakpoints(grid, std::move(starts), std::move(values));
+}
+
+Result<GoodRadiusResult> RunRecConcaveEngine(Rng& rng, const PointSet& s,
+                                             std::size_t t,
+                                             const GridDomain& domain,
+                                             const GoodRadiusOptions& options,
+                                             double gamma) {
+  const double eps = options.params.epsilon;
+  const double beta = options.beta;
+  DPC_ASSIGN_OR_RETURN(
+      RadiusProfile profile,
+      RadiusProfile::Build(s, t, domain, options.max_profile_points));
+
+  GoodRadiusResult result;
+  result.gamma = gamma;
+
+  // Step 2: zero-radius shortcut. L has sensitivity 2, so Lap(4/eps) noise
+  // gives an (eps/2)-DP test.
+  const double noisy_l0 = profile.LAtZero() + SampleLaplace(rng, 4.0 / eps);
+  const double bar =
+      static_cast<double>(t) - 2.0 * gamma - (4.0 / eps) * std::log(2.0 / beta);
+  if (noisy_l0 > bar) {
+    result.radius = 0.0;
+    result.grid_index = 0;
+    result.zero_radius_shortcut = true;
+    return result;
+  }
+
+  // Steps 3-4: RecConcave on Q with promise Gamma and the remaining eps/2.
+  const StepFunction quality =
+      BuildQuality(profile, static_cast<double>(t), gamma);
+  RecConcaveOptions rc = options.rec_concave;
+  rc.alpha = 0.5;
+  rc.beta = beta / 2.0;
+  rc.epsilon = eps / 2.0;
+  DPC_ASSIGN_OR_RETURN(std::uint64_t g, RecConcave(rng, quality, gamma, rc));
+  result.grid_index = g;
+  result.radius = domain.RadiusFromIndex(g);
+  return result;
+}
+
+Result<GoodRadiusResult> RunSparseVectorEngine(Rng& rng, const PointSet& s,
+                                               std::size_t t,
+                                               const GridDomain& domain,
+                                               const GoodRadiusOptions& options) {
+  const double eps = options.params.epsilon;
+  const double beta = options.beta;
+  DPC_ASSIGN_OR_RETURN(
+      PairwiseDistances distances,
+      PairwiseDistances::Compute(s, options.max_profile_points));
+
+  GoodRadiusResult result;
+
+  const std::uint64_t grid = domain.RadiusGridSize();
+  const int comparisons = CeilLog2(grid) + 1;
+  // L has sensitivity 2; splitting eps across the comparisons, each uses
+  // Lap(2 * comparisons * 2 / eps).
+  const double scale = 4.0 * static_cast<double>(comparisons) / eps;
+  // Loss margin: noise tail over all comparisons (the footnote-2 log|F| cost).
+  const double margin = scale * std::log(2.0 * comparisons / beta);
+  result.gamma = margin;
+
+  // Find the smallest grid index with noisy L >= t - margin via binary search
+  // (L is non-decreasing in the radius).
+  const double target = static_cast<double>(t) - margin;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = grid - 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const double l = distances.CappedTopAverage(domain.RadiusFromIndex(mid), t);
+    const double noisy = l + SampleLaplace(rng, scale);
+    if (noisy >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.grid_index = lo;
+  result.radius = domain.RadiusFromIndex(lo);
+  result.zero_radius_shortcut = (lo == 0);
+  return result;
+}
+
+}  // namespace
+
+Status GoodRadiusOptions::Validate() const {
+  DPC_RETURN_IF_ERROR(params.Validate());
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("GoodRadius: beta must be in (0,1)");
+  }
+  if (max_profile_points < 1) {
+    return Status::InvalidArgument("GoodRadius: max_profile_points must be >= 1");
+  }
+  return Status::OK();
+}
+
+double GoodRadiusGamma(const GridDomain& domain,
+                       const GoodRadiusOptions& options) {
+  const std::uint64_t grid = domain.RadiusGridSize();
+  if (options.paper_constants) {
+    return PaperGamma(static_cast<double>(grid), options.params.epsilon,
+                      options.beta, std::max(options.params.delta, 1e-300));
+  }
+  RecConcaveOptions rc = options.rec_concave;
+  rc.alpha = 0.5;
+  rc.beta = options.beta / 2.0;
+  rc.epsilon = options.params.epsilon / 2.0;
+  return RecConcaveMinPromise(grid, rc);
+}
+
+Result<GoodRadiusResult> GoodRadius(Rng& rng, const PointSet& s, std::size_t t,
+                                    const GridDomain& domain,
+                                    const GoodRadiusOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  if (s.empty()) return Status::InvalidArgument("GoodRadius: empty dataset");
+  if (s.dim() != domain.dim()) {
+    return Status::InvalidArgument("GoodRadius: domain dimension mismatch");
+  }
+  if (t < 1 || t > s.size()) {
+    return Status::InvalidArgument("GoodRadius: t must satisfy 1 <= t <= n");
+  }
+  // Amplification-by-subsampling escape hatch for the quadratic profile: run
+  // on an iid subsample with t rescaled. The subsampled mechanism is at least
+  // as private as the full-data one (Lemma 6.4).
+  if (options.subsample_large_inputs && s.size() > options.max_profile_points) {
+    const std::size_t m = options.max_profile_points;
+    std::vector<std::size_t> idx(m);
+    for (auto& i : idx) i = rng.NextUint64(s.size());
+    const PointSet sample = s.Subset(idx);
+    const auto t_scaled = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               static_cast<double>(t) * static_cast<double>(m) /
+               static_cast<double>(s.size()))));
+    GoodRadiusOptions inner = options;
+    inner.subsample_large_inputs = false;
+    return GoodRadius(rng, sample, t_scaled, domain, inner);
+  }
+
+  const double gamma = GoodRadiusGamma(domain, options);
+  switch (options.engine) {
+    case GoodRadiusOptions::Engine::kRecConcave:
+      return RunRecConcaveEngine(rng, s, t, domain, options, gamma);
+    case GoodRadiusOptions::Engine::kSparseVector:
+      return RunSparseVectorEngine(rng, s, t, domain, options);
+  }
+  return Status::Internal("GoodRadius: unknown engine");
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,92 @@
+#include "dpcluster/core/k_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/dp/accountant.h"
+#include "dpcluster/la/vector_ops.h"
+
+namespace dpcluster {
+
+Status KClusterOptions::Validate() const {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (k < 1) return Status::InvalidArgument("KCluster: k must be >= 1");
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("KCluster: beta must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
+                                const GridDomain& domain,
+                                const KClusterOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+
+  // Per-round budget under the selected composition rule.
+  PrivacyParams per_round;
+  if (options.advanced_composition && options.k > 1) {
+    const double slack = options.params.delta / 2.0;
+    per_round.epsilon =
+        InverseAdvancedEpsilon(options.params.epsilon, options.k, slack);
+    per_round.delta =
+        (options.params.delta - slack) / static_cast<double>(options.k);
+  } else {
+    per_round.epsilon = options.params.epsilon / static_cast<double>(options.k);
+    per_round.delta = options.params.delta / static_cast<double>(options.k);
+  }
+
+  KClusterResult result;
+  // Working copy: indices of points not yet covered.
+  std::vector<std::size_t> remaining(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) remaining[i] = i;
+
+  for (std::size_t round = 0; round < options.k; ++round) {
+    if (remaining.empty()) break;
+    const PointSet current = s.Subset(remaining);
+
+    std::size_t t = options.per_round_t;
+    if (t == 0) {
+      const std::size_t rounds_left = options.k - round;
+      t = (current.size() + rounds_left - 1) / rounds_left;
+    }
+    t = std::min(t, current.size());
+    if (t == 0) break;
+
+    OneClusterOptions oc = options.one_cluster;
+    oc.params = per_round;
+    oc.params.epsilon *= (1.0 - options.refine_fraction);
+    oc.beta = options.beta / static_cast<double>(options.k);
+    auto round_result = OneCluster(rng, current, t, domain, oc);
+    if (!round_result.ok()) {
+      if (options.best_effort) continue;
+      return round_result.status();
+    }
+
+    // Refine the radius so the removal ball hugs the found cluster instead of
+    // the worst-case guarantee (which can span the whole domain).
+    if (options.refine_fraction > 0.0) {
+      RadiusRefineOptions refine;
+      refine.epsilon = per_round.epsilon * options.refine_fraction;
+      refine.beta = options.beta / static_cast<double>(options.k);
+      auto refined = RefineRadius(rng, current, round_result->ball.center, t,
+                                  domain, refine);
+      if (refined.ok()) round_result->ball.radius = *refined;
+    }
+
+    // Remove the covered points (post-processing of the private ball).
+    const Ball& ball = round_result->ball;
+    std::vector<std::size_t> next;
+    next.reserve(remaining.size());
+    for (std::size_t idx : remaining) {
+      if (!ball.Contains(s[idx])) next.push_back(idx);
+    }
+    remaining = std::move(next);
+    result.rounds.push_back(std::move(*round_result));
+  }
+
+  result.uncovered = remaining.size();
+  return result;
+}
+
+}  // namespace dpcluster

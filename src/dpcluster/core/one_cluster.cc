@@ -1,0 +1,102 @@
+#include "dpcluster/core/one_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/dp/accountant.h"
+#include "dpcluster/dp/stable_histogram.h"
+
+namespace dpcluster {
+
+Status OneClusterOptions::Validate() const {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("OneCluster: beta must be in (0,1)");
+  }
+  if (!(radius_budget_fraction > 0.0) || !(radius_budget_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "OneCluster: radius_budget_fraction must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
+                                    const GridDomain& domain,
+                                    const OneClusterOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  if (s.dim() != domain.dim()) {
+    return Status::InvalidArgument("OneCluster: domain dimension mismatch");
+  }
+
+  OneClusterResult result;
+
+  // Phase 1: GoodRadius with its share of the budget.
+  GoodRadiusOptions radius_opts = options.radius;
+  radius_opts.params = options.params.Fraction(options.radius_budget_fraction);
+  radius_opts.beta = options.beta / 2.0;
+  DPC_ASSIGN_OR_RETURN(result.radius_stage,
+                       GoodRadius(rng, s, t, domain, radius_opts));
+  result.ledger.Charge("good_radius", radius_opts.params);
+
+  // A zero radius (duplicate-point cluster) cannot drive GoodCenter's interval
+  // geometry; fall back to the smallest positive grid radius.
+  const double r =
+      std::max(result.radius_stage.radius, domain.RadiusFromIndex(1));
+
+  // Phase 2: GoodCenter with the rest.
+  GoodCenterOptions center_opts = options.center;
+  center_opts.params =
+      options.params.Fraction(1.0 - options.radius_budget_fraction);
+  center_opts.beta = options.beta / 2.0;
+  if (center_opts.domain_axis_length > 0.0) {
+    center_opts.domain_axis_length = domain.axis_length();
+  }
+  DPC_ASSIGN_OR_RETURN(result.center_stage,
+                       GoodCenter(rng, s, t, r, center_opts));
+  result.ledger.Charge("good_center", center_opts.params);
+
+  result.ball.center = result.center_stage.center;
+  // The claimed radius; never larger than the cube's diameter.
+  const double diameter = domain.axis_length() *
+                          std::sqrt(static_cast<double>(domain.dim()));
+  result.ball.radius = std::min(result.center_stage.guarantee_radius, diameter);
+  return result;
+}
+
+double RecommendedMinT(std::size_t n, const GridDomain& domain,
+                       const OneClusterOptions& options) {
+  // GoodRadius loses ~4*Gamma + Laplace tail.
+  GoodRadiusOptions radius_opts = options.radius;
+  radius_opts.params = options.params.Fraction(options.radius_budget_fraction);
+  radius_opts.beta = options.beta / 2.0;
+  const double gamma = GoodRadiusGamma(domain, radius_opts);
+  const double radius_need =
+      4.0 * gamma +
+      (4.0 / radius_opts.params.epsilon) * std::log(2.0 / radius_opts.beta);
+
+  // GoodCenter needs the heavy box to survive its threshold and histograms;
+  // the binding constraint is the per-axis stable histogram fed |D|/2 points
+  // with the advanced-composed epsilon (the sqrt(d)/eps term of the theorem).
+  GoodCenterOptions center_opts = options.center;
+  center_opts.params =
+      options.params.Fraction(1.0 - options.radius_budget_fraction);
+  center_opts.beta = options.beta / 2.0;
+  const double eps_c = center_opts.params.epsilon;
+  const double beta_c = center_opts.beta;
+  const double nn = static_cast<double>(n);
+  const double sv_loss = (center_opts.threshold_offset_factor / eps_c) *
+                         std::log(2.0 * nn / beta_c);
+  const double dd = static_cast<double>(domain.dim());
+  const double eps_axis =
+      std::max(InverseAdvancedEpsilon(eps_c / 4.0, domain.dim(),
+                                      center_opts.params.delta / 8.0),
+               (eps_c / 4.0) / dd);
+  const PrivacyParams axis_params{eps_axis,
+                                  center_opts.params.delta / (8.0 * dd)};
+  const double axis_need =
+      2.0 * StableHistogramBounds::RequiredMaxCount(axis_params, n, beta_c);
+  return std::max({radius_need, 2.0 * sv_loss, axis_need});
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,66 @@
+// Theorem 3.2: the end-to-end (eps, delta)-DP solver for the 1-cluster problem
+// (X^d, n, t). Splits the privacy budget between GoodRadius (Algorithm 1) and
+// GoodCenter (Algorithm 2) and returns a ball (center, radius) such that, with
+// probability >= 1 - beta,
+//   * the ball holds >= t - Delta input points, Delta = O((1/eps) log(n/delta)),
+//   * its radius is O(sqrt(log n)) * r_opt.
+
+#ifndef DPCLUSTER_CORE_ONE_CLUSTER_H_
+#define DPCLUSTER_CORE_ONE_CLUSTER_H_
+
+#include <cstddef>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/core/good_center.h"
+#include "dpcluster/core/good_radius.h"
+#include "dpcluster/dp/accountant.h"
+#include "dpcluster/dp/privacy_params.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+struct OneClusterOptions {
+  /// Total privacy budget of the pipeline.
+  PrivacyParams params{1.0, 1e-9};
+  /// Failure probability, split evenly between the two phases.
+  double beta = 0.1;
+  /// Fraction of the budget given to GoodRadius (the rest goes to GoodCenter).
+  double radius_budget_fraction = 0.5;
+  /// Phase options; their params/beta fields are overwritten by this struct.
+  GoodRadiusOptions radius;
+  GoodCenterOptions center;
+
+  Status Validate() const;
+};
+
+struct OneClusterResult {
+  /// The released ball. `ball.radius` is the radius for which the theorem's
+  /// counting guarantee is claimed (O(sqrt(log n)) * r_found).
+  Ball ball;
+  /// The GoodRadius phase output (r_found = radius_stage.radius <= 4 r_opt).
+  GoodRadiusResult radius_stage;
+  /// The GoodCenter phase output.
+  GoodCenterResult center_stage;
+  /// Privacy ledger of the run: one charge per phase; BasicTotal() equals the
+  /// configured budget.
+  Accountant ledger;
+};
+
+/// Solves the 1-cluster problem on s (points must lie in `domain`'s cube).
+Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
+                                    const GridDomain& domain,
+                                    const OneClusterOptions& options);
+
+/// A data-independent recommendation for the smallest t this configuration can
+/// resolve meaningfully: max of ~4*Gamma (GoodRadius loss) and the sparse-
+/// vector + histogram losses of GoodCenter. Mirrors the theorem's
+/// t >= O~(sqrt(d)/eps) requirement with this build's actual constants.
+double RecommendedMinT(std::size_t n, const GridDomain& domain,
+                       const OneClusterOptions& options);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_CORE_ONE_CLUSTER_H_

@@ -1,0 +1,50 @@
+#include "dpcluster/core/outlier.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+Status OutlierScreenOptions::Validate() const {
+  if (!(inlier_fraction > 0.0) || !(inlier_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        "OutlierScreen: inlier_fraction must be in (0,1]");
+  }
+  if (!(inflation >= 1.0)) {
+    return Status::InvalidArgument("OutlierScreen: inflation must be >= 1");
+  }
+  return Status::OK();
+}
+
+PointSet OutlierScreen::Inliers(const PointSet& s) const {
+  std::vector<std::size_t> keep;
+  keep.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (IsInlier(s[i])) keep.push_back(i);
+  }
+  return s.Subset(keep);
+}
+
+Result<OutlierScreen> BuildOutlierScreen(Rng& rng, const PointSet& s,
+                                         const GridDomain& domain,
+                                         const OutlierScreenOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  if (s.empty()) return Status::InvalidArgument("OutlierScreen: empty dataset");
+  const auto t = static_cast<std::size_t>(
+      std::ceil(options.inlier_fraction * static_cast<double>(s.size())));
+  OutlierScreen screen;
+  DPC_ASSIGN_OR_RETURN(screen.pipeline,
+                       OneCluster(rng, s, t, domain, options.one_cluster));
+  screen.ball = screen.pipeline.ball;
+  if (options.refine.epsilon > 0.0) {
+    DPC_ASSIGN_OR_RETURN(
+        screen.ball.radius,
+        RefineRadius(rng, s, screen.ball.center, t, domain, options.refine));
+  }
+  screen.ball.radius *= options.inflation;
+  return screen;
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,54 @@
+// Outlier screening (Section 1.1): locate a ball holding a target fraction of
+// the data, then use membership in the (slightly inflated) ball as a predicate
+// h that screens outliers before further private analysis. Restricting the
+// input space to the ball shrinks the diameter — and with it the global
+// sensitivity, hence the noise — of downstream statistics.
+
+#ifndef DPCLUSTER_CORE_OUTLIER_H_
+#define DPCLUSTER_CORE_OUTLIER_H_
+
+#include <cstddef>
+#include <span>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/core/one_cluster.h"
+#include "dpcluster/core/radius_refine.h"
+
+namespace dpcluster {
+
+struct OutlierScreenOptions {
+  /// Fraction of points the inlier ball should hold (e.g. 0.9).
+  double inlier_fraction = 0.9;
+  /// Multiplies the found ball radius before building the predicate, to keep
+  /// borderline inliers (1.0 = exact ball).
+  double inflation = 1.0;
+  OneClusterOptions one_cluster;
+  /// The 1-cluster guarantee radius is a worst-case bound (often the whole
+  /// cube); the screen additionally spends this extra budget on a private
+  /// binary search for the smallest ball around the released center that
+  /// actually holds ~t points. Set epsilon to 0 to skip refinement.
+  RadiusRefineOptions refine{0.5, 0.1};
+
+  Status Validate() const;
+};
+
+/// The screening predicate: h(x) = 1 inside the released ball.
+struct OutlierScreen {
+  Ball ball;
+  OneClusterResult pipeline;
+
+  /// h(x).
+  bool IsInlier(std::span<const double> x) const { return ball.Contains(x); }
+
+  /// Dataset restricted to inliers (post-processing of the private ball).
+  PointSet Inliers(const PointSet& s) const;
+};
+
+/// Builds the screen by solving the 1-cluster problem with t = fraction * n.
+Result<OutlierScreen> BuildOutlierScreen(Rng& rng, const PointSet& s,
+                                         const GridDomain& domain,
+                                         const OutlierScreenOptions& options);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_CORE_OUTLIER_H_

@@ -1,0 +1,168 @@
+#include "dpcluster/core/radius_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/la/vector_ops.h"
+
+namespace dpcluster {
+namespace {
+
+// Maintains, for a multiset of per-center counts capped at `cap`, the sum of
+// the `top` largest values under unit increments. Events only ever move one
+// element from value v to v+1, so the t-th-largest threshold `thr` is
+// monotone non-decreasing and all updates are amortized O(1).
+//
+// Invariant: thr is the value of the top-set's smallest member, i.e.
+//   cnt_above := #{elements > thr} < top   and   cnt_above + cnt[thr] >= top,
+// and the top-t sum is sum_above + thr * (top - cnt_above).
+class CappedTopTracker {
+ public:
+  CappedTopTracker(std::size_t cap, std::size_t top, std::size_t n_centers)
+      : cap_(cap), top_(top), cnt_(cap + 2, 0) {
+    DPC_CHECK_GE(top, 1u);
+    DPC_CHECK_LE(top, n_centers);
+    // All centers start with capped count min(1, cap) (the center itself).
+    const std::size_t start = std::min<std::size_t>(1, cap);
+    cnt_[start] = n_centers;
+    thr_ = start;
+    cnt_above_ = 0;
+    sum_above_ = 0.0;
+  }
+
+  /// Moves one center from capped value `old_value` to min(old_value+1, cap).
+  void Increment(std::size_t old_value) {
+    if (old_value >= cap_) return;  // Already saturated.
+    const std::size_t nv = old_value + 1;
+    --cnt_[old_value];
+    ++cnt_[nv];
+    if (old_value > thr_) {
+      sum_above_ += 1.0;  // Stays strictly above the threshold.
+    } else if (old_value == thr_) {
+      ++cnt_above_;
+      sum_above_ += static_cast<double>(nv);
+      while (cnt_above_ >= top_) {  // Raise the threshold.
+        ++thr_;
+        cnt_above_ -= cnt_[thr_];
+        sum_above_ -= static_cast<double>(thr_) * static_cast<double>(cnt_[thr_]);
+      }
+    }
+    // old_value < thr_: the element stays outside the top set; nothing moves.
+  }
+
+  /// Current sum of the `top` largest capped values.
+  double TopSum() const {
+    return sum_above_ +
+           static_cast<double>(thr_) * static_cast<double>(top_ - cnt_above_);
+  }
+
+ private:
+  std::size_t cap_;
+  std::size_t top_;
+  std::vector<std::size_t> cnt_;
+  std::size_t thr_;
+  std::size_t cnt_above_;
+  double sum_above_;
+};
+
+}  // namespace
+
+Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
+                                           const GridDomain& domain,
+                                           std::size_t max_points) {
+  const std::size_t n = s.size();
+  if (n == 0) return Status::InvalidArgument("RadiusProfile: empty dataset");
+  if (t < 1 || t > n) {
+    return Status::InvalidArgument("RadiusProfile: t must satisfy 1 <= t <= n");
+  }
+  if (s.dim() != domain.dim()) {
+    return Status::InvalidArgument("RadiusProfile: domain dimension mismatch");
+  }
+  if (n > max_points) {
+    return Status::ResourceExhausted(
+        "RadiusProfile: n=" + std::to_string(n) + " exceeds max_points=" +
+        std::to_string(max_points) +
+        "; raise GoodRadiusOptions::max_profile_points or subsample the "
+        "radius stage");
+  }
+
+  RadiusProfile profile;
+  profile.solution_grid_ = domain.RadiusGridSize();
+  const std::uint64_t fine_domain = 2 * (profile.solution_grid_ - 1) + 1;
+  const double fine_step =
+      domain.axis_length() / (4.0 * static_cast<double>(domain.levels()));
+
+  // Events: (fine index, center) for every ordered pair of distinct rows.
+  struct Event {
+    std::uint64_t index;
+    std::uint32_t center;
+  };
+  std::vector<Event> events;
+  events.reserve(n * (n - 1));
+  const std::uint64_t max_fine = fine_domain - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = s[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dist = Distance(xi, s[j]);
+      double idx = std::ceil(dist / fine_step - 1e-12);
+      if (idx < 0.0) idx = 0.0;
+      std::uint64_t g = static_cast<std::uint64_t>(idx);
+      if (g > max_fine) g = max_fine;
+      events.push_back({g, static_cast<std::uint32_t>(i)});
+      events.push_back({g, static_cast<std::uint32_t>(j)});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.index < b.index; });
+
+  // Sweep: maintain per-center counts (capped at t) and the top-t sum.
+  std::vector<std::uint32_t> counts(n, 1);  // Every ball contains its center.
+  CappedTopTracker tracker(t, t, n);
+  const double inv_t = 1.0 / static_cast<double>(t);
+
+  std::vector<std::uint64_t> starts;
+  std::vector<double> values;
+  std::size_t e = 0;
+  // Process events with index 0 first so the r=0 value reflects duplicates.
+  while (e < events.size() && events[e].index == 0) {
+    const auto c = events[e].center;
+    tracker.Increment(std::min<std::size_t>(counts[c], t));
+    ++counts[c];
+    ++e;
+  }
+  starts.push_back(0);
+  values.push_back(tracker.TopSum() * inv_t);
+
+  while (e < events.size()) {
+    const std::uint64_t g = events[e].index;
+    while (e < events.size() && events[e].index == g) {
+      const auto c = events[e].center;
+      tracker.Increment(std::min<std::size_t>(counts[c], t));
+      ++counts[c];
+      ++e;
+    }
+    const double value = tracker.TopSum() * inv_t;
+    if (value != values.back()) {
+      starts.push_back(g);
+      values.push_back(value);
+    }
+  }
+
+  profile.fine_l_ = StepFunction::FromBreakpoints(fine_domain, std::move(starts),
+                                                  std::move(values));
+  return profile;
+}
+
+double RadiusProfile::LAtSolutionIndex(std::uint64_t g) const {
+  DPC_CHECK_LT(g, solution_grid_);
+  return fine_l_.ValueAt(2 * g);
+}
+
+double RadiusProfile::LAtHalfSolutionIndex(std::uint64_t g) const {
+  DPC_CHECK_LT(g, solution_grid_);
+  return fine_l_.ValueAt(g);
+}
+
+}  // namespace dpcluster

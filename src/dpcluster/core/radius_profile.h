@@ -1,0 +1,61 @@
+// RadiusProfile: the exact function L(r, S) of Algorithm 1 (GoodRadius),
+//   L(r, S) = (1/t) max_{distinct i_1..i_t} sum_j min(B_r(x_{i_j}, S), t),
+// materialized as a StepFunction of the radius.
+//
+// L is evaluated on a grid twice as fine as GoodRadius's solution grid
+// {0, 1/(2|X|), ...} so that both L(r) and L(r/2) (the two ingredients of the
+// quality Q of Algorithm 1, step 3) are exact lookups: solution index g maps
+// to fine index 2g for L(r) and fine index g for L(r/2).
+//
+// Construction is an event sweep over all n(n-1) ordered pairs: each pair
+// (i, j) raises B_.(x_i) by one at the fine index ceil(dist(i,j)/fine_step).
+// A Fenwick tree over capped count values maintains the sum of the t largest
+// capped counts in O(log n) per event, so the total build cost is
+// O(n^2 (d + log n)) — the documented quadratic core of GoodRadius.
+
+#ifndef DPCLUSTER_CORE_RADIUS_PROFILE_H_
+#define DPCLUSTER_CORE_RADIUS_PROFILE_H_
+
+#include <cstdint>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/step_function.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+
+namespace dpcluster {
+
+/// Exact L(r, S) over the fine radius grid.
+class RadiusProfile {
+ public:
+  /// Builds the profile. Fails with ResourceExhausted when s.size() >
+  /// max_points (see GoodRadiusOptions::max_profile_points).
+  static Result<RadiusProfile> Build(const PointSet& s, std::size_t t,
+                                     const GridDomain& domain,
+                                     std::size_t max_points);
+
+  /// L as a step function over fine indices [0, 2*(RadiusGridSize()-1)+1).
+  const StepFunction& fine_l() const { return fine_l_; }
+
+  /// L at solution-grid radius index g (i.e. radius g * axis/(2|X|)).
+  double LAtSolutionIndex(std::uint64_t g) const;
+
+  /// L at half the solution-grid radius g (i.e. radius g * axis/(4|X|)).
+  double LAtHalfSolutionIndex(std::uint64_t g) const;
+
+  /// L(0, S): handles duplicate input points (a zero-radius cluster).
+  double LAtZero() const { return fine_l_.ValueAt(0); }
+
+  /// Number of solution-grid indices (= GridDomain::RadiusGridSize()).
+  std::uint64_t solution_grid_size() const { return solution_grid_; }
+
+ private:
+  RadiusProfile() : solution_grid_(0), fine_l_(StepFunction::Constant(1, 0.0)) {}
+
+  std::uint64_t solution_grid_;
+  StepFunction fine_l_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_CORE_RADIUS_PROFILE_H_

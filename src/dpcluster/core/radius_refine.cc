@@ -1,0 +1,50 @@
+#include "dpcluster/core/radius_refine.h"
+
+#include <cmath>
+
+#include "dpcluster/common/math_util.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+
+Result<double> RefineRadius(Rng& rng, const PointSet& s,
+                            std::span<const double> center, std::size_t t,
+                            const GridDomain& domain,
+                            const RadiusRefineOptions& options) {
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("RefineRadius: epsilon must be positive");
+  }
+  if (!(options.beta > 0.0) || !(options.beta < 1.0)) {
+    return Status::InvalidArgument("RefineRadius: beta must be in (0,1)");
+  }
+  if (center.size() != s.dim()) {
+    return Status::InvalidArgument("RefineRadius: center dimension mismatch");
+  }
+  if (t < 1 || t > s.size()) {
+    return Status::InvalidArgument("RefineRadius: 1 <= t <= n required");
+  }
+
+  const std::uint64_t grid = domain.RadiusGridSize();
+  const int comparisons = CeilLog2(grid) + 1;
+  // Ball counts have sensitivity 1; split epsilon across the comparisons.
+  const double scale = 2.0 * static_cast<double>(comparisons) / options.epsilon;
+  const double margin = scale * std::log(2.0 * static_cast<double>(comparisons) /
+                                         options.beta);
+
+  std::uint64_t lo = 0;
+  std::uint64_t hi = grid - 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const double count = static_cast<double>(
+        CountWithin(s, center, domain.RadiusFromIndex(mid)));
+    if (count + SampleLaplace(rng, scale) >= static_cast<double>(t) - margin) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return domain.RadiusFromIndex(lo);
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,39 @@
+// Private radius refinement: given an already-released center, find the
+// smallest grid radius whose ball around that center holds ~t points, via a
+// noisy binary search over the radius grid (ball counts have sensitivity 1).
+//
+// Used by the outlier screen (the 1-cluster guarantee radius is a worst-case
+// bound — often the whole cube — while the screen wants a tight, releasable
+// ball) and by the noisy-mean baseline's second phase.
+
+#ifndef DPCLUSTER_CORE_RADIUS_REFINE_H_
+#define DPCLUSTER_CORE_RADIUS_REFINE_H_
+
+#include <cstddef>
+#include <span>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+struct RadiusRefineOptions {
+  /// Budget of the refinement; (epsilon, 0)-DP.
+  double epsilon = 0.5;
+  /// Failure probability of the utility claim.
+  double beta = 0.1;
+};
+
+/// Smallest grid radius r such that (noisily) |ball(center, r) ∩ s| >= t.
+/// With probability >= 1 - beta the returned ball holds >= t - 2*margin
+/// points, margin = (2 log2|grid| / eps) ln(2 log2|grid| / beta).
+Result<double> RefineRadius(Rng& rng, const PointSet& s,
+                            std::span<const double> center, std::size_t t,
+                            const GridDomain& domain,
+                            const RadiusRefineOptions& options);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_CORE_RADIUS_REFINE_H_

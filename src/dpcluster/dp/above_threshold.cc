@@ -1,0 +1,41 @@
+#include "dpcluster/dp/above_threshold.h"
+
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+
+Result<AboveThreshold> AboveThreshold::Create(Rng& rng, double epsilon,
+                                              double threshold) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("AboveThreshold: epsilon must be positive");
+  }
+  // Standard split: half the budget perturbs the threshold, half the queries.
+  const double noisy_threshold = threshold + SampleLaplace(rng, 2.0 / epsilon);
+  return AboveThreshold(epsilon, noisy_threshold);
+}
+
+Result<bool> AboveThreshold::Process(Rng& rng, double query_value) {
+  if (halted_) {
+    return Status::InvalidArgument(
+        "AboveThreshold: mechanism already halted after a top answer");
+  }
+  ++queries_;
+  const double noisy_value = query_value + SampleLaplace(rng, 4.0 / epsilon_);
+  if (noisy_value > noisy_threshold_) {
+    halted_ = true;
+    return true;
+  }
+  return false;
+}
+
+double AboveThreshold::AccuracyMargin(double epsilon, std::size_t k, double beta) {
+  DPC_CHECK_GT(epsilon, 0.0);
+  DPC_CHECK_GT(beta, 0.0);
+  DPC_CHECK_GE(k, 1u);
+  return (8.0 / epsilon) * std::log(2.0 * static_cast<double>(k) / beta);
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,50 @@
+// The sparse vector technique, algorithm AboveThreshold (Theorem 4.8,
+// Dwork-Naor-Reingold-Rothblum-Vadhan): answer a stream of sensitivity-1
+// queries with bot until the first query whose noisy value exceeds a noisy
+// threshold; output top and halt. The whole interaction is (eps, 0)-DP
+// regardless of the number of bot answers.
+//
+// GoodCenter (Algorithm 2, steps 2-6) uses it to privately detect the first
+// random box partition that captures the cluster.
+
+#ifndef DPCLUSTER_DP_ABOVE_THRESHOLD_H_
+#define DPCLUSTER_DP_ABOVE_THRESHOLD_H_
+
+#include <cstddef>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// One AboveThreshold interaction (single top answer, then halted).
+class AboveThreshold {
+ public:
+  /// Draws the noisy threshold. epsilon > 0; queries must have sensitivity 1.
+  static Result<AboveThreshold> Create(Rng& rng, double epsilon, double threshold);
+
+  /// Feeds the next query value. Returns true for top (and halts the
+  /// mechanism), false for bot. Fails if already halted.
+  Result<bool> Process(Rng& rng, double query_value);
+
+  bool halted() const { return halted_; }
+  std::size_t queries_answered() const { return queries_; }
+
+  /// Theorem 4.8 accuracy: with probability >= 1 - beta, every top answer has
+  /// f(S) >= threshold - margin and every bot has f(S) <= threshold + margin,
+  /// where margin = (8/eps) log(2k/beta) over k rounds.
+  static double AccuracyMargin(double epsilon, std::size_t k, double beta);
+
+ private:
+  AboveThreshold(double epsilon, double noisy_threshold)
+      : epsilon_(epsilon), noisy_threshold_(noisy_threshold) {}
+
+  double epsilon_;
+  double noisy_threshold_;
+  bool halted_ = false;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_ABOVE_THRESHOLD_H_

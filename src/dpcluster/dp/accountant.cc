@@ -1,0 +1,75 @@
+#include "dpcluster/dp/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+PrivacyParams BasicCompose(const PrivacyParams& each, std::size_t k) {
+  const double kk = static_cast<double>(k);
+  return {each.epsilon * kk, each.delta * kk};
+}
+
+PrivacyParams AdvancedCompose(const PrivacyParams& each, std::size_t k,
+                              double delta_slack) {
+  DPC_CHECK_GT(delta_slack, 0.0);
+  const double kk = static_cast<double>(k);
+  const double eps = 2.0 * kk * each.epsilon * each.epsilon +
+                     each.epsilon * std::sqrt(2.0 * kk * std::log(1.0 / delta_slack));
+  return {eps, kk * each.delta + delta_slack};
+}
+
+double InverseAdvancedEpsilon(double eps_total, std::size_t k, double delta_slack) {
+  DPC_CHECK_GT(eps_total, 0.0);
+  DPC_CHECK_GE(k, 1u);
+  DPC_CHECK_GT(delta_slack, 0.0);
+  const double kk = static_cast<double>(k);
+  const double b = std::sqrt(2.0 * kk * std::log(1.0 / delta_slack));
+  // Solve 2 k x^2 + b x - eps_total = 0 for the positive root.
+  const double a = 2.0 * kk;
+  const double x = (-b + std::sqrt(b * b + 4.0 * a * eps_total)) / (2.0 * a);
+  DPC_CHECK_GT(x, 0.0);
+  return x;
+}
+
+void Accountant::Charge(const std::string& label, const PrivacyParams& params) {
+  charges_.push_back({label, params});
+}
+
+PrivacyParams Accountant::BasicTotal() const {
+  PrivacyParams total{0.0, 0.0};
+  for (const auto& c : charges_) {
+    total.epsilon += c.params.epsilon;
+    total.delta += c.params.delta;
+  }
+  return total;
+}
+
+PrivacyParams Accountant::AdvancedTotal(double delta_slack) const {
+  if (charges_.empty()) return {0.0, 0.0};
+  double max_eps = 0.0;
+  double sum_delta = 0.0;
+  for (const auto& c : charges_) {
+    max_eps = std::max(max_eps, c.params.epsilon);
+    sum_delta += c.params.delta;
+  }
+  PrivacyParams homogeneous{max_eps, 0.0};
+  PrivacyParams composed = AdvancedCompose(homogeneous, charges_.size(), delta_slack);
+  composed.delta += sum_delta;
+  return composed;
+}
+
+std::string Accountant::Report() const {
+  std::ostringstream os;
+  os << "privacy ledger (" << charges_.size() << " interactions):\n";
+  for (const auto& c : charges_) {
+    os << "  " << c.label << " " << c.params.ToString() << "\n";
+  }
+  os << "  basic total " << BasicTotal().ToString();
+  return os.str();
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,65 @@
+// Composition accounting.
+//
+// Theorem 2.1 (basic composition): k adaptive (eps, delta)-DP interactions are
+// (k eps, k delta)-DP.
+// Theorem 4.7 (advanced composition, Dwork-Rothblum-Vadhan): they are also
+// (2 k eps^2 + eps sqrt(2 k ln(1/delta')), k delta + delta')-DP.
+//
+// The Accountant records charges and reports the spend under both rules;
+// InverseAdvanced answers the planning question GoodCenter step 9c needs: what
+// per-mechanism epsilon lets k mechanisms compose to a target budget.
+
+#ifndef DPCLUSTER_DP_ACCOUNTANT_H_
+#define DPCLUSTER_DP_ACCOUNTANT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dpcluster/dp/privacy_params.h"
+
+namespace dpcluster {
+
+/// Basic composition of k copies of `each` (Theorem 2.1).
+PrivacyParams BasicCompose(const PrivacyParams& each, std::size_t k);
+
+/// Advanced composition (Theorem 4.7) of k (eps, delta)-DP mechanisms with
+/// slack delta'. Returns (eps', k delta + delta').
+PrivacyParams AdvancedCompose(const PrivacyParams& each, std::size_t k,
+                              double delta_slack);
+
+/// Per-mechanism epsilon so that k mechanisms advanced-compose (with slack
+/// delta_slack) to at most eps_total. Mirrors the paper's choice
+/// eps_i = eps / (10 sqrt(d ln(8/delta))) in GoodCenter step 9c: we return the
+/// largest eps_i with 2 k eps_i^2 + eps_i sqrt(2 k ln(1/delta_slack)) <= eps_total.
+double InverseAdvancedEpsilon(double eps_total, std::size_t k, double delta_slack);
+
+/// Ledger of named charges; reports total spend under both composition rules.
+class Accountant {
+ public:
+  /// Records one (eps, delta)-DP interaction.
+  void Charge(const std::string& label, const PrivacyParams& params);
+
+  std::size_t interactions() const { return charges_.size(); }
+
+  /// Total under basic composition (sums epsilons and deltas).
+  PrivacyParams BasicTotal() const;
+
+  /// Total under advanced composition with the given slack, using the maximum
+  /// per-charge epsilon as the homogeneous bound (conservative).
+  PrivacyParams AdvancedTotal(double delta_slack) const;
+
+  /// Multi-line human-readable ledger.
+  std::string Report() const;
+
+ private:
+  struct ChargeEntry {
+    std::string label;
+    PrivacyParams params;
+  };
+  std::vector<ChargeEntry> charges_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_ACCOUNTANT_H_

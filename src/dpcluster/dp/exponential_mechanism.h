@@ -1,0 +1,44 @@
+// The exponential mechanism (McSherry-Talwar): select a solution f with
+// probability proportional to exp(eps * q(S, f) / (2 * sensitivity)). This is
+// (eps, 0)-differentially private for any finite solution set.
+//
+// Sampling uses the Gumbel-max trick, which is exact and overflow-free, and is
+// implemented both for explicit score arrays and for StepFunction qualities
+// (sampling in time linear in the number of pieces, not the domain size).
+
+#ifndef DPCLUSTER_DP_EXPONENTIAL_MECHANISM_H_
+#define DPCLUSTER_DP_EXPONENTIAL_MECHANISM_H_
+
+#include <cstdint>
+#include <span>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/step_function.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+class ExponentialMechanism {
+ public:
+  /// Selects an index into `qualities` with prob ∝ exp(eps q / (2 sens)).
+  static Result<std::size_t> SelectIndex(Rng& rng,
+                                         std::span<const double> qualities,
+                                         double epsilon,
+                                         double sensitivity = 1.0);
+
+  /// Selects a domain element of `quality` with prob ∝ exp(eps q / (2 sens)).
+  /// Runs in O(num_pieces).
+  static Result<std::uint64_t> SelectFromStepFunction(Rng& rng,
+                                                      const StepFunction& quality,
+                                                      double epsilon,
+                                                      double sensitivity = 1.0);
+
+  /// Standard utility bound: with probability >= 1 - beta the selected solution
+  /// has quality >= max_quality - (2 sens / eps) * ln(|domain| / beta).
+  static double UtilityMargin(double epsilon, double sensitivity,
+                              std::uint64_t domain, double beta);
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_EXPONENTIAL_MECHANISM_H_

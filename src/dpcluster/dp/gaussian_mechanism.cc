@@ -1,0 +1,42 @@
+#include "dpcluster/dp/gaussian_mechanism.h"
+
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+
+Result<GaussianMechanism> GaussianMechanism::Create(const PrivacyParams& params,
+                                                    double l2_sensitivity) {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (params.epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "GaussianMechanism: Theorem 2.4 requires epsilon < 1");
+  }
+  if (!(l2_sensitivity > 0.0) || !std::isfinite(l2_sensitivity)) {
+    return Status::InvalidArgument("GaussianMechanism: sensitivity must be positive");
+  }
+  const double sigma = (l2_sensitivity / params.epsilon) *
+                       std::sqrt(2.0 * std::log(1.25 / params.delta));
+  return GaussianMechanism(sigma);
+}
+
+double GaussianMechanism::Release(Rng& rng, double value) const {
+  return value + SampleGaussian(rng, sigma_);
+}
+
+std::vector<double> GaussianMechanism::ReleaseVector(
+    Rng& rng, std::span<const double> values) const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = Release(rng, values[i]);
+  return out;
+}
+
+double GaussianMechanism::TailBound(double beta) const {
+  DPC_CHECK_GT(beta, 0.0);
+  DPC_CHECK_LT(beta, 1.0);
+  return sigma_ * std::sqrt(2.0 * std::log(2.0 / beta));
+}
+
+}  // namespace dpcluster

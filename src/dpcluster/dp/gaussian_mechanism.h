@@ -1,0 +1,45 @@
+// The Gaussian mechanism (Theorem 2.4, Dwork-Kenthapadi-McSherry-Mironov-Naor):
+// adding N(0, sigma^2) per coordinate with
+//   sigma >= (l2_sensitivity / epsilon) * sqrt(2 ln(1.25/delta))
+// gives (epsilon, delta)-differential privacy for epsilon, delta in (0,1).
+
+#ifndef DPCLUSTER_DP_GAUSSIAN_MECHANISM_H_
+#define DPCLUSTER_DP_GAUSSIAN_MECHANISM_H_
+
+#include <span>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/privacy_params.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// Releases value + N(0, sigma^2) per coordinate.
+class GaussianMechanism {
+ public:
+  /// Validates parameters (0 < epsilon < 1, 0 < delta < 1, sensitivity > 0).
+  static Result<GaussianMechanism> Create(const PrivacyParams& params,
+                                          double l2_sensitivity);
+
+  double sigma() const { return sigma_; }
+
+  /// One noisy scalar.
+  double Release(Rng& rng, double value) const;
+
+  /// Element-wise noisy vector (the L2 sensitivity must bound the whole vector).
+  std::vector<double> ReleaseVector(Rng& rng, std::span<const double> values) const;
+
+  /// Per-coordinate two-sided tail: |N(0,sigma^2)| <= sigma sqrt(2 ln(2/beta))
+  /// with probability >= 1 - beta.
+  double TailBound(double beta) const;
+
+ private:
+  explicit GaussianMechanism(double sigma) : sigma_(sigma) {}
+
+  double sigma_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_GAUSSIAN_MECHANISM_H_

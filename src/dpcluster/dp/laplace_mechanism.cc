@@ -1,0 +1,38 @@
+#include "dpcluster/dp/laplace_mechanism.h"
+
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+
+Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
+                                                  double l1_sensitivity) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("LaplaceMechanism: epsilon must be positive");
+  }
+  if (!(l1_sensitivity > 0.0) || !std::isfinite(l1_sensitivity)) {
+    return Status::InvalidArgument("LaplaceMechanism: sensitivity must be positive");
+  }
+  return LaplaceMechanism(epsilon, l1_sensitivity / epsilon);
+}
+
+double LaplaceMechanism::Release(Rng& rng, double value) const {
+  return value + SampleLaplace(rng, scale_);
+}
+
+std::vector<double> LaplaceMechanism::ReleaseVector(
+    Rng& rng, std::span<const double> values) const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = Release(rng, values[i]);
+  return out;
+}
+
+double LaplaceMechanism::TailBound(double beta) const {
+  DPC_CHECK_GT(beta, 0.0);
+  DPC_CHECK_LT(beta, 1.0);
+  return scale_ * std::log(1.0 / beta);
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,43 @@
+// The Laplace mechanism (Theorem 2.3, Dwork-McSherry-Nissim-Smith): adding
+// Lap(sensitivity/epsilon) noise to an L1-sensitivity-bounded function gives
+// (epsilon, 0)-differential privacy.
+
+#ifndef DPCLUSTER_DP_LAPLACE_MECHANISM_H_
+#define DPCLUSTER_DP_LAPLACE_MECHANISM_H_
+
+#include <span>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// Releases value + Lap(l1_sensitivity / epsilon).
+class LaplaceMechanism {
+ public:
+  /// Validates parameters (epsilon > 0, sensitivity > 0).
+  static Result<LaplaceMechanism> Create(double epsilon, double l1_sensitivity);
+
+  double epsilon() const { return epsilon_; }
+  double scale() const { return scale_; }
+
+  /// One noisy scalar.
+  double Release(Rng& rng, double value) const;
+
+  /// Element-wise noisy vector (the L1 sensitivity must bound the whole vector).
+  std::vector<double> ReleaseVector(Rng& rng, std::span<const double> values) const;
+
+  /// Two-sided tail bound: |Lap(scale)| <= scale * ln(1/beta) w.p. >= 1 - beta.
+  double TailBound(double beta) const;
+
+ private:
+  LaplaceMechanism(double epsilon, double scale) : epsilon_(epsilon), scale_(scale) {}
+
+  double epsilon_;
+  double scale_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_LAPLACE_MECHANISM_H_

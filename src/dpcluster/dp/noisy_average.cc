@@ -1,0 +1,65 @@
+#include "dpcluster/dp/noisy_average.h"
+
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+
+Result<NoisyAverageOutput> NoisyAverage(Rng& rng, const PointSet& points,
+                                        std::span<const double> center,
+                                        double radius,
+                                        const PrivacyParams& params) {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (center.size() != points.dim()) {
+    return Status::InvalidArgument("NoisyAverage: center dimension mismatch");
+  }
+  if (!(radius > 0.0) || !std::isfinite(radius)) {
+    return Status::InvalidArgument("NoisyAverage: radius must be positive");
+  }
+
+  const double eps = params.epsilon;
+  const double delta = params.delta;
+  const std::size_t d = points.dim();
+  const double r2 = radius * radius * (1.0 + 1e-12);
+
+  // Selected sum (re-centered at `center`, Observation A.2) and count.
+  std::vector<double> sum(d, 0.0);
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    if (SquaredDistance(p, center) > r2) continue;
+    for (std::size_t j = 0; j < d; ++j) sum[j] += p[j] - center[j];
+    ++m;
+  }
+
+  // Step 1: pessimistic noisy count; bot when it is not safely positive.
+  const double m_hat = static_cast<double>(m) + SampleLaplace(rng, 2.0 / eps) -
+                       (2.0 / eps) * std::log(2.0 / delta);
+  if (m_hat <= 0.0) {
+    return Status::NoPrivateAnswer("NoisyAverage: noisy count m_hat <= 0 (bot)");
+  }
+
+  // Step 2: Gaussian noise scaled to the pessimistic count.
+  const double sigma =
+      (8.0 * radius / (eps * m_hat)) * std::sqrt(2.0 * std::log(8.0 / delta));
+  NoisyAverageOutput out;
+  out.noisy_count = m_hat;
+  out.sigma = sigma;
+  out.average.resize(d);
+  const double inv_m = m > 0 ? 1.0 / static_cast<double>(m) : 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    out.average[j] = center[j] + sum[j] * inv_m + SampleGaussian(rng, sigma);
+  }
+  return out;
+}
+
+double NoisyAverageSigmaBound(double radius, double epsilon, double delta,
+                              double m) {
+  DPC_CHECK_GT(m, 0.0);
+  return (16.0 * radius / (epsilon * m)) * std::sqrt(2.0 * std::log(8.0 / delta));
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,49 @@
+// Algorithm 5 (NoisyAVG, Appendix A): privately release the average of the
+// vectors selected by a predicate g of bounded reach. The L2 sensitivity of the
+// selected average is at most 4*Delta_g/(m+1) (Appendix A), so a Gaussian noise
+// vector with sigma = 8*Delta_g/(eps*m_hat) * sqrt(2 ln(8/delta)) added to the
+// average is (eps, delta)-DP, where m_hat is a pessimistic noisy count.
+//
+// Following Observation A.2 the predicate here is membership in a ball
+// (center c, radius R): vectors are re-centered at c, so Delta_g = R.
+
+#ifndef DPCLUSTER_DP_NOISY_AVERAGE_H_
+#define DPCLUSTER_DP_NOISY_AVERAGE_H_
+
+#include <span>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/privacy_params.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// Output of NoisyAverage.
+struct NoisyAverageOutput {
+  /// The privately released average (dimension = points.dim()).
+  std::vector<double> average;
+  /// The pessimistic noisy selected-count m_hat (> 0); privately releasable.
+  double noisy_count = 0.0;
+  /// The per-coordinate Gaussian sigma that was added; releasable.
+  double sigma = 0.0;
+};
+
+/// Releases the noisy average of the points of `points` lying in the ball
+/// (center, radius). Returns NoPrivateAnswer when the mechanism outputs bot
+/// (m_hat <= 0, step 1 of Algorithm 5).
+Result<NoisyAverageOutput> NoisyAverage(Rng& rng, const PointSet& points,
+                                        std::span<const double> center,
+                                        double radius,
+                                        const PrivacyParams& params);
+
+/// Observation A.1 margin: if m = |selected| >= (16/eps) ln(2/(beta delta)),
+/// then w.p. >= 1-beta the released sigma is at most
+/// 16*radius/(eps*m) * sqrt(2 ln(8/delta)).
+double NoisyAverageSigmaBound(double radius, double epsilon, double delta,
+                              double m);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_NOISY_AVERAGE_H_

@@ -1,0 +1,32 @@
+#include "dpcluster/dp/privacy_params.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dpcluster {
+
+Status PrivacyParams::Validate() const {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  if (!(delta >= 0.0) || !(delta < 1.0)) {
+    return Status::InvalidArgument("delta must lie in [0, 1)");
+  }
+  return Status::OK();
+}
+
+Status PrivacyParams::ValidateWithPositiveDelta() const {
+  DPC_RETURN_IF_ERROR(Validate());
+  if (!(delta > 0.0)) {
+    return Status::InvalidArgument("delta must be strictly positive here");
+  }
+  return Status::OK();
+}
+
+std::string PrivacyParams::ToString() const {
+  std::ostringstream os;
+  os << "(eps=" << epsilon << ", delta=" << delta << ")";
+  return os.str();
+}
+
+}  // namespace dpcluster

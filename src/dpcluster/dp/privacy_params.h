@@ -1,0 +1,34 @@
+// (epsilon, delta) privacy parameters (Definition 1.1) and budget-splitting
+// helpers used by the composed algorithms.
+
+#ifndef DPCLUSTER_DP_PRIVACY_PARAMS_H_
+#define DPCLUSTER_DP_PRIVACY_PARAMS_H_
+
+#include <string>
+
+#include "dpcluster/common/status.h"
+
+namespace dpcluster {
+
+/// An (epsilon, delta) differential-privacy budget.
+struct PrivacyParams {
+  double epsilon = 1.0;
+  double delta = 1e-9;
+
+  /// OK iff epsilon > 0 and 0 <= delta < 1.
+  Status Validate() const;
+
+  /// Requires delta > 0 as well (Gaussian-mechanism style requirements).
+  Status ValidateWithPositiveDelta() const;
+
+  /// Budget scaled by `fraction` in both coordinates.
+  PrivacyParams Fraction(double fraction) const {
+    return {epsilon * fraction, delta * fraction};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_PRIVACY_PARAMS_H_

@@ -1,0 +1,138 @@
+#include "dpcluster/dp/rec_concave.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/common/math_util.h"
+#include "dpcluster/dp/exponential_mechanism.h"
+
+namespace dpcluster {
+namespace {
+
+// Fixed approximation parameter used by all recursive (derived) levels; only
+// the top level honours the caller's alpha.
+constexpr double kInnerAlpha = 0.5;
+
+Result<std::uint64_t> SolveLevel(Rng& rng, const StepFunction& q, double promise,
+                                 double alpha, double eps_level,
+                                 std::uint64_t base, int depth_left) {
+  const std::uint64_t t = q.domain_size();
+  if (t <= base || depth_left <= 0) {
+    return ExponentialMechanism::SelectFromStepFunction(rng, q, eps_level);
+  }
+
+  // Interval lengths 2^0 .. 2^jmax with 2^jmax <= T.
+  const int jmax = FloorLog2(t);
+  const double denom = 2.0 * static_cast<double>(std::max(jmax, 1));
+
+  // Derived quality over length exponents. L(j) is non-increasing in j and has
+  // sensitivity 1 (max over intervals of min over sensitivity-1 endpoints);
+  // capping with the data-independent increasing bonus keeps sensitivity 1 and
+  // quasi-concavity while biasing the recursion toward longer intervals
+  // (longer interval => fewer candidate positions => smaller selection loss).
+  std::vector<double> derived(static_cast<std::size_t>(jmax) + 1);
+  for (int j = 0; j <= jmax; ++j) {
+    const double lj = q.MaxEndpointWindowMin(std::uint64_t{1} << j);
+    const double cap =
+        (alpha * promise / 4.0) * (1.0 + static_cast<double>(j) / denom);
+    derived[static_cast<std::size_t>(j)] =
+        std::min(lj - (1.0 - alpha) * promise, cap);
+  }
+
+  DPC_ASSIGN_OR_RETURN(
+      std::uint64_t jhat,
+      SolveLevel(rng, StepFunction::Dense(derived), alpha * promise / 4.0,
+                 kInnerAlpha, eps_level, base, depth_left - 1));
+  const std::uint64_t window = std::uint64_t{1} << jhat;
+
+  // Select a concrete interval of length `window` by its endpoint-min quality
+  // (equals its true min quality when q is quasi-concave).
+  const StepFunction w = q.EndpointWindowMin(window);
+  DPC_ASSIGN_OR_RETURN(
+      std::uint64_t ahat,
+      ExponentialMechanism::SelectFromStepFunction(rng, w, eps_level));
+
+  // Every point of [ahat, ahat + window) has q >= w(ahat) by quasi-concavity;
+  // return the midpoint.
+  return ahat + window / 2;
+}
+
+}  // namespace
+
+Status RecConcaveOptions::Validate() const {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    return Status::InvalidArgument("RecConcave: alpha must be in (0,1)");
+  }
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("RecConcave: beta must be in (0,1)");
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("RecConcave: epsilon must be positive");
+  }
+  if (base_domain_size < 2) {
+    return Status::InvalidArgument("RecConcave: base_domain_size must be >= 2");
+  }
+  if (max_depth < 1) {
+    return Status::InvalidArgument("RecConcave: max_depth must be >= 1");
+  }
+  return Status::OK();
+}
+
+int RecConcaveDepth(std::uint64_t domain, const RecConcaveOptions& options) {
+  DPC_CHECK_GE(domain, 1u);
+  int depth = 0;
+  std::uint64_t t = domain;
+  while (t > options.base_domain_size && depth < options.max_depth) {
+    t = static_cast<std::uint64_t>(FloorLog2(t)) + 1;
+    ++depth;
+  }
+  return depth;
+}
+
+double RecConcaveMinPromise(std::uint64_t domain,
+                            const RecConcaveOptions& options) {
+  const int depth = RecConcaveDepth(domain, options);
+  const double eps_level = options.epsilon / static_cast<double>(depth + 1);
+  const double beta_level = options.beta / static_cast<double>(depth + 1);
+
+  double alpha = options.alpha;
+  std::uint64_t t = domain;
+  // Work top-down: at each level the requirement is the max of the level's own
+  // selection loss and 4/alpha times the derived problem's requirement.
+  std::vector<std::pair<std::uint64_t, double>> levels;  // (domain, alpha).
+  for (int lvl = 0; lvl < depth; ++lvl) {
+    levels.emplace_back(t, alpha);
+    t = static_cast<std::uint64_t>(FloorLog2(t)) + 1;
+    alpha = kInnerAlpha;
+  }
+  // Base case: exponential mechanism must lose at most alpha * p.
+  double need = (2.0 / (alpha * eps_level)) *
+                std::log(static_cast<double>(t) / beta_level);
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const auto& [lvl_domain, lvl_alpha] = *it;
+    const double selection = (16.0 / (lvl_alpha * eps_level)) *
+                             std::log(static_cast<double>(lvl_domain) / beta_level);
+    need = std::max(selection, (4.0 / lvl_alpha) * need);
+  }
+  return need;
+}
+
+Result<std::uint64_t> RecConcave(Rng& rng, const StepFunction& quality,
+                                 double promise,
+                                 const RecConcaveOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  if (!(promise > 0.0)) {
+    return Status::InvalidArgument("RecConcave: promise must be positive");
+  }
+  if (quality.domain_size() < 1) {
+    return Status::InvalidArgument("RecConcave: empty solution domain");
+  }
+  const int depth = RecConcaveDepth(quality.domain_size(), options);
+  const double eps_level = options.epsilon / static_cast<double>(depth + 1);
+  return SolveLevel(rng, quality, promise, options.alpha, eps_level,
+                    options.base_domain_size, depth);
+}
+
+}  // namespace dpcluster

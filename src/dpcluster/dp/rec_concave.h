@@ -1,0 +1,74 @@
+// RecConcave (Theorem 4.3, Beimel-Nissim-Stemmer [3]): privately solve a
+// quasi-concave promise problem. Given a sensitivity-1 quality function Q over
+// a totally ordered finite solution set F such that Q(S, .) is quasi-concave
+// and max_f Q(S, f) >= p (the promise), return f with Q(S, f) >= (1 - alpha) p.
+//
+// Structure (faithful to [3]): a recursion on interval *lengths*. At each level
+// the domain [0, T) is replaced by the length exponents {0, .., log2 T}, with
+// derived quality built from L(j) = max_a min(Q(a), Q(a + 2^j - 1)) — for
+// quasi-concave Q this is the best worst-case quality of any interval of
+// length 2^j. The recursion therefore shrinks T -> log T per level and has
+// depth log*(T). Having privately selected a good length 2^j, the level
+// privately selects a concrete interval of that length and returns its
+// midpoint (every point of the interval inherits the interval's min quality by
+// quasi-concavity).
+//
+// DOCUMENTED SUBSTITUTION (DESIGN.md #1): [3] performs the per-level interval
+// selection with the bounded-growth "choosing mechanism", paying only
+// 2^{O(log* |F|)} in utility. That mechanism's privacy needs a bounded-growth
+// quality, which the capped averaged counts used by this paper do not satisfy,
+// so this implementation selects with the exponential mechanism instead: the
+// result is pure (eps, 0)-DP for *every* sensitivity-1 quality, at utility
+// cost O(log |F|) / eps. RecConcaveMinPromise() reports the exact promise this
+// implementation needs, and GoodRadius sizes its Gamma with it.
+//
+// All quality functions are passed as StepFunction, so every level runs in
+// time linear in the number of pieces (Remark 4.4's efficiency requirement).
+
+#ifndef DPCLUSTER_DP_REC_CONCAVE_H_
+#define DPCLUSTER_DP_REC_CONCAVE_H_
+
+#include <cstdint>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/step_function.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// Parameters of one RecConcave invocation.
+struct RecConcaveOptions {
+  /// Approximation: the output satisfies Q >= (1 - alpha) * promise.
+  double alpha = 0.5;
+  /// Failure probability of the utility guarantee.
+  double beta = 0.05;
+  /// Privacy budget; the mechanism is (epsilon, 0)-DP.
+  double epsilon = 1.0;
+  /// Domains of at most this size are solved directly by one exponential
+  /// mechanism (the recursion's base case).
+  std::uint64_t base_domain_size = 32;
+  /// Hard recursion cap (log* of any finite domain is far below this).
+  int max_depth = 16;
+
+  Status Validate() const;
+};
+
+/// Number of recursion levels before the base case for a domain of this size.
+int RecConcaveDepth(std::uint64_t domain, const RecConcaveOptions& options);
+
+/// The minimum promise for which this implementation's utility guarantee
+/// holds: with promise >= this value and a quasi-concave sensitivity-1
+/// quality, the output has Q >= (1 - alpha) * promise with probability
+/// >= 1 - beta. Plays the role of the paper's
+/// 8^{log*|F|} (36 log*|F| / alpha eps) log(12 log*|F| / beta delta) bound.
+double RecConcaveMinPromise(std::uint64_t domain, const RecConcaveOptions& options);
+
+/// Runs RecConcave on `quality` (a sensitivity-1 function of the dataset,
+/// already evaluated as a step function over the solution grid) with the given
+/// quality `promise`. Returns the selected solution index.
+Result<std::uint64_t> RecConcave(Rng& rng, const StepFunction& quality,
+                                 double promise, const RecConcaveOptions& options);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_REC_CONCAVE_H_

@@ -1,0 +1,26 @@
+#include "dpcluster/dp/stable_histogram.h"
+
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+double StableHistogramBounds::SuppressionThreshold(const PrivacyParams& params) {
+  return 1.0 + (2.0 / params.epsilon) * std::log(2.0 / params.delta);
+}
+
+double StableHistogramBounds::RequiredMaxCount(const PrivacyParams& params,
+                                               std::size_t n, double beta) {
+  DPC_CHECK_GT(beta, 0.0);
+  return (2.0 / params.epsilon) *
+         std::log(4.0 * static_cast<double>(n) / (beta * params.delta));
+}
+
+double StableHistogramBounds::CountLoss(const PrivacyParams& params, std::size_t n,
+                                        double beta) {
+  DPC_CHECK_GT(beta, 0.0);
+  return (4.0 / params.epsilon) * std::log(2.0 * static_cast<double>(n) / beta);
+}
+
+}  // namespace dpcluster

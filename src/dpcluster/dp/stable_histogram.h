@@ -1,0 +1,86 @@
+// Stability-based histogram selection (Theorem 2.5, from [3, 20]): given a
+// partition P of the universe and a dataset S, privately return a cell
+// containing approximately the maximum number of elements of S, even when the
+// number of cells is unbounded.
+//
+// Mechanism: only cells that actually contain elements are considered; each
+// non-empty cell's count receives Lap(2/eps) noise, cells whose noisy count
+// falls below 1 + (2/eps) ln(2/delta) are suppressed, and the noisy argmax of
+// the survivors is returned. Suppression makes the *set of candidate cells*
+// stable between neighboring datasets up to probability delta, which is what
+// removes the log |P| cost of ordinary selection.
+//
+// Utility (Theorem 2.5): if the best cell holds T >= (2/eps) log(4n/(beta
+// delta)) elements, then with probability >= 1 - beta the returned cell holds
+// at least T - (4/eps) log(2n/beta) elements.
+//
+// GoodCenter uses this three ways: choosing the heavy JL box (step 7) and
+// choosing a heavy interval on each rotated axis (step 9c).
+
+#ifndef DPCLUSTER_DP_STABLE_HISTOGRAM_H_
+#define DPCLUSTER_DP_STABLE_HISTOGRAM_H_
+
+#include <cstddef>
+#include <limits>
+#include <unordered_map>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/privacy_params.h"
+#include "dpcluster/random/distributions.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// Thresholds and guarantees of the stable-histogram mechanism.
+struct StableHistogramBounds {
+  /// Suppression threshold 1 + (2/eps) ln(2/delta).
+  static double SuppressionThreshold(const PrivacyParams& params);
+  /// Utility: max count needed for success w.p. 1-beta over n elements.
+  static double RequiredMaxCount(const PrivacyParams& params, std::size_t n,
+                                 double beta);
+  /// Utility: count loss of the returned cell w.p. 1-beta over n elements.
+  static double CountLoss(const PrivacyParams& params, std::size_t n, double beta);
+};
+
+/// Selected cell plus its (already noisy, privately releasable) count.
+template <typename Key>
+struct StableHistogramChoice {
+  Key key;
+  double noisy_count = 0.0;
+};
+
+/// Runs the mechanism over the non-empty cell counts in `counts`.
+/// Returns NoPrivateAnswer if every cell is suppressed.
+template <typename Key, typename Hash>
+Result<StableHistogramChoice<Key>> ChooseHeavyCell(
+    Rng& rng, const std::unordered_map<Key, std::size_t, Hash>& counts,
+    const PrivacyParams& params) {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (counts.empty()) {
+    return Status::NoPrivateAnswer("stable histogram: no non-empty cells");
+  }
+  const double scale = 2.0 / params.epsilon;
+  const double threshold = StableHistogramBounds::SuppressionThreshold(params);
+  bool found = false;
+  StableHistogramChoice<Key> best;
+  best.noisy_count = -std::numeric_limits<double>::infinity();
+  for (const auto& [key, count] : counts) {
+    if (count == 0) continue;  // Only materialized cells may be released.
+    const double noisy = static_cast<double>(count) + SampleLaplace(rng, scale);
+    if (noisy < threshold) continue;
+    if (noisy > best.noisy_count) {
+      best.noisy_count = noisy;
+      best.key = key;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NoPrivateAnswer(
+        "stable histogram: all cells suppressed (no cell is stably heavy)");
+  }
+  return best;
+}
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_STABLE_HISTOGRAM_H_

@@ -1,0 +1,181 @@
+#include "dpcluster/dp/step_function.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+StepFunction StepFunction::Constant(std::uint64_t domain, double value) {
+  DPC_CHECK_GE(domain, 1u);
+  StepFunction f;
+  f.domain_ = domain;
+  f.starts_ = {0};
+  f.values_ = {value};
+  return f;
+}
+
+StepFunction StepFunction::FromBreakpoints(std::uint64_t domain,
+                                           std::vector<std::uint64_t> starts,
+                                           std::vector<double> values) {
+  DPC_CHECK_GE(domain, 1u);
+  DPC_CHECK(!starts.empty());
+  DPC_CHECK_EQ(starts.size(), values.size());
+  DPC_CHECK_EQ(starts.front(), 0u);
+  for (std::size_t p = 1; p < starts.size(); ++p) {
+    DPC_CHECK_LT(starts[p - 1], starts[p]);
+  }
+  DPC_CHECK_LT(starts.back(), domain);
+  StepFunction f;
+  f.domain_ = domain;
+  f.starts_ = std::move(starts);
+  f.values_ = std::move(values);
+  return f;
+}
+
+StepFunction StepFunction::Dense(std::span<const double> values) {
+  DPC_CHECK(!values.empty());
+  StepFunction f;
+  f.domain_ = values.size();
+  f.starts_.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) f.starts_[i] = i;
+  f.values_.assign(values.begin(), values.end());
+  return f;
+}
+
+std::uint64_t StepFunction::PieceLength(std::size_t p) const {
+  DPC_CHECK_LT(p, starts_.size());
+  const std::uint64_t end = (p + 1 < starts_.size()) ? starts_[p + 1] : domain_;
+  return end - starts_[p];
+}
+
+double StepFunction::ValueAt(std::uint64_t i) const {
+  DPC_CHECK_LT(i, domain_);
+  // Last piece whose start is <= i.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), i);
+  const std::size_t p = static_cast<std::size_t>(it - starts_.begin()) - 1;
+  return values_[p];
+}
+
+double StepFunction::MaxValue() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+std::uint64_t StepFunction::ArgMaxFirst() const {
+  const std::size_t p = static_cast<std::size_t>(
+      std::max_element(values_.begin(), values_.end()) - values_.begin());
+  return starts_[p];
+}
+
+StepFunction StepFunction::ShiftLeft(std::uint64_t offset) const {
+  DPC_CHECK_LT(offset, domain_);
+  if (offset == 0) return *this;
+  StepFunction g;
+  g.domain_ = domain_ - offset;
+  // First piece containing `offset`.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), offset);
+  std::size_t p = static_cast<std::size_t>(it - starts_.begin()) - 1;
+  g.starts_.push_back(0);
+  g.values_.push_back(values_[p]);
+  for (++p; p < starts_.size(); ++p) {
+    g.starts_.push_back(starts_[p] - offset);
+    g.values_.push_back(values_[p]);
+  }
+  return g;
+}
+
+StepFunction StepFunction::Prefix(std::uint64_t len) const {
+  DPC_CHECK_GE(len, 1u);
+  DPC_CHECK_LE(len, domain_);
+  if (len == domain_) return *this;
+  StepFunction g;
+  g.domain_ = len;
+  for (std::size_t p = 0; p < starts_.size() && starts_[p] < len; ++p) {
+    g.starts_.push_back(starts_[p]);
+    g.values_.push_back(values_[p]);
+  }
+  return g;
+}
+
+StepFunction StepFunction::PointwiseMin(const StepFunction& a,
+                                        const StepFunction& b) {
+  DPC_CHECK_EQ(a.domain_, b.domain_);
+  StepFunction g;
+  g.domain_ = a.domain_;
+  std::size_t pa = 0;
+  std::size_t pb = 0;
+  std::uint64_t pos = 0;
+  while (pos < g.domain_) {
+    const double v = std::min(a.values_[pa], b.values_[pb]);
+    if (g.values_.empty() || g.values_.back() != v) {
+      g.starts_.push_back(pos);
+      g.values_.push_back(v);
+    }
+    const std::uint64_t next_a =
+        (pa + 1 < a.starts_.size()) ? a.starts_[pa + 1] : g.domain_;
+    const std::uint64_t next_b =
+        (pb + 1 < b.starts_.size()) ? b.starts_[pb + 1] : g.domain_;
+    pos = std::min(next_a, next_b);
+    if (pos == next_a && pa + 1 < a.starts_.size()) ++pa;
+    if (pos == next_b && pb + 1 < b.starts_.size()) ++pb;
+  }
+  return g;
+}
+
+StepFunction StepFunction::EndpointWindowMin(std::uint64_t window) const {
+  DPC_CHECK_GE(window, 1u);
+  DPC_CHECK_LE(window, domain_);
+  const StepFunction left = Prefix(domain_ - window + 1);
+  const StepFunction right = ShiftLeft(window - 1);
+  return PointwiseMin(left, right);
+}
+
+double StepFunction::MaxEndpointWindowMin(std::uint64_t window) const {
+  DPC_CHECK_GE(window, 1u);
+  DPC_CHECK_LE(window, domain_);
+  const std::uint64_t dom = domain_ - window + 1;  // Valid start positions.
+  const std::uint64_t off = window - 1;
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t pa = 0;  // Piece index for f(a).
+  // Piece index for f(a + off) at a = 0.
+  std::size_t pb = static_cast<std::size_t>(
+      std::upper_bound(starts_.begin(), starts_.end(), off) - starts_.begin() - 1);
+  std::uint64_t pos = 0;
+  while (pos < dom) {
+    best = std::max(best, std::min(values_[pa], values_[pb]));
+    const std::uint64_t next_a =
+        (pa + 1 < starts_.size()) ? starts_[pa + 1] : dom;
+    const std::uint64_t next_b =
+        (pb + 1 < starts_.size()) ? starts_[pb + 1] - off : dom;
+    pos = std::min(next_a, next_b);
+    if (pos == next_a && pa + 1 < starts_.size()) ++pa;
+    if (pos == next_b && pb + 1 < starts_.size()) ++pb;
+  }
+  return best;
+}
+
+void StepFunction::Coalesce() {
+  std::size_t out = 0;
+  for (std::size_t p = 0; p < starts_.size(); ++p) {
+    if (out > 0 && values_[out - 1] == values_[p]) continue;
+    starts_[out] = starts_[p];
+    values_[out] = values_[p];
+    ++out;
+  }
+  starts_.resize(out);
+  values_.resize(out);
+}
+
+bool StepFunction::IsQuasiConcave() const {
+  // Piecewise-constant f is quasi-concave iff the piece values never strictly
+  // rise again after having strictly fallen.
+  bool fallen = false;
+  for (std::size_t p = 1; p < values_.size(); ++p) {
+    if (values_[p] < values_[p - 1]) fallen = true;
+    if (values_[p] > values_[p - 1] && fallen) return false;
+  }
+  return true;
+}
+
+}  // namespace dpcluster

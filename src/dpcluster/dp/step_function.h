@@ -1,0 +1,85 @@
+// StepFunction: a piecewise-constant function over an integer domain [0, T).
+//
+// This is the representation that makes RecConcave efficient (Remark 4.4): the
+// quality functions the paper feeds it (GoodRadius's Q over the radius grid,
+// IntPoint's interior-point quality) change value at only poly(n) breakpoints
+// even when the solution grid has |F| ~ |X| sqrt(d) points. All RecConcave
+// operations (windowed endpoint minima, pointwise min, exponential-mechanism
+// sampling) run in time linear in the number of pieces, never in T.
+
+#ifndef DPCLUSTER_DP_STEP_FUNCTION_H_
+#define DPCLUSTER_DP_STEP_FUNCTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dpcluster {
+
+/// Piecewise-constant f : [0, T) -> R with T up to 2^63.
+class StepFunction {
+ public:
+  /// The constant function `value` over [0, domain).
+  static StepFunction Constant(std::uint64_t domain, double value);
+
+  /// From aligned breakpoints: starts[0] == 0, strictly increasing, all < domain;
+  /// piece p covers [starts[p], starts[p+1]) with value values[p].
+  static StepFunction FromBreakpoints(std::uint64_t domain,
+                                      std::vector<std::uint64_t> starts,
+                                      std::vector<double> values);
+
+  /// One piece per entry of `values` (domain = values.size()).
+  static StepFunction Dense(std::span<const double> values);
+
+  std::uint64_t domain_size() const { return domain_; }
+  std::size_t num_pieces() const { return starts_.size(); }
+  std::span<const std::uint64_t> starts() const { return starts_; }
+  std::span<const double> values() const { return values_; }
+
+  /// Length of piece p.
+  std::uint64_t PieceLength(std::size_t p) const;
+
+  /// f(i); i must be < domain_size().
+  double ValueAt(std::uint64_t i) const;
+
+  double MaxValue() const;
+
+  /// First index attaining the maximum.
+  std::uint64_t ArgMaxFirst() const;
+
+  /// g(a) = f(a + offset) over [0, T - offset); offset < T.
+  StepFunction ShiftLeft(std::uint64_t offset) const;
+
+  /// Restriction to [0, len); 1 <= len <= T.
+  StepFunction Prefix(std::uint64_t len) const;
+
+  /// Pointwise min; domains must match.
+  static StepFunction PointwiseMin(const StepFunction& a, const StepFunction& b);
+
+  /// w(a) = min(f(a), f(a + window - 1)) over [0, T - window + 1).
+  /// For quasi-concave f this equals the minimum of f over the length-`window`
+  /// interval starting at a. Requires 1 <= window <= T.
+  StepFunction EndpointWindowMin(std::uint64_t window) const;
+
+  /// max_a min(f(a), f(a + window - 1)) without materializing the window
+  /// function. Requires 1 <= window <= T.
+  double MaxEndpointWindowMin(std::uint64_t window) const;
+
+  /// Merges adjacent pieces with equal values (exact comparison).
+  void Coalesce();
+
+  /// True if f(i) >= min(f(j), f(k)) for all j <= i <= k, checked exactly on
+  /// the piece structure. O(pieces). Used by tests and debug assertions.
+  bool IsQuasiConcave() const;
+
+ private:
+  StepFunction() : domain_(0) {}
+
+  std::uint64_t domain_;
+  std::vector<std::uint64_t> starts_;
+  std::vector<double> values_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_DP_STEP_FUNCTION_H_

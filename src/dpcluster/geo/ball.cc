@@ -1,0 +1,66 @@
+#include "dpcluster/geo/ball.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/la/vector_ops.h"
+
+namespace dpcluster {
+
+bool Ball::Contains(std::span<const double> p) const {
+  return Distance(center, p) <= radius * (1.0 + 1e-12) + 1e-15;
+}
+
+bool AxisBox::Contains(std::span<const double> p) const {
+  DPC_CHECK_EQ(p.size(), lo.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] < lo[i] || p[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+std::vector<double> AxisBox::Center() const {
+  std::vector<double> c(lo.size());
+  for (std::size_t i = 0; i < lo.size(); ++i) c[i] = 0.5 * (lo[i] + hi[i]);
+  return c;
+}
+
+double AxisBox::Diameter() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    const double side = hi[i] - lo[i];
+    s += side * side;
+  }
+  return std::sqrt(s);
+}
+
+std::size_t CountInBall(const PointSet& s, const Ball& ball) {
+  return CountWithin(s, ball.center, ball.radius);
+}
+
+std::size_t CountWithin(const PointSet& s, std::span<const double> center,
+                        double radius) {
+  DPC_CHECK_EQ(center.size(), s.dim());
+  const double r2 = radius * radius * (1.0 + 1e-12);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (SquaredDistance(s[i], center) <= r2) ++count;
+  }
+  return count;
+}
+
+double RadiusCapturing(const PointSet& s, std::span<const double> center,
+                       std::size_t t) {
+  DPC_CHECK_GE(t, 1u);
+  DPC_CHECK_LE(t, s.size());
+  std::vector<double> d2(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    d2[i] = SquaredDistance(s[i], center);
+  }
+  std::nth_element(d2.begin(), d2.begin() + static_cast<std::ptrdiff_t>(t - 1),
+                   d2.end());
+  return std::sqrt(d2[t - 1]);
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,49 @@
+// Euclidean balls and axis-aligned boxes, plus exact (non-private) point-in-ball
+// counting used by the algorithms' bookkeeping and by the evaluation metrics.
+
+#ifndef DPCLUSTER_GEO_BALL_H_
+#define DPCLUSTER_GEO_BALL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dpcluster/geo/point_set.h"
+
+namespace dpcluster {
+
+/// Closed Euclidean ball.
+struct Ball {
+  std::vector<double> center;
+  double radius = 0.0;
+
+  bool Contains(std::span<const double> p) const;
+};
+
+/// Closed axis-aligned box given by per-coordinate [lo, hi] intervals.
+struct AxisBox {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  bool Contains(std::span<const double> p) const;
+  /// Center point of the box.
+  std::vector<double> Center() const;
+  /// Euclidean diameter, i.e. length of the main diagonal.
+  double Diameter() const;
+};
+
+/// Number of points of `s` inside the ball (exact, not private).
+std::size_t CountInBall(const PointSet& s, const Ball& ball);
+
+/// Number of points of `s` with distance <= radius from `center`.
+std::size_t CountWithin(const PointSet& s, std::span<const double> center,
+                        double radius);
+
+/// Smallest radius around `center` that captures at least `t` points of `s`
+/// (the t-th smallest distance). t must satisfy 1 <= t <= s.size().
+double RadiusCapturing(const PointSet& s, std::span<const double> center,
+                       std::size_t t);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_GEO_BALL_H_

@@ -1,0 +1,59 @@
+#include "dpcluster/geo/grid_domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+GridDomain::GridDomain(std::uint64_t levels, std::size_t dim, double axis_length)
+    : levels_(levels), dim_(dim), axis_length_(axis_length) {
+  DPC_CHECK_GE(levels, 2u);
+  DPC_CHECK_GE(dim, 1u);
+  DPC_CHECK_GT(axis_length, 0.0);
+  step_ = axis_length_ / static_cast<double>(levels_ - 1);
+  radius_step_ = axis_length_ / (2.0 * static_cast<double>(levels_));
+}
+
+double GridDomain::Snap(double x) const {
+  const double clamped = std::clamp(x, 0.0, axis_length_);
+  const double idx = std::round(clamped / step_);
+  return idx * step_;
+}
+
+void GridDomain::SnapPoint(std::span<double> p) const {
+  DPC_CHECK_EQ(p.size(), dim_);
+  for (double& x : p) x = Snap(x);
+}
+
+void GridDomain::SnapAll(PointSet& s) const {
+  DPC_CHECK_EQ(s.dim(), dim_);
+  for (std::size_t i = 0; i < s.size(); ++i) SnapPoint(s.MutableRow(i));
+}
+
+bool GridDomain::OnGrid(double x) const {
+  if (x < -1e-12 || x > axis_length_ + 1e-12) return false;
+  const double idx = x / step_;
+  return std::abs(idx - std::round(idx)) < 1e-9;
+}
+
+std::uint64_t GridDomain::RadiusGridSize() const {
+  const double diag = std::ceil(std::sqrt(static_cast<double>(dim_)));
+  // Largest index encodes radius diag * axis_length (>= cube diameter).
+  return static_cast<std::uint64_t>(diag * 2.0 * static_cast<double>(levels_)) + 1;
+}
+
+double GridDomain::RadiusFromIndex(std::uint64_t g) const {
+  return static_cast<double>(g) * radius_step_;
+}
+
+std::uint64_t GridDomain::RadiusIndexCeil(double r) const {
+  DPC_CHECK_GE(r, 0.0);
+  const double g = std::ceil(r / radius_step_ - 1e-12);
+  const std::uint64_t max_g = RadiusGridSize() - 1;
+  if (g >= static_cast<double>(max_g)) return max_g;
+  return static_cast<std::uint64_t>(g);
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,65 @@
+// The finite data universe X^d of Definition 1.2: X ⊆ R is a finite totally
+// ordered set, identified with the real unit interval quantized with grid step
+// 1/(|X|-1) (Remark 3.3 extends to general step/length; we keep the unit cube
+// and expose the remark's rescaling through `axis_length`).
+//
+// GridDomain also owns the solution grid of GoodRadius (Algorithm 1, step 4):
+// radii {0, 1/(2|X|), 2/(2|X|), ..., ceil(sqrt(d))}.
+
+#ifndef DPCLUSTER_GEO_GRID_DOMAIN_H_
+#define DPCLUSTER_GEO_GRID_DOMAIN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "dpcluster/geo/point_set.h"
+
+namespace dpcluster {
+
+/// A quantized d-dimensional cube domain.
+class GridDomain {
+ public:
+  /// `levels` = |X| (>= 2), `dim` = d (>= 1), `axis_length` = max X - min X.
+  GridDomain(std::uint64_t levels, std::size_t dim, double axis_length = 1.0);
+
+  std::uint64_t levels() const { return levels_; }
+  std::size_t dim() const { return dim_; }
+  double axis_length() const { return axis_length_; }
+
+  /// Grid step 1/(|X|-1) scaled by axis_length.
+  double step() const { return step_; }
+
+  /// Snaps a scalar to the nearest grid level (clamped to [0, axis_length]).
+  double Snap(double x) const;
+
+  /// Snaps a point in place.
+  void SnapPoint(std::span<double> p) const;
+
+  /// Snaps every point of the set in place.
+  void SnapAll(PointSet& s) const;
+
+  /// True if x lies on the grid (within fp tolerance) and inside the cube.
+  bool OnGrid(double x) const;
+
+  // --- Solution grid for GoodRadius (radii) -------------------------------
+
+  /// Number of candidate radii: ceil(sqrt(d)) * axis_length * 2|X| + 1.
+  std::uint64_t RadiusGridSize() const;
+
+  /// The radius encoded by grid index g: g * axis_length / (2|X|).
+  double RadiusFromIndex(std::uint64_t g) const;
+
+  /// Smallest grid index g with RadiusFromIndex(g) >= r (clamped to the grid).
+  std::uint64_t RadiusIndexCeil(double r) const;
+
+ private:
+  std::uint64_t levels_;
+  std::size_t dim_;
+  double axis_length_;
+  double step_;
+  double radius_step_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_GEO_GRID_DOMAIN_H_

@@ -1,0 +1,113 @@
+#include "dpcluster/geo/minimal_ball.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+namespace {
+
+Status ValidateT(const PointSet& s, std::size_t t) {
+  if (t < 1 || t > s.size()) {
+    return Status::InvalidArgument("t must satisfy 1 <= t <= n (t=" +
+                                   std::to_string(t) +
+                                   ", n=" + std::to_string(s.size()) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Ball> SmallestInterval1D(const PointSet& s, std::size_t t) {
+  if (s.dim() != 1) {
+    return Status::InvalidArgument("SmallestInterval1D requires d == 1");
+  }
+  DPC_RETURN_IF_ERROR(ValidateT(s, t));
+  std::vector<double> xs(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) xs[i] = s[i][0];
+  std::sort(xs.begin(), xs.end());
+  double best_len = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i + t <= xs.size(); ++i) {
+    const double len = xs[i + t - 1] - xs[i];
+    if (len < best_len) {
+      best_len = len;
+      best_i = i;
+    }
+  }
+  Ball ball;
+  ball.center = {0.5 * (xs[best_i] + xs[best_i + t - 1])};
+  ball.radius = 0.5 * best_len;
+  return ball;
+}
+
+Result<Ball> TwoApproxSmallestBall(const PointSet& s, std::size_t t) {
+  DPC_RETURN_IF_ERROR(ValidateT(s, t));
+  double best_r = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double r = RadiusCapturing(s, s[i], t);
+    if (r < best_r) {
+      best_r = r;
+      best_i = i;
+    }
+  }
+  Ball ball;
+  ball.center.assign(s[best_i].begin(), s[best_i].end());
+  ball.radius = best_r;
+  return ball;
+}
+
+Result<Ball> GridRestrictedSmallestBall(const PointSet& s, std::size_t t,
+                                        const GridDomain& domain,
+                                        std::size_t max_centers) {
+  DPC_RETURN_IF_ERROR(ValidateT(s, t));
+  if (s.dim() != domain.dim()) {
+    return Status::InvalidArgument("domain dimension mismatch");
+  }
+  double total = 1.0;
+  for (std::size_t i = 0; i < domain.dim(); ++i) {
+    total *= static_cast<double>(domain.levels());
+  }
+  if (total > static_cast<double>(max_centers)) {
+    return Status::ResourceExhausted(
+        "GridRestrictedSmallestBall: |X|^d exceeds max_centers");
+  }
+
+  const auto count = static_cast<std::size_t>(total);
+  std::vector<double> center(domain.dim(), 0.0);
+  std::vector<std::uint64_t> idx(domain.dim(), 0);
+  Ball best;
+  best.radius = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < count; ++c) {
+    for (std::size_t k = 0; k < domain.dim(); ++k) {
+      center[k] = static_cast<double>(idx[k]) * domain.step();
+    }
+    const double r = RadiusCapturing(s, center, t);
+    if (r < best.radius) {
+      best.radius = r;
+      best.center = center;
+    }
+    // Odometer increment over the grid.
+    for (std::size_t k = 0; k < domain.dim(); ++k) {
+      if (++idx[k] < domain.levels()) break;
+      idx[k] = 0;
+    }
+  }
+  return best;
+}
+
+Result<double> OptRadiusLowerBound(const PointSet& s, std::size_t t) {
+  DPC_RETURN_IF_ERROR(ValidateT(s, t));
+  if (s.dim() == 1) {
+    DPC_ASSIGN_OR_RETURN(Ball exact, SmallestInterval1D(s, t));
+    return exact.radius;
+  }
+  DPC_ASSIGN_OR_RETURN(Ball approx, TwoApproxSmallestBall(s, t));
+  return approx.radius / 2.0;
+}
+
+}  // namespace dpcluster

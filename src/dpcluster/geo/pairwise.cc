@@ -1,0 +1,71 @@
+#include "dpcluster/geo/pairwise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/la/vector_ops.h"
+
+namespace dpcluster {
+
+Result<PairwiseDistances> PairwiseDistances::Compute(const PointSet& s,
+                                                     std::size_t max_points) {
+  const std::size_t n = s.size();
+  if (n > max_points) {
+    return Status::ResourceExhausted(
+        "PairwiseDistances: dataset has " + std::to_string(n) +
+        " points, cap is " + std::to_string(max_points) +
+        " (see GoodRadiusOptions::max_profile_points)");
+  }
+  PairwiseDistances pd;
+  pd.n_ = n;
+  pd.rows_.assign(n * n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = s[i];
+    float* row_i = &pd.rows_[i * n];
+    for (std::size_t j = i; j < n; ++j) {
+      // Round the stored distance up one ulp so CountWithin(i, exact_distance)
+      // always includes the pair despite the double->float narrowing.
+      const float d = std::nextafter(
+          static_cast<float>(std::sqrt(SquaredDistance(xi, s[j]))),
+          std::numeric_limits<float>::infinity());
+      row_i[j] = d;
+      pd.rows_[j * n + i] = d;
+    }
+    row_i[i] = 0.0f;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = &pd.rows_[i * n];
+    std::sort(row, row + n);
+  }
+  return pd;
+}
+
+std::size_t PairwiseDistances::CountWithin(std::size_t i, double r) const {
+  DPC_CHECK_LT(i, n_);
+  if (r < 0.0) return 0;
+  const auto row = SortedRow(i);
+  const float bound = std::nextafter(static_cast<float>(r),
+                                     std::numeric_limits<float>::infinity());
+  return static_cast<std::size_t>(
+      std::upper_bound(row.begin(), row.end(), bound) - row.begin());
+}
+
+double PairwiseDistances::CappedTopAverage(double r, std::size_t cap) const {
+  DPC_CHECK_GE(cap, 1u);
+  DPC_CHECK_LE(cap, n_);
+  std::vector<std::size_t> counts(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    counts[i] = std::min(CountWithin(i, r), cap);
+  }
+  // Average of the `cap` largest capped counts.
+  std::nth_element(counts.begin(), counts.begin() + static_cast<std::ptrdiff_t>(cap - 1),
+                   counts.end(), std::greater<>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < cap; ++i) sum += static_cast<double>(counts[i]);
+  return sum / static_cast<double>(cap);
+}
+
+}  // namespace dpcluster

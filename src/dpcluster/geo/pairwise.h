@@ -1,0 +1,54 @@
+// Pairwise distance structure behind the ball-count function
+//   B_r(x_i, S) = |{ j : ||x_j - x_i|| <= r }|
+// and the capped average
+//   L(r, S) = (1/t) max_{distinct i_1..i_t} sum_j min(B_r(x_{i_j}), t)
+// of Algorithm 1 (GoodRadius). Exact evaluation of L is inherently Theta(n^2);
+// the structure materializes sorted per-center distance rows once (O(n^2 d)
+// time, O(n^2) floats) and answers L(r) queries in O(n log n).
+//
+// The memory cap is explicit: callers must pass max_points and get a
+// ResourceExhausted Status beyond it (see DESIGN.md, substitution #3).
+
+#ifndef DPCLUSTER_GEO_PAIRWISE_H_
+#define DPCLUSTER_GEO_PAIRWISE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/geo/point_set.h"
+
+namespace dpcluster {
+
+/// Sorted per-center distance rows for a dataset.
+class PairwiseDistances {
+ public:
+  /// Builds the structure; fails with ResourceExhausted if s.size() > max_points.
+  static Result<PairwiseDistances> Compute(const PointSet& s,
+                                           std::size_t max_points);
+
+  std::size_t size() const { return n_; }
+
+  /// Distances from point i to all n points (itself included), ascending.
+  std::span<const float> SortedRow(std::size_t i) const {
+    return {&rows_[i * n_], n_};
+  }
+
+  /// B_r(x_i, S): number of points within distance r of x_i (itself included).
+  std::size_t CountWithin(std::size_t i, double r) const;
+
+  /// L(r, S) with counts capped at `cap`: the average of the `cap` largest
+  /// values of min(B_r(x_i), cap). Requires 1 <= cap <= n.
+  double CappedTopAverage(double r, std::size_t cap) const;
+
+ private:
+  PairwiseDistances() : n_(0) {}
+
+  std::size_t n_;
+  std::vector<float> rows_;  // n_ x n_, each row ascending.
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_GEO_PAIRWISE_H_

@@ -1,0 +1,64 @@
+#include "dpcluster/geo/partition.h"
+
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+std::int64_t ShiftedAxisPartition::IndexOf(double x) const {
+  return static_cast<std::int64_t>(std::floor((x - shift) / length));
+}
+
+double ShiftedAxisPartition::LeftOf(std::int64_t j) const {
+  return shift + static_cast<double>(j) * length;
+}
+
+BoxPartition::BoxPartition(Rng& rng, std::size_t dim, double length) {
+  DPC_CHECK_GE(dim, 1u);
+  DPC_CHECK_GT(length, 0.0);
+  axes_.reserve(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    axes_.push_back({rng.NextDouble() * length, length});
+  }
+}
+
+BoxPartition::BoxPartition(std::vector<ShiftedAxisPartition> axes)
+    : axes_(std::move(axes)) {
+  DPC_CHECK(!axes_.empty());
+  for (const auto& a : axes_) DPC_CHECK_GT(a.length, 0.0);
+}
+
+std::vector<std::int64_t> BoxPartition::BoxIndexOf(std::span<const double> p) const {
+  DPC_CHECK_EQ(p.size(), axes_.size());
+  std::vector<std::int64_t> idx(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) idx[i] = axes_[i].IndexOf(p[i]);
+  return idx;
+}
+
+AxisBox BoxPartition::BoxFor(std::span<const std::int64_t> index) const {
+  DPC_CHECK_EQ(index.size(), axes_.size());
+  AxisBox box;
+  box.lo.resize(axes_.size());
+  box.hi.resize(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    box.lo[i] = axes_[i].LeftOf(index[i]);
+    box.hi[i] = box.lo[i] + axes_[i].length;
+  }
+  return box;
+}
+
+std::size_t BoxIndexHash::operator()(const std::vector<std::int64_t>& v) const {
+  // FNV-1a over the index words; adequate for hashing sparse box keys.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::int64_t x : v) {
+    auto u = static_cast<std::uint64_t>(x);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (u >> (8 * b)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,59 @@
+// Randomly shifted interval partitions and the k-dimensional box partition built
+// from them (GoodCenter, Algorithm 2, steps 3-4): every axis i of R^k is split
+// into intervals [a_i + j L, a_i + (j+1) L) with a random shift a_i in [0, L);
+// a box B_j is a product of one interval per axis, identified by its integer
+// index vector j in Z^k.
+
+#ifndef DPCLUSTER_GEO_PARTITION_H_
+#define DPCLUSTER_GEO_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// A partition of one axis into length-`length` intervals shifted by `shift`.
+struct ShiftedAxisPartition {
+  double shift = 0.0;   // In [0, length).
+  double length = 1.0;  // Interval length (> 0).
+
+  /// Index j of the interval containing x: [shift + j*length, shift + (j+1)*length).
+  std::int64_t IndexOf(double x) const;
+  /// Left endpoint of interval j.
+  double LeftOf(std::int64_t j) const;
+};
+
+/// Product partition of R^k into boxes (one ShiftedAxisPartition per axis).
+class BoxPartition {
+ public:
+  /// Random shifts, all axes with the same interval `length`.
+  BoxPartition(Rng& rng, std::size_t dim, double length);
+
+  /// Deterministic shifts (used by tests).
+  explicit BoxPartition(std::vector<ShiftedAxisPartition> axes);
+
+  std::size_t dim() const { return axes_.size(); }
+  const ShiftedAxisPartition& axis(std::size_t i) const { return axes_[i]; }
+
+  /// Integer index vector of the box containing p.
+  std::vector<std::int64_t> BoxIndexOf(std::span<const double> p) const;
+
+  /// The geometric box for an index vector.
+  AxisBox BoxFor(std::span<const std::int64_t> index) const;
+
+ private:
+  std::vector<ShiftedAxisPartition> axes_;
+};
+
+/// Hash for integer box index vectors so boxes can key an unordered_map.
+struct BoxIndexHash {
+  std::size_t operator()(const std::vector<std::int64_t>& v) const;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_GEO_PARTITION_H_

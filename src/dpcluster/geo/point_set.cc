@@ -1,0 +1,37 @@
+#include "dpcluster/geo/point_set.h"
+
+#include <algorithm>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+PointSet::PointSet(std::size_t dim, std::vector<double> data)
+    : dim_(dim), data_(std::move(data)) {
+  DPC_CHECK_GE(dim, 1u);
+  DPC_CHECK_EQ(data_.size() % dim, 0u);
+}
+
+void PointSet::Add(std::span<const double> p) {
+  DPC_CHECK_EQ(p.size(), dim_);
+  data_.insert(data_.end(), p.begin(), p.end());
+}
+
+PointSet PointSet::Subset(std::span<const std::size_t> indices) const {
+  PointSet out(dim_);
+  out.data_.reserve(indices.size() * dim_);
+  for (std::size_t i : indices) {
+    DPC_CHECK_LT(i, size());
+    const auto row = (*this)[i];
+    out.data_.insert(out.data_.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+void PointSet::ReplaceRow(std::size_t i, std::span<const double> p) {
+  DPC_CHECK_LT(i, size());
+  DPC_CHECK_EQ(p.size(), dim_);
+  std::copy(p.begin(), p.end(), data_.begin() + static_cast<std::ptrdiff_t>(i * dim_));
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,53 @@
+// PointSet: the library's dataset type. n points in R^d stored contiguously
+// (row-major). Datasets are ordered multisets per Definition 1.1; two datasets
+// are neighbors when they differ in one row.
+
+#ifndef DPCLUSTER_GEO_POINT_SET_H_
+#define DPCLUSTER_GEO_POINT_SET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dpcluster {
+
+/// n x d dataset with contiguous storage.
+class PointSet {
+ public:
+  PointSet() : dim_(0) {}
+
+  /// Empty dataset of dimension `dim`.
+  explicit PointSet(std::size_t dim) : dim_(dim) {}
+
+  /// Takes ownership of a flat row-major buffer; data.size() % dim must be 0.
+  PointSet(std::size_t dim, std::vector<double> data);
+
+  std::size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return data_.empty(); }
+
+  std::span<const double> operator[](std::size_t i) const {
+    return {&data_[i * dim_], dim_};
+  }
+  std::span<double> MutableRow(std::size_t i) { return {&data_[i * dim_], dim_}; }
+
+  /// Appends one point (size must equal dim()).
+  void Add(std::span<const double> p);
+
+  /// Dataset containing the rows listed in `indices` (duplicates allowed).
+  PointSet Subset(std::span<const std::size_t> indices) const;
+
+  /// Replaces row i (used to build neighboring datasets in tests).
+  void ReplaceRow(std::size_t i, std::span<const double> p);
+
+  std::span<const double> Data() const { return data_; }
+  std::span<double> MutableData() { return data_; }
+
+ private:
+  std::size_t dim_;
+  std::vector<double> data_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_GEO_POINT_SET_H_

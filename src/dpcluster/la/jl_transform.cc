@@ -1,0 +1,36 @@
+#include "dpcluster/la/jl_transform.h"
+
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+
+JlTransform::JlTransform(Rng& rng, std::size_t in_dim, std::size_t out_dim)
+    : matrix_(out_dim, in_dim), scale_(1.0 / std::sqrt(static_cast<double>(out_dim))) {
+  DPC_CHECK_GE(in_dim, 1u);
+  DPC_CHECK_GE(out_dim, 1u);
+  FillGaussian(rng, 1.0, matrix_.MutableData());
+}
+
+void JlTransform::Apply(std::span<const double> x, std::span<double> out) const {
+  matrix_.Multiply(x, out);
+  for (double& v : out) v *= scale_;
+}
+
+std::vector<double> JlTransform::Apply(std::span<const double> x) const {
+  std::vector<double> out(out_dim());
+  Apply(x, out);
+  return out;
+}
+
+std::size_t JlTransform::DimensionFor(std::size_t n, double eta, double beta) {
+  DPC_CHECK_GT(eta, 0.0);
+  DPC_CHECK_GT(beta, 0.0);
+  const double nn = static_cast<double>(n < 2 ? 2 : n);
+  const double k = 8.0 / (eta * eta) * std::log(2.0 * nn * nn / beta);
+  return static_cast<std::size_t>(std::ceil(k));
+}
+
+}  // namespace dpcluster

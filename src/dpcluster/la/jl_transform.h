@@ -1,0 +1,42 @@
+// Johnson-Lindenstrauss random projection (Lemma 4.10): f(x) = (1/sqrt(k)) A x
+// with A a k x d matrix of iid N(0,1) entries. GoodCenter (Algorithm 2, step 1)
+// projects the input into R^k, k = O(log n), before searching for a heavy box.
+
+#ifndef DPCLUSTER_LA_JL_TRANSFORM_H_
+#define DPCLUSTER_LA_JL_TRANSFORM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dpcluster/la/matrix.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// A sampled JL map R^in_dim -> R^out_dim.
+class JlTransform {
+ public:
+  /// Draws A with iid N(0,1) entries; Apply computes (1/sqrt(out_dim)) A x.
+  JlTransform(Rng& rng, std::size_t in_dim, std::size_t out_dim);
+
+  std::size_t in_dim() const { return matrix_.cols(); }
+  std::size_t out_dim() const { return matrix_.rows(); }
+
+  /// Projects one point.
+  void Apply(std::span<const double> x, std::span<double> out) const;
+  std::vector<double> Apply(std::span<const double> x) const;
+
+  /// Theoretical number of output dimensions guaranteeing distortion <= eta on
+  /// n points with probability >= 1 - beta (from Lemma 4.10's tail bound
+  /// 2 n^2 exp(-eta^2 k / 8)).
+  static std::size_t DimensionFor(std::size_t n, double eta, double beta);
+
+ private:
+  Matrix matrix_;
+  double scale_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_LA_JL_TRANSFORM_H_

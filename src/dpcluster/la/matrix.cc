@@ -1,0 +1,63 @@
+#include "dpcluster/la/matrix.h"
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void Matrix::Multiply(std::span<const double> x, std::span<double> out) const {
+  DPC_CHECK_EQ(x.size(), cols_);
+  DPC_CHECK_EQ(out.size(), rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    out[r] = s;
+  }
+}
+
+void Matrix::MultiplyTransposed(std::span<const double> x,
+                                std::span<double> out) const {
+  DPC_CHECK_EQ(x.size(), rows_);
+  DPC_CHECK_EQ(out.size(), cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += xr * row[c];
+  }
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::MultiplyMatrix(const Matrix& other) const {
+  DPC_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = At(r, k);
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[r * other.cols_];
+      for (std::size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,60 @@
+// Minimal dense row-major matrix. Only the operations the paper's algorithms
+// need: element access, row views, matrix-vector products, and transposed
+// products. Kept deliberately small; this is a substrate, not a BLAS.
+
+#ifndef DPCLUSTER_LA_MATRIX_H_
+#define DPCLUSTER_LA_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dpcluster {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix initialized to zero.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Mutable / immutable view of row r.
+  std::span<double> Row(std::size_t r) { return {&data_[r * cols_], cols_}; }
+  std::span<const double> Row(std::size_t r) const {
+    return {&data_[r * cols_], cols_};
+  }
+
+  std::span<const double> Data() const { return data_; }
+  std::span<double> MutableData() { return data_; }
+
+  /// out = M * x (x has cols() entries, out has rows() entries).
+  void Multiply(std::span<const double> x, std::span<double> out) const;
+
+  /// out = M^T * x (x has rows() entries, out has cols() entries).
+  void MultiplyTransposed(std::span<const double> x, std::span<double> out) const;
+
+  /// Returns M^T.
+  Matrix Transposed() const;
+
+  /// Returns M * other.
+  Matrix MultiplyMatrix(const Matrix& other) const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_LA_MATRIX_H_

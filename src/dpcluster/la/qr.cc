@@ -1,0 +1,71 @@
+#include "dpcluster/la/qr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+
+Matrix OrthonormalFactor(const Matrix& a) {
+  DPC_CHECK_EQ(a.rows(), a.cols());
+  const std::size_t n = a.rows();
+  Matrix r = a;                    // Will be reduced to upper triangular.
+  Matrix q = Matrix::Identity(n);  // Accumulates the reflections.
+  std::vector<double> v(n);
+
+  for (std::size_t k = 0; k + 1 <= n; ++k) {
+    // Householder vector for column k of the trailing submatrix.
+    double norm2 = 0.0;
+    for (std::size_t i = k; i < n; ++i) {
+      const double x = r.At(i, k);
+      norm2 += x * x;
+    }
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) continue;
+    const double x0 = r.At(k, k);
+    const double alpha = x0 >= 0 ? -norm : norm;
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < n; ++i) {
+      v[i] = r.At(i, k);
+      if (i == k) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;
+    const double beta = 2.0 / vnorm2;
+
+    // r = (I - beta v v^T) r on the trailing block.
+    for (std::size_t c = k; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t i = k; i < n; ++i) s += v[i] * r.At(i, c);
+      s *= beta;
+      for (std::size_t i = k; i < n; ++i) r.At(i, c) -= s * v[i];
+    }
+    // q = q (I - beta v v^T).
+    for (std::size_t row = 0; row < n; ++row) {
+      double s = 0.0;
+      for (std::size_t i = k; i < n; ++i) s += q.At(row, i) * v[i];
+      s *= beta;
+      for (std::size_t i = k; i < n; ++i) q.At(row, i) -= s * v[i];
+    }
+  }
+
+  // Sign correction: make diag(R) positive so Q is Haar for Gaussian input.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (r.At(k, k) < 0.0) {
+      for (std::size_t row = 0; row < n; ++row) q.At(row, k) = -q.At(row, k);
+    }
+  }
+  return q;
+}
+
+Matrix RandomOrthonormalBasis(Rng& rng, std::size_t dim) {
+  DPC_CHECK_GE(dim, 1u);
+  Matrix g(dim, dim);
+  FillGaussian(rng, 1.0, g.MutableData());
+  // Columns of Q are orthonormal; return as rows for cheap per-vector access.
+  return OrthonormalFactor(g).Transposed();
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,25 @@
+// Householder QR factorization, used to draw the random orthonormal basis Z of
+// R^d that GoodCenter (Algorithm 2, step 8) rotates into before its per-axis
+// interval selection (Lemma 4.9).
+
+#ifndef DPCLUSTER_LA_QR_H_
+#define DPCLUSTER_LA_QR_H_
+
+#include "dpcluster/la/matrix.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// Returns the orthonormal Q factor (n x n) of the input matrix (n x n) computed
+/// with Householder reflections. Columns of Q form an orthonormal basis. The
+/// factorization is sign-corrected so that Q is Haar-distributed when the input
+/// has iid Gaussian entries (Mezzadri 2007).
+Matrix OrthonormalFactor(const Matrix& a);
+
+/// Draws a Haar-random orthonormal basis of R^dim; row i of the result is basis
+/// vector z_i.
+Matrix RandomOrthonormalBasis(Rng& rng, std::size_t dim);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_LA_QR_H_

@@ -1,0 +1,55 @@
+#include "dpcluster/la/vector_ops.h"
+
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  DPC_CHECK_EQ(x.size(), y.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double Norm2(std::span<const double> x) { return std::sqrt(Dot(x, x)); }
+
+double SquaredDistance(std::span<const double> x, std::span<const double> y) {
+  DPC_CHECK_EQ(x.size(), y.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - y[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+double Distance(std::span<const double> x, std::span<const double> y) {
+  return std::sqrt(SquaredDistance(x, y));
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  DPC_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+std::vector<double> Subtract(std::span<const double> x, std::span<const double> y) {
+  DPC_CHECK_EQ(x.size(), y.size());
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+std::vector<double> Add(std::span<const double> x, std::span<const double> y) {
+  DPC_CHECK_EQ(x.size(), y.size());
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return out;
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,39 @@
+// Span-based dense vector kernels. The library stores points in flat row-major
+// buffers (see geo/point_set.h); these free functions are the only numeric
+// kernels the algorithms need, so no external linear-algebra dependency is used.
+
+#ifndef DPCLUSTER_LA_VECTOR_OPS_H_
+#define DPCLUSTER_LA_VECTOR_OPS_H_
+
+#include <span>
+#include <vector>
+
+namespace dpcluster {
+
+/// <x, y>; sizes must match.
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// ||x||_2.
+double Norm2(std::span<const double> x);
+
+/// ||x - y||_2; sizes must match.
+double Distance(std::span<const double> x, std::span<const double> y);
+
+/// ||x - y||_2^2; sizes must match.
+double SquaredDistance(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void Scale(double alpha, std::span<double> x);
+
+/// out = x - y.
+std::vector<double> Subtract(std::span<const double> x, std::span<const double> y);
+
+/// out = x + y.
+std::vector<double> Add(std::span<const double> x, std::span<const double> y);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_LA_VECTOR_OPS_H_

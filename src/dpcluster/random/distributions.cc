@@ -1,0 +1,81 @@
+#include "dpcluster/random/distributions.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+double SampleLaplace(Rng& rng, double scale) {
+  DPC_CHECK_GT(scale, 0.0);
+  // Inverse CDF on u ~ Uniform(-1/2, 1/2): -scale * sgn(u) * ln(1 - 2|u|).
+  const double u = rng.NextDouble() - 0.5;
+  const double mag = -scale * std::log1p(-2.0 * std::abs(u));
+  return u < 0 ? -mag : mag;
+}
+
+double SampleGaussian(Rng& rng, double stddev) {
+  DPC_CHECK_GE(stddev, 0.0);
+  const double u1 = rng.NextDoubleOpenZero();
+  const double u2 = rng.NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double SampleGumbel(Rng& rng) {
+  return -std::log(-std::log(rng.NextDoubleOpenZero()));
+}
+
+void FillGaussian(Rng& rng, double stddev, std::span<double> out) {
+  for (double& v : out) v = SampleGaussian(rng, stddev);
+}
+
+std::vector<double> SampleUnitSphere(Rng& rng, int dim) {
+  DPC_CHECK_GE(dim, 1);
+  std::vector<double> v(static_cast<std::size_t>(dim));
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (double& x : v) {
+      x = SampleGaussian(rng, 1.0);
+      norm2 += x * x;
+    }
+  } while (norm2 == 0.0);
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (double& x : v) x *= inv;
+  return v;
+}
+
+std::vector<double> SampleBall(Rng& rng, std::span<const double> center,
+                               double radius) {
+  DPC_CHECK_GE(radius, 0.0);
+  const int dim = static_cast<int>(center.size());
+  std::vector<double> v = SampleUnitSphere(rng, dim);
+  // Radius ~ r * U^{1/d} gives a uniform point in the ball.
+  const double r =
+      radius * std::pow(rng.NextDouble(), 1.0 / static_cast<double>(dim));
+  for (int i = 0; i < dim; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        center[static_cast<std::size_t>(i)] + r * v[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::size_t SampleDiscrete(Rng& rng, std::span<const double> weights) {
+  DPC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DPC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  DPC_CHECK_GT(total, 0.0);
+  double u = rng.NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack.
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,46 @@
+// Sampling routines for the distributions used by the paper's mechanisms:
+// Laplace (Theorem 2.3), Gaussian (Theorem 2.4), Gumbel (exponential-mechanism
+// sampling), plus geometric helpers (uniform point in a ball / on a sphere).
+//
+// All samplers are deterministic functions of the supplied Rng so experiments
+// and tests are exactly reproducible.
+
+#ifndef DPCLUSTER_RANDOM_DISTRIBUTIONS_H_
+#define DPCLUSTER_RANDOM_DISTRIBUTIONS_H_
+
+#include <span>
+#include <vector>
+
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// Sample from Lap(scale): density f(y) = (1/2 scale) exp(-|y|/scale).
+double SampleLaplace(Rng& rng, double scale);
+
+/// Sample from N(0, stddev^2) via Box-Muller (one value per call; no cached
+/// spare so interleaved callers stay reproducible).
+double SampleGaussian(Rng& rng, double stddev);
+
+/// Sample from the standard Gumbel distribution (location 0, scale 1).
+/// argmax_i (score_i + Gumbel_i) realizes softmax sampling, which is how the
+/// exponential mechanism is implemented without overflow.
+double SampleGumbel(Rng& rng);
+
+/// Fill `out` with iid N(0, stddev^2) values.
+void FillGaussian(Rng& rng, double stddev, std::span<double> out);
+
+/// Uniform point on the unit sphere S^{d-1}.
+std::vector<double> SampleUnitSphere(Rng& rng, int dim);
+
+/// Uniform point in the ball of radius `radius` centered at `center`.
+std::vector<double> SampleBall(Rng& rng, std::span<const double> center,
+                               double radius);
+
+/// Sample an index in [0, weights.size()) proportionally to `weights`
+/// (non-negative, not all zero).
+std::size_t SampleDiscrete(Rng& rng, std::span<const double> weights);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_RANDOM_DISTRIBUTIONS_H_

@@ -1,0 +1,190 @@
+#include "dpcluster/sa/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/la/vector_ops.h"
+
+namespace dpcluster {
+
+Estimator MeanEstimator() {
+  return [](const PointSet& block, std::span<double> out) -> Status {
+    if (block.empty()) return Status::InvalidArgument("mean: empty block");
+    if (out.size() != block.dim()) {
+      return Status::InvalidArgument("mean: output dimension mismatch");
+    }
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const auto row = block[i];
+      for (std::size_t j = 0; j < out.size(); ++j) out[j] += row[j];
+    }
+    const double inv = 1.0 / static_cast<double>(block.size());
+    for (double& v : out) v *= inv;
+    return Status::OK();
+  };
+}
+
+Estimator MedianEstimator() {
+  return [](const PointSet& block, std::span<double> out) -> Status {
+    if (block.empty()) return Status::InvalidArgument("median: empty block");
+    if (out.size() != block.dim()) {
+      return Status::InvalidArgument("median: output dimension mismatch");
+    }
+    std::vector<double> col(block.size());
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      for (std::size_t i = 0; i < block.size(); ++i) col[i] = block[i][j];
+      const std::size_t mid = col.size() / 2;
+      std::nth_element(col.begin(), col.begin() + static_cast<std::ptrdiff_t>(mid),
+                       col.end());
+      out[j] = col[mid];
+    }
+    return Status::OK();
+  };
+}
+
+Estimator TrimmedMeanEstimator(double trim_fraction) {
+  DPC_CHECK_GE(trim_fraction, 0.0);
+  DPC_CHECK_LT(trim_fraction, 0.5);
+  return [trim_fraction](const PointSet& block, std::span<double> out) -> Status {
+    if (block.empty()) return Status::InvalidArgument("trimmed mean: empty block");
+    if (out.size() != block.dim()) {
+      return Status::InvalidArgument("trimmed mean: output dimension mismatch");
+    }
+    const auto cut = static_cast<std::size_t>(
+        std::floor(trim_fraction * static_cast<double>(block.size())));
+    if (block.size() <= 2 * cut) {
+      return Status::InvalidArgument("trimmed mean: block too small for trim");
+    }
+    std::vector<double> col(block.size());
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      for (std::size_t i = 0; i < block.size(); ++i) col[i] = block[i][j];
+      std::sort(col.begin(), col.end());
+      double sum = 0.0;
+      for (std::size_t i = cut; i < col.size() - cut; ++i) sum += col[i];
+      out[j] = sum / static_cast<double>(col.size() - 2 * cut);
+    }
+    return Status::OK();
+  };
+}
+
+Estimator KMeansEstimator(std::size_t k, int iterations) {
+  DPC_CHECK_GE(k, 1u);
+  DPC_CHECK_GE(iterations, 1);
+  return [k, iterations](const PointSet& block, std::span<double> out) -> Status {
+    const std::size_t d = block.dim();
+    const std::size_t n = block.size();
+    if (n < k) return Status::InvalidArgument("kmeans: block smaller than k");
+    if (out.size() != k * d) {
+      return Status::InvalidArgument("kmeans: output dimension must be k*d");
+    }
+
+    // Deterministic farthest-point initialization seeded at the coordinate
+    // median (robust to a stray outlier row grabbing the seed).
+    std::vector<std::vector<double>> centers;
+    centers.reserve(k);
+    {
+      std::vector<double> median(d);
+      std::vector<double> col(n);
+      for (std::size_t j = 0; j < d; ++j) {
+        for (std::size_t i = 0; i < n; ++i) col[i] = block[i][j];
+        std::nth_element(col.begin(),
+                         col.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                         col.end());
+        median[j] = col[n / 2];
+      }
+      // Nearest point to the median is the first center.
+      std::size_t seed = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double dist = SquaredDistance(block[i], median);
+        if (dist < best) {
+          best = dist;
+          seed = i;
+        }
+      }
+      centers.emplace_back(block[seed].begin(), block[seed].end());
+      while (centers.size() < k) {
+        std::size_t far = 0;
+        double far_dist = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          double nearest = std::numeric_limits<double>::infinity();
+          for (const auto& c : centers) {
+            nearest = std::min(nearest, SquaredDistance(block[i], c));
+          }
+          if (nearest > far_dist) {
+            far_dist = nearest;
+            far = i;
+          }
+        }
+        centers.emplace_back(block[far].begin(), block[far].end());
+      }
+    }
+
+    // Lloyd iterations.
+    std::vector<std::size_t> assign(n);
+    std::vector<std::size_t> counts(k);
+    for (int it = 0; it < iterations; ++it) {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best_c = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < k; ++c) {
+          const double dist = SquaredDistance(block[i], centers[c]);
+          if (dist < best_d) {
+            best_d = dist;
+            best_c = c;
+          }
+        }
+        assign[i] = best_c;
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        std::fill(centers[c].begin(), centers[c].end(), 0.0);
+        counts[c] = 0;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto row = block[i];
+        auto& c = centers[assign[i]];
+        for (std::size_t j = 0; j < d; ++j) c[j] += row[j];
+        ++counts[assign[i]];
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        if (counts[c] == 0) continue;  // Keep the stale center.
+        const double inv = 1.0 / static_cast<double>(counts[c]);
+        for (double& v : centers[c]) v *= inv;
+      }
+    }
+
+    // Canonical (lexicographic) ordering so equal clusterings from different
+    // blocks serialize identically.
+    std::sort(centers.begin(), centers.end());
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t j = 0; j < d; ++j) out[c * d + j] = centers[c][j];
+    }
+    return Status::OK();
+  };
+}
+
+Estimator SlopeEstimator() {
+  return [](const PointSet& block, std::span<double> out) -> Status {
+    if (block.dim() != 2) {
+      return Status::InvalidArgument("slope: rows must be (x, y) pairs");
+    }
+    if (out.size() != 1) {
+      return Status::InvalidArgument("slope: output dimension must be 1");
+    }
+    double xy = 0.0;
+    double xx = 0.0;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const auto row = block[i];
+      xy += row[0] * row[1];
+      xx += row[0] * row[0];
+    }
+    if (xx == 0.0) return Status::InvalidArgument("slope: degenerate block");
+    out[0] = xy / xx;
+    return Status::OK();
+  };
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,41 @@
+// Ready-made non-private estimators for the sample-and-aggregate framework.
+// Each returns an Estimator closure suitable for SampleAggregate(); they are
+// the "off the shelf" analyses the paper's Section 6 is designed to compile
+// into private ones.
+
+#ifndef DPCLUSTER_SA_ESTIMATORS_H_
+#define DPCLUSTER_SA_ESTIMATORS_H_
+
+#include <cstddef>
+
+#include "dpcluster/sa/sample_aggregate.h"
+
+namespace dpcluster {
+
+/// Coordinate-wise mean of the block (output dim = input dim).
+Estimator MeanEstimator();
+
+/// Coordinate-wise median of the block (output dim = input dim). Robust to a
+/// minority of contaminated rows — the classic case where subsample stability
+/// holds although global sensitivity is terrible.
+Estimator MedianEstimator();
+
+/// Coordinate-wise trimmed mean dropping the `trim_fraction` smallest and
+/// largest values per coordinate.
+Estimator TrimmedMeanEstimator(double trim_fraction);
+
+/// Simple 1D least-squares slope through the origin: rows are (x, y) pairs
+/// (input dim 2), output dim 1. Demonstrates compiling a regression analysis.
+Estimator SlopeEstimator();
+
+/// Lloyd's k-means on the block, output = the k centers concatenated into
+/// R^{k*d} in lexicographic order (the canonical ordering is what lets the
+/// block outputs of a well-separated mixture concentrate, so the 1-cluster
+/// aggregator can find them — the k-means application of [16] that Section 1
+/// cites). Deterministic: farthest-point initialization from the block's
+/// coordinate-wise median.
+Estimator KMeansEstimator(std::size_t k, int iterations = 12);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_SA_ESTIMATORS_H_

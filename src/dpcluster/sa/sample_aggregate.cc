@@ -1,0 +1,76 @@
+#include "dpcluster/sa/sample_aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+Status SampleAggregateOptions::Validate() const {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("SampleAggregate: beta must be in (0,1)");
+  }
+  if (block_size < 1) {
+    return Status::InvalidArgument("SampleAggregate: block_size must be >= 1");
+  }
+  if (!(alpha > 0.0) || !(alpha <= 1.0)) {
+    return Status::InvalidArgument("SampleAggregate: alpha must be in (0,1]");
+  }
+  return Status::OK();
+}
+
+Result<SampleAggregateResult> SampleAggregate(
+    Rng& rng, const PointSet& s, const Estimator& f, const GridDomain& out_domain,
+    const SampleAggregateOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  const std::size_t n = s.size();
+  const std::size_t m = options.block_size;
+  if (n < 18 * m) {
+    return Status::InvalidArgument(
+        "SampleAggregate: need n >= 18 * block_size (n=" + std::to_string(n) +
+        ", m=" + std::to_string(m) + ")");
+  }
+
+  // Step 1: n/9 iid samples (with replacement), split into k blocks of size m.
+  const std::size_t k = n / (9 * m);
+  DPC_CHECK_GE(k, 2u);
+  std::vector<std::size_t> sample(k * m);
+  for (auto& idx : sample) idx = rng.NextUint64(n);
+
+  // Step 2: evaluate the estimator on every block; snap outputs to X^d.
+  SampleAggregateResult result;
+  result.blocks = k;
+  PointSet outputs(out_domain.dim());
+  std::vector<double> buf(out_domain.dim());
+  for (std::size_t b = 0; b < k; ++b) {
+    const PointSet block =
+        s.Subset(std::span<const std::size_t>(sample).subspan(b * m, m));
+    DPC_RETURN_IF_ERROR(f(block, buf));
+    out_domain.SnapPoint(buf);
+    outputs.Add(buf);
+  }
+
+  // Step 3: aggregate with the 1-cluster solver, t = alpha k / 2.
+  const auto t = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(options.alpha * static_cast<double>(k) / 2.0)));
+  OneClusterOptions oc = options.one_cluster;
+  oc.params = options.params;
+  oc.beta = options.beta;
+  DPC_ASSIGN_OR_RETURN(result.aggregate,
+                       OneCluster(rng, outputs, t, out_domain, oc));
+  result.point = result.aggregate.ball.center;
+  result.radius = result.aggregate.ball.radius;
+
+  // Lemma 6.4: sampling n/9 rows iid then running an (eps, delta)-DP analysis
+  // on them is (6 eps m'/n, exp(6 eps m'/n) 4 m'/n delta)-DP with m' = km <= n/9.
+  const double ratio =
+      static_cast<double>(k * m) / static_cast<double>(n);
+  result.amplified.epsilon = 6.0 * options.params.epsilon * ratio;
+  result.amplified.delta = std::exp(result.amplified.epsilon) * 4.0 * ratio *
+                           options.params.delta;
+  return result;
+}
+
+}  // namespace dpcluster

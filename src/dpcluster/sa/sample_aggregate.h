@@ -1,0 +1,68 @@
+// Algorithm 4 (SA): the improved sample-and-aggregate framework of Section 6.
+// A non-private estimator f : U* -> X^d is applied to k = n/(9m) disjoint
+// blocks of an iid subsample of the input; the k outputs are aggregated by the
+// 1-cluster solver with t = alpha k / 2. If f is (m, r, alpha)-stable on S
+// (Definition 6.1), the released point is an (m, O(w r), alpha/8)-stable point
+// (Theorem 6.3) — i.e. a private substitute for f(S) whose radius error does
+// not pay the sqrt(d) factor of the original sample-and-aggregate of [16].
+
+#ifndef DPCLUSTER_SA_SAMPLE_AGGREGATE_H_
+#define DPCLUSTER_SA_SAMPLE_AGGREGATE_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/core/one_cluster.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// A non-private analysis mapping a block of rows to a point of X^d
+/// (out.size() == output dimension d, preallocated by the framework).
+using Estimator =
+    std::function<Status(const PointSet& block, std::span<double> out)>;
+
+struct SampleAggregateOptions {
+  /// Privacy budget of the aggregation. The iid subsampling of step 1 then
+  /// amplifies this (Lemma 6.4); the amplified budget is reported in the
+  /// result for reference.
+  PrivacyParams params{1.0, 1e-9};
+  double beta = 0.1;
+  /// Block size m (the stability parameter). Must satisfy n >= 18 m.
+  std::size_t block_size = 0;
+  /// Stability fraction alpha in (0, 1]; t = alpha k / 2.
+  double alpha = 0.5;
+  /// Aggregator configuration (params/beta overwritten).
+  OneClusterOptions one_cluster;
+
+  Status Validate() const;
+};
+
+struct SampleAggregateResult {
+  /// The released stable point z in X^d.
+  std::vector<double> point;
+  /// Radius of the ball the aggregator claims around z.
+  double radius = 0.0;
+  /// Number of blocks k the estimator was run on.
+  std::size_t blocks = 0;
+  /// The amplified budget of the whole call per Lemma 6.4 (for reference).
+  PrivacyParams amplified;
+  /// Aggregator diagnostics.
+  OneClusterResult aggregate;
+};
+
+/// Runs SA: subsample n/9 rows iid, split into k blocks of size m, evaluate f
+/// on each block (outputs snapped to `out_domain`), aggregate with OneCluster.
+Result<SampleAggregateResult> SampleAggregate(Rng& rng, const PointSet& s,
+                                              const Estimator& f,
+                                              const GridDomain& out_domain,
+                                              const SampleAggregateOptions& options);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_SA_SAMPLE_AGGREGATE_H_

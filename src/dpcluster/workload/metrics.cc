@@ -1,0 +1,33 @@
+#include "dpcluster/workload/metrics.h"
+
+#include <algorithm>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/geo/minimal_ball.h"
+
+namespace dpcluster {
+
+Result<EvalMetrics> Evaluate(const PointSet& s, std::size_t t, const Ball& found) {
+  if (found.center.size() != s.dim()) {
+    return Status::InvalidArgument("Evaluate: center dimension mismatch");
+  }
+  EvalMetrics m;
+  m.captured = CountInBall(s, found);
+  m.delta = static_cast<double>(t) - static_cast<double>(m.captured);
+  m.tight_radius = RadiusCapturing(s, found.center, std::min(t, s.size()));
+  DPC_ASSIGN_OR_RETURN(m.r_opt_lower, OptRadiusLowerBound(s, t));
+  const double denom = std::max(m.r_opt_lower, 1e-12);
+  m.w_reported = found.radius / denom;
+  m.w_effective = m.tight_radius / denom;
+  return m;
+}
+
+double MeanOf(const std::vector<EvalMetrics>& all,
+              double (*extract)(const EvalMetrics&)) {
+  DPC_CHECK(!all.empty());
+  double sum = 0.0;
+  for (const auto& m : all) sum += extract(m);
+  return sum / static_cast<double>(all.size());
+}
+
+}  // namespace dpcluster

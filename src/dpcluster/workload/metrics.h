@@ -1,0 +1,43 @@
+// Evaluation metrics for solutions of the 1-cluster problem. These compare a
+// released ball against the data and the best non-private solution; they are
+// evaluation-only (not differentially private) and exist to measure the
+// Delta / w quantities the paper's Table 1 and Theorem 3.2 talk about.
+
+#ifndef DPCLUSTER_WORKLOAD_METRICS_H_
+#define DPCLUSTER_WORKLOAD_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/point_set.h"
+
+namespace dpcluster {
+
+struct EvalMetrics {
+  /// Points of the dataset inside the released ball.
+  std::size_t captured = 0;
+  /// Cluster-size loss Delta = t - captured (negative if over-captured).
+  double delta = 0.0;
+  /// Smallest radius around the released center that captures t points — the
+  /// effective radius the released *center* needs.
+  double tight_radius = 0.0;
+  /// Lower bound on r_opt (exact for d = 1, half the 2-approx otherwise).
+  double r_opt_lower = 0.0;
+  /// w measured from the released radius: ball.radius / r_opt_lower.
+  double w_reported = 0.0;
+  /// w measured from the effective radius: tight_radius / r_opt_lower.
+  double w_effective = 0.0;
+};
+
+/// Evaluates `found` against dataset s and target count t.
+Result<EvalMetrics> Evaluate(const PointSet& s, std::size_t t, const Ball& found);
+
+/// Convenience: mean over `trials` entries of a metric extractor.
+double MeanOf(const std::vector<EvalMetrics>& all, double (*extract)(const EvalMetrics&));
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_WORKLOAD_METRICS_H_

@@ -1,0 +1,171 @@
+#include "dpcluster/workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+
+namespace dpcluster {
+namespace {
+
+// A random ball center such that the ball lies inside the unit cube.
+std::vector<double> RandomInteriorCenter(Rng& rng, std::size_t dim, double radius,
+                                         double axis_length) {
+  DPC_CHECK_LT(2.0 * radius, axis_length);
+  std::vector<double> c(dim);
+  for (double& x : c) {
+    x = radius + rng.NextDouble() * (axis_length - 2.0 * radius);
+  }
+  return c;
+}
+
+void AddUniformBackground(Rng& rng, PointSet& points, std::size_t count,
+                          double axis_length) {
+  std::vector<double> p(points.dim());
+  for (std::size_t i = 0; i < count; ++i) {
+    for (double& x : p) x = rng.NextDouble() * axis_length;
+    points.Add(p);
+  }
+}
+
+void AddBallPoints(Rng& rng, PointSet& points, std::size_t count,
+                   const Ball& ball) {
+  for (std::size_t i = 0; i < count; ++i) {
+    points.Add(SampleBall(rng, ball.center, ball.radius));
+  }
+}
+
+}  // namespace
+
+ClusterWorkload MakePlantedCluster(Rng& rng, const PlantedClusterSpec& spec) {
+  DPC_CHECK_GE(spec.n, spec.t);
+  ClusterWorkload w;
+  w.domain = GridDomain(spec.levels, spec.dim, spec.axis_length);
+  w.t = spec.t;
+  w.planted.center = RandomInteriorCenter(rng, spec.dim, spec.cluster_radius,
+                                          spec.axis_length);
+  w.planted.radius = spec.cluster_radius;
+  w.points = PointSet(spec.dim);
+  AddBallPoints(rng, w.points, spec.t, w.planted);
+  AddUniformBackground(rng, w.points, spec.n - spec.t, spec.axis_length);
+  w.domain.SnapAll(w.points);
+  w.all_planted = {w.planted};
+  return w;
+}
+
+ClusterWorkload MakeTwoClusters(Rng& rng, std::size_t n, std::size_t dim,
+                                std::uint64_t levels, double cluster_radius,
+                                double share) {
+  DPC_CHECK_GT(share, 0.0);
+  DPC_CHECK_LT(share, 0.5);
+  ClusterWorkload w;
+  w.domain = GridDomain(levels, dim);
+  const auto per = static_cast<std::size_t>(share * static_cast<double>(n));
+  w.t = per;
+  Ball a;
+  Ball b;
+  a.radius = b.radius = cluster_radius;
+  // Opposite corners so no single ball covers both.
+  a.center.assign(dim, 0.25);
+  b.center.assign(dim, 0.75);
+  w.planted = a;
+  w.all_planted = {a, b};
+  w.points = PointSet(dim);
+  AddBallPoints(rng, w.points, per, a);
+  AddBallPoints(rng, w.points, per, b);
+  AddUniformBackground(rng, w.points, n - 2 * per, 1.0);
+  w.domain.SnapAll(w.points);
+  return w;
+}
+
+ClusterWorkload MakeGaussianMixture(Rng& rng, std::size_t n, std::size_t k,
+                                    std::size_t dim, std::uint64_t levels,
+                                    double sigma, double noise_fraction) {
+  DPC_CHECK_GE(k, 1u);
+  DPC_CHECK_GE(noise_fraction, 0.0);
+  DPC_CHECK_LT(noise_fraction, 1.0);
+  ClusterWorkload w;
+  w.domain = GridDomain(levels, dim);
+  const auto noise = static_cast<std::size_t>(noise_fraction * static_cast<double>(n));
+  const std::size_t per = (n - noise) / k;
+  w.t = per;
+  w.points = PointSet(dim);
+  std::vector<double> p(dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    Ball ball;
+    // 2-sigma ball as the nominal planted cluster; resample the center until
+    // it clears the previous components (well-separated mixture).
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      ball.center = RandomInteriorCenter(rng, dim, 4.0 * sigma, 1.0);
+      bool clear = true;
+      for (const Ball& other : w.all_planted) {
+        if (Distance(ball.center, other.center) < 8.0 * sigma) {
+          clear = false;
+          break;
+        }
+      }
+      if (clear) break;
+    }
+    ball.radius = 2.0 * sigma;
+    w.all_planted.push_back(ball);
+    for (std::size_t i = 0; i < per; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        p[j] = std::clamp(ball.center[j] + SampleGaussian(rng, sigma), 0.0, 1.0);
+      }
+      w.points.Add(p);
+    }
+  }
+  AddUniformBackground(rng, w.points, n - k * per, 1.0);
+  w.planted = w.all_planted.front();
+  w.domain.SnapAll(w.points);
+  return w;
+}
+
+ClusterWorkload MakeOutlierContaminated(Rng& rng, std::size_t n,
+                                        std::size_t dim, std::uint64_t levels,
+                                        double cluster_radius,
+                                        double inlier_fraction) {
+  DPC_CHECK_GT(inlier_fraction, 0.0);
+  DPC_CHECK_LE(inlier_fraction, 1.0);
+  ClusterWorkload w;
+  w.domain = GridDomain(levels, dim);
+  const auto inliers =
+      static_cast<std::size_t>(inlier_fraction * static_cast<double>(n));
+  w.t = inliers;
+  w.planted.center = RandomInteriorCenter(rng, dim, cluster_radius, 1.0);
+  w.planted.radius = cluster_radius;
+  w.all_planted = {w.planted};
+  w.points = PointSet(dim);
+  AddBallPoints(rng, w.points, inliers, w.planted);
+  AddUniformBackground(rng, w.points, n - inliers, 1.0);
+  w.domain.SnapAll(w.points);
+  return w;
+}
+
+ClusterWorkload MakeShellCluster(Rng& rng, std::size_t n, std::size_t t,
+                                 std::size_t dim, std::uint64_t levels,
+                                 double shell_radius) {
+  DPC_CHECK_GE(n, t);
+  ClusterWorkload w;
+  w.domain = GridDomain(levels, dim);
+  w.planted.center = RandomInteriorCenter(rng, dim, shell_radius, 1.0);
+  w.planted.radius = shell_radius;
+  w.all_planted = {w.planted};
+  w.t = t;
+  w.points = PointSet(dim);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < t; ++i) {
+    const auto dir = SampleUnitSphere(rng, static_cast<int>(dim));
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = std::clamp(w.planted.center[j] + shell_radius * dir[j], 0.0, 1.0);
+    }
+    w.points.Add(p);
+  }
+  AddUniformBackground(rng, w.points, n - t, 1.0);
+  w.domain.SnapAll(w.points);
+  return w;
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,73 @@
+// Synthetic workload generators for the benchmark harness (DESIGN.md, E1-E12).
+// Each generator returns a ClusterWorkload: a dataset snapped to the grid
+// domain X^d, the target count t, and the planted ground-truth ball(s) used by
+// the evaluation metrics.
+
+#ifndef DPCLUSTER_WORKLOAD_SYNTHETIC_H_
+#define DPCLUSTER_WORKLOAD_SYNTHETIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+/// A generated instance of the 1-cluster problem.
+struct ClusterWorkload {
+  GridDomain domain{2, 1};
+  PointSet points;
+  std::size_t t = 0;
+  /// The primary planted cluster ball (ground truth before grid snapping).
+  Ball planted;
+  /// All planted balls (>= 1; used by mixture workloads).
+  std::vector<Ball> all_planted;
+};
+
+struct PlantedClusterSpec {
+  std::size_t n = 1024;
+  std::size_t t = 256;
+  std::size_t dim = 2;
+  std::uint64_t levels = 1u << 12;
+  /// Radius of the planted ball (in cube units).
+  double cluster_radius = 0.05;
+  /// Background points are uniform over the cube.
+  double axis_length = 1.0;
+};
+
+/// t points uniform in a random ball of the given radius, n - t uniform
+/// background points. The standard Table 1 / Theorem 3.2 workload.
+ClusterWorkload MakePlantedCluster(Rng& rng, const PlantedClusterSpec& spec);
+
+/// Two equal planted balls of n*share points each (share < 0.5: no majority
+/// cluster — the workload that defeats the noisy-mean baseline). t = n*share.
+ClusterWorkload MakeTwoClusters(Rng& rng, std::size_t n, std::size_t dim,
+                                std::uint64_t levels, double cluster_radius,
+                                double share);
+
+/// k spherical Gaussian clusters (stddev sigma, equal weights) plus a
+/// `noise_fraction` of uniform background; t = n (1-noise)/k.
+ClusterWorkload MakeGaussianMixture(Rng& rng, std::size_t n, std::size_t k,
+                                    std::size_t dim, std::uint64_t levels,
+                                    double sigma, double noise_fraction);
+
+/// inlier_fraction of the points in one tight ball, the rest scattered far
+/// away — the outlier-screening workload of Section 1.1.
+ClusterWorkload MakeOutlierContaminated(Rng& rng, std::size_t n,
+                                        std::size_t dim, std::uint64_t levels,
+                                        double cluster_radius,
+                                        double inlier_fraction);
+
+/// Cluster points on a thin spherical shell of the given radius (adversarial
+/// for mean-style centers: the centroid is far from every point).
+ClusterWorkload MakeShellCluster(Rng& rng, std::size_t n, std::size_t t,
+                                 std::size_t dim, std::uint64_t levels,
+                                 double shell_radius);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_WORKLOAD_SYNTHETIC_H_

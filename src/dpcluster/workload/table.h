@@ -1,0 +1,36 @@
+// Fixed-width console table printer used by the benchmark harness to emit
+// paper-style result tables (Table 1 rows, theorem-shape sweeps).
+
+#ifndef DPCLUSTER_WORKLOAD_TABLE_H_
+#define DPCLUSTER_WORKLOAD_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dpcluster {
+
+/// A simple left-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Fixed-precision double formatting ("1.234", "12000").
+  static std::string Fmt(double value, int precision = 3);
+  static std::string FmtInt(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_WORKLOAD_TABLE_H_

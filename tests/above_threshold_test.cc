@@ -1,0 +1,97 @@
+// Tests for the sparse vector technique (Theorem 4.8).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dpcluster/dp/above_threshold.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(AboveThresholdTest, RejectsBadEpsilon) {
+  Rng rng(1);
+  EXPECT_FALSE(AboveThreshold::Create(rng, 0.0, 10.0).ok());
+  EXPECT_FALSE(AboveThreshold::Create(rng, -1.0, 10.0).ok());
+}
+
+TEST(AboveThresholdTest, ClearlyAboveFiresClearlyBelowDoesNot) {
+  Rng rng(2);
+  int false_neg = 0;
+  int false_pos = 0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto at, AboveThreshold::Create(rng, 1.0, 100.0));
+    ASSERT_OK_AND_ASSIGN(bool low, at.Process(rng, 10.0));
+    if (low) ++false_pos;
+    if (!at.halted()) {
+      ASSERT_OK_AND_ASSIGN(bool high, at.Process(rng, 200.0));
+      if (!high) ++false_neg;
+    }
+  }
+  EXPECT_LT(false_pos, trials / 20);
+  EXPECT_LT(false_neg, trials / 20);
+}
+
+TEST(AboveThresholdTest, HaltsAfterTop) {
+  Rng rng(3);
+  ASSERT_OK_AND_ASSIGN(auto at, AboveThreshold::Create(rng, 5.0, 0.0));
+  ASSERT_OK_AND_ASSIGN(bool top, at.Process(rng, 1000.0));
+  EXPECT_TRUE(top);
+  EXPECT_TRUE(at.halted());
+  EXPECT_FALSE(at.Process(rng, 1000.0).ok());
+}
+
+TEST(AboveThresholdTest, CountsQueries) {
+  Rng rng(4);
+  ASSERT_OK_AND_ASSIGN(auto at, AboveThreshold::Create(rng, 1.0, 1e9));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(bool top, at.Process(rng, 0.0));
+    EXPECT_FALSE(top);
+  }
+  EXPECT_EQ(at.queries_answered(), 10u);
+}
+
+TEST(AboveThresholdTest, AccuracyMarginFormula) {
+  const double margin = AboveThreshold::AccuracyMargin(2.0, 100, 0.1);
+  EXPECT_NEAR(margin, (8.0 / 2.0) * std::log(2.0 * 100.0 / 0.1), 1e-12);
+}
+
+// Theorem 4.8 accuracy: over k rounds, no bot answer for queries above
+// threshold + margin, no top answer for queries below threshold - margin.
+TEST(AboveThresholdTest, AccuracyMarginHoldsEmpirically) {
+  Rng rng(5);
+  const double eps = 1.0;
+  const std::size_t k = 50;
+  const double beta = 0.05;
+  const double margin = AboveThreshold::AccuracyMargin(eps, k, beta);
+  const double threshold = 0.0;
+  int violations = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    ASSERT_OK_AND_ASSIGN(auto at, AboveThreshold::Create(rng, eps, threshold));
+    for (std::size_t q = 0; q < k && !at.halted(); ++q) {
+      // Feed clearly-below queries; any top is a violation.
+      ASSERT_OK_AND_ASSIGN(bool top, at.Process(rng, threshold - margin));
+      if (top) ++violations;
+    }
+  }
+  EXPECT_LE(static_cast<double>(violations) / trials, beta);
+}
+
+TEST(AboveThresholdTest, ManyBotsThenTop) {
+  // The mechanism must survive an arbitrarily long bot prefix — that is the
+  // point of sparse vector (GoodCenter's retry loop depends on it).
+  Rng rng(6);
+  ASSERT_OK_AND_ASSIGN(auto at, AboveThreshold::Create(rng, 2.0, 50.0));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK_AND_ASSIGN(bool top, at.Process(rng, -100.0));
+    ASSERT_FALSE(top);
+  }
+  ASSERT_OK_AND_ASSIGN(bool top, at.Process(rng, 500.0));
+  EXPECT_TRUE(top);
+}
+
+}  // namespace
+}  // namespace dpcluster

@@ -1,0 +1,104 @@
+// Tests for composition accounting (Theorems 2.1 and 4.7).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dpcluster/dp/accountant.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(CompositionTest, BasicComposeIsLinear) {
+  const PrivacyParams each{0.1, 1e-8};
+  const PrivacyParams total = BasicCompose(each, 10);
+  EXPECT_NEAR(total.epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(total.delta, 1e-7, 1e-18);
+}
+
+TEST(CompositionTest, AdvancedComposeFormula) {
+  const PrivacyParams each{0.1, 1e-8};
+  const std::size_t k = 100;
+  const double slack = 1e-6;
+  const PrivacyParams total = AdvancedCompose(each, k, slack);
+  const double expect =
+      2.0 * k * 0.01 + 0.1 * std::sqrt(2.0 * k * std::log(1.0 / slack));
+  EXPECT_NEAR(total.epsilon, expect, 1e-12);
+  EXPECT_NEAR(total.delta, k * 1e-8 + slack, 1e-15);
+}
+
+TEST(CompositionTest, AdvancedBeatsBasicForManySmallMechanisms) {
+  const PrivacyParams each{0.01, 0.0};
+  const std::size_t k = 10000;
+  EXPECT_LT(AdvancedCompose(each, k, 1e-9).epsilon,
+            BasicCompose(each, k).epsilon);
+}
+
+TEST(CompositionTest, InverseAdvancedRoundTrips) {
+  for (std::size_t k : {1u, 4u, 64u, 1024u}) {
+    for (double target : {0.1, 1.0, 3.0}) {
+      const double eps_i = InverseAdvancedEpsilon(target, k, 1e-9);
+      const PrivacyParams composed = AdvancedCompose({eps_i, 0.0}, k, 1e-9);
+      EXPECT_NEAR(composed.epsilon, target, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(CompositionTest, InverseAdvancedShrinksWithK) {
+  EXPECT_GT(InverseAdvancedEpsilon(1.0, 2, 1e-9),
+            InverseAdvancedEpsilon(1.0, 200, 1e-9));
+}
+
+TEST(AccountantTest, LedgerTotals) {
+  Accountant acc;
+  acc.Charge("laplace", {0.5, 0.0});
+  acc.Charge("gaussian", {0.25, 1e-9});
+  acc.Charge("histogram", {0.25, 1e-9});
+  EXPECT_EQ(acc.interactions(), 3u);
+  const PrivacyParams total = acc.BasicTotal();
+  EXPECT_NEAR(total.epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(total.delta, 2e-9, 1e-18);
+}
+
+TEST(AccountantTest, AdvancedTotalUsesMaxEpsilon) {
+  Accountant acc;
+  for (int i = 0; i < 50; ++i) acc.Charge("m", {0.05, 1e-10});
+  const PrivacyParams adv = acc.AdvancedTotal(1e-8);
+  const PrivacyParams expect = AdvancedCompose({0.05, 0.0}, 50, 1e-8);
+  EXPECT_NEAR(adv.epsilon, expect.epsilon, 1e-12);
+  EXPECT_NEAR(adv.delta, 50 * 1e-10 + 1e-8, 1e-15);
+}
+
+TEST(AccountantTest, EmptyLedgerIsFree) {
+  Accountant acc;
+  EXPECT_EQ(acc.BasicTotal().epsilon, 0.0);
+  EXPECT_EQ(acc.AdvancedTotal(1e-9).epsilon, 0.0);
+}
+
+TEST(AccountantTest, ReportMentionsLabels) {
+  Accountant acc;
+  acc.Charge("above_threshold", {0.25, 0.0});
+  const std::string report = acc.Report();
+  EXPECT_NE(report.find("above_threshold"), std::string::npos);
+  EXPECT_NE(report.find("basic total"), std::string::npos);
+}
+
+TEST(PrivacyParamsTest, Validation) {
+  EXPECT_OK((PrivacyParams{1.0, 0.0}).Validate());
+  EXPECT_FALSE((PrivacyParams{0.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, 1.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, -0.1}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, 0.0}).ValidateWithPositiveDelta().ok());
+  EXPECT_OK((PrivacyParams{1.0, 1e-12}).ValidateWithPositiveDelta());
+}
+
+TEST(PrivacyParamsTest, FractionScalesBoth) {
+  const PrivacyParams p{2.0, 1e-6};
+  const PrivacyParams half = p.Fraction(0.5);
+  EXPECT_NEAR(half.epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(half.delta, 5e-7, 1e-15);
+}
+
+}  // namespace
+}  // namespace dpcluster

@@ -1,0 +1,153 @@
+// Statistical tests for the sampling routines (Laplace, Gaussian, Gumbel,
+// sphere/ball, discrete).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+constexpr std::size_t kTrials = 200000;
+
+TEST(LaplaceSampleTest, MeanAndVariance) {
+  Rng rng(1);
+  double sum = 0.0;
+  double sq = 0.0;
+  const double scale = 2.5;
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    const double x = SampleLaplace(rng, scale);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kTrials;
+  const double var = sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 2.0 * scale * scale, 0.4);  // Var[Lap(b)] = 2 b^2.
+}
+
+TEST(LaplaceSampleTest, TailProbability) {
+  // P(|Lap(b)| > b ln(1/q)) = q.
+  Rng rng(2);
+  const double b = 1.0;
+  const double q = 0.05;
+  const double bound = b * std::log(1.0 / q);
+  int exceed = 0;
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    if (std::abs(SampleLaplace(rng, b)) > bound) ++exceed;
+  }
+  EXPECT_NEAR(static_cast<double>(exceed) / kTrials, q, 0.01);
+}
+
+TEST(GaussianSampleTest, MeanAndVariance) {
+  Rng rng(3);
+  double sum = 0.0;
+  double sq = 0.0;
+  const double sigma = 1.7;
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    const double x = SampleGaussian(rng, sigma);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kTrials;
+  const double var = sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, sigma * sigma, 0.08);
+}
+
+TEST(GaussianSampleTest, ZeroStddevIsZero) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleGaussian(rng, 0.0), 0.0);
+}
+
+TEST(GumbelSampleTest, MeanIsEulerGamma) {
+  Rng rng(5);
+  const double mean = testing_util::SampleMean(
+      kTrials, [&] { return SampleGumbel(rng); });
+  EXPECT_NEAR(mean, std::numbers::egamma, 0.02);
+}
+
+TEST(GumbelSampleTest, ArgmaxRealizesSoftmax) {
+  // P(argmax_i (s_i + G_i) = j) = exp(s_j) / sum exp(s_i).
+  Rng rng(6);
+  const std::vector<double> scores = {0.0, std::log(3.0)};  // 1:3 odds.
+  int wins = 0;
+  const std::size_t trials = 100000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const double a = scores[0] + SampleGumbel(rng);
+    const double b = scores[1] + SampleGumbel(rng);
+    if (b > a) ++wins;
+  }
+  EXPECT_NEAR(static_cast<double>(wins) / trials, 0.75, 0.01);
+}
+
+TEST(SphereSampleTest, UnitNormAndMeanZero) {
+  Rng rng(7);
+  const int dim = 8;
+  std::vector<double> mean(dim, 0.0);
+  const std::size_t trials = 20000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto v = SampleUnitSphere(rng, dim);
+    EXPECT_NEAR(Norm2(v), 1.0, 1e-9);
+    for (int j = 0; j < dim; ++j) mean[j] += v[j];
+  }
+  for (int j = 0; j < dim; ++j) {
+    EXPECT_NEAR(mean[j] / trials, 0.0, 0.02);
+  }
+}
+
+TEST(BallSampleTest, StaysInBallAndFillsIt) {
+  Rng rng(8);
+  const std::vector<double> center = {0.5, -0.25, 1.0};
+  const double radius = 0.4;
+  double max_dist = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto p = SampleBall(rng, center, radius);
+    const double dist = Distance(p, center);
+    EXPECT_LE(dist, radius * (1.0 + 1e-9));
+    max_dist = std::max(max_dist, dist);
+  }
+  EXPECT_GT(max_dist, 0.95 * radius);  // The boundary region is reached.
+}
+
+TEST(BallSampleTest, RadiusDistributionMatchesVolume) {
+  // In d=2, P(dist <= r/2) = 1/4.
+  Rng rng(9);
+  const std::vector<double> center = {0.0, 0.0};
+  int inner = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const auto p = SampleBall(rng, center, 1.0);
+    if (Norm2(p) <= 0.5) ++inner;
+  }
+  EXPECT_NEAR(static_cast<double>(inner) / trials, 0.25, 0.01);
+}
+
+TEST(DiscreteSampleTest, MatchesWeights) {
+  Rng rng(10);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> hist(3, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++hist[SampleDiscrete(rng, weights)];
+  EXPECT_EQ(hist[1], 0);
+  EXPECT_NEAR(static_cast<double>(hist[0]) / trials, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(hist[2]) / trials, 0.75, 0.01);
+}
+
+TEST(FillGaussianTest, FillsWholeSpan) {
+  Rng rng(11);
+  std::vector<double> buf(128, 0.0);
+  FillGaussian(rng, 1.0, buf);
+  int zeros = 0;
+  for (double v : buf) zeros += (v == 0.0);
+  EXPECT_EQ(zeros, 0);
+}
+
+}  // namespace
+}  // namespace dpcluster

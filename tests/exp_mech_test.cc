@@ -1,0 +1,143 @@
+// Tests for the exponential mechanism, including the StepFunction sampler that
+// RecConcave relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/dp/exponential_mechanism.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(ExponentialMechanismTest, RejectsBadParams) {
+  Rng rng(1);
+  const std::vector<double> q = {1.0, 2.0};
+  EXPECT_FALSE(ExponentialMechanism::SelectIndex(rng, q, 0.0).ok());
+  EXPECT_FALSE(ExponentialMechanism::SelectIndex(rng, q, 1.0, 0.0).ok());
+  EXPECT_FALSE(ExponentialMechanism::SelectIndex(rng, {}, 1.0).ok());
+}
+
+TEST(ExponentialMechanismTest, PrefersHighQuality) {
+  Rng rng(2);
+  const std::vector<double> q = {0.0, 0.0, 20.0, 0.0};
+  int wins = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::size_t pick,
+                         ExponentialMechanism::SelectIndex(rng, q, 2.0));
+    wins += (pick == 2);
+  }
+  EXPECT_GT(wins, 990);
+}
+
+TEST(ExponentialMechanismTest, MatchesSoftmaxProbabilities) {
+  Rng rng(3);
+  const std::vector<double> q = {0.0, 2.0 * std::log(2.0)};  // eps=1 => 1:2 odds.
+  int wins = 0;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::size_t pick,
+                         ExponentialMechanism::SelectIndex(rng, q, 1.0));
+    wins += (pick == 1);
+  }
+  EXPECT_NEAR(static_cast<double>(wins) / trials, 2.0 / 3.0, 0.01);
+}
+
+TEST(ExponentialMechanismTest, TinyEpsilonIsNearUniform) {
+  Rng rng(4);
+  const std::vector<double> q = {0.0, 5.0};
+  int wins = 0;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::size_t pick,
+                         ExponentialMechanism::SelectIndex(rng, q, 1e-4));
+    wins += (pick == 1);
+  }
+  EXPECT_NEAR(static_cast<double>(wins) / trials, 0.5, 0.02);
+}
+
+TEST(ExponentialMechanismTest, StepFunctionMatchesDenseDistribution) {
+  // The same quality expressed densely and as pieces must induce the same
+  // selection distribution.
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const std::vector<double> dense_vals = {1.0, 1.0, 1.0, 4.0, 4.0, 0.0};
+  const StepFunction dense = StepFunction::Dense(dense_vals);
+  const StepFunction pieces = StepFunction::FromBreakpoints(
+      6, {0, 3, 5}, {1.0, 4.0, 0.0});
+
+  std::vector<int> hist_a(6, 0);
+  std::vector<int> hist_b(6, 0);
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        std::uint64_t a,
+        ExponentialMechanism::SelectFromStepFunction(rng_a, dense, 1.0));
+    ASSERT_OK_AND_ASSIGN(
+        std::uint64_t b,
+        ExponentialMechanism::SelectFromStepFunction(rng_b, pieces, 1.0));
+    ++hist_a[a];
+    ++hist_b[b];
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(hist_a[i], hist_b[i], trials * 0.015) << "i=" << i;
+  }
+}
+
+TEST(ExponentialMechanismTest, StepFunctionWeighsPieceLength) {
+  // Equal quality everywhere: selection should be uniform over the domain, so
+  // a piece of length 9 gets 9x the mass of a piece of length 1.
+  Rng rng(6);
+  const StepFunction f = StepFunction::FromBreakpoints(10, {0, 9}, {3.0, 3.0});
+  int in_long = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::uint64_t pick,
+                         ExponentialMechanism::SelectFromStepFunction(rng, f, 1.0));
+    in_long += (pick < 9);
+  }
+  EXPECT_NEAR(static_cast<double>(in_long) / trials, 0.9, 0.01);
+}
+
+TEST(ExponentialMechanismTest, HugeDomainSmallPieceCount) {
+  // A domain of 10^12 indices with 3 pieces must sample instantly and respect
+  // the quality.
+  Rng rng(7);
+  const std::uint64_t domain = 1000000000000ull;
+  const StepFunction f = StepFunction::FromBreakpoints(
+      domain, {0, 500, 1000}, {0.0, 100.0, 0.0});
+  // Piece [500, 1000) has quality 100 but only 500 indices; the last piece has
+  // ~10^12 indices at quality 0. With eps=2, exp(100) dwarfs the length ratio.
+  ASSERT_OK_AND_ASSIGN(std::uint64_t pick,
+                       ExponentialMechanism::SelectFromStepFunction(rng, f, 2.0));
+  EXPECT_GE(pick, 500u);
+  EXPECT_LT(pick, 1000u);
+}
+
+TEST(ExponentialMechanismTest, UtilityMarginFormula) {
+  const double margin = ExponentialMechanism::UtilityMargin(2.0, 1.0, 1024, 0.1);
+  EXPECT_NEAR(margin, (2.0 / 2.0) * std::log(1024.0 / 0.1), 1e-12);
+}
+
+TEST(ExponentialMechanismTest, UtilityHoldsEmpirically) {
+  Rng rng(8);
+  std::vector<double> q(256);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    q[i] = static_cast<double>(i % 17);
+  }
+  const double best = 16.0;
+  const double margin = ExponentialMechanism::UtilityMargin(1.0, 1.0, 256, 0.05);
+  int bad = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::size_t pick,
+                         ExponentialMechanism::SelectIndex(rng, q, 1.0));
+    if (q[pick] < best - margin) ++bad;
+  }
+  EXPECT_LE(static_cast<double>(bad) / trials, 0.05);
+}
+
+}  // namespace
+}  // namespace dpcluster

@@ -1,0 +1,75 @@
+// Tests for the Gaussian mechanism (Theorem 2.4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dpcluster/dp/gaussian_mechanism.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(GaussianMechanismTest, SigmaMatchesTheorem) {
+  const PrivacyParams p{0.5, 1e-6};
+  ASSERT_OK_AND_ASSIGN(auto mech, GaussianMechanism::Create(p, 3.0));
+  const double expect = (3.0 / 0.5) * std::sqrt(2.0 * std::log(1.25 / 1e-6));
+  EXPECT_NEAR(mech.sigma(), expect, 1e-12);
+}
+
+TEST(GaussianMechanismTest, RejectsOutOfRangeParams) {
+  EXPECT_FALSE(GaussianMechanism::Create({1.5, 1e-6}, 1.0).ok());  // eps >= 1.
+  EXPECT_FALSE(GaussianMechanism::Create({0.5, 0.0}, 1.0).ok());   // delta = 0.
+  EXPECT_FALSE(GaussianMechanism::Create({0.0, 1e-6}, 1.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Create({0.5, 1e-6}, 0.0).ok());
+}
+
+TEST(GaussianMechanismTest, NoiseHasExpectedSpread) {
+  Rng rng(1);
+  const PrivacyParams p{0.9, 1e-5};
+  ASSERT_OK_AND_ASSIGN(auto mech, GaussianMechanism::Create(p, 1.0));
+  double sq = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = mech.Release(rng, 0.0);
+    sq += x * x;
+  }
+  EXPECT_NEAR(std::sqrt(sq / trials), mech.sigma(), mech.sigma() * 0.05);
+}
+
+TEST(GaussianMechanismTest, TailBoundHolds) {
+  Rng rng(2);
+  const PrivacyParams p{0.5, 1e-5};
+  ASSERT_OK_AND_ASSIGN(auto mech, GaussianMechanism::Create(p, 1.0));
+  const double beta = 0.05;
+  const double bound = mech.TailBound(beta);
+  int exceed = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    if (std::abs(mech.Release(rng, 0.0)) > bound) ++exceed;
+  }
+  // The Gaussian tail bound is conservative; observed rate must be <= beta.
+  EXPECT_LE(static_cast<double>(exceed) / trials, beta);
+}
+
+TEST(GaussianMechanismTest, VectorRelease) {
+  Rng rng(3);
+  const PrivacyParams p{0.5, 1e-5};
+  ASSERT_OK_AND_ASSIGN(auto mech, GaussianMechanism::Create(p, 1.0));
+  const std::vector<double> v(16, 5.0);
+  const auto out = mech.ReleaseVector(rng, v);
+  ASSERT_EQ(out.size(), 16u);
+  double mean = 0.0;
+  for (double x : out) mean += x;
+  mean /= 16.0;
+  EXPECT_NEAR(mean, 5.0, mech.sigma());
+}
+
+TEST(GaussianMechanismTest, SmallerDeltaMoreNoise) {
+  ASSERT_OK_AND_ASSIGN(auto loose, GaussianMechanism::Create({0.5, 1e-3}, 1.0));
+  ASSERT_OK_AND_ASSIGN(auto tight, GaussianMechanism::Create({0.5, 1e-12}, 1.0));
+  EXPECT_GT(tight.sigma(), loose.sigma());
+}
+
+}  // namespace
+}  // namespace dpcluster

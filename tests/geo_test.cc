@@ -1,0 +1,107 @@
+// Tests for PointSet, balls, boxes, and exact counting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/point_set.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+using testing_util::MakePointSet;
+
+TEST(PointSetTest, BasicAccess) {
+  PointSet s = MakePointSet(2, {0.0, 0.0, 1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.dim(), 2u);
+  EXPECT_DOUBLE_EQ(s[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(s[2][1], 4.0);
+}
+
+TEST(PointSetTest, AddAndReplace) {
+  PointSet s(3);
+  EXPECT_TRUE(s.empty());
+  const std::vector<double> p = {1.0, 2.0, 3.0};
+  s.Add(p);
+  EXPECT_EQ(s.size(), 1u);
+  const std::vector<double> q = {4.0, 5.0, 6.0};
+  s.ReplaceRow(0, q);
+  EXPECT_DOUBLE_EQ(s[0][2], 6.0);
+}
+
+TEST(PointSetTest, SubsetPreservesOrderAndDuplicates) {
+  PointSet s = MakePointSet(1, {10.0, 20.0, 30.0});
+  const std::vector<std::size_t> idx = {2, 0, 2};
+  const PointSet sub = s.Subset(idx);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub[0][0], 30.0);
+  EXPECT_DOUBLE_EQ(sub[1][0], 10.0);
+  EXPECT_DOUBLE_EQ(sub[2][0], 30.0);
+}
+
+TEST(BallTest, ContainsBoundaryInclusive) {
+  Ball b;
+  b.center = {0.0, 0.0};
+  b.radius = 1.0;
+  EXPECT_TRUE(b.Contains(std::vector<double>{1.0, 0.0}));
+  EXPECT_TRUE(b.Contains(std::vector<double>{0.6, 0.8}));
+  EXPECT_FALSE(b.Contains(std::vector<double>{1.01, 0.0}));
+}
+
+TEST(AxisBoxTest, ContainsCenterDiameter) {
+  AxisBox box;
+  box.lo = {0.0, -1.0};
+  box.hi = {2.0, 1.0};
+  EXPECT_TRUE(box.Contains(std::vector<double>{1.0, 0.0}));
+  EXPECT_FALSE(box.Contains(std::vector<double>{2.1, 0.0}));
+  const auto c = box.Center();
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+  EXPECT_NEAR(box.Diameter(), std::sqrt(4.0 + 4.0), 1e-12);
+}
+
+TEST(CountingTest, CountWithinMatchesManual) {
+  PointSet s = MakePointSet(1, {0.0, 0.5, 1.0, 2.0});
+  EXPECT_EQ(CountWithin(s, std::vector<double>{0.0}, 0.0), 1u);
+  EXPECT_EQ(CountWithin(s, std::vector<double>{0.0}, 0.5), 2u);
+  EXPECT_EQ(CountWithin(s, std::vector<double>{0.0}, 1.0), 3u);
+  EXPECT_EQ(CountWithin(s, std::vector<double>{0.0}, 5.0), 4u);
+}
+
+TEST(CountingTest, RadiusCapturingIsKthDistance) {
+  PointSet s = MakePointSet(1, {0.0, 1.0, 3.0, 7.0});
+  const std::vector<double> c = {0.0};
+  EXPECT_DOUBLE_EQ(RadiusCapturing(s, c, 1), 0.0);
+  EXPECT_DOUBLE_EQ(RadiusCapturing(s, c, 2), 1.0);
+  EXPECT_DOUBLE_EQ(RadiusCapturing(s, c, 3), 3.0);
+  EXPECT_DOUBLE_EQ(RadiusCapturing(s, c, 4), 7.0);
+}
+
+TEST(CountingTest, RadiusCapturingInverseOfCount) {
+  Rng rng(12);
+  const PointSet s = testing_util::UniformCube(rng, 100, 3);
+  const std::vector<double> c = {0.5, 0.5, 0.5};
+  for (std::size_t t : {1u, 10u, 50u, 100u}) {
+    const double r = RadiusCapturing(s, c, t);
+    EXPECT_GE(CountWithin(s, c, r), t);
+    if (r > 0) {
+      EXPECT_LT(CountWithin(s, c, r * (1.0 - 1e-9) - 1e-12), t);
+    }
+  }
+}
+
+TEST(CountingTest, CountInBallAgreesWithCountWithin) {
+  Rng rng(13);
+  const PointSet s = testing_util::UniformCube(rng, 200, 2);
+  Ball b;
+  b.center = {0.3, 0.7};
+  b.radius = 0.2;
+  EXPECT_EQ(CountInBall(s, b), CountWithin(s, b.center, b.radius));
+}
+
+}  // namespace
+}  // namespace dpcluster

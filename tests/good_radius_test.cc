@@ -1,0 +1,156 @@
+// Tests for GoodRadius (Algorithm 1, Lemmas 3.6 / 4.6): the returned radius
+// must be within a constant factor of r_opt and must support a ~t-heavy ball.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/core/good_radius.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/minimal_ball.h"
+#include "dpcluster/workload/synthetic.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+// Largest ball count achievable at radius r with centers at input points.
+std::size_t BestCountAtRadius(const PointSet& s, double r) {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    best = std::max(best, CountWithin(s, s[i], r));
+  }
+  return best;
+}
+
+GoodRadiusOptions TestOptions(double eps) {
+  GoodRadiusOptions o;
+  o.params = {eps, 1e-8};
+  o.beta = 0.1;
+  return o;
+}
+
+TEST(GoodRadiusTest, ValidatesArguments) {
+  Rng rng(1);
+  const GridDomain domain(64, 2);
+  const PointSet empty(2);
+  EXPECT_FALSE(GoodRadius(rng, empty, 1, domain, TestOptions(1.0)).ok());
+  const PointSet s = testing_util::MakePointSet(2, {0.5, 0.5});
+  EXPECT_FALSE(GoodRadius(rng, s, 0, domain, TestOptions(1.0)).ok());
+  EXPECT_FALSE(GoodRadius(rng, s, 2, domain, TestOptions(1.0)).ok());
+  const PointSet wrong = testing_util::MakePointSet(1, {0.5});
+  EXPECT_FALSE(GoodRadius(rng, wrong, 1, domain, TestOptions(1.0)).ok());
+}
+
+TEST(GoodRadiusTest, GammaShrinksWithEpsilonAndPaperConstantsAreHuge) {
+  const GridDomain domain(1024, 2);
+  GoodRadiusOptions o1 = TestOptions(1.0);
+  GoodRadiusOptions o4 = TestOptions(4.0);
+  EXPECT_GT(GoodRadiusGamma(domain, o1), GoodRadiusGamma(domain, o4));
+  GoodRadiusOptions paper = TestOptions(1.0);
+  paper.paper_constants = true;
+  EXPECT_GT(GoodRadiusGamma(domain, paper), GoodRadiusGamma(domain, o1) * 100);
+}
+
+class GoodRadiusEngineTest
+    : public ::testing::TestWithParam<GoodRadiusOptions::Engine> {};
+
+TEST_P(GoodRadiusEngineTest, FindsRadiusNearOptimalOnPlantedCluster) {
+  Rng rng(7);
+  PlantedClusterSpec spec;
+  spec.n = 700;
+  spec.t = 320;
+  spec.dim = 2;
+  spec.levels = 1024;
+  spec.cluster_radius = 0.04;
+  const ClusterWorkload w = MakePlantedCluster(rng, spec);
+
+  GoodRadiusOptions options = TestOptions(2.0);
+  options.engine = GetParam();
+  const double gamma = GoodRadiusGamma(w.domain, options);
+  ASSERT_LT(4.0 * gamma, static_cast<double>(spec.t))
+      << "test parameters must satisfy t > 4*Gamma (gamma=" << gamma << ")";
+
+  int radius_ok = 0;
+  int count_ok = 0;
+  const int trials = 5;
+  for (int trial = 0; trial < trials; ++trial) {
+    ASSERT_OK_AND_ASSIGN(GoodRadiusResult result,
+                         GoodRadius(rng, w.points, w.t, w.domain, options));
+    // (2) r <= 4 r_opt, with grid-step slack. r_opt <= 2-approx radius.
+    ASSERT_OK_AND_ASSIGN(Ball two, TwoApproxSmallestBall(w.points, w.t));
+    const double slack = 2.0 * w.domain.RadiusFromIndex(1);
+    if (result.radius <= 4.0 * two.radius + slack) ++radius_ok;
+    // (1) some ball of radius r holds >= t - 4*Gamma - noise points.
+    const double floor = static_cast<double>(w.t) - 4.0 * result.gamma -
+                         (8.0 / options.params.epsilon) * std::log(20.0);
+    if (static_cast<double>(BestCountAtRadius(w.points, result.radius)) >=
+        floor) {
+      ++count_ok;
+    }
+  }
+  EXPECT_GE(radius_ok, trials - 1);
+  EXPECT_GE(count_ok, trials - 1);
+}
+
+TEST_P(GoodRadiusEngineTest, ZeroRadiusClusterDetected) {
+  Rng rng(8);
+  const GridDomain domain(1024, 2);
+  PointSet s(2);
+  const std::vector<double> dup = {0.5, 0.5};
+  for (int i = 0; i < 500; ++i) s.Add(dup);
+  std::vector<double> p(2);
+  for (int i = 0; i < 100; ++i) {
+    p[0] = domain.Snap(rng.NextDouble());
+    p[1] = domain.Snap(rng.NextDouble());
+    s.Add(p);
+  }
+  GoodRadiusOptions options = TestOptions(2.0);
+  options.engine = GetParam();
+  ASSERT_OK_AND_ASSIGN(GoodRadiusResult result,
+                       GoodRadius(rng, s, 400, domain, options));
+  // Either the shortcut fires or the returned radius is (near) zero.
+  EXPECT_LE(result.radius, 4.0 * domain.RadiusFromIndex(2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, GoodRadiusEngineTest,
+                         ::testing::Values(GoodRadiusOptions::Engine::kRecConcave,
+                                           GoodRadiusOptions::Engine::kSparseVector));
+
+TEST(GoodRadiusTest, PaperStructureRecursionStillWorks) {
+  // base_domain_size 32 forces the log*-style recursion; utility is looser
+  // (bigger Gamma) but the radius bound must still hold.
+  Rng rng(9);
+  PlantedClusterSpec spec;
+  spec.n = 900;
+  spec.t = 700;  // Large t to clear the bigger Gamma.
+  spec.dim = 2;
+  spec.levels = 256;
+  spec.cluster_radius = 0.05;
+  const ClusterWorkload w = MakePlantedCluster(rng, spec);
+
+  GoodRadiusOptions options = TestOptions(8.0);
+  options.rec_concave.base_domain_size = 32;
+  const double gamma = GoodRadiusGamma(w.domain, options);
+  ASSERT_LT(4.0 * gamma, static_cast<double>(spec.t));
+  ASSERT_OK_AND_ASSIGN(GoodRadiusResult result,
+                       GoodRadius(rng, w.points, w.t, w.domain, options));
+  ASSERT_OK_AND_ASSIGN(Ball two, TwoApproxSmallestBall(w.points, w.t));
+  EXPECT_LE(result.radius, 4.0 * two.radius + 2.0 * w.domain.RadiusFromIndex(1));
+}
+
+TEST(GoodRadiusTest, ProfileCapSurfacesAsResourceExhausted) {
+  Rng rng(10);
+  const GridDomain domain(64, 2);
+  PointSet s = testing_util::UniformCube(rng, 50, 2);
+  domain.SnapAll(s);
+  GoodRadiusOptions options = TestOptions(1.0);
+  options.max_profile_points = 10;
+  EXPECT_EQ(GoodRadius(rng, s, 5, domain, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace dpcluster

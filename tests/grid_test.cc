@@ -1,0 +1,96 @@
+// Tests for the quantized domain X^d and its radius solution grid.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dpcluster/geo/grid_domain.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(GridDomainTest, StepAndSnap) {
+  const GridDomain g(5, 1);  // Levels {0, .25, .5, .75, 1}.
+  EXPECT_DOUBLE_EQ(g.step(), 0.25);
+  EXPECT_DOUBLE_EQ(g.Snap(0.3), 0.25);
+  EXPECT_DOUBLE_EQ(g.Snap(0.38), 0.5);
+  EXPECT_DOUBLE_EQ(g.Snap(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.Snap(9.0), 1.0);
+}
+
+TEST(GridDomainTest, OnGrid) {
+  const GridDomain g(5, 1);
+  EXPECT_TRUE(g.OnGrid(0.0));
+  EXPECT_TRUE(g.OnGrid(0.75));
+  EXPECT_FALSE(g.OnGrid(0.3));
+  EXPECT_FALSE(g.OnGrid(1.2));
+}
+
+TEST(GridDomainTest, SnapAllPutsPointsOnGrid) {
+  Rng rng(3);
+  const GridDomain g(17, 3);
+  PointSet s = testing_util::UniformCube(rng, 50, 3);
+  g.SnapAll(s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_TRUE(g.OnGrid(s[i][j]));
+    }
+  }
+}
+
+TEST(GridDomainTest, SnapIsIdempotent) {
+  const GridDomain g(1024, 1);
+  for (double x : {0.0, 0.123, 0.5, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(g.Snap(g.Snap(x)), g.Snap(x));
+  }
+}
+
+TEST(GridDomainTest, RadiusGridSizeMatchesFormula) {
+  // ceil(sqrt(d)) * 2|X| + 1.
+  const GridDomain g1(16, 1);
+  EXPECT_EQ(g1.RadiusGridSize(), 1u * 2u * 16u + 1u);
+  const GridDomain g2(16, 2);
+  EXPECT_EQ(g2.RadiusGridSize(), 2u * 2u * 16u + 1u);
+  const GridDomain g5(16, 5);  // ceil(sqrt(5)) = 3.
+  EXPECT_EQ(g5.RadiusGridSize(), 3u * 2u * 16u + 1u);
+}
+
+TEST(GridDomainTest, RadiusIndexRoundTrip) {
+  const GridDomain g(64, 2);
+  for (std::uint64_t idx : {0ull, 1ull, 17ull, 255ull}) {
+    EXPECT_EQ(g.RadiusIndexCeil(g.RadiusFromIndex(idx)), idx);
+  }
+}
+
+TEST(GridDomainTest, RadiusIndexCeilRoundsUp) {
+  const GridDomain g(64, 2);
+  const double step = g.RadiusFromIndex(1);
+  EXPECT_EQ(g.RadiusIndexCeil(0.5 * step), 1u);
+  EXPECT_EQ(g.RadiusIndexCeil(1.5 * step), 2u);
+  EXPECT_EQ(g.RadiusIndexCeil(0.0), 0u);
+}
+
+TEST(GridDomainTest, RadiusIndexCeilClampsToGrid) {
+  const GridDomain g(8, 1);
+  const std::uint64_t max_idx = g.RadiusGridSize() - 1;
+  EXPECT_EQ(g.RadiusIndexCeil(1e9), max_idx);
+}
+
+TEST(GridDomainTest, LargestRadiusCoversCubeDiameter) {
+  for (std::size_t d : {1u, 2u, 3u, 7u, 16u}) {
+    const GridDomain g(32, d);
+    const double max_radius = g.RadiusFromIndex(g.RadiusGridSize() - 1);
+    EXPECT_GE(max_radius, std::sqrt(static_cast<double>(d)));
+  }
+}
+
+TEST(GridDomainTest, ScaledAxisLength) {
+  const GridDomain g(11, 1, 10.0);  // Remark 3.3 rescaling.
+  EXPECT_DOUBLE_EQ(g.step(), 1.0);
+  EXPECT_DOUBLE_EQ(g.Snap(3.4), 3.0);
+  EXPECT_DOUBLE_EQ(g.Snap(25.0), 10.0);
+}
+
+}  // namespace
+}  // namespace dpcluster

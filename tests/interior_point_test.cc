@@ -1,0 +1,86 @@
+// Tests for the IntPoint reduction (Algorithm 3 / Theorem 5.3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dpcluster/core/interior_point.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+InteriorPointOptions TestOptions(double eps) {
+  InteriorPointOptions o;
+  o.params = {eps, 1e-8};
+  o.beta = 0.1;
+  return o;
+}
+
+std::vector<double> SnappedUniform(Rng& rng, const GridDomain& domain,
+                                   std::size_t m) {
+  std::vector<double> data(m);
+  for (double& x : data) x = domain.Snap(rng.NextDouble());
+  return data;
+}
+
+TEST(InteriorPointTest, ValidatesArguments) {
+  Rng rng(1);
+  const GridDomain domain(1024, 1);
+  const std::vector<double> tiny = {0.1, 0.2};
+  EXPECT_FALSE(InteriorPoint(rng, tiny, domain, TestOptions(4.0)).ok());
+  const GridDomain wrong(64, 2);
+  const std::vector<double> data(100, 0.5);
+  EXPECT_FALSE(InteriorPoint(rng, data, wrong, TestOptions(4.0)).ok());
+}
+
+TEST(InteriorPointTest, FindsInteriorPointOnUniformData) {
+  Rng rng(2);
+  const GridDomain domain(1024, 1);
+  int good = 0;
+  const int trials = 5;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto data = SnappedUniform(rng, domain, 1500);
+    const double lo = *std::min_element(data.begin(), data.end());
+    const double hi = *std::max_element(data.begin(), data.end());
+    ASSERT_OK_AND_ASSIGN(InteriorPointResult result,
+                         InteriorPoint(rng, data, domain, TestOptions(8.0)));
+    if (result.point >= lo && result.point <= hi) ++good;
+  }
+  EXPECT_GE(good, trials - 1);
+}
+
+TEST(InteriorPointTest, HandlesDuplicateMass) {
+  Rng rng(3);
+  const GridDomain domain(1024, 1);
+  std::vector<double> data(1200, 0.5);  // All identical: 0.5 is interior.
+  ASSERT_OK_AND_ASSIGN(InteriorPointResult result,
+                       InteriorPoint(rng, data, domain, TestOptions(8.0)));
+  EXPECT_NEAR(result.point, 0.5, 0.05);
+}
+
+TEST(InteriorPointTest, BimodalData) {
+  Rng rng(4);
+  const GridDomain domain(1024, 1);
+  std::vector<double> data;
+  for (int i = 0; i < 700; ++i) data.push_back(domain.Snap(0.1 + 0.02 * rng.NextDouble()));
+  for (int i = 0; i < 700; ++i) data.push_back(domain.Snap(0.9 + 0.02 * rng.NextDouble()));
+  ASSERT_OK_AND_ASSIGN(InteriorPointResult result,
+                       InteriorPoint(rng, data, domain, TestOptions(8.0)));
+  EXPECT_GE(result.point, 0.1 - 1e-9);
+  EXPECT_LE(result.point, 0.92 + 1e-9);
+}
+
+TEST(InteriorPointTest, ReportsInnerDiagnostics) {
+  Rng rng(5);
+  const GridDomain domain(512, 1);
+  const auto data = SnappedUniform(rng, domain, 1000);
+  ASSERT_OK_AND_ASSIGN(InteriorPointResult result,
+                       InteriorPoint(rng, data, domain, TestOptions(8.0)));
+  EXPECT_GE(result.candidates, 1u);
+  EXPECT_FALSE(result.cluster.ball.center.empty());
+}
+
+}  // namespace
+}  // namespace dpcluster

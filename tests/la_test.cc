@@ -1,0 +1,102 @@
+// Tests for vector kernels and the dense matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/la/matrix.h"
+#include "dpcluster/la/vector_ops.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorm) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(Norm2(x), std::sqrt(14.0));
+}
+
+TEST(VectorOpsTest, Distances) {
+  const std::vector<double> x = {0.0, 0.0};
+  const std::vector<double> y = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Distance(x, y), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(x, y), 25.0);
+}
+
+TEST(VectorOpsTest, AxpyScaleAddSubtract) {
+  std::vector<double> y = {1.0, 1.0};
+  const std::vector<double> x = {2.0, -1.0};
+  Axpy(3.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  Scale(0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  const auto diff = Subtract(y, x);
+  EXPECT_DOUBLE_EQ(diff[0], 1.5);
+  const auto sum = Add(diff, x);
+  EXPECT_DOUBLE_EQ(sum[0], y[0]);
+}
+
+TEST(MatrixTest, MultiplyMatchesManual) {
+  Matrix m(2, 3);
+  // [[1 2 3], [4 5 6]]
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      m.At(r, c) = static_cast<double>(r * 3 + c + 1);
+    }
+  }
+  const std::vector<double> x = {1.0, 0.0, -1.0};
+  std::vector<double> out(2);
+  m.Multiply(x, out);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(MatrixTest, MultiplyTransposedMatchesTransposeThenMultiply) {
+  Rng rng(1);
+  Matrix m(4, 3);
+  for (double& v : m.MutableData()) v = rng.NextDouble() - 0.5;
+  std::vector<double> x = {1.0, -2.0, 0.5, 3.0};
+  std::vector<double> a(3);
+  std::vector<double> b(3);
+  m.MultiplyTransposed(x, a);
+  m.Transposed().Multiply(x, b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(MatrixTest, MatrixProductAssociatesWithVector) {
+  Rng rng(2);
+  Matrix a(3, 4);
+  Matrix b(4, 2);
+  for (double& v : a.MutableData()) v = rng.NextDouble() - 0.5;
+  for (double& v : b.MutableData()) v = rng.NextDouble() - 0.5;
+  const Matrix ab = a.MultiplyMatrix(b);
+  const std::vector<double> x = {0.7, -1.3};
+  std::vector<double> bx(4);
+  std::vector<double> abx(3);
+  std::vector<double> direct(3);
+  b.Multiply(x, bx);
+  a.Multiply(bx, abx);
+  ab.Multiply(x, direct);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(abx[i], direct[i], 1e-12);
+}
+
+TEST(MatrixTest, IdentityBehaves) {
+  const Matrix eye = Matrix::Identity(5);
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> out(5);
+  eye.Multiply(x, out);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(out[i], x[i]);
+}
+
+TEST(MatrixTest, RowViewIsMutable) {
+  Matrix m(2, 2);
+  m.Row(1)[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 9.0);
+}
+
+}  // namespace
+}  // namespace dpcluster

@@ -1,0 +1,74 @@
+// Tests for the Laplace mechanism (Theorem 2.3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dpcluster/dp/laplace_mechanism.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  ASSERT_OK_AND_ASSIGN(auto mech, LaplaceMechanism::Create(0.5, 2.0));
+  EXPECT_DOUBLE_EQ(mech.scale(), 4.0);
+  EXPECT_DOUBLE_EQ(mech.epsilon(), 0.5);
+}
+
+TEST(LaplaceMechanismTest, RejectsBadParams) {
+  EXPECT_FALSE(LaplaceMechanism::Create(0.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(-1.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(1.0, 0.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(1.0, -2.0).ok());
+}
+
+TEST(LaplaceMechanismTest, UnbiasedAroundValue) {
+  Rng rng(1);
+  ASSERT_OK_AND_ASSIGN(auto mech, LaplaceMechanism::Create(1.0, 1.0));
+  const double mean = testing_util::SampleMean(
+      100000, [&] { return mech.Release(rng, 10.0); });
+  EXPECT_NEAR(mean, 10.0, 0.05);
+}
+
+TEST(LaplaceMechanismTest, TailBoundHolds) {
+  Rng rng(2);
+  ASSERT_OK_AND_ASSIGN(auto mech, LaplaceMechanism::Create(2.0, 1.0));
+  const double beta = 0.05;
+  const double bound = mech.TailBound(beta);
+  int exceed = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (std::abs(mech.Release(rng, 0.0)) > bound) ++exceed;
+  }
+  EXPECT_NEAR(static_cast<double>(exceed) / trials, beta, 0.01);
+}
+
+TEST(LaplaceMechanismTest, VectorReleaseIsElementwise) {
+  Rng rng(3);
+  ASSERT_OK_AND_ASSIGN(auto mech, LaplaceMechanism::Create(1.0, 1.0));
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  const auto out = mech.ReleaseVector(rng, v);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NE(out[i], v[i]);  // Noise was added (a.s.).
+    EXPECT_NEAR(out[i], v[i], 40.0);
+  }
+}
+
+TEST(LaplaceMechanismTest, SmallerEpsilonMoreNoise) {
+  Rng rng(4);
+  ASSERT_OK_AND_ASSIGN(auto tight, LaplaceMechanism::Create(10.0, 1.0));
+  ASSERT_OK_AND_ASSIGN(auto loose, LaplaceMechanism::Create(0.1, 1.0));
+  double mad_tight = 0.0;
+  double mad_loose = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    mad_tight += std::abs(tight.Release(rng, 0.0));
+    mad_loose += std::abs(loose.Release(rng, 0.0));
+  }
+  EXPECT_GT(mad_loose, 10.0 * mad_tight);
+}
+
+}  // namespace
+}  // namespace dpcluster

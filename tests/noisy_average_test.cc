@@ -1,0 +1,109 @@
+// Tests for NoisyAVG (Algorithm 5 / Appendix A).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/dp/noisy_average.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(NoisyAverageTest, RejectsBadArgs) {
+  Rng rng(1);
+  const PointSet s = testing_util::MakePointSet(2, {0.0, 0.0});
+  const std::vector<double> c2 = {0.0, 0.0};
+  const std::vector<double> c3 = {0.0, 0.0, 0.0};
+  EXPECT_FALSE(NoisyAverage(rng, s, c3, 1.0, {1.0, 1e-9}).ok());
+  EXPECT_FALSE(NoisyAverage(rng, s, c2, 0.0, {1.0, 1e-9}).ok());
+  EXPECT_FALSE(NoisyAverage(rng, s, c2, 1.0, {1.0, 0.0}).ok());
+}
+
+TEST(NoisyAverageTest, BotOnEmptySelection) {
+  Rng rng(2);
+  PointSet s(2);
+  const std::vector<double> far = {100.0, 100.0};
+  for (int i = 0; i < 50; ++i) s.Add(far);
+  const std::vector<double> c = {0.0, 0.0};
+  int bots = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto out = NoisyAverage(rng, s, c, 1.0, {1.0, 1e-9});
+    if (!out.ok()) {
+      EXPECT_EQ(out.status().code(), StatusCode::kNoPrivateAnswer);
+      ++bots;
+    }
+  }
+  EXPECT_EQ(bots, 100);
+}
+
+TEST(NoisyAverageTest, AccurateOnLargeCluster) {
+  Rng rng(3);
+  const std::vector<double> center = {0.5, 0.5, 0.5};
+  PointSet s(3);
+  for (int i = 0; i < 5000; ++i) s.Add(SampleBall(rng, center, 0.05));
+  ASSERT_OK_AND_ASSIGN(auto out, NoisyAverage(rng, s, center, 0.1, {1.0, 1e-9}));
+  EXPECT_LT(Distance(out.average, center), 0.05);
+  EXPECT_GT(out.noisy_count, 4000.0);
+  EXPECT_GT(out.sigma, 0.0);
+}
+
+TEST(NoisyAverageTest, OnlySelectsInsideBall) {
+  // Points outside the ball must not drag the average: put a huge far mass
+  // and a small near cluster; the result should track the near cluster.
+  Rng rng(4);
+  PointSet s(2);
+  const std::vector<double> near_c = {0.2, 0.2};
+  const std::vector<double> far_c = {50.0, 50.0};
+  for (int i = 0; i < 2000; ++i) s.Add(SampleBall(rng, near_c, 0.01));
+  for (int i = 0; i < 20000; ++i) s.Add(SampleBall(rng, far_c, 0.01));
+  ASSERT_OK_AND_ASSIGN(auto out, NoisyAverage(rng, s, near_c, 0.5, {1.0, 1e-9}));
+  EXPECT_LT(Distance(out.average, near_c), 0.1);
+}
+
+TEST(NoisyAverageTest, SigmaShrinksWithClusterSize) {
+  Rng rng(5);
+  const std::vector<double> c = {0.0};
+  PointSet small(1);
+  PointSet big(1);
+  for (int i = 0; i < 200; ++i) small.Add(std::vector<double>{0.0});
+  for (int i = 0; i < 20000; ++i) big.Add(std::vector<double>{0.0});
+  ASSERT_OK_AND_ASSIGN(auto out_small, NoisyAverage(rng, small, c, 1.0, {1.0, 1e-9}));
+  ASSERT_OK_AND_ASSIGN(auto out_big, NoisyAverage(rng, big, c, 1.0, {1.0, 1e-9}));
+  EXPECT_GT(out_small.sigma, 10.0 * out_big.sigma);
+}
+
+TEST(NoisyAverageTest, SigmaBoundFromObservationA1) {
+  Rng rng(6);
+  const std::vector<double> c = {0.0};
+  PointSet s(1);
+  const int m = 10000;
+  for (int i = 0; i < m; ++i) s.Add(std::vector<double>{0.1});
+  const double eps = 1.0;
+  const double delta = 1e-9;
+  const double bound = NoisyAverageSigmaBound(1.0, eps, delta, m);
+  int exceed = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto out, NoisyAverage(rng, s, c, 1.0, {eps, delta}));
+    if (out.sigma > bound) ++exceed;
+  }
+  // Observation A.1 holds with probability >= 1 - beta for m >= 16/eps ln(2/(beta delta)).
+  EXPECT_LE(exceed, trials / 10);
+}
+
+TEST(NoisyAverageTest, RecentersAtCallerCenter) {
+  // Observation A.2: the mechanism must work for clusters far from the origin.
+  Rng rng(7);
+  const std::vector<double> c = {1000.0, -500.0};
+  PointSet s(2);
+  for (int i = 0; i < 5000; ++i) s.Add(SampleBall(rng, c, 0.01));
+  ASSERT_OK_AND_ASSIGN(auto out, NoisyAverage(rng, s, c, 0.1, {1.0, 1e-9}));
+  EXPECT_LT(Distance(out.average, c), 0.05);
+}
+
+}  // namespace
+}  // namespace dpcluster

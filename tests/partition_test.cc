@@ -1,0 +1,103 @@
+// Tests for randomly shifted interval partitions and box partitions
+// (GoodCenter steps 3-4).
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "dpcluster/geo/partition.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(ShiftedAxisPartitionTest, IndexAndLeft) {
+  const ShiftedAxisPartition p{0.3, 1.0};
+  EXPECT_EQ(p.IndexOf(0.3), 0);
+  EXPECT_EQ(p.IndexOf(1.29), 0);
+  EXPECT_EQ(p.IndexOf(1.31), 1);
+  EXPECT_EQ(p.IndexOf(0.29), -1);
+  EXPECT_DOUBLE_EQ(p.LeftOf(2), 2.3);
+}
+
+TEST(ShiftedAxisPartitionTest, EveryPointHasConsistentInterval) {
+  Rng rng(1);
+  const ShiftedAxisPartition p{rng.NextDouble() * 0.5, 0.5};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = (rng.NextDouble() - 0.5) * 20.0;
+    const std::int64_t j = p.IndexOf(x);
+    EXPECT_GE(x, p.LeftOf(j) - 1e-12);
+    EXPECT_LT(x, p.LeftOf(j + 1) + 1e-12);
+  }
+}
+
+TEST(BoxPartitionTest, BoxIndexMatchesAxes) {
+  std::vector<ShiftedAxisPartition> axes = {{0.0, 1.0}, {0.5, 2.0}};
+  const BoxPartition part(axes);
+  const std::vector<double> p = {1.5, 2.6};
+  const auto idx = part.BoxIndexOf(p);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 1);  // [2.5, 4.5) with shift .5 length 2.
+}
+
+TEST(BoxPartitionTest, BoxForContainsItsPoints) {
+  Rng rng(2);
+  const BoxPartition part(rng, 4, 0.7);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> p(4);
+    for (double& x : p) x = (rng.NextDouble() - 0.5) * 10.0;
+    const auto idx = part.BoxIndexOf(p);
+    const AxisBox box = part.BoxFor(idx);
+    EXPECT_TRUE(box.Contains(p));
+  }
+}
+
+TEST(BoxPartitionTest, ShiftsInRange) {
+  Rng rng(3);
+  const BoxPartition part(rng, 8, 2.5);
+  for (std::size_t a = 0; a < 8; ++a) {
+    EXPECT_GE(part.axis(a).shift, 0.0);
+    EXPECT_LT(part.axis(a).shift, 2.5);
+    EXPECT_DOUBLE_EQ(part.axis(a).length, 2.5);
+  }
+}
+
+TEST(BoxPartitionTest, CloseCloudLandsInOneBoxOften) {
+  // A cloud of diameter 3r inside boxes of side 60r should usually land in a
+  // single box — the success event GoodCenter's retry loop waits for.
+  Rng rng(4);
+  int single = 0;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    const BoxPartition part(rng, 2, 60.0);
+    const double base_x = (rng.NextDouble() - 0.5) * 500.0;
+    const double base_y = (rng.NextDouble() - 0.5) * 500.0;
+    std::unordered_map<std::vector<std::int64_t>, int, BoxIndexHash> boxes;
+    for (int i = 0; i < 50; ++i) {
+      const std::vector<double> p = {base_x + rng.NextDouble() * 3.0,
+                                     base_y + rng.NextDouble() * 3.0};
+      ++boxes[part.BoxIndexOf(p)];
+    }
+    if (boxes.size() == 1) ++single;
+  }
+  // Per-axis failure ~3/60, two axes => ~90% single-box trials.
+  EXPECT_GT(single, trials * 3 / 4);
+}
+
+TEST(BoxIndexHashTest, EqualKeysSameHashDistinctKeysMostlyDiffer) {
+  const BoxIndexHash hash;
+  const std::vector<std::int64_t> a = {1, -2, 3};
+  const std::vector<std::int64_t> b = {1, -2, 3};
+  EXPECT_EQ(hash(a), hash(b));
+  int collisions = 0;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const std::vector<std::int64_t> x = {i, 0};
+    const std::vector<std::int64_t> y = {0, i};
+    if (hash(x) == hash(y)) ++collisions;
+  }
+  EXPECT_LT(collisions, 5);
+}
+
+}  // namespace
+}  // namespace dpcluster

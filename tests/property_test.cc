@@ -1,0 +1,208 @@
+// Structural property tests tying the implementation to the paper's proofs:
+// quasi-concavity of the GoodRadius quality, the subsampled radius stage,
+// an exponential-mechanism privacy audit, and the k-means estimator's
+// canonical-output contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/core/good_radius.h"
+#include "dpcluster/core/radius_profile.h"
+#include "dpcluster/dp/exponential_mechanism.h"
+#include "dpcluster/dp/step_function.h"
+#include "dpcluster/geo/minimal_ball.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+#include "dpcluster/sa/estimators.h"
+#include "dpcluster/workload/synthetic.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+// Rebuilds Algorithm 1's quality Q(g) = 1/2 min{t - L(r_g/2), L(r_g) - t + 4G}
+// from a profile, the way GoodRadius does internally.
+StepFunction BuildQualityFromProfile(const RadiusProfile& profile, double t,
+                                     double gamma) {
+  const std::uint64_t grid = profile.solution_grid_size();
+  std::vector<std::uint64_t> starts;
+  std::vector<double> values;
+  for (std::uint64_t g = 0; g < grid; ++g) {
+    const double q =
+        0.5 * std::min(t - profile.LAtHalfSolutionIndex(g),
+                       profile.LAtSolutionIndex(g) - t + 4.0 * gamma);
+    if (!values.empty() && values.back() == q) continue;
+    starts.push_back(g);
+    values.push_back(q);
+  }
+  return StepFunction::FromBreakpoints(grid, std::move(starts),
+                                       std::move(values));
+}
+
+// Lemma 4.6's structural heart: Q(., S) is quasi-concave for EVERY dataset,
+// because L is monotone in the radius. Checked densely on random data.
+class QualityQuasiConcaveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QualityQuasiConcaveTest, QualityIsQuasiConcave) {
+  Rng rng(1000 + GetParam());
+  const GridDomain domain(128, 2);
+  PointSet s = testing_util::UniformCube(rng, 40, 2);
+  domain.SnapAll(s);
+  const std::size_t t = 1 + rng.NextUint64(39);
+  ASSERT_OK_AND_ASSIGN(RadiusProfile profile,
+                       RadiusProfile::Build(s, t, domain, 64));
+  for (double gamma : {1.0, 5.0, 50.0}) {
+    const StepFunction q =
+        BuildQualityFromProfile(profile, static_cast<double>(t), gamma);
+    EXPECT_TRUE(q.IsQuasiConcave()) << "t=" << t << " gamma=" << gamma;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QualityQuasiConcaveTest, ::testing::Range(0, 8));
+
+// And the promise: some grid radius reaches quality >= Gamma whenever
+// t <= n and L(0) < t - 2*Gamma (Lemma 4.6's case analysis).
+TEST(QualityPromiseTest, PromiseHoldsWhenZeroShortcutDoesNot) {
+  Rng rng(7);
+  const GridDomain domain(256, 2);
+  for (int trial = 0; trial < 10; ++trial) {
+    PointSet s = testing_util::UniformCube(rng, 60, 2);
+    domain.SnapAll(s);
+    const std::size_t t = 10 + rng.NextUint64(50);
+    ASSERT_OK_AND_ASSIGN(RadiusProfile profile,
+                         RadiusProfile::Build(s, t, domain, 64));
+    const double gamma = 2.0;
+    if (profile.LAtZero() >= static_cast<double>(t) - 2.0 * gamma) continue;
+    const StepFunction q =
+        BuildQualityFromProfile(profile, static_cast<double>(t), gamma);
+    EXPECT_GE(q.MaxValue(), gamma) << "t=" << t;
+  }
+}
+
+TEST(SubsampledGoodRadiusTest, LargeInputResolvedViaSubsample) {
+  Rng rng(11);
+  PlantedClusterSpec spec;
+  spec.n = 6000;  // Above the profile cap below.
+  spec.t = 3000;
+  spec.dim = 2;
+  spec.cluster_radius = 0.02;
+  const ClusterWorkload w = MakePlantedCluster(rng, spec);
+
+  GoodRadiusOptions options;
+  options.params = {4.0, 1e-9};
+  options.beta = 0.1;
+  options.max_profile_points = 2000;
+
+  // Without opting in: ResourceExhausted.
+  EXPECT_EQ(GoodRadius(rng, w.points, w.t, w.domain, options).status().code(),
+            StatusCode::kResourceExhausted);
+
+  // With subsampling: a radius close to the optimum.
+  options.subsample_large_inputs = true;
+  ASSERT_OK_AND_ASSIGN(GoodRadiusResult result,
+                       GoodRadius(rng, w.points, w.t, w.domain, options));
+  ASSERT_OK_AND_ASSIGN(Ball two, TwoApproxSmallestBall(w.points, w.t));
+  EXPECT_LE(result.radius, 4.0 * two.radius + 4.0 * w.domain.RadiusFromIndex(1));
+  // And a ball of that radius still holds a large share of t in the FULL data.
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < w.points.size(); i += 16) {
+    best = std::max(best, CountWithin(w.points, w.points[i], result.radius));
+  }
+  EXPECT_GE(best, w.t / 2);
+}
+
+// Monte-Carlo audit of the exponential mechanism: the selection distribution
+// on neighboring quality vectors (each entry shifted by <= 1) stays within
+// e^{eps} pointwise.
+TEST(ExpMechPrivacyAuditTest, WithinBudgetOnNeighboringQualities) {
+  Rng rng(13);
+  const double eps = 1.0;
+  const std::vector<double> q0 = {5.0, 4.0, 6.0, 3.0};
+  const std::vector<double> q1 = {6.0, 3.0, 5.0, 4.0};  // Each moved by 1.
+  const int trials = 300000;
+  std::vector<int> h0(4, 0);
+  std::vector<int> h1(4, 0);
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::size_t a,
+                         ExponentialMechanism::SelectIndex(rng, q0, eps));
+    ASSERT_OK_AND_ASSIGN(std::size_t b,
+                         ExponentialMechanism::SelectIndex(rng, q1, eps));
+    ++h0[a];
+    ++h1[b];
+  }
+  for (int b = 0; b < 4; ++b) {
+    const double p0 = static_cast<double>(h0[b]) / trials;
+    const double p1 = static_cast<double>(h1[b]) / trials;
+    EXPECT_LE(std::abs(std::log(p0 / p1)), eps * 1.1) << "bin " << b;
+  }
+}
+
+TEST(KMeansEstimatorTest, RecoversSeparatedClustersInCanonicalOrder) {
+  Rng rng(17);
+  PointSet block(2);
+  const std::vector<std::vector<double>> truth = {
+      {0.2, 0.2}, {0.5, 0.8}, {0.9, 0.3}};
+  for (int i = 0; i < 60; ++i) {
+    block.Add(SampleBall(rng, truth[static_cast<std::size_t>(i) % 3], 0.02));
+  }
+  std::vector<double> out(6);
+  ASSERT_OK(KMeansEstimator(3)(block, out));
+  // Lexicographic order: (0.2,.2) < (0.5,.8) < (0.9,.3).
+  EXPECT_NEAR(out[0], 0.2, 0.05);
+  EXPECT_NEAR(out[1], 0.2, 0.05);
+  EXPECT_NEAR(out[2], 0.5, 0.05);
+  EXPECT_NEAR(out[3], 0.8, 0.05);
+  EXPECT_NEAR(out[4], 0.9, 0.05);
+  EXPECT_NEAR(out[5], 0.3, 0.05);
+}
+
+TEST(KMeansEstimatorTest, DeterministicAndValidatesArguments) {
+  Rng rng(19);
+  PointSet block(2);
+  for (int i = 0; i < 20; ++i) {
+    block.Add(std::vector<double>{rng.NextDouble(), rng.NextDouble()});
+  }
+  std::vector<double> a(4);
+  std::vector<double> b(4);
+  ASSERT_OK(KMeansEstimator(2)(block, a));
+  ASSERT_OK(KMeansEstimator(2)(block, b));
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+
+  std::vector<double> wrong(3);
+  EXPECT_FALSE(KMeansEstimator(2)(block, wrong).ok());
+  const PointSet tiny = testing_util::MakePointSet(2, {0.1, 0.1});
+  std::vector<double> out4(4);
+  EXPECT_FALSE(KMeansEstimator(2)(tiny, out4).ok());
+}
+
+TEST(KMeansEstimatorTest, BlockOutputsConcentrateAcrossBlocks) {
+  // The property SA relies on: different blocks of the same mixture produce
+  // nearly identical R^{k*d} outputs (thanks to the canonical ordering).
+  Rng rng(23);
+  const ClusterWorkload w =
+      MakeGaussianMixture(rng, 4000, 2, 2, 1u << 12, 0.01, 0.0);
+  const auto estimator = KMeansEstimator(2);
+  std::vector<std::vector<double>> outputs;
+  for (int b = 0; b < 20; ++b) {
+    std::vector<std::size_t> idx(50);
+    for (auto& i : idx) i = rng.NextUint64(w.points.size());
+    const PointSet block = w.points.Subset(idx);
+    std::vector<double> out(4);
+    ASSERT_OK(estimator(block, out));
+    outputs.push_back(out);
+  }
+  // Pairwise spread of the outputs is a small multiple of sigma.
+  double max_dist = 0.0;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    for (std::size_t j = i + 1; j < outputs.size(); ++j) {
+      max_dist = std::max(max_dist, Distance(outputs[i], outputs[j]));
+    }
+  }
+  EXPECT_LT(max_dist, 0.1);
+}
+
+}  // namespace
+}  // namespace dpcluster

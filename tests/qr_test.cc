@@ -1,0 +1,88 @@
+// Tests for the Householder QR / random orthonormal basis (GoodCenter step 8).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/la/qr.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+class RandomBasisTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomBasisTest, RowsAreOrthonormal) {
+  const std::size_t d = GetParam();
+  Rng rng(17 + d);
+  const Matrix z = RandomOrthonormalBasis(rng, d);
+  ASSERT_EQ(z.rows(), d);
+  ASSERT_EQ(z.cols(), d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      const double dot = Dot(z.Row(i), z.Row(j));
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(RandomBasisTest, PreservesNorms) {
+  const std::size_t d = GetParam();
+  Rng rng(99 + d);
+  const Matrix z = RandomOrthonormalBasis(rng, d);
+  std::vector<double> x(d);
+  FillGaussian(rng, 1.0, x);
+  std::vector<double> zx(d);
+  z.Multiply(x, zx);
+  EXPECT_NEAR(Norm2(zx), Norm2(x), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RandomBasisTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 8, 17, 64));
+
+TEST(RandomBasisTest, HaarSignSymmetry) {
+  // Each entry of a Haar-random basis vector should be symmetric around 0.
+  Rng rng(4);
+  double sum = 0.0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const Matrix z = RandomOrthonormalBasis(rng, 3);
+    sum += z.At(0, 0);
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+}
+
+TEST(OrthonormalFactorTest, ReproducesIdentityForIdentity) {
+  const Matrix q = OrthonormalFactor(Matrix::Identity(4));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(q.At(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(OrthonormalFactorTest, HandlesRankDeficientInput) {
+  Matrix a(3, 3);  // Zero matrix: Q should still be orthonormal (identity).
+  const Matrix q = OrthonormalFactor(a);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(Dot(q.Row(i), q.Row(i)), 1.0, 1e-12);
+  }
+}
+
+TEST(RandomBasisTest, DeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  const Matrix za = RandomOrthonormalBasis(a, 6);
+  const Matrix zb = RandomOrthonormalBasis(b, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(za.At(i, j), zb.At(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpcluster

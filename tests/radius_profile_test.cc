@@ -1,0 +1,121 @@
+// Tests for RadiusProfile: the exact L(r, S) step function must agree with the
+// direct definition at every radius.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/core/radius_profile.h"
+#include "dpcluster/geo/pairwise.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+using testing_util::MakePointSet;
+
+TEST(RadiusProfileTest, ValidatesArguments) {
+  const GridDomain domain(16, 2);
+  const PointSet empty(2);
+  EXPECT_FALSE(RadiusProfile::Build(empty, 1, domain, 100).ok());
+  const PointSet s = MakePointSet(2, {0.0, 0.0, 1.0, 1.0});
+  EXPECT_FALSE(RadiusProfile::Build(s, 0, domain, 100).ok());
+  EXPECT_FALSE(RadiusProfile::Build(s, 3, domain, 100).ok());
+  EXPECT_EQ(RadiusProfile::Build(s, 1, domain, 1).status().code(),
+            StatusCode::kResourceExhausted);
+  const PointSet wrong_dim = MakePointSet(1, {0.0});
+  EXPECT_FALSE(RadiusProfile::Build(wrong_dim, 1, domain, 100).ok());
+}
+
+TEST(RadiusProfileTest, MatchesDirectEvaluation) {
+  Rng rng(1);
+  const GridDomain domain(64, 2);
+  for (int trial = 0; trial < 8; ++trial) {
+    PointSet s = testing_util::UniformCube(rng, 30, 2);
+    domain.SnapAll(s);
+    const std::size_t t = 1 + rng.NextUint64(29);
+    ASSERT_OK_AND_ASSIGN(RadiusProfile profile,
+                         RadiusProfile::Build(s, t, domain, 100));
+    ASSERT_OK_AND_ASSIGN(PairwiseDistances pd, PairwiseDistances::Compute(s, 100));
+    // Check agreement at every solution-grid radius.
+    for (std::uint64_t g = 0; g < domain.RadiusGridSize(); g += 7) {
+      const double r = domain.RadiusFromIndex(g);
+      EXPECT_NEAR(profile.LAtSolutionIndex(g), pd.CappedTopAverage(r, t), 1e-9)
+          << "g=" << g << " t=" << t;
+      // And at half radii (used by the quality's first term).
+      EXPECT_NEAR(profile.LAtHalfSolutionIndex(g),
+                  pd.CappedTopAverage(r / 2.0, t), 1e-9);
+    }
+  }
+}
+
+TEST(RadiusProfileTest, ZeroRadiusCountsDuplicates) {
+  const GridDomain domain(16, 1);
+  // Five copies of the same grid point, one far away; t = 4.
+  const PointSet s = MakePointSet(1, {0.5, 0.5, 0.5, 0.5, 0.5, 1.0});
+  ASSERT_OK_AND_ASSIGN(RadiusProfile profile, RadiusProfile::Build(s, 4, domain, 10));
+  // Balls of radius 0 around the duplicates hold 5 points (capped at 4);
+  // the far point holds 1: top-4 average = (4+4+4+4)/4 = 4.
+  EXPECT_DOUBLE_EQ(profile.LAtZero(), 4.0);
+}
+
+TEST(RadiusProfileTest, MonotoneNonDecreasing) {
+  Rng rng(2);
+  const GridDomain domain(32, 2);
+  PointSet s = testing_util::UniformCube(rng, 25, 2);
+  domain.SnapAll(s);
+  ASSERT_OK_AND_ASSIGN(RadiusProfile profile, RadiusProfile::Build(s, 10, domain, 100));
+  double prev = -1.0;
+  for (std::uint64_t g = 0; g < domain.RadiusGridSize(); ++g) {
+    const double l = profile.LAtSolutionIndex(g);
+    EXPECT_GE(l, prev - 1e-12);
+    prev = l;
+  }
+}
+
+TEST(RadiusProfileTest, SaturatesAtTForLargeRadius) {
+  Rng rng(3);
+  const GridDomain domain(32, 3);
+  PointSet s = testing_util::UniformCube(rng, 20, 3);
+  domain.SnapAll(s);
+  const std::size_t t = 8;
+  ASSERT_OK_AND_ASSIGN(RadiusProfile profile, RadiusProfile::Build(s, t, domain, 100));
+  const std::uint64_t last = domain.RadiusGridSize() - 1;
+  EXPECT_DOUBLE_EQ(profile.LAtSolutionIndex(last), static_cast<double>(t));
+}
+
+TEST(RadiusProfileTest, SensitivityAtMostTwoUnderReplacement) {
+  // Lemma 4.5's core property, checked on the materialized profile.
+  Rng rng(4);
+  const GridDomain domain(32, 2);
+  for (int trial = 0; trial < 6; ++trial) {
+    PointSet s = testing_util::UniformCube(rng, 20, 2);
+    domain.SnapAll(s);
+    const std::size_t t = 1 + rng.NextUint64(19);
+    PointSet s2 = s;
+    std::vector<double> replacement = {domain.Snap(rng.NextDouble()),
+                                       domain.Snap(rng.NextDouble())};
+    s2.ReplaceRow(rng.NextUint64(s.size()), replacement);
+
+    ASSERT_OK_AND_ASSIGN(RadiusProfile p0, RadiusProfile::Build(s, t, domain, 100));
+    ASSERT_OK_AND_ASSIGN(RadiusProfile p1, RadiusProfile::Build(s2, t, domain, 100));
+    for (std::uint64_t g = 0; g < domain.RadiusGridSize(); g += 5) {
+      EXPECT_LE(std::abs(p0.LAtSolutionIndex(g) - p1.LAtSolutionIndex(g)),
+                2.0 + 1e-9)
+          << "g=" << g;
+    }
+  }
+}
+
+TEST(RadiusProfileTest, FineGridTwiceSolutionGrid) {
+  const GridDomain domain(16, 2);
+  const PointSet s = MakePointSet(2, {0.0, 0.0, 1.0, 1.0});
+  ASSERT_OK_AND_ASSIGN(RadiusProfile profile, RadiusProfile::Build(s, 1, domain, 10));
+  EXPECT_EQ(profile.fine_l().domain_size(),
+            2 * (domain.RadiusGridSize() - 1) + 1);
+  EXPECT_EQ(profile.solution_grid_size(), domain.RadiusGridSize());
+}
+
+}  // namespace
+}  // namespace dpcluster

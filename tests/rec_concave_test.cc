@@ -1,0 +1,171 @@
+// Tests for RecConcave (Theorem 4.3): utility on quasi-concave promise
+// problems, depth/promise accounting, and argument validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/dp/rec_concave.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+// A tent function peaking at `peak` with the given max value, spanning the
+// whole domain (slope 2.5*max/domain), sampled into ~256 pieces. The sampling
+// error per piece is max/100, far below the promise slack the tests allow.
+StepFunction Tent(std::uint64_t domain, std::uint64_t peak, double max_value) {
+  std::vector<std::uint64_t> starts;
+  std::vector<double> values;
+  const double slope = 2.5 * max_value / static_cast<double>(domain);
+  const std::uint64_t step = std::max<std::uint64_t>(1, domain / 256);
+  for (std::uint64_t x = 0; x < domain; x += step) {
+    // Use the sample point closest to the peak within [x, x+step) so the
+    // sampled function's max equals the true max.
+    const std::uint64_t probe =
+        (peak >= x && peak < x + step) ? peak : x;
+    const double dist =
+        static_cast<double>(probe > peak ? probe - peak : peak - probe);
+    const double v = std::max(0.0, max_value - slope * dist);
+    if (!values.empty() && values.back() == v) continue;
+    starts.push_back(x);
+    values.push_back(v);
+  }
+  if (starts.empty() || starts[0] != 0) {
+    starts.insert(starts.begin(), 0);
+    values.insert(values.begin(), 0.0);
+  }
+  return StepFunction::FromBreakpoints(domain, std::move(starts),
+                                       std::move(values));
+}
+
+TEST(RecConcaveOptionsTest, Validation) {
+  RecConcaveOptions o;
+  EXPECT_OK(o.Validate());
+  o.alpha = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = RecConcaveOptions{};
+  o.beta = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = RecConcaveOptions{};
+  o.epsilon = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = RecConcaveOptions{};
+  o.base_domain_size = 1;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(RecConcaveTest, RejectsNonPositivePromise) {
+  Rng rng(1);
+  RecConcaveOptions o;
+  EXPECT_FALSE(RecConcave(rng, StepFunction::Constant(10, 1.0), 0.0, o).ok());
+}
+
+TEST(RecConcaveDepthTest, SmallDomainsAreBaseCase) {
+  RecConcaveOptions o;
+  o.base_domain_size = 32;
+  EXPECT_EQ(RecConcaveDepth(10, o), 0);
+  EXPECT_EQ(RecConcaveDepth(32, o), 0);
+  EXPECT_EQ(RecConcaveDepth(33, o), 1);
+}
+
+TEST(RecConcaveDepthTest, DepthIsIteratedLogLike) {
+  RecConcaveOptions o;
+  o.base_domain_size = 4;
+  // domain -> log2(domain)+1 per level: 2^20 -> 21 -> 5 -> 3 (base).
+  EXPECT_EQ(RecConcaveDepth(1u << 20, o), 3);
+  // Even astronomically large domains stay shallow — the log* structure.
+  EXPECT_LE(RecConcaveDepth(~std::uint64_t{0}, o), 5);
+}
+
+TEST(RecConcaveMinPromiseTest, GrowsWithDomainShrinksWithEpsilon) {
+  RecConcaveOptions o;
+  o.epsilon = 1.0;
+  const double p_small = RecConcaveMinPromise(1u << 10, o);
+  const double p_big = RecConcaveMinPromise(1u << 30, o);
+  EXPECT_GT(p_big, p_small);
+  o.epsilon = 4.0;
+  EXPECT_LT(RecConcaveMinPromise(1u << 30, o), p_big);
+}
+
+class RecConcaveUtilityTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecConcaveUtilityTest, ReturnsGoodSolutionOnTent) {
+  const std::uint64_t domain = GetParam();
+  Rng rng(17);
+  RecConcaveOptions o;
+  o.alpha = 0.5;
+  o.beta = 0.05;
+  o.epsilon = 2.0;
+  const double need = RecConcaveMinPromise(domain, o);
+  const double promise = need * 1.1;
+  // A tent peaking above the promise at domain/3.
+  const StepFunction q = Tent(domain, domain / 3, promise * 1.1);
+  ASSERT_TRUE(q.IsQuasiConcave());
+  ASSERT_GE(q.MaxValue(), promise);
+
+  int bad = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::uint64_t pick, RecConcave(rng, q, promise, o));
+    if (q.ValueAt(pick) < (1.0 - o.alpha) * promise) ++bad;
+  }
+  // Allow the 5% failure budget plus slack.
+  EXPECT_LE(bad, trials / 10) << "domain=" << domain;
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, RecConcaveUtilityTest,
+                         ::testing::Values<std::uint64_t>(64, 4096, 1u << 20));
+
+TEST(RecConcaveTest, PlateauQuality) {
+  // A wide plateau at the promise: everything on it is acceptable.
+  Rng rng(3);
+  RecConcaveOptions o;
+  o.epsilon = 2.0;
+  const std::uint64_t domain = 1u << 16;
+  const double promise = RecConcaveMinPromise(domain, o) * 1.2;
+  const StepFunction q = StepFunction::FromBreakpoints(
+      domain, {0, 10000, 50000}, {0.0, promise, 0.0});
+  int bad = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::uint64_t pick, RecConcave(rng, q, promise, o));
+    if (q.ValueAt(pick) < 0.5 * promise) ++bad;
+  }
+  EXPECT_LE(bad, 4);
+}
+
+TEST(RecConcaveTest, MonotoneQualityPicksHighEnd) {
+  // Non-decreasing quality (a valid quasi-concave shape): good solutions sit
+  // at the right edge.
+  Rng rng(4);
+  RecConcaveOptions o;
+  o.epsilon = 2.0;
+  const std::uint64_t domain = 1u << 14;
+  const double promise = RecConcaveMinPromise(domain, o) * 1.2;
+  const StepFunction q = StepFunction::FromBreakpoints(
+      domain, {0, domain - 100}, {0.0, promise});
+  int good = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::uint64_t pick, RecConcave(rng, q, promise, o));
+    good += (q.ValueAt(pick) >= 0.5 * promise);
+  }
+  EXPECT_GE(good, 36);
+}
+
+TEST(RecConcaveTest, HugeDomainWithFewPiecesIsFast) {
+  Rng rng(5);
+  RecConcaveOptions o;
+  o.epsilon = 4.0;
+  const std::uint64_t domain = 1ull << 40;
+  const double promise = RecConcaveMinPromise(domain, o) * 1.5;
+  const StepFunction q = StepFunction::FromBreakpoints(
+      domain, {0, 1ull << 39, (1ull << 39) + 4096}, {0.0, promise, 0.0});
+  ASSERT_OK_AND_ASSIGN(std::uint64_t pick, RecConcave(rng, q, promise, o));
+  // Just completing quickly on a 2^40 domain is the point; sanity-check range.
+  EXPECT_LT(pick, domain);
+}
+
+}  // namespace
+}  // namespace dpcluster

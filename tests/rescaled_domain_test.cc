@@ -1,0 +1,96 @@
+// Remark 3.3: the construction extends verbatim to domains with grid step l
+// and axis length L by replacing |X| with L/l. GridDomain carries the axis
+// length through the whole pipeline; these tests run the algorithms on a
+// rescaled cube and check the guarantees scale with it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dpcluster/core/one_cluster.h"
+#include "dpcluster/core/radius_refine.h"
+#include "dpcluster/geo/minimal_ball.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+// A planted cluster in a [0, axis]^2 cube.
+PointSet RescaledCluster(Rng& rng, const GridDomain& domain, std::size_t n,
+                         std::size_t t, double radius,
+                         std::vector<double>* center_out) {
+  PointSet s(2);
+  std::vector<double> center(2);
+  for (double& c : center) {
+    c = radius + rng.NextDouble() * (domain.axis_length() - 2.0 * radius);
+  }
+  *center_out = center;
+  for (std::size_t i = 0; i < t; ++i) s.Add(SampleBall(rng, center, radius));
+  std::vector<double> p(2);
+  for (std::size_t i = t; i < n; ++i) {
+    p[0] = rng.NextDouble() * domain.axis_length();
+    p[1] = rng.NextDouble() * domain.axis_length();
+    s.Add(p);
+  }
+  domain.SnapAll(s);
+  return s;
+}
+
+TEST(RescaledDomainTest, RadiusGridScalesWithAxisLength) {
+  const GridDomain unit(1024, 2, 1.0);
+  const GridDomain wide(1024, 2, 100.0);
+  EXPECT_EQ(unit.RadiusGridSize(), wide.RadiusGridSize());
+  EXPECT_NEAR(wide.RadiusFromIndex(17), 100.0 * unit.RadiusFromIndex(17), 1e-9);
+  EXPECT_NEAR(wide.step(), 100.0 * unit.step(), 1e-9);
+}
+
+TEST(RescaledDomainTest, OneClusterOnKilometerScaleDomain) {
+  // Same instance as the unit-cube tests but in a [0, 1000]^2 "meters" cube.
+  Rng rng(51);
+  const GridDomain domain(1024, 2, 1000.0);
+  std::vector<double> planted;
+  const PointSet s = RescaledCluster(rng, domain, 1200, 700, 15.0, &planted);
+
+  OneClusterOptions options;
+  options.params = {8.0, 1e-8};
+  options.beta = 0.1;
+  ASSERT_OK_AND_ASSIGN(OneClusterResult result,
+                       OneCluster(rng, s, 700, domain, options));
+  // The radius stage's 4-approx guarantee, in rescaled units.
+  ASSERT_OK_AND_ASSIGN(Ball two, TwoApproxSmallestBall(s, 700));
+  EXPECT_LE(result.radius_stage.radius,
+            4.0 * two.radius + 2.0 * domain.RadiusFromIndex(1));
+  // The released center sits on the cluster (within a few cluster radii).
+  EXPECT_LE(RadiusCapturing(s, result.ball.center, 560), 150.0);
+  EXPECT_LE(Distance(result.ball.center, planted), 100.0);
+}
+
+TEST(RescaledDomainTest, RefineRadiusInRescaledUnits) {
+  Rng rng(52);
+  const GridDomain domain(1024, 2, 1000.0);
+  std::vector<double> planted;
+  const PointSet s = RescaledCluster(rng, domain, 1500, 900, 10.0, &planted);
+  RadiusRefineOptions options;
+  options.epsilon = 2.0;
+  ASSERT_OK_AND_ASSIGN(double r, RefineRadius(rng, s, planted, 900, domain,
+                                              options));
+  EXPECT_GT(r, 1.0);    // Meter-scale, not unit-cube-scale.
+  EXPECT_LT(r, 40.0);   // A small multiple of the planted 10m radius.
+}
+
+TEST(RescaledDomainTest, GuaranteeRadiusClampedToRescaledDiameter) {
+  Rng rng(53);
+  const GridDomain domain(1024, 2, 1000.0);
+  std::vector<double> planted;
+  const PointSet s = RescaledCluster(rng, domain, 1000, 600, 12.0, &planted);
+  OneClusterOptions options;
+  options.params = {8.0, 1e-8};
+  ASSERT_OK_AND_ASSIGN(OneClusterResult result,
+                       OneCluster(rng, s, 600, domain, options));
+  EXPECT_LE(result.ball.radius, 1000.0 * std::sqrt(2.0) + 1e-6);
+}
+
+}  // namespace
+}  // namespace dpcluster

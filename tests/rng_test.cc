@@ -1,0 +1,96 @@
+// Tests for the xoshiro256++ generator wrapper.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dpcluster/random/rng.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenZeroNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDoubleOpenZero();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  const double mean = testing_util::SampleMean(
+      200000, [&] { return rng.NextDouble(); });
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(RngTest, NextUint64RespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.NextUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextUint64CoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextUint64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextUint64RoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> hist(8, 0);
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++hist[rng.NextUint64(8)];
+  for (int h : hist) {
+    EXPECT_NEAR(static_cast<double>(h), trials / 8.0, trials * 0.01);
+  }
+}
+
+TEST(RngTest, ForkGivesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  // The child stream should not simply replay the parent.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == child());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(1);
+  (void)rng();
+}
+
+}  // namespace
+}  // namespace dpcluster

@@ -1,0 +1,138 @@
+// Tests for the sample-and-aggregate framework (Algorithm 4 / Theorem 6.3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/random/distributions.h"
+#include "dpcluster/sa/estimators.h"
+#include "dpcluster/sa/sample_aggregate.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+SampleAggregateOptions TestOptions(double eps, std::size_t m) {
+  SampleAggregateOptions o;
+  o.params = {eps, 1e-8};
+  o.beta = 0.2;
+  o.block_size = m;
+  o.alpha = 0.8;
+  o.one_cluster.params = o.params;
+  return o;
+}
+
+// Gaussian data around a hidden mean: the mean estimator is subsample-stable.
+PointSet GaussianData(Rng& rng, std::size_t n, std::size_t d,
+                      const std::vector<double>& mean, double sigma) {
+  PointSet s(d);
+  std::vector<double> p(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      p[j] = std::clamp(mean[j] + SampleGaussian(rng, sigma), 0.0, 1.0);
+    }
+    s.Add(p);
+  }
+  return s;
+}
+
+TEST(SampleAggregateOptionsTest, Validation) {
+  SampleAggregateOptions o = TestOptions(1.0, 10);
+  EXPECT_OK(o.Validate());
+  o.block_size = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TestOptions(1.0, 10);
+  o.alpha = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TestOptions(1.0, 10);
+  o.alpha = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(SampleAggregateTest, RejectsTooSmallN) {
+  Rng rng(1);
+  const PointSet s = testing_util::UniformCube(rng, 100, 2);
+  const GridDomain domain(1024, 2);
+  // n < 18 m.
+  EXPECT_FALSE(
+      SampleAggregate(rng, s, MeanEstimator(), domain, TestOptions(4.0, 10)).ok());
+}
+
+TEST(SampleAggregateTest, PrivateMeanLandsNearTrueMean) {
+  Rng rng(2);
+  const std::vector<double> mean = {0.4, 0.6};
+  const PointSet s = GaussianData(rng, 40000, 2, mean, 0.02);
+  const GridDomain domain(1u << 12, 2);
+  const SampleAggregateOptions options = TestOptions(8.0, 12);
+  ASSERT_OK_AND_ASSIGN(
+      SampleAggregateResult result,
+      SampleAggregate(rng, s, MeanEstimator(), domain, options));
+  EXPECT_EQ(result.blocks, 40000u / 9u / 12u);
+  EXPECT_LT(Distance(result.point, mean), 0.1);
+}
+
+TEST(SampleAggregateTest, MedianSurvivesContamination) {
+  // 20% of rows pinned at 1.0 ruins the mean of some blocks but not the
+  // median; SA + median should still land near the clean center.
+  Rng rng(3);
+  const std::vector<double> mean = {0.3};
+  PointSet s = GaussianData(rng, 30000, 1, mean, 0.02);
+  for (std::size_t i = 0; i < s.size(); i += 5) {
+    const std::vector<double> bad = {1.0};
+    s.ReplaceRow(i, bad);
+  }
+  const GridDomain domain(1u << 12, 1);
+  ASSERT_OK_AND_ASSIGN(
+      SampleAggregateResult result,
+      SampleAggregate(rng, s, MedianEstimator(), domain, TestOptions(8.0, 10)));
+  EXPECT_NEAR(result.point[0], 0.3, 0.1);
+}
+
+TEST(SampleAggregateTest, AmplifiedBudgetMatchesLemma64) {
+  Rng rng(4);
+  const PointSet s = GaussianData(rng, 20000, 1, {0.5}, 0.05);
+  const GridDomain domain(1024, 1);
+  const SampleAggregateOptions options = TestOptions(8.0, 10);
+  ASSERT_OK_AND_ASSIGN(
+      SampleAggregateResult result,
+      SampleAggregate(rng, s, MeanEstimator(), domain, options));
+  const double ratio =
+      static_cast<double>(result.blocks * 10) / 20000.0;
+  EXPECT_NEAR(result.amplified.epsilon, 6.0 * 8.0 * ratio, 1e-9);
+  EXPECT_LT(result.amplified.epsilon, options.params.epsilon);
+}
+
+TEST(EstimatorsTest, MeanMedianTrimmedSlope) {
+  const PointSet block = testing_util::MakePointSet(1, {0.0, 1.0, 2.0, 3.0, 100.0});
+  std::vector<double> out(1);
+  ASSERT_OK(MeanEstimator()(block, out));
+  EXPECT_NEAR(out[0], 21.2, 1e-9);
+  ASSERT_OK(MedianEstimator()(block, out));
+  EXPECT_NEAR(out[0], 2.0, 1e-9);
+  ASSERT_OK(TrimmedMeanEstimator(0.2)(block, out));
+  EXPECT_NEAR(out[0], 2.0, 1e-9);  // Drops 0 and 100.
+
+  const PointSet pairs = testing_util::MakePointSet(2, {1.0, 2.0, 2.0, 4.0});
+  ASSERT_OK(SlopeEstimator()(pairs, out));
+  EXPECT_NEAR(out[0], 2.0, 1e-9);
+}
+
+TEST(EstimatorsTest, ErrorPaths) {
+  std::vector<double> out1(1);
+  std::vector<double> out2(2);
+  const PointSet empty(1);
+  EXPECT_FALSE(MeanEstimator()(empty, out1).ok());
+  const PointSet block = testing_util::MakePointSet(1, {1.0});
+  EXPECT_FALSE(MeanEstimator()(block, out2).ok());
+  EXPECT_FALSE(SlopeEstimator()(block, out1).ok());  // Needs dim 2.
+  // floor(trim * size) < size/2 for trim < 0.5, so trimming never empties a
+  // block; a heavy trim on a tiny block degenerates to the median-ish mean.
+  ASSERT_OK(TrimmedMeanEstimator(0.49)(block, out1));
+  EXPECT_NEAR(out1[0], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dpcluster

@@ -1,0 +1,129 @@
+// Tests for the stability-based histogram (Theorem 2.5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "dpcluster/dp/stable_histogram.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+using Counts = std::unordered_map<std::string, std::size_t, std::hash<std::string>>;
+
+TEST(StableHistogramTest, EmptyHistogramFails) {
+  Rng rng(1);
+  const Counts counts;
+  const PrivacyParams p{1.0, 1e-9};
+  EXPECT_EQ(ChooseHeavyCell(rng, counts, p).status().code(),
+            StatusCode::kNoPrivateAnswer);
+}
+
+TEST(StableHistogramTest, RejectsZeroDelta) {
+  Rng rng(2);
+  Counts counts{{"a", 100}};
+  const PrivacyParams p{1.0, 0.0};
+  EXPECT_EQ(ChooseHeavyCell(rng, counts, p).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StableHistogramTest, PicksTheHeavyCell) {
+  Rng rng(3);
+  const PrivacyParams p{1.0, 1e-9};
+  Counts counts{{"heavy", 500}, {"light", 3}, {"mid", 20}};
+  int correct = 0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto choice, ChooseHeavyCell(rng, counts, p));
+    correct += (choice.key == "heavy");
+  }
+  EXPECT_EQ(correct, trials);
+}
+
+TEST(StableHistogramTest, SuppressesWhenEverythingIsLight) {
+  Rng rng(4);
+  const PrivacyParams p{0.5, 1e-12};
+  // Threshold = 1 + (2/eps) ln(2/delta) ~ 113; counts of 1 never survive.
+  Counts counts{{"a", 1}, {"b", 1}, {"c", 1}};
+  int suppressed = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    if (!ChooseHeavyCell(rng, counts, p).ok()) ++suppressed;
+  }
+  EXPECT_EQ(suppressed, trials);
+}
+
+TEST(StableHistogramTest, SuppressionThresholdFormula) {
+  const PrivacyParams p{2.0, 1e-6};
+  EXPECT_NEAR(StableHistogramBounds::SuppressionThreshold(p),
+              1.0 + (2.0 / 2.0) * std::log(2.0 / 1e-6), 1e-12);
+}
+
+TEST(StableHistogramTest, NoisyCountCloseToTrueCount) {
+  Rng rng(5);
+  const PrivacyParams p{1.0, 1e-9};
+  Counts counts{{"heavy", 400}};
+  double sum = 0.0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto choice, ChooseHeavyCell(rng, counts, p));
+    sum += choice.noisy_count;
+  }
+  // Conditioned on survival (virtually always here) the Laplace noise has a
+  // slight positive selection bias; stay within a loose band.
+  EXPECT_NEAR(sum / trials, 400.0, 2.0);
+}
+
+// Theorem 2.5 utility: if the max cell holds T >= RequiredMaxCount elements,
+// the returned cell holds at least T - CountLoss with probability >= 1 - beta.
+class StableHistogramUtilityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StableHistogramUtilityTest, UtilityBoundHolds) {
+  const double eps = GetParam();
+  Rng rng(42);
+  const PrivacyParams p{eps, 1e-9};
+  const double beta = 0.05;
+  const std::size_t n = 4000;
+  const auto required = static_cast<std::size_t>(
+      std::ceil(StableHistogramBounds::RequiredMaxCount(p, n, beta)));
+  const double loss = StableHistogramBounds::CountLoss(p, n, beta);
+
+  Counts counts;
+  counts["best"] = required + 10;
+  counts["rival"] = required / 2;
+  for (int i = 0; i < 50; ++i) counts["junk" + std::to_string(i)] = 2;
+
+  int bad = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    auto choice = ChooseHeavyCell(rng, counts, p);
+    if (!choice.ok()) {
+      ++bad;
+      continue;
+    }
+    if (static_cast<double>(counts[choice->key]) <
+        static_cast<double>(counts["best"]) - loss) {
+      ++bad;
+    }
+  }
+  EXPECT_LE(static_cast<double>(bad) / trials, beta) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, StableHistogramUtilityTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+TEST(StableHistogramTest, ZeroCountCellsNeverReturned) {
+  Rng rng(6);
+  const PrivacyParams p{1.0, 1e-9};
+  Counts counts{{"empty", 0}, {"real", 300}};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto choice, ChooseHeavyCell(rng, counts, p));
+    EXPECT_EQ(choice.key, "real");
+  }
+}
+
+}  // namespace
+}  // namespace dpcluster

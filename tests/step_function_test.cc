@@ -1,0 +1,194 @@
+// Tests for the piecewise-constant StepFunction, including property sweeps
+// against brute-force dense evaluation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dpcluster/dp/step_function.h"
+#include "dpcluster/random/rng.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+// Dense reference copy of a step function.
+std::vector<double> Densify(const StepFunction& f) {
+  std::vector<double> out(f.domain_size());
+  for (std::uint64_t i = 0; i < f.domain_size(); ++i) out[i] = f.ValueAt(i);
+  return out;
+}
+
+// Random step function over a small domain.
+StepFunction RandomStep(Rng& rng, std::uint64_t domain) {
+  std::vector<std::uint64_t> starts = {0};
+  std::vector<double> values = {static_cast<double>(rng.NextUint64(10))};
+  for (std::uint64_t i = 1; i < domain; ++i) {
+    if (rng.NextDouble() < 0.3) {
+      starts.push_back(i);
+      values.push_back(static_cast<double>(rng.NextUint64(10)));
+    }
+  }
+  return StepFunction::FromBreakpoints(domain, std::move(starts),
+                                       std::move(values));
+}
+
+TEST(StepFunctionTest, ConstantAndDense) {
+  const StepFunction c = StepFunction::Constant(100, 3.5);
+  EXPECT_EQ(c.domain_size(), 100u);
+  EXPECT_EQ(c.num_pieces(), 1u);
+  EXPECT_DOUBLE_EQ(c.ValueAt(0), 3.5);
+  EXPECT_DOUBLE_EQ(c.ValueAt(99), 3.5);
+
+  const std::vector<double> vals = {1.0, 2.0, 3.0};
+  const StepFunction d = StepFunction::Dense(vals);
+  EXPECT_EQ(d.domain_size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(d.ValueAt(i), vals[i]);
+  }
+}
+
+TEST(StepFunctionTest, ValueAtPieceBoundaries) {
+  const StepFunction f =
+      StepFunction::FromBreakpoints(10, {0, 4, 7}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(f.ValueAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(f.ValueAt(3), 1.0);
+  EXPECT_DOUBLE_EQ(f.ValueAt(4), 2.0);
+  EXPECT_DOUBLE_EQ(f.ValueAt(6), 2.0);
+  EXPECT_DOUBLE_EQ(f.ValueAt(7), 3.0);
+  EXPECT_DOUBLE_EQ(f.ValueAt(9), 3.0);
+  EXPECT_EQ(f.PieceLength(0), 4u);
+  EXPECT_EQ(f.PieceLength(1), 3u);
+  EXPECT_EQ(f.PieceLength(2), 3u);
+}
+
+TEST(StepFunctionTest, MaxAndArgMax) {
+  const StepFunction f =
+      StepFunction::FromBreakpoints(10, {0, 4, 7}, {1.0, 5.0, 3.0});
+  EXPECT_DOUBLE_EQ(f.MaxValue(), 5.0);
+  EXPECT_EQ(f.ArgMaxFirst(), 4u);
+}
+
+TEST(StepFunctionTest, ShiftLeftMatchesDense) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t domain = 2 + rng.NextUint64(40);
+    const StepFunction f = RandomStep(rng, domain);
+    const auto dense = Densify(f);
+    const std::uint64_t offset = rng.NextUint64(domain);
+    const StepFunction g = f.ShiftLeft(offset);
+    ASSERT_EQ(g.domain_size(), domain - offset);
+    for (std::uint64_t i = 0; i < g.domain_size(); ++i) {
+      EXPECT_DOUBLE_EQ(g.ValueAt(i), dense[i + offset]);
+    }
+  }
+}
+
+TEST(StepFunctionTest, PrefixMatchesDense) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t domain = 2 + rng.NextUint64(40);
+    const StepFunction f = RandomStep(rng, domain);
+    const auto dense = Densify(f);
+    const std::uint64_t len = 1 + rng.NextUint64(domain);
+    const StepFunction g = f.Prefix(len);
+    ASSERT_EQ(g.domain_size(), len);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      EXPECT_DOUBLE_EQ(g.ValueAt(i), dense[i]);
+    }
+  }
+}
+
+TEST(StepFunctionTest, PointwiseMinMatchesDense) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t domain = 2 + rng.NextUint64(40);
+    const StepFunction a = RandomStep(rng, domain);
+    const StepFunction b = RandomStep(rng, domain);
+    const StepFunction m = StepFunction::PointwiseMin(a, b);
+    for (std::uint64_t i = 0; i < domain; ++i) {
+      EXPECT_DOUBLE_EQ(m.ValueAt(i), std::min(a.ValueAt(i), b.ValueAt(i)));
+    }
+  }
+}
+
+TEST(StepFunctionTest, EndpointWindowMinMatchesDense) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t domain = 2 + rng.NextUint64(40);
+    const StepFunction f = RandomStep(rng, domain);
+    const auto dense = Densify(f);
+    const std::uint64_t window = 1 + rng.NextUint64(domain);
+    const StepFunction w = f.EndpointWindowMin(window);
+    ASSERT_EQ(w.domain_size(), domain - window + 1);
+    for (std::uint64_t a = 0; a < w.domain_size(); ++a) {
+      EXPECT_DOUBLE_EQ(w.ValueAt(a),
+                       std::min(dense[a], dense[a + window - 1]))
+          << "a=" << a << " window=" << window << " domain=" << domain;
+    }
+  }
+}
+
+TEST(StepFunctionTest, MaxEndpointWindowMinMatchesMaterialized) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t domain = 2 + rng.NextUint64(60);
+    const StepFunction f = RandomStep(rng, domain);
+    const std::uint64_t window = 1 + rng.NextUint64(domain);
+    EXPECT_DOUBLE_EQ(f.MaxEndpointWindowMin(window),
+                     f.EndpointWindowMin(window).MaxValue());
+  }
+}
+
+TEST(StepFunctionTest, CoalesceMergesEqualNeighbors) {
+  StepFunction f =
+      StepFunction::FromBreakpoints(10, {0, 3, 6, 8}, {1.0, 1.0, 2.0, 2.0});
+  f.Coalesce();
+  EXPECT_EQ(f.num_pieces(), 2u);
+  EXPECT_DOUBLE_EQ(f.ValueAt(5), 1.0);
+  EXPECT_DOUBLE_EQ(f.ValueAt(6), 2.0);
+}
+
+TEST(StepFunctionTest, QuasiConcavityCheck) {
+  EXPECT_TRUE(StepFunction::FromBreakpoints(10, {0, 3, 6}, {1.0, 5.0, 2.0})
+                  .IsQuasiConcave());
+  EXPECT_TRUE(StepFunction::Constant(5, 0.0).IsQuasiConcave());
+  EXPECT_TRUE(StepFunction::FromBreakpoints(10, {0, 5}, {1.0, 9.0})
+                  .IsQuasiConcave());  // Non-decreasing.
+  EXPECT_FALSE(StepFunction::FromBreakpoints(10, {0, 3, 6}, {5.0, 1.0, 5.0})
+                   .IsQuasiConcave());  // Valley.
+}
+
+TEST(StepFunctionTest, WindowMinOfQuasiConcaveIsTrueMin) {
+  // For quasi-concave f, min over any interval equals the endpoint min — the
+  // identity RecConcave's interval scores rely on.
+  const StepFunction f = StepFunction::FromBreakpoints(
+      20, {0, 5, 10, 15}, {1.0, 4.0, 9.0, 2.0});
+  ASSERT_TRUE(f.IsQuasiConcave());
+  const auto dense = Densify(f);
+  for (std::uint64_t window = 1; window <= 20; ++window) {
+    const StepFunction w = f.EndpointWindowMin(window);
+    for (std::uint64_t a = 0; a + window <= 20; ++a) {
+      const double true_min =
+          *std::min_element(dense.begin() + static_cast<std::ptrdiff_t>(a),
+                            dense.begin() + static_cast<std::ptrdiff_t>(a + window));
+      EXPECT_DOUBLE_EQ(w.ValueAt(a), true_min);
+    }
+  }
+}
+
+TEST(StepFunctionTest, HugeDomainStaysCheap) {
+  const std::uint64_t domain = 1ull << 50;
+  const StepFunction f = StepFunction::FromBreakpoints(
+      domain, {0, 1000, 2000}, {0.0, 7.0, 1.0});
+  EXPECT_DOUBLE_EQ(f.ValueAt(1500), 7.0);
+  EXPECT_DOUBLE_EQ(f.ValueAt(domain - 1), 1.0);
+  EXPECT_DOUBLE_EQ(f.MaxEndpointWindowMin(1), 7.0);
+  EXPECT_DOUBLE_EQ(f.MaxEndpointWindowMin(domain), 0.0);
+  const StepFunction w = f.EndpointWindowMin(500);
+  EXPECT_LE(w.num_pieces(), 8u);
+}
+
+}  // namespace
+}  // namespace dpcluster

@@ -1,0 +1,56 @@
+// Shared helpers for the dpcluster test suite.
+
+#ifndef DPCLUSTER_TESTS_TEST_UTIL_H_
+#define DPCLUSTER_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/random/rng.h"
+
+#define ASSERT_OK(expr) ASSERT_TRUE((expr).ok()) << (expr).ToString()
+#define EXPECT_OK(expr) EXPECT_TRUE((expr).ok()) << (expr).ToString()
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)            \
+  ASSERT_OK_AND_ASSIGN_IMPL_(                      \
+      DPC_STATUS_CONCAT_(_test_result, __LINE__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, expr)        \
+  auto tmp = (expr);                                      \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();      \
+  lhs = std::move(tmp).value()
+
+namespace dpcluster {
+namespace testing_util {
+
+/// A d-dimensional PointSet from an initializer-style flat buffer.
+inline PointSet MakePointSet(std::size_t dim, std::vector<double> flat) {
+  return PointSet(dim, std::move(flat));
+}
+
+/// n points iid uniform over [0, 1]^dim.
+inline PointSet UniformCube(Rng& rng, std::size_t n, std::size_t dim) {
+  PointSet s(dim);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& x : p) x = rng.NextDouble();
+    s.Add(p);
+  }
+  return s;
+}
+
+/// Sample mean of a scalar callback over `trials` evaluations.
+template <typename F>
+double SampleMean(std::size_t trials, F&& f) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < trials; ++i) sum += f();
+  return sum / static_cast<double>(trials);
+}
+
+}  // namespace testing_util
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_TESTS_TEST_UTIL_H_

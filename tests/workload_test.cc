@@ -1,0 +1,140 @@
+// Tests for the synthetic workload generators, metrics, and table printer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/workload/metrics.h"
+#include "dpcluster/workload/synthetic.h"
+#include "dpcluster/workload/table.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(SyntheticTest, PlantedClusterHoldsTPoints) {
+  Rng rng(1);
+  PlantedClusterSpec spec;
+  spec.n = 1000;
+  spec.t = 400;
+  spec.dim = 3;
+  spec.cluster_radius = 0.05;
+  const ClusterWorkload w = MakePlantedCluster(rng, spec);
+  EXPECT_EQ(w.points.size(), 1000u);
+  EXPECT_EQ(w.t, 400u);
+  // Snapping can push points a hair outside; allow half a grid diagonal.
+  Ball slightly = w.planted;
+  slightly.radius += w.domain.step() * std::sqrt(3.0);
+  EXPECT_GE(CountInBall(w.points, slightly), w.t);
+}
+
+TEST(SyntheticTest, PointsAreOnGrid) {
+  Rng rng(2);
+  PlantedClusterSpec spec;
+  spec.n = 200;
+  spec.t = 50;
+  spec.dim = 2;
+  spec.levels = 128;
+  const ClusterWorkload w = MakePlantedCluster(rng, spec);
+  for (std::size_t i = 0; i < w.points.size(); ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_TRUE(w.domain.OnGrid(w.points[i][j]));
+    }
+  }
+}
+
+TEST(SyntheticTest, TwoClustersAreBothPopulated) {
+  Rng rng(3);
+  const ClusterWorkload w = MakeTwoClusters(rng, 1000, 2, 512, 0.04, 0.3);
+  ASSERT_EQ(w.all_planted.size(), 2u);
+  for (const Ball& planted : w.all_planted) {
+    Ball slightly = planted;
+    slightly.radius += w.domain.step() * std::sqrt(2.0);
+    EXPECT_GE(CountInBall(w.points, slightly), w.t);
+  }
+}
+
+TEST(SyntheticTest, GaussianMixtureHasKClusters) {
+  Rng rng(4);
+  const ClusterWorkload w = MakeGaussianMixture(rng, 1200, 3, 2, 512, 0.02, 0.1);
+  EXPECT_EQ(w.all_planted.size(), 3u);
+  EXPECT_EQ(w.points.size(), 1200u);
+  // Each nominal 2-sigma ball should hold most of its per-cluster mass.
+  for (const Ball& planted : w.all_planted) {
+    EXPECT_GE(CountInBall(w.points, planted),
+              static_cast<std::size_t>(0.7 * static_cast<double>(w.t)));
+  }
+}
+
+TEST(SyntheticTest, OutlierContamination) {
+  Rng rng(5);
+  const ClusterWorkload w = MakeOutlierContaminated(rng, 1000, 2, 512, 0.05, 0.9);
+  Ball slightly = w.planted;
+  slightly.radius += w.domain.step() * std::sqrt(2.0);
+  const std::size_t inside = CountInBall(w.points, slightly);
+  EXPECT_GE(inside, 900u);
+  EXPECT_LT(inside, 1000u);  // Outliers exist.
+}
+
+TEST(SyntheticTest, ShellClusterAvoidsItsOwnCenter) {
+  Rng rng(6);
+  const ClusterWorkload w = MakeShellCluster(rng, 800, 500, 8, 512, 0.2);
+  // Few points near the shell's center (adversarial-for-mean workload).
+  EXPECT_LT(CountWithin(w.points, w.planted.center, 0.1), 100u);
+  Ball shell = w.planted;
+  shell.radius += w.domain.step() * std::sqrt(8.0) + 1e-9;
+  EXPECT_GE(CountInBall(w.points, shell), w.t);
+}
+
+TEST(MetricsTest, EvaluateOnHandMadeExample) {
+  const PointSet s = testing_util::MakePointSet(1, {0.0, 0.1, 0.2, 0.9, 1.0});
+  Ball found;
+  found.center = {0.1};
+  found.radius = 0.1;
+  ASSERT_OK_AND_ASSIGN(EvalMetrics m, Evaluate(s, 3, found));
+  EXPECT_EQ(m.captured, 3u);
+  EXPECT_DOUBLE_EQ(m.delta, 0.0);
+  EXPECT_DOUBLE_EQ(m.r_opt_lower, 0.1);  // Exact 1D optimum.
+  EXPECT_DOUBLE_EQ(m.w_reported, 1.0);
+  EXPECT_DOUBLE_EQ(m.tight_radius, 0.1);
+  EXPECT_DOUBLE_EQ(m.w_effective, 1.0);
+}
+
+TEST(MetricsTest, DeltaCanBeNegativeWhenOverCapturing) {
+  const PointSet s = testing_util::MakePointSet(1, {0.0, 0.1, 0.2});
+  Ball found;
+  found.center = {0.1};
+  found.radius = 1.0;
+  ASSERT_OK_AND_ASSIGN(EvalMetrics m, Evaluate(s, 2, found));
+  EXPECT_EQ(m.captured, 3u);
+  EXPECT_DOUBLE_EQ(m.delta, -1.0);
+}
+
+TEST(MetricsTest, RejectsDimensionMismatch) {
+  const PointSet s = testing_util::MakePointSet(2, {0.0, 0.0});
+  Ball found;
+  found.center = {0.1};
+  EXPECT_FALSE(Evaluate(s, 1, found).ok());
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"method", "delta", "w"});
+  table.AddRow({"this work", "12.0", "1.5"});
+  table.AddRow({"exp-mech", "3.0", "1.0"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("this work"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Header line comes first.
+  EXPECT_LT(out.find("method"), out.find("this work"));
+}
+
+TEST(TextTableTest, Formatting) {
+  EXPECT_EQ(TextTable::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::FmtInt(1234), "1234");
+}
+
+}  // namespace
+}  // namespace dpcluster

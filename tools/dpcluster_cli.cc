@@ -1,0 +1,256 @@
+// dpcluster_cli — run the private 1-cluster pipeline on a CSV of points.
+//
+// Usage:
+//   dpcluster_cli --input points.csv --t 500 [options]
+//   dpcluster_cli --demo            # run on a built-in synthetic instance
+//
+// Input: one point per line, comma-separated coordinates, all in [0, axis].
+// Modes:
+//   cluster  (default)  release a (center, radius) ball holding ~t points
+//   outlier             release a ~fraction-mass inlier ball (t = fraction*n)
+//   interior            release an interior point (1D data only)
+//
+// Options:
+//   --epsilon E     privacy epsilon            (default 2.0)
+//   --delta D       privacy delta              (default 1e-9)
+//   --levels L      grid levels per axis |X|   (default 65536)
+//   --axis A        axis length of the cube    (default 1.0)
+//   --beta B        utility failure prob       (default 0.1)
+//   --seed S        RNG seed                   (default 2016)
+//   --mode M        cluster | outlier | interior
+//   --refine        also release a refined (tight) radius (extra 0.5 epsilon)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dpcluster/dpcluster.h"
+
+namespace {
+
+using namespace dpcluster;
+
+struct CliOptions {
+  std::string input;
+  bool demo = false;
+  std::size_t t = 0;
+  double epsilon = 2.0;
+  double delta = 1e-9;
+  std::uint64_t levels = 1u << 16;
+  double axis = 1.0;
+  double beta = 0.1;
+  std::uint64_t seed = 2016;
+  std::string mode = "cluster";
+  bool refine = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dpcluster_cli (--input points.csv --t T | --demo)\n"
+               "       [--mode cluster|outlier|interior] [--epsilon E]\n"
+               "       [--delta D] [--levels L] [--axis A] [--beta B]\n"
+               "       [--seed S] [--refine]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--demo") {
+      opt.demo = true;
+    } else if (arg == "--refine") {
+      opt.refine = true;
+    } else if (arg == "--input") {
+      const char* v = next();
+      if (!v) return false;
+      opt.input = v;
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return false;
+      opt.mode = v;
+    } else if (arg == "--t") {
+      const char* v = next();
+      if (!v) return false;
+      opt.t = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--epsilon") {
+      const char* v = next();
+      if (!v) return false;
+      opt.epsilon = std::strtod(v, nullptr);
+    } else if (arg == "--delta") {
+      const char* v = next();
+      if (!v) return false;
+      opt.delta = std::strtod(v, nullptr);
+    } else if (arg == "--levels") {
+      const char* v = next();
+      if (!v) return false;
+      opt.levels = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--axis") {
+      const char* v = next();
+      if (!v) return false;
+      opt.axis = std::strtod(v, nullptr);
+    } else if (arg == "--beta") {
+      const char* v = next();
+      if (!v) return false;
+      opt.beta = std::strtod(v, nullptr);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return opt.demo || (!opt.input.empty() && (opt.t > 0 || opt.mode != "cluster"));
+}
+
+Result<PointSet> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::string line;
+  std::size_t dim = 0;
+  std::vector<double> flat;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream row(line);
+    std::string cell;
+    std::size_t cols = 0;
+    while (std::getline(row, cell, ',')) {
+      flat.push_back(std::strtod(cell.c_str(), nullptr));
+      ++cols;
+    }
+    if (dim == 0) {
+      dim = cols;
+    } else if (cols != dim) {
+      return Status::InvalidArgument("ragged CSV at line " +
+                                     std::to_string(line_no));
+    }
+  }
+  if (dim == 0) return Status::InvalidArgument("empty input " + path);
+  return PointSet(dim, std::move(flat));
+}
+
+int RunCluster(Rng& rng, PointSet points, const CliOptions& opt) {
+  const GridDomain domain(opt.levels, points.dim(), opt.axis);
+  domain.SnapAll(points);
+  OneClusterOptions options;
+  options.params = {opt.epsilon, opt.delta};
+  options.beta = opt.beta;
+  options.radius.subsample_large_inputs = true;
+
+  std::printf("# 1-cluster: n=%zu d=%zu t=%zu eps=%g delta=%g |X|=%llu\n",
+              points.size(), points.dim(), opt.t, opt.epsilon, opt.delta,
+              static_cast<unsigned long long>(opt.levels));
+  std::printf("# recommended_min_t=%.0f\n",
+              RecommendedMinT(points.size(), domain, options));
+  auto result = OneCluster(rng, points, opt.t, domain, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("center=");
+  for (std::size_t j = 0; j < result->ball.center.size(); ++j) {
+    std::printf("%s%.6f", j ? "," : "", result->ball.center[j]);
+  }
+  std::printf("\nguarantee_radius=%.6f\n", result->ball.radius);
+  std::printf("radius_stage_r=%.6f\n", result->radius_stage.radius);
+  if (opt.refine) {
+    RadiusRefineOptions refine{0.5, opt.beta};
+    auto tight = RefineRadius(rng, points, result->ball.center, opt.t, domain,
+                              refine);
+    if (tight.ok()) std::printf("refined_radius=%.6f\n", *tight);
+  }
+  return 0;
+}
+
+int RunOutlier(Rng& rng, PointSet points, const CliOptions& opt) {
+  const GridDomain domain(opt.levels, points.dim(), opt.axis);
+  domain.SnapAll(points);
+  OutlierScreenOptions options;
+  options.inlier_fraction =
+      opt.t > 0 ? static_cast<double>(opt.t) / static_cast<double>(points.size())
+                : 0.9;
+  options.one_cluster.params = {opt.epsilon, opt.delta};
+  options.one_cluster.beta = opt.beta;
+  options.one_cluster.radius.subsample_large_inputs = true;
+  auto screen = BuildOutlierScreen(rng, points, domain, options);
+  if (!screen.ok()) {
+    std::fprintf(stderr, "error: %s\n", screen.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("inlier_center=");
+  for (std::size_t j = 0; j < screen->ball.center.size(); ++j) {
+    std::printf("%s%.6f", j ? "," : "", screen->ball.center[j]);
+  }
+  std::printf("\ninlier_radius=%.6f\n", screen->ball.radius);
+  return 0;
+}
+
+int RunInterior(Rng& rng, const PointSet& points, const CliOptions& opt) {
+  if (points.dim() != 1) {
+    std::fprintf(stderr, "error: interior mode needs 1D input\n");
+    return 1;
+  }
+  const GridDomain domain(opt.levels, 1, opt.axis);
+  std::vector<double> data(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    data[i] = domain.Snap(points[i][0]);
+  }
+  InteriorPointOptions options;
+  options.params = {opt.epsilon, opt.delta};
+  options.beta = opt.beta;
+  auto result = InteriorPoint(rng, data, domain, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("interior_point=%.6f\n", result->point);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!ParseArgs(argc, argv, opt)) {
+    Usage();
+    return 2;
+  }
+  Rng rng(opt.seed);
+
+  PointSet points(1);
+  if (opt.demo) {
+    PlantedClusterSpec spec;
+    spec.n = 4096;
+    spec.t = 1500;
+    spec.dim = 2;
+    spec.levels = opt.levels;
+    spec.cluster_radius = 0.02;
+    const ClusterWorkload w = MakePlantedCluster(rng, spec);
+    points = w.points;
+    if (opt.t == 0) opt.t = spec.t;
+    std::printf("# demo: planted cluster at (%.4f, %.4f), radius %.3f\n",
+                w.planted.center[0], w.planted.center[1], spec.cluster_radius);
+  } else {
+    auto loaded = LoadCsv(opt.input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    points = std::move(*loaded);
+  }
+
+  if (opt.mode == "cluster") return RunCluster(rng, std::move(points), opt);
+  if (opt.mode == "outlier") return RunOutlier(rng, std::move(points), opt);
+  if (opt.mode == "interior") return RunInterior(rng, points, opt);
+  std::fprintf(stderr, "unknown mode: %s\n", opt.mode.c_str());
+  return 2;
+}
