@@ -7,25 +7,20 @@
 //   Query release thresholds [3,4] (d=1)  w=1, Delta=2^{O(log*|X|)}/eps
 //   This work                 w=O(sqrt(log n)), Delta=O~(1/eps), poly time
 //
-// Scenario A (d=1, minority cluster) runs every method; Scenario B (d=2)
-// shows the exponential mechanism hitting its poly(|X|^d) wall and the
+// Every method is dispatched by name through the Solver façade's algorithm
+// registry — the rows below differ only in the `algorithm` field of the
+// Request. Scenario A (d=1, minority cluster) runs every method; Scenario B
+// (d=2) shows the exponential mechanism hitting its poly(|X|^d) wall and the
 // noisy-mean baseline failing on minority clusters, while this work still
 // answers. Shapes to check: who runs, who handles minority clusters, and the
 // measured (Delta, w) ordering. Absolute values are not the paper's (it
 // reports bounds, not experiments).
 
-#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "dpcluster/baselines/exp_mech_baseline.h"
-#include "dpcluster/baselines/noisy_mean_baseline.h"
-#include "dpcluster/baselines/nonprivate_baseline.h"
-#include "dpcluster/baselines/threshold_release_1d.h"
-#include "dpcluster/core/one_cluster.h"
-#include "dpcluster/workload/metrics.h"
 #include "dpcluster/workload/synthetic.h"
 #include "dpcluster/workload/table.h"
 
@@ -37,57 +32,44 @@ constexpr double kEps = 2.0;
 constexpr double kDelta = 1e-9;
 
 struct Row {
-  std::string method;
-  double delta_mean = 0.0;   // t - captured.
-  double w_eff_mean = 0.0;   // tight_radius / r_opt lower bound.
-  double ms_mean = 0.0;
-  bool ran = false;
+  std::string method;     // display label (paper row)
+  std::string algorithm;  // registry name the Solver dispatches on
   std::string note;
 };
 
-template <typename Solver>
-Row RunMethod(const std::string& name, const ClusterWorkload& w, Rng& rng,
-              Solver&& solve, const std::string& note = "") {
-  Row row;
-  row.method = name;
-  row.note = note;
-  int ok_trials = 0;
-  for (int trial = 0; trial < kTrials; ++trial) {
-    Result<Ball> ball = Status::Internal("unset");
-    const double ms = bench::TimeMs([&] { ball = solve(rng); });
-    if (!ball.ok()) {
-      row.note = ball.status().ToString().substr(0, 48);
-      continue;
-    }
-    const auto metrics = Evaluate(w.points, w.t, *ball);
-    if (!metrics.ok()) continue;
-    row.delta_mean += std::max(0.0, metrics->delta);
-    row.w_eff_mean += metrics->w_effective;
-    row.ms_mean += ms;
-    ++ok_trials;
-  }
-  if (ok_trials > 0) {
-    row.ran = true;
-    row.delta_mean /= ok_trials;
-    row.w_eff_mean /= ok_trials;
-    row.ms_mean /= ok_trials;
-  }
-  return row;
+Request BaseRequest(const ClusterWorkload& w) {
+  Request request;
+  request.data = w.points;
+  request.domain = w.domain;
+  request.t = w.t;
+  request.budget = {kEps, kDelta};
+  request.beta = 0.1;
+  return request;
 }
 
-void PrintRows(const std::vector<Row>& rows) {
+void RunRows(const ClusterWorkload& w, const std::vector<Row>& rows,
+             std::uint64_t seed) {
+  Solver solver(SolverOptions{.seed = seed});
   TextTable table({"method", "Delta (t-captured)", "w (effective)", "time ms",
                    "note"});
-  for (const Row& r : rows) {
-    if (r.ran) {
-      table.AddRow({r.method, TextTable::Fmt(r.delta_mean, 1),
-                    TextTable::Fmt(r.w_eff_mean, 2), TextTable::Fmt(r.ms_mean, 1),
-                    r.note});
+  for (const Row& row : rows) {
+    Request request = BaseRequest(w);
+    request.algorithm = row.algorithm;
+    const bench::MethodStats stats =
+        bench::RunTrials(solver, request, kTrials);
+    if (stats.ran) {
+      table.AddRow({row.method, TextTable::Fmt(stats.delta_mean, 1),
+                    TextTable::Fmt(stats.w_eff_mean, 2),
+                    TextTable::Fmt(stats.ms_mean, 1),
+                    row.note.empty() ? stats.note : row.note});
     } else {
-      table.AddRow({r.method, "-", "-", "-", r.note});
+      table.AddRow({row.method, "-", "-", "-",
+                    stats.note.empty() ? row.note : stats.note});
     }
   }
   table.Print();
+  std::printf("total privacy spend of this table: %s\n",
+              solver.TotalSpend().ToString().c_str());
 }
 
 void ScenarioA() {
@@ -103,42 +85,18 @@ void ScenarioA() {
   spec.cluster_radius = 0.01;
   const ClusterWorkload w = MakePlantedCluster(rng, spec);
 
-  std::vector<Row> rows;
-
-  rows.push_back(RunMethod("non-private exact", w, rng, [&](Rng&) {
-    return NonPrivateBestEffort(w.points, w.t);
-  }, "reference"));
-
-  rows.push_back(RunMethod("private aggregation [16]", w, rng, [&](Rng& r) {
-    NoisyMeanBaselineOptions o;
-    o.params = {kEps, kDelta};
-    return NoisyMeanBaseline(r, w.points, w.t, w.domain, o);
-  }, "mean misses minority cluster"));
-
-  rows.push_back(RunMethod("exponential mechanism [14]", w, rng, [&](Rng& r) {
-    ExpMechBaselineOptions o;
-    o.params = {kEps, 0.0};
-    return ExpMechBaseline(r, w.points, w.t, w.domain, o);
-  }, "time poly(|X|^d)"));
-
-  rows.push_back(RunMethod("query release thresholds [3,4]", w, rng, [&](Rng& r) -> Result<Ball> {
-    ThresholdRelease1DOptions o;
-    o.params = {kEps, 0.0};
-    DPC_ASSIGN_OR_RETURN(ThresholdRelease1D release,
-                         ThresholdRelease1D::Build(r, w.points, w.domain, o));
-    return release.SmallestHeavyInterval(static_cast<double>(w.t));
-  }, "d=1 only; dyadic-tree variant"));
-
-  rows.push_back(RunMethod("this work (Thm 3.2)", w, rng, [&](Rng& r) -> Result<Ball> {
-    OneClusterOptions o;
-    o.params = {kEps, kDelta};
-    o.beta = 0.1;
-    DPC_ASSIGN_OR_RETURN(OneClusterResult result,
-                         OneCluster(r, w.points, w.t, w.domain, o));
-    return result.ball;
-  }));
-
-  PrintRows(rows);
+  RunRows(w,
+          {
+              {"non-private exact", "nonprivate", "reference"},
+              {"private aggregation [16]", "noisy_mean_baseline",
+               "mean misses minority cluster"},
+              {"exponential mechanism [14]", "exp_mech_baseline",
+               "time poly(|X|^d)"},
+              {"query release thresholds [3,4]", "threshold_release_1d",
+               "d=1 only; dyadic-tree variant"},
+              {"this work (Thm 3.2)", "one_cluster", ""},
+          },
+          1001);
 }
 
 void ScenarioB() {
@@ -148,34 +106,15 @@ void ScenarioB() {
   Rng rng(2002);
   const ClusterWorkload w = MakeTwoClusters(rng, 4096, 2, 1u << 14, 0.01, 0.3);
 
-  std::vector<Row> rows;
-
-  rows.push_back(RunMethod("non-private 2-approx", w, rng, [&](Rng&) {
-    return NonPrivateTwoApprox(w.points, w.t);
-  }, "reference"));
-
-  rows.push_back(RunMethod("private aggregation [16]", w, rng, [&](Rng& r) {
-    NoisyMeanBaselineOptions o;
-    o.params = {kEps, kDelta};
-    return NoisyMeanBaseline(r, w.points, w.t, w.domain, o);
-  }, "needs majority cluster"));
-
-  rows.push_back(RunMethod("exponential mechanism [14]", w, rng, [&](Rng& r) {
-    ExpMechBaselineOptions o;
-    o.params = {kEps, 0.0};
-    return ExpMechBaseline(r, w.points, w.t, w.domain, o);
-  }));
-
-  rows.push_back(RunMethod("this work (Thm 3.2)", w, rng, [&](Rng& r) -> Result<Ball> {
-    OneClusterOptions o;
-    o.params = {kEps, kDelta};
-    o.beta = 0.1;
-    DPC_ASSIGN_OR_RETURN(OneClusterResult result,
-                         OneCluster(r, w.points, w.t, w.domain, o));
-    return result.ball;
-  }));
-
-  PrintRows(rows);
+  RunRows(w,
+          {
+              {"non-private 2-approx", "nonprivate", "reference"},
+              {"private aggregation [16]", "noisy_mean_baseline",
+               "needs majority cluster"},
+              {"exponential mechanism [14]", "exp_mech_baseline", ""},
+              {"this work (Thm 3.2)", "one_cluster", ""},
+          },
+          2002);
   bench::Note(
       "\nExpected shape (paper Table 1): [16] pays w ~ sqrt(d)/eps and only"
       "\nworks for majority clusters; [14] achieves w ~ 1 but is shut out as"

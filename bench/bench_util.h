@@ -3,9 +3,12 @@
 #ifndef DPCLUSTER_BENCH_BENCH_UTIL_H_
 #define DPCLUSTER_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+
+#include "dpcluster/api/solver.h"
 
 namespace dpcluster {
 namespace bench {
@@ -28,6 +31,48 @@ inline void Banner(const std::string& title) {
 
 inline void Note(const std::string& text) {
   std::printf("%s\n", text.c_str());
+}
+
+/// Aggregate utility/timing stats of repeated Solver runs of one request —
+/// the measured counterparts of the paper's (Delta, w) columns.
+struct MethodStats {
+  bool ran = false;
+  double delta_mean = 0.0;  ///< mean max(0, t - captured)
+  double w_eff_mean = 0.0;  ///< mean tight_radius / r_opt lower bound
+  double ms_mean = 0.0;
+  std::string note;         ///< error text of the last failing trial, if any
+};
+
+/// Runs `request` `trials` times through `solver` (each run gets a fresh RNG
+/// stream from the solver) and averages the solver's utility diagnostics over
+/// the successful trials. The request must leave diagnostics enabled and set
+/// t, so the solver can score each response.
+inline MethodStats RunTrials(Solver& solver, const Request& request,
+                             int trials) {
+  MethodStats stats;
+  int ok_trials = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto response = solver.Run(request);
+    if (!response.ok()) {
+      stats.note = response.status().ToString().substr(0, 48);
+      continue;
+    }
+    if (!response->diagnostics.has_value()) {
+      stats.note = "no diagnostics (enable SolverOptions::diagnostics, set t)";
+      continue;
+    }
+    stats.delta_mean += std::max(0.0, response->diagnostics->delta);
+    stats.w_eff_mean += response->diagnostics->w_effective;
+    stats.ms_mean += response->wall_ms;
+    ++ok_trials;
+  }
+  if (ok_trials > 0) {
+    stats.ran = true;
+    stats.delta_mean /= ok_trials;
+    stats.w_eff_mean /= ok_trials;
+    stats.ms_mean /= ok_trials;
+  }
+  return stats;
 }
 
 }  // namespace bench

@@ -1,11 +1,12 @@
-// k-ball covering (Observation 3.5): iterate the 1-cluster solver k times,
-// removing covered points between rounds, to privately sketch the cluster
-// structure of a dataset — the paper's heuristic route from 1-cluster to
-// k-clustering.
+// k-ball covering (Observation 3.5) through the Solver façade: the
+// "k_cluster" algorithm iterates the 1-cluster solver k times, removing
+// covered points between rounds — the paper's heuristic route from 1-cluster
+// to k-clustering. The Response carries every released ball plus the
+// cross-round privacy ledger.
 
 #include <cstdio>
 
-#include "dpcluster/core/k_cluster.h"
+#include "dpcluster/api/solver.h"
 #include "dpcluster/workload/synthetic.h"
 
 int main() {
@@ -17,23 +18,27 @@ int main() {
   const ClusterWorkload w =
       MakeGaussianMixture(rng, 4000, k, 2, 1u << 12, 0.012, 0.05);
 
-  KClusterOptions options;
-  options.params = {24.0, 1e-8};  // Total budget, split across the k rounds.
-  options.beta = 0.2;
-  options.k = k;
+  Request request;
+  request.algorithm = "k_cluster";
+  request.data = w.points;
+  request.domain = w.domain;
+  request.k = k;
+  request.budget = {24.0, 1e-8};  // Total budget, split across the k rounds.
+  request.beta = 0.2;
 
   std::printf("Covering a %zu-component mixture (n=%zu) with %zu private "
               "balls, total eps=%.0f...\n\n",
-              k, w.points.size(), k, options.params.epsilon);
+              k, w.points.size(), k, request.budget.epsilon);
 
-  const auto result = KCluster(rng, w.points, w.domain, options);
-  if (!result.ok()) {
-    std::printf("KCluster failed: %s\n", result.status().ToString().c_str());
+  Solver solver(SolverOptions{.seed = 555});
+  const auto response = solver.Run(request);
+  if (!response.ok()) {
+    std::printf("Solver failed: %s\n", response.status().ToString().c_str());
     return 1;
   }
 
-  for (std::size_t i = 0; i < result->rounds.size(); ++i) {
-    const Ball& ball = result->rounds[i].ball;
+  for (std::size_t i = 0; i < response->balls.size(); ++i) {
+    const Ball& ball = response->balls[i];
     std::printf("ball %zu: center (%.3f, %.3f), radius %.3f\n", i + 1,
                 ball.center[0], ball.center[1], ball.radius);
   }
@@ -42,11 +47,13 @@ int main() {
     std::printf("         (%.3f, %.3f)\n", planted.center[0], planted.center[1]);
   }
   std::printf("\nUncovered points (evaluation only): %zu of %zu (%.1f%%)\n",
-              result->uncovered, w.points.size(),
-              100.0 * static_cast<double>(result->uncovered) /
+              response->uncovered, w.points.size(),
+              100.0 * static_cast<double>(response->uncovered) /
                   static_cast<double>(w.points.size()));
-  std::printf("Each round ran with eps=%.1f (basic composition; the paper's\n"
-              "k <~ (eps n)^{2/3} bound is exactly this budget split).\n",
-              options.params.epsilon / static_cast<double>(k));
+  std::printf("\nCharged eps=%.1f delta=%.2g across %zu interactions "
+              "(basic composition; the paper's k <~ (eps n)^{2/3} bound is "
+              "exactly this budget split).\n",
+              response->charged.epsilon, response->charged.delta,
+              response->ledger.interactions());
   return 0;
 }

@@ -1,21 +1,24 @@
-// Quickstart: solve the 1-cluster problem on a synthetic dataset.
+// Quickstart: solve the 1-cluster problem through the Solver façade.
 //
 //   1. Describe the data universe X^d (a quantized cube, Definition 1.2).
 //   2. Put your points in a PointSet (snapped to the grid).
-//   3. Pick a privacy budget and call OneCluster.
+//   3. Fill a Request (algorithm name, data, domain, budget) and Solver::Run.
 //
-// Build & run:  ./build/examples/quickstart
+// The Response carries the released ball, the per-phase privacy ledger, and
+// (non-private) utility diagnostics. The pre-façade entry point — calling
+// OneCluster() directly — still works; see the library headers.
+//
+// Build & run:  ./build/example_quickstart
 
 #include <cstdio>
 
-#include "dpcluster/core/one_cluster.h"
-#include "dpcluster/workload/metrics.h"
+#include "dpcluster/api/solver.h"
 #include "dpcluster/workload/synthetic.h"
 
 int main() {
   using namespace dpcluster;
 
-  // A reproducible data source: 5000 points in [0,1]^2, of which t=2000 lie
+  // A reproducible data source: 4096 points in [0,1]^2, of which t=2000 lie
   // in a planted ball of radius 0.015 (the "small cluster" we want to find).
   Rng rng(2016);
   PlantedClusterSpec spec;
@@ -26,38 +29,44 @@ int main() {
   spec.cluster_radius = 0.015;
   const ClusterWorkload workload = MakePlantedCluster(rng, spec);
 
-  // (eps, delta)-differential privacy budget for the whole pipeline.
-  OneClusterOptions options;
-  options.params = {4.0, 1e-9};
-  options.beta = 0.1;  // Failure probability of the utility guarantee.
+  // The typed request: which algorithm, on what data, with what budget.
+  Request request;
+  request.algorithm = "one_cluster";
+  request.data = workload.points;
+  request.domain = workload.domain;
+  request.t = workload.t;
+  request.budget = {4.0, 1e-9};  // (eps, delta) for the whole pipeline.
+  request.beta = 0.1;            // Failure probability of the utility claim.
 
   std::printf("Solving the 1-cluster problem (n=%zu, t=%zu, d=%zu, eps=%.1f)\n",
-              workload.points.size(), workload.t, spec.dim,
-              options.params.epsilon);
-  std::printf("Recommended minimum t for this configuration: %.0f\n",
-              RecommendedMinT(spec.n, workload.domain, options));
+              request.data.size(), request.t, spec.dim,
+              request.budget.epsilon);
 
-  auto result =
-      OneCluster(rng, workload.points, workload.t, workload.domain, options);
-  if (!result.ok()) {
-    std::printf("OneCluster failed: %s\n", result.status().ToString().c_str());
+  Solver solver;
+  const auto response = solver.Run(request);
+  if (!response.ok()) {
+    std::printf("Solver failed: %s\n", response.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("\nReleased center: (%.4f, %.4f)\n", result->ball.center[0],
-              result->ball.center[1]);
+  std::printf("\nReleased center: (%.4f, %.4f)\n", response->ball.center[0],
+              response->ball.center[1]);
   std::printf("Planted  center: (%.4f, %.4f)\n", workload.planted.center[0],
               workload.planted.center[1]);
-  std::printf("GoodRadius phase returned r = %.4f (<= 4 * r_opt)\n",
-              result->radius_stage.radius);
   std::printf("Guarantee radius (O(sqrt(log n)) * r): %.4f\n",
-              result->ball.radius);
+              response->ball.radius);
+  std::printf("%s\n", response->note.c_str());
 
-  // Evaluation (not private — uses the raw data to score the output).
-  const auto metrics = Evaluate(workload.points, workload.t, result->ball);
-  std::printf("\nEvaluation: captured %zu of t=%zu points; effective radius "
-              "around the released center: %.4f (%.2fx the optimum)\n",
-              metrics->captured, workload.t, metrics->tight_radius,
-              metrics->w_effective);
+  // The per-phase ledger: one charge per mechanism, summing to the budget.
+  std::printf("\n%s\n", response->ledger.Report().c_str());
+
+  // Evaluation (not private — the solver scored the output on the raw data).
+  if (response->diagnostics.has_value()) {
+    const EvalMetrics& m = *response->diagnostics;
+    std::printf("\nEvaluation: captured %zu of t=%zu points; effective radius "
+                "around the released center: %.4f (%.2fx the optimum)\n",
+                m.captured, request.t, m.tight_radius, m.w_effective);
+  }
+  std::printf("Solved in %.1f ms\n", response->wall_ms);
   return 0;
 }

@@ -1,0 +1,48 @@
+// The common interface every solver algorithm — the paper pipeline, its
+// derived problems, and the four baselines — implements to be servable
+// through the Solver façade. Implementations adapt the internal free
+// functions (OneCluster, KCluster, ...) to the typed Request/Response API and
+// record their privacy spend through the request's BudgetSession.
+
+#ifndef DPCLUSTER_API_ALGORITHM_H_
+#define DPCLUSTER_API_ALGORITHM_H_
+
+#include <string_view>
+
+#include "dpcluster/api/budget.h"
+#include "dpcluster/api/request.h"
+#include "dpcluster/api/response.h"
+#include "dpcluster/common/status.h"
+#include "dpcluster/random/rng.h"
+
+namespace dpcluster {
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// Registry key ("one_cluster", "exp_mech_baseline", ...).
+  virtual std::string_view name() const = 0;
+
+  /// The problem family this algorithm solves.
+  virtual ProblemKind kind() const = 0;
+
+  /// One-line human-readable description (CLI --list output).
+  virtual std::string_view description() const = 0;
+
+  /// Algorithm-specific request checks (t present, 1D-only, ...), run by the
+  /// Solver after the generic Request::Validate.
+  virtual Status ValidateRequest(const Request& request) const = 0;
+
+  /// Executes the algorithm. Every differentially private interaction must be
+  /// charged to `session` (the Solver rejects responses whose session spend
+  /// exceeds the request budget via BudgetSession's own overdraw check).
+  /// Implementations fill the artifact fields of Response; the Solver fills
+  /// the bookkeeping fields (algorithm, kind, charged, timing, diagnostics).
+  virtual Result<Response> Run(Rng& rng, const Request& request,
+                               BudgetSession& session) const = 0;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_API_ALGORITHM_H_

@@ -1,0 +1,54 @@
+#include "dpcluster/api/budget.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dpcluster {
+
+namespace {
+// Relative slack for the overdraw check: the per-phase budgets are produced
+// by floating-point splits (Fraction, InverseAdvancedEpsilon) whose sum can
+// exceed the total by a few ulp.
+constexpr double kSlack = 1e-9;
+
+bool Overdraws(const PrivacyParams& spent, const PrivacyParams& add,
+               const PrivacyParams& budget) {
+  const double eps_cap = budget.epsilon * (1.0 + kSlack) + kSlack;
+  const double delta_cap = budget.delta * (1.0 + kSlack) + 1e-18;
+  return spent.epsilon + add.epsilon > eps_cap ||
+         spent.delta + add.delta > delta_cap;
+}
+}  // namespace
+
+BudgetSession::BudgetSession(Accountant* shared, std::string scope,
+                             PrivacyParams budget)
+    : shared_(shared), scope_(std::move(scope)), budget_(budget) {}
+
+PrivacyParams BudgetSession::remaining() const {
+  const PrivacyParams used = spent();
+  return {std::max(0.0, budget_.epsilon - used.epsilon),
+          std::max(0.0, budget_.delta - used.delta)};
+}
+
+Status BudgetSession::Charge(const std::string& label,
+                             const PrivacyParams& params) {
+  if (Overdraws(spent(), params, budget_)) {
+    return Status::ResourceExhausted(
+        "BudgetSession '" + scope_ + "': charge '" + label + "' " +
+        params.ToString() + " would overdraw budget " + budget_.ToString() +
+        " (spent " + spent().ToString() + ")");
+  }
+  local_.Charge(label, params);
+  if (shared_ != nullptr) shared_->Charge(scope_ + "/" + label, params);
+  return Status::OK();
+}
+
+Status BudgetSession::ChargeLedger(const Accountant& ledger,
+                                   const std::string& prefix) {
+  for (const auto& entry : ledger.charges()) {
+    DPC_RETURN_IF_ERROR(Charge(prefix + entry.label, entry.params));
+  }
+  return Status::OK();
+}
+
+}  // namespace dpcluster

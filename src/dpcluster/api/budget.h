@@ -1,0 +1,60 @@
+// BudgetSession: a scoped slice of privacy budget carved from a shared
+// Accountant. The Solver hands one session to each algorithm run; the
+// algorithm records its per-phase spend through the session, which mirrors
+// every charge into the shared cross-request ledger (scope-prefixed) and
+// refuses to overdraw its slice. This is the accounting seam that lets many
+// independent requests execute against one accountant (Solver::RunAll).
+
+#ifndef DPCLUSTER_API_BUDGET_H_
+#define DPCLUSTER_API_BUDGET_H_
+
+#include <string>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/accountant.h"
+#include "dpcluster/dp/privacy_params.h"
+
+namespace dpcluster {
+
+class BudgetSession {
+ public:
+  /// Carves `budget` for scope `scope` out of `shared`. `shared` may be
+  /// nullptr (a free-standing session that only keeps its local ledger); when
+  /// set it must outlive the session.
+  BudgetSession(Accountant* shared, std::string scope, PrivacyParams budget);
+
+  /// The slice this session may spend.
+  const PrivacyParams& budget() const { return budget_; }
+
+  /// Spend so far, under basic composition of the session's charges.
+  PrivacyParams spent() const { return local_.BasicTotal(); }
+
+  /// Budget minus spend, floored at zero coordinate-wise.
+  PrivacyParams remaining() const;
+
+  /// Records one (eps, delta)-DP interaction against this session and mirrors
+  /// it into the shared accountant as "<scope>/<label>". Fails with
+  /// ResourceExhausted if the charge would overdraw the session budget
+  /// (beyond a small floating-point slack) — the mechanism must not run if
+  /// its budget is not there.
+  Status Charge(const std::string& label, const PrivacyParams& params);
+
+  /// Absorbs a sub-ledger (e.g. a OneClusterResult::ledger) as individual
+  /// charges, prefixing each label. Fails like Charge on overdraw.
+  Status ChargeLedger(const Accountant& ledger, const std::string& prefix = "");
+
+  /// This session's own ledger (per-phase view of the request).
+  const Accountant& ledger() const { return local_; }
+
+  const std::string& scope() const { return scope_; }
+
+ private:
+  Accountant* shared_;  // not owned; may be null
+  Accountant local_;
+  std::string scope_;
+  PrivacyParams budget_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_API_BUDGET_H_

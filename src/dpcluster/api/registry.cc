@@ -1,0 +1,58 @@
+#include "dpcluster/api/registry.h"
+
+#include <utility>
+
+namespace dpcluster {
+
+Status AlgorithmRegistry::Register(std::unique_ptr<Algorithm> algorithm) {
+  if (algorithm == nullptr) {
+    return Status::InvalidArgument("Register: algorithm is null");
+  }
+  std::string key(algorithm->name());
+  if (key.empty()) {
+    return Status::InvalidArgument("Register: algorithm name is empty");
+  }
+  auto [it, inserted] = algorithms_.emplace(std::move(key), std::move(algorithm));
+  if (!inserted) {
+    return Status::InvalidArgument("Register: duplicate algorithm name '" +
+                                   it->first + "'");
+  }
+  return Status::OK();
+}
+
+Result<const Algorithm*> AlgorithmRegistry::Lookup(std::string_view name) const {
+  auto it = algorithms_.find(name);
+  if (it == algorithms_.end()) {
+    std::string known;
+    for (const auto& [key, unused] : algorithms_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status::NotFound("no algorithm named '" + std::string(name) +
+                            "' (registered: " + known + ")");
+  }
+  return it->second.get();
+}
+
+bool AlgorithmRegistry::Contains(std::string_view name) const {
+  return algorithms_.find(name) != algorithms_.end();
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(algorithms_.size());
+  for (const auto& [key, unused] : algorithms_) names.push_back(key);
+  return names;  // std::map iterates in sorted order.
+}
+
+AlgorithmRegistry& AlgorithmRegistry::Global() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    // Built-in registration only fails on duplicate names, impossible here.
+    RegisterBuiltinAlgorithms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace dpcluster

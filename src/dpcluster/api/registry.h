@@ -1,0 +1,50 @@
+// String-keyed registry of Algorithm implementations. The CLI, benches, and
+// examples dispatch by name through a registry instead of hand-rolled switch
+// ladders; custom algorithms can be registered alongside the built-ins.
+
+#ifndef DPCLUSTER_API_REGISTRY_H_
+#define DPCLUSTER_API_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dpcluster/api/algorithm.h"
+#include "dpcluster/common/status.h"
+
+namespace dpcluster {
+
+class AlgorithmRegistry {
+ public:
+  /// Adds an algorithm under its name(); InvalidArgument on duplicates.
+  Status Register(std::unique_ptr<Algorithm> algorithm);
+
+  /// Looks an algorithm up by name; NotFound (listing the registered names)
+  /// when absent. The pointer stays valid for the registry's lifetime.
+  Result<const Algorithm*> Lookup(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  std::size_t size() const { return algorithms_.size(); }
+
+  /// The process-wide registry, populated with the built-in algorithms on
+  /// first use.
+  static AlgorithmRegistry& Global();
+
+ private:
+  std::map<std::string, std::unique_ptr<Algorithm>, std::less<>> algorithms_;
+};
+
+/// Registers the built-in algorithms (the paper pipeline, its derived
+/// problems, and the four baselines) into `registry`. Names already present
+/// are left untouched.
+Status RegisterBuiltinAlgorithms(AlgorithmRegistry& registry);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_API_REGISTRY_H_

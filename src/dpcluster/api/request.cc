@@ -1,0 +1,57 @@
+#include "dpcluster/api/request.h"
+
+namespace dpcluster {
+
+const char* ProblemKindName(ProblemKind kind) {
+  switch (kind) {
+    case ProblemKind::kOneCluster:
+      return "one-cluster";
+    case ProblemKind::kKCluster:
+      return "k-cluster";
+    case ProblemKind::kOutlier:
+      return "outlier";
+    case ProblemKind::kInteriorPoint:
+      return "interior-point";
+    case ProblemKind::kSampleAggregate:
+      return "sample-aggregate";
+    case ProblemKind::kBaseline:
+      return "baseline";
+  }
+  return "unknown";
+}
+
+Status Request::Validate() const {
+  if (algorithm.empty()) {
+    return Status::InvalidArgument("Request: algorithm name is empty");
+  }
+  DPC_RETURN_IF_ERROR(budget.Validate());
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("Request: beta must be in (0,1)");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("Request: data is empty");
+  }
+  if (domain.has_value() && domain->dim() != data.dim()) {
+    return Status::InvalidArgument(
+        "Request: domain dimension does not match data dimension");
+  }
+  if (!(tuning.radius_budget_fraction > 0.0) ||
+      !(tuning.radius_budget_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "Request: tuning.radius_budget_fraction must be in (0,1)");
+  }
+  if (!(tuning.refine_fraction >= 0.0) || !(tuning.refine_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "Request: tuning.refine_fraction must be in [0,1)");
+  }
+  if (!(inlier_fraction > 0.0) || !(inlier_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        "Request: inlier_fraction must be in (0,1]");
+  }
+  if (!(alpha > 0.0) || !(alpha <= 1.0)) {
+    return Status::InvalidArgument("Request: alpha must be in (0,1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,97 @@
+// The typed request of the Solver façade: which algorithm to run (a registry
+// key), on what data and domain, with what privacy budget and problem
+// parameters. One Request maps to one BudgetSession carved from the Solver's
+// shared Accountant.
+
+#ifndef DPCLUSTER_API_REQUEST_H_
+#define DPCLUSTER_API_REQUEST_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/dp/privacy_params.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/sa/sample_aggregate.h"
+
+namespace dpcluster {
+
+/// The problem families the façade serves (ISSUE: one-cluster, k-cluster,
+/// outlier, interior-point, sample-aggregate, baselines).
+enum class ProblemKind {
+  kOneCluster,
+  kKCluster,
+  kOutlier,
+  kInteriorPoint,
+  kSampleAggregate,
+  kBaseline,
+};
+
+/// Human-readable name ("one-cluster", ...).
+const char* ProblemKindName(ProblemKind kind);
+
+/// Algorithm-specific tuning knobs. Every algorithm reads the fields it
+/// understands and ignores the rest; the defaults match the free functions'.
+struct Tuning {
+  /// One-cluster: fraction of the budget given to GoodRadius.
+  double radius_budget_fraction = 0.5;
+  /// One-cluster: subsample the GoodRadius pair profile on large inputs.
+  bool subsample_large_inputs = false;
+  /// Fraction of the (per-round) epsilon spent on RefineRadius to tighten
+  /// the released ball. Read by k_cluster and outlier_screen, and by
+  /// one_cluster when `refine_one_cluster` is set.
+  double refine_fraction = 0.25;
+  /// One-cluster: also spend refine_fraction of the epsilon tightening the
+  /// released radius (the guarantee radius is a worst-case bound, often the
+  /// whole cube). Off by default to match the plain OneCluster pipeline.
+  bool refine_one_cluster = false;
+  /// K-cluster: size per-round budgets by advanced composition (Thm 4.7).
+  bool advanced_composition = false;
+  /// Outlier: multiplier on the found ball radius before screening.
+  double inflation = 1.0;
+  /// Exp-mech baseline: refuse to enumerate more than this many grid centers.
+  std::size_t max_grid_centers = std::size_t{1} << 18;
+};
+
+struct Request {
+  /// Registry key, e.g. "one_cluster"; AlgorithmRegistry::Names() lists them.
+  std::string algorithm = "one_cluster";
+  /// The dataset. Points must lie in `domain`'s cube (snap them first).
+  PointSet data;
+  /// The data universe X^d. Required by every algorithm except the
+  /// non-private baseline.
+  std::optional<GridDomain> domain;
+  /// Privacy budget of this request, carved from the Solver's accountant.
+  PrivacyParams budget{1.0, 1e-9};
+  /// Utility failure probability.
+  double beta = 0.1;
+  /// Target cluster size t (one-cluster, baselines; 0 = invalid there).
+  std::size_t t = 0;
+  /// Number of balls for k-cluster.
+  std::size_t k = 2;
+  /// Outlier screening: fraction of points the inlier ball should hold.
+  double inlier_fraction = 0.9;
+  /// Sample-aggregate: stability fraction alpha in (0, 1].
+  double alpha = 0.5;
+  /// Sample-aggregate: block size m (0 = target ~400 blocks, i.e.
+  /// m = max(1, n/3600), since the aggregator's noise floor binds on the
+  /// number of blocks k = n/(9m), not on block size).
+  std::size_t block_size = 0;
+  /// Sample-aggregate: the non-private block analysis (defaults to the
+  /// coordinate-wise mean when unset).
+  Estimator estimator;
+  /// Algorithm-specific knobs.
+  Tuning tuning;
+  /// Optional scope label for the ledger; "" = "<algorithm>#<index>".
+  std::string label;
+
+  /// Generic field validation (budget, beta, fractions); algorithm-specific
+  /// requirements are checked by Algorithm::ValidateRequest.
+  Status Validate() const;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_API_REQUEST_H_

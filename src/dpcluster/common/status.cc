@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kNotFound:
+      return "NotFound";
   }
   return "Unknown";
 }

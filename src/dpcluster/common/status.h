@@ -30,6 +30,8 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// Internal invariant failed in a recoverable context.
   kInternal,
+  /// A lookup by name/key found no entry (e.g. an unregistered algorithm).
+  kNotFound,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -56,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

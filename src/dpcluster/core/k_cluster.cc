@@ -15,6 +15,16 @@ Status KClusterOptions::Validate() const {
   if (!(beta > 0.0) || !(beta < 1.0)) {
     return Status::InvalidArgument("KCluster: beta must be in (0,1)");
   }
+  if (!(refine_fraction >= 0.0) || !(refine_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "KCluster: refine_fraction must be in [0,1); 1 would leave the "
+        "per-round 1-cluster solver with no budget");
+  }
+  if (!(one_cluster.radius_budget_fraction > 0.0) ||
+      !(one_cluster.radius_budget_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "KCluster: one_cluster.radius_budget_fraction must be in (0,1)");
+  }
   return Status::OK();
 }
 
@@ -59,9 +69,18 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
     oc.beta = options.beta / static_cast<double>(options.k);
     auto round_result = OneCluster(rng, current, t, domain, oc);
     if (!round_result.ok()) {
-      if (options.best_effort) continue;
+      if (options.best_effort) {
+        // The failed round may have partially run (no partial ledger is
+        // reported on error); account its whole share conservatively.
+        result.ledger.Charge("round" + std::to_string(round) + "/failed",
+                             per_round);
+        continue;
+      }
       return round_result.status();
     }
+
+    const std::string scope = "round" + std::to_string(round) + "/";
+    result.ledger.Absorb(round_result->ledger, scope);
 
     // Refine the radius so the removal ball hugs the found cluster instead of
     // the worst-case guarantee (which can span the whole domain).
@@ -71,6 +90,7 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
       refine.beta = options.beta / static_cast<double>(options.k);
       auto refined = RefineRadius(rng, current, round_result->ball.center, t,
                                   domain, refine);
+      result.ledger.Charge(scope + "refine", {refine.epsilon, 0.0});
       if (refined.ok()) round_result->ball.radius = *refined;
     }
 

@@ -45,6 +45,10 @@ struct KClusterResult {
   /// Number of input points not covered by any returned ball (computed
   /// non-privately; intended for evaluation, not release).
   std::size_t uncovered = 0;
+  /// Privacy ledger across all rounds (one scoped entry per phase, including
+  /// the per-round RefineRadius spend). Under the configured composition rule
+  /// its total stays within `KClusterOptions::params`.
+  Accountant ledger;
 };
 
 /// Runs the iterated heuristic on dataset s.

@@ -39,6 +39,13 @@ void Accountant::Charge(const std::string& label, const PrivacyParams& params) {
   charges_.push_back({label, params});
 }
 
+void Accountant::Absorb(const Accountant& other, const std::string& prefix) {
+  charges_.reserve(charges_.size() + other.charges_.size());
+  for (const auto& c : other.charges_) {
+    charges_.push_back({prefix + c.label, c.params});
+  }
+}
+
 PrivacyParams Accountant::BasicTotal() const {
   PrivacyParams total{0.0, 0.0};
   for (const auto& c : charges_) {

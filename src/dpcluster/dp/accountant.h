@@ -37,8 +37,20 @@ double InverseAdvancedEpsilon(double eps_total, std::size_t k, double delta_slac
 /// Ledger of named charges; reports total spend under both composition rules.
 class Accountant {
  public:
+  struct ChargeEntry {
+    std::string label;
+    PrivacyParams params;
+  };
+
   /// Records one (eps, delta)-DP interaction.
   void Charge(const std::string& label, const PrivacyParams& params);
+
+  /// Merges every charge of `other` into this ledger, prefixing each label
+  /// with `prefix` (pass e.g. "round0/" to scope a sub-ledger).
+  void Absorb(const Accountant& other, const std::string& prefix = "");
+
+  /// The recorded charges, in order.
+  const std::vector<ChargeEntry>& charges() const { return charges_; }
 
   std::size_t interactions() const { return charges_.size(); }
 
@@ -53,10 +65,6 @@ class Accountant {
   std::string Report() const;
 
  private:
-  struct ChargeEntry {
-    std::string label;
-    PrivacyParams params;
-  };
   std::vector<ChargeEntry> charges_;
 };
 

@@ -21,7 +21,16 @@ struct PrivacyParams {
   /// Requires delta > 0 as well (Gaussian-mechanism style requirements).
   Status ValidateWithPositiveDelta() const;
 
-  /// Budget scaled by `fraction` in both coordinates.
+  /// Budget scaled by `fraction` in BOTH coordinates: (f*eps, f*delta).
+  ///
+  /// Basic composition (Theorem 2.1) only requires that the per-phase deltas
+  /// SUM to the total delta; how they are split is a policy choice, not a
+  /// requirement of composition. Scaling delta proportionally to epsilon is
+  /// this library's convention because it makes complementary fractions
+  /// recompose exactly: Fraction(f) + Fraction(1-f) = the original budget
+  /// under BasicCompose. Callers that want a different delta split (e.g. all
+  /// of delta to one phase, pure-eps phases elsewhere) can construct
+  /// PrivacyParams directly; every algorithm only relies on the sums.
   PrivacyParams Fraction(double fraction) const {
     return {epsilon * fraction, delta * fraction};
   }

@@ -1,12 +1,21 @@
 // Umbrella header: the public API of the dpcluster library.
 //
-// The paper's contribution lives in core/ (GoodRadius, GoodCenter, OneCluster)
-// and sa/ (SampleAggregate); everything else is the substrate it stands on.
+// The recommended entry point is the Solver façade in api/ (typed
+// Request/Response, algorithm registry, budget sessions). The paper's
+// contribution lives in core/ (GoodRadius, GoodCenter, OneCluster) and sa/
+// (SampleAggregate); everything else is the substrate it stands on. The free
+// functions remain available as the internal layer the façade adapts.
 // Include this for the whole surface, or the individual headers for less.
 
 #ifndef DPCLUSTER_DPCLUSTER_H_
 #define DPCLUSTER_DPCLUSTER_H_
 
+#include "dpcluster/api/algorithm.h"
+#include "dpcluster/api/budget.h"
+#include "dpcluster/api/registry.h"
+#include "dpcluster/api/request.h"
+#include "dpcluster/api/response.h"
+#include "dpcluster/api/solver.h"
 #include "dpcluster/baselines/exp_mech_baseline.h"
 #include "dpcluster/baselines/noisy_mean_baseline.h"
 #include "dpcluster/baselines/nonprivate_baseline.h"

@@ -32,6 +32,24 @@ TEST(KClusterOptionsTest, Validation) {
   EXPECT_FALSE(o.Validate().ok());
 }
 
+TEST(KClusterOptionsTest, RejectsOutOfRangeFractions) {
+  // refine_fraction must lie in [0,1): 1 would starve the per-round solver.
+  KClusterOptions o = TestOptions(1.0, 2);
+  o.refine_fraction = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.refine_fraction = -0.1;
+  EXPECT_FALSE(o.Validate().ok());
+  o.refine_fraction = 0.0;  // disabled refinement is fine
+  EXPECT_OK(o.Validate());
+
+  // The nested 1-cluster budget split must lie in (0,1).
+  o = TestOptions(1.0, 2);
+  o.one_cluster.radius_budget_fraction = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.one_cluster.radius_budget_fraction = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
 TEST(KClusterTest, CoversTwoPlantedClusters) {
   Rng rng(1);
   const ClusterWorkload w = MakeTwoClusters(rng, 2000, 2, 1024, 0.015, 0.45);

@@ -1,0 +1,57 @@
+// Pins the documented semantics of PrivacyParams, in particular
+// PrivacyParams::Fraction: it scales BOTH epsilon and delta. Splitting delta
+// proportionally is a policy choice of this library (basic composition only
+// requires per-phase deltas to SUM to the total), chosen so complementary
+// fractions recompose exactly to the original budget.
+
+#include <gtest/gtest.h>
+
+#include "dpcluster/dp/accountant.h"
+#include "dpcluster/dp/privacy_params.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(PrivacyParamsTest, FractionScalesBothCoordinates) {
+  const PrivacyParams budget{2.0, 1e-8};
+  const PrivacyParams quarter = budget.Fraction(0.25);
+  EXPECT_DOUBLE_EQ(quarter.epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(quarter.delta, 2.5e-9);  // delta scales too — by design.
+}
+
+TEST(PrivacyParamsTest, FractionOfOneIsIdentity) {
+  const PrivacyParams budget{1.7, 3e-9};
+  const PrivacyParams whole = budget.Fraction(1.0);
+  EXPECT_DOUBLE_EQ(whole.epsilon, budget.epsilon);
+  EXPECT_DOUBLE_EQ(whole.delta, budget.delta);
+}
+
+TEST(PrivacyParamsTest, ComplementaryFractionsRecomposeToBudget) {
+  // The point of proportional delta-splitting: phases carved with f and 1-f
+  // basic-compose back to exactly the original budget, in both coordinates.
+  const PrivacyParams budget{4.0, 1e-9};
+  for (double f : {0.1, 0.25, 0.5, 0.9}) {
+    const PrivacyParams a = budget.Fraction(f);
+    const PrivacyParams b = budget.Fraction(1.0 - f);
+    Accountant ledger;
+    ledger.Charge("phase_a", a);
+    ledger.Charge("phase_b", b);
+    const PrivacyParams total = ledger.BasicTotal();
+    EXPECT_NEAR(total.epsilon, budget.epsilon, 1e-12) << "f=" << f;
+    EXPECT_NEAR(total.delta, budget.delta, 1e-21) << "f=" << f;
+  }
+}
+
+TEST(PrivacyParamsTest, ValidateRejectsNonPositiveEpsilonAndBadDelta) {
+  EXPECT_OK((PrivacyParams{1.0, 0.0}).Validate());
+  EXPECT_FALSE((PrivacyParams{0.0, 1e-9}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, 1.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{1.0, -1e-9}).Validate().ok());
+  // The Gaussian-style variant additionally needs delta > 0.
+  EXPECT_FALSE((PrivacyParams{1.0, 0.0}).ValidateWithPositiveDelta().ok());
+  EXPECT_OK((PrivacyParams{1.0, 1e-12}).ValidateWithPositiveDelta());
+}
+
+}  // namespace
+}  // namespace dpcluster

@@ -1,25 +1,30 @@
-// dpcluster_cli — run the private 1-cluster pipeline on a CSV of points.
+// dpcluster_cli — run any registered dpcluster algorithm on a CSV of points
+// through the Solver façade.
 //
 // Usage:
 //   dpcluster_cli --input points.csv --t 500 [options]
-//   dpcluster_cli --demo            # run on a built-in synthetic instance
+//   dpcluster_cli --demo                     # built-in synthetic instance
+//   dpcluster_cli --list                     # list registered algorithms
 //
 // Input: one point per line, comma-separated coordinates, all in [0, axis].
-// Modes:
-//   cluster  (default)  release a (center, radius) ball holding ~t points
-//   outlier             release a ~fraction-mass inlier ball (t = fraction*n)
-//   interior            release an interior point (1D data only)
 //
 // Options:
+//   --algorithm A   registry name (see --list)  (default one_cluster)
+//   --mode M        legacy alias: cluster | outlier | interior
+//   --t T           target cluster size
+//   --k K           number of balls (k_cluster) (default 2)
+//   --fraction F    inlier fraction (outlier_screen)   (default 0.9)
 //   --epsilon E     privacy epsilon            (default 2.0)
 //   --delta D       privacy delta              (default 1e-9)
 //   --levels L      grid levels per axis |X|   (default 65536)
 //   --axis A        axis length of the cube    (default 1.0)
 //   --beta B        utility failure prob       (default 0.1)
 //   --seed S        RNG seed                   (default 2016)
-//   --mode M        cluster | outlier | interior
-//   --refine        also release a refined (tight) radius (extra 0.5 epsilon)
+//   --refine        spend part of the budget tightening the released radius
+//   --ledger        print the per-phase privacy ledger
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,23 +42,37 @@ using namespace dpcluster;
 struct CliOptions {
   std::string input;
   bool demo = false;
+  bool list = false;
+  bool ledger = false;
+  std::string algorithm;
+  std::string mode;
   std::size_t t = 0;
+  std::size_t k = 2;
+  double fraction = 0.9;
   double epsilon = 2.0;
   double delta = 1e-9;
   std::uint64_t levels = 1u << 16;
   double axis = 1.0;
   double beta = 0.1;
   std::uint64_t seed = 2016;
-  std::string mode = "cluster";
   bool refine = false;
 };
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: dpcluster_cli (--input points.csv --t T | --demo)\n"
-               "       [--mode cluster|outlier|interior] [--epsilon E]\n"
-               "       [--delta D] [--levels L] [--axis A] [--beta B]\n"
-               "       [--seed S] [--refine]\n");
+               "usage: dpcluster_cli (--input points.csv --t T | --demo | --list)\n"
+               "       [--algorithm NAME] [--mode cluster|outlier|interior]\n"
+               "       [--k K] [--fraction F] [--epsilon E] [--delta D]\n"
+               "       [--levels L] [--axis A] [--beta B] [--seed S]\n"
+               "       [--refine] [--ledger]\n");
+}
+
+/// Maps the legacy --mode values onto registry names.
+std::string AlgorithmFromMode(const std::string& mode) {
+  if (mode == "cluster") return "one_cluster";
+  if (mode == "outlier") return "outlier_screen";
+  if (mode == "interior") return "interior_point";
+  return mode;  // Allow --mode to name an algorithm directly.
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions& opt) {
@@ -64,12 +83,20 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
     };
     if (arg == "--demo") {
       opt.demo = true;
+    } else if (arg == "--list" || arg == "--list-algorithms") {
+      opt.list = true;
     } else if (arg == "--refine") {
       opt.refine = true;
+    } else if (arg == "--ledger") {
+      opt.ledger = true;
     } else if (arg == "--input") {
       const char* v = next();
       if (!v) return false;
       opt.input = v;
+    } else if (arg == "--algorithm") {
+      const char* v = next();
+      if (!v) return false;
+      opt.algorithm = v;
     } else if (arg == "--mode") {
       const char* v = next();
       if (!v) return false;
@@ -78,6 +105,14 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return false;
       opt.t = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      opt.k = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--fraction") {
+      const char* v = next();
+      if (!v) return false;
+      opt.fraction = std::strtod(v, nullptr);
     } else if (arg == "--epsilon") {
       const char* v = next();
       if (!v) return false;
@@ -107,7 +142,11 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       return false;
     }
   }
-  return opt.demo || (!opt.input.empty() && (opt.t > 0 || opt.mode != "cluster"));
+  if (opt.algorithm.empty()) {
+    opt.algorithm =
+        opt.mode.empty() ? "one_cluster" : AlgorithmFromMode(opt.mode);
+  }
+  return opt.list || opt.demo || !opt.input.empty();
 }
 
 Result<PointSet> LoadCsv(const std::string& path) {
@@ -138,119 +177,132 @@ Result<PointSet> LoadCsv(const std::string& path) {
   return PointSet(dim, std::move(flat));
 }
 
-int RunCluster(Rng& rng, PointSet points, const CliOptions& opt) {
-  const GridDomain domain(opt.levels, points.dim(), opt.axis);
-  domain.SnapAll(points);
-  OneClusterOptions options;
-  options.params = {opt.epsilon, opt.delta};
-  options.beta = opt.beta;
-  options.radius.subsample_large_inputs = true;
-
-  std::printf("# 1-cluster: n=%zu d=%zu t=%zu eps=%g delta=%g |X|=%llu\n",
-              points.size(), points.dim(), opt.t, opt.epsilon, opt.delta,
-              static_cast<unsigned long long>(opt.levels));
-  std::printf("# recommended_min_t=%.0f\n",
-              RecommendedMinT(points.size(), domain, options));
-  auto result = OneCluster(rng, points, opt.t, domain, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("center=");
-  for (std::size_t j = 0; j < result->ball.center.size(); ++j) {
-    std::printf("%s%.6f", j ? "," : "", result->ball.center[j]);
-  }
-  std::printf("\nguarantee_radius=%.6f\n", result->ball.radius);
-  std::printf("radius_stage_r=%.6f\n", result->radius_stage.radius);
-  if (opt.refine) {
-    RadiusRefineOptions refine{0.5, opt.beta};
-    auto tight = RefineRadius(rng, points, result->ball.center, opt.t, domain,
-                              refine);
-    if (tight.ok()) std::printf("refined_radius=%.6f\n", *tight);
+int ListAlgorithms() {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::Global();
+  std::printf("registered algorithms (%zu):\n", registry.size());
+  for (const std::string& name : registry.Names()) {
+    const auto algorithm = registry.Lookup(name);
+    if (!algorithm.ok()) continue;
+    std::printf("  %-22s [%s]\n      %s\n", name.c_str(),
+                ProblemKindName((*algorithm)->kind()),
+                std::string((*algorithm)->description()).c_str());
   }
   return 0;
 }
 
-int RunOutlier(Rng& rng, PointSet points, const CliOptions& opt) {
-  const GridDomain domain(opt.levels, points.dim(), opt.axis);
-  domain.SnapAll(points);
-  OutlierScreenOptions options;
-  options.inlier_fraction =
-      opt.t > 0 ? static_cast<double>(opt.t) / static_cast<double>(points.size())
-                : 0.9;
-  options.one_cluster.params = {opt.epsilon, opt.delta};
-  options.one_cluster.beta = opt.beta;
-  options.one_cluster.radius.subsample_large_inputs = true;
-  auto screen = BuildOutlierScreen(rng, points, domain, options);
-  if (!screen.ok()) {
-    std::fprintf(stderr, "error: %s\n", screen.status().ToString().c_str());
-    return 1;
+void PrintVector(const char* label, std::span<const double> v) {
+  std::printf("%s", label);
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    std::printf("%s%.6f", j ? "," : "", v[j]);
   }
-  std::printf("inlier_center=");
-  for (std::size_t j = 0; j < screen->ball.center.size(); ++j) {
-    std::printf("%s%.6f", j ? "," : "", screen->ball.center[j]);
-  }
-  std::printf("\ninlier_radius=%.6f\n", screen->ball.radius);
-  return 0;
+  std::printf("\n");
 }
 
-int RunInterior(Rng& rng, const PointSet& points, const CliOptions& opt) {
-  if (points.dim() != 1) {
-    std::fprintf(stderr, "error: interior mode needs 1D input\n");
-    return 1;
-  }
-  const GridDomain domain(opt.levels, 1, opt.axis);
-  std::vector<double> data(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    data[i] = domain.Snap(points[i][0]);
-  }
-  InteriorPointOptions options;
-  options.params = {opt.epsilon, opt.delta};
-  options.beta = opt.beta;
-  auto result = InteriorPoint(rng, data, domain, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("interior_point=%.6f\n", result->point);
-  return 0;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
+int main_impl(int argc, char** argv) {
   CliOptions opt;
   if (!ParseArgs(argc, argv, opt)) {
     Usage();
     return 2;
   }
-  Rng rng(opt.seed);
+  if (opt.list) return ListAlgorithms();
 
-  PointSet points(1);
+  Request request;
+  request.algorithm = opt.algorithm;
+  request.budget = {opt.epsilon, opt.delta};
+  request.beta = opt.beta;
+  request.k = opt.k;
+  request.inlier_fraction = opt.fraction;
+  request.tuning.subsample_large_inputs = true;
+  // k_cluster and outlier_screen refine by default (tuning.refine_fraction);
+  // --refine opts the plain one_cluster release in as well.
+  request.tuning.refine_one_cluster = opt.refine;
+
   if (opt.demo) {
+    Rng demo_rng(opt.seed ^ 0x9E3779B97F4A7C15ULL);
     PlantedClusterSpec spec;
     spec.n = 4096;
     spec.t = 1500;
-    spec.dim = 2;
+    spec.dim = opt.algorithm == "interior_point" ||
+                       opt.algorithm == "threshold_release_1d"
+                   ? 1
+                   : 2;
     spec.levels = opt.levels;
     spec.cluster_radius = 0.02;
-    const ClusterWorkload w = MakePlantedCluster(rng, spec);
-    points = w.points;
-    if (opt.t == 0) opt.t = spec.t;
-    std::printf("# demo: planted cluster at (%.4f, %.4f), radius %.3f\n",
-                w.planted.center[0], w.planted.center[1], spec.cluster_radius);
+    const ClusterWorkload w = MakePlantedCluster(demo_rng, spec);
+    request.data = w.points;
+    request.domain = w.domain;
+    request.t = opt.t > 0 ? opt.t : spec.t;
+    std::printf("# demo: planted cluster at (");
+    for (std::size_t j = 0; j < w.planted.center.size(); ++j) {
+      std::printf("%s%.4f", j ? ", " : "", w.planted.center[j]);
+    }
+    std::printf("), radius %.3f\n", spec.cluster_radius);
   } else {
     auto loaded = LoadCsv(opt.input);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
       return 1;
     }
-    points = std::move(*loaded);
+    request.data = std::move(*loaded);
+    request.domain = GridDomain(opt.levels, request.data.dim(), opt.axis);
+    request.domain->SnapAll(request.data);
+    request.t = opt.t;
   }
 
-  if (opt.mode == "cluster") return RunCluster(rng, std::move(points), opt);
-  if (opt.mode == "outlier") return RunOutlier(rng, std::move(points), opt);
-  if (opt.mode == "interior") return RunInterior(rng, points, opt);
-  std::fprintf(stderr, "unknown mode: %s\n", opt.mode.c_str());
-  return 2;
+  // Legacy outlier semantics: an explicit --t names the inlier count, i.e.
+  // inlier_fraction = t/n (no --t keeps the 0.9 default).
+  if (request.algorithm == "outlier_screen" && opt.t > 0) {
+    request.inlier_fraction =
+        std::min(1.0, static_cast<double>(opt.t) /
+                          static_cast<double>(request.data.size()));
+  }
+
+  std::printf("# %s: n=%zu d=%zu t=%zu eps=%g delta=%g |X|=%llu\n",
+              request.algorithm.c_str(), request.data.size(),
+              request.data.dim(), request.t, opt.epsilon, opt.delta,
+              static_cast<unsigned long long>(opt.levels));
+
+  SolverOptions solver_options;
+  solver_options.seed = opt.seed;
+  Solver solver(solver_options);
+  const auto response = solver.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!std::isnan(response->scalar)) {
+    std::printf("scalar=%.6f\n", response->scalar);
+  } else if (response->balls.size() > 1) {
+    for (std::size_t i = 0; i < response->balls.size(); ++i) {
+      std::printf("ball[%zu]: ", i);
+      PrintVector("center=", response->balls[i].center);
+      std::printf("         radius=%.6f\n", response->balls[i].radius);
+    }
+  } else if (!response->ball.center.empty()) {
+    PrintVector("center=", response->ball.center);
+    std::printf("radius=%.6f\n", response->ball.radius);
+  }
+  std::printf("charged eps=%.6g delta=%.3g over %zu interactions\n",
+              response->charged.epsilon, response->charged.delta,
+              response->ledger.interactions());
+  if (response->diagnostics.has_value()) {
+    std::printf("diagnostics: captured=%zu of t=%zu, tight_radius=%.6f, "
+                "w_effective=%.2f\n",
+                response->diagnostics->captured, request.t,
+                response->diagnostics->tight_radius,
+                response->diagnostics->w_effective);
+  }
+  if (!response->note.empty()) {
+    std::printf("note: %s\n", response->note.c_str());
+  }
+  std::printf("wall_ms=%.1f\n", response->wall_ms);
+  if (opt.ledger) {
+    std::printf("%s\n", response->ledger.Report().c_str());
+  }
+  return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return main_impl(argc, argv); }
