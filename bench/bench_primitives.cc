@@ -1,12 +1,29 @@
-// E13 — google-benchmark micro-benchmarks of the DP and geometry primitives
-// the pipeline is built from (S2, S6-S13 in DESIGN.md).
+// E13 — micro-benchmarks of the DP and geometry primitives the pipeline is
+// built from (S2, S6-S13 in DESIGN.md).
+//
+// Two layers:
+//  * A headline section that times the blocked kernels against frozen copies
+//    of the pre-PR serial implementations (naive pairwise build, per-point JL
+//    projection, std::upper_bound counting) and writes every measurement to
+//    BENCH_primitives.json so the perf trajectory is machine-readable across
+//    PRs. `--smoke` shrinks the repetitions and turns the speedup ratios into
+//    hard floors (exit 1), which is what CI runs so kernel regressions fail
+//    loudly.
+//  * The google-benchmark suite over the remaining primitives (skipped under
+//    --smoke).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.h"
 #include "dpcluster/core/radius_profile.h"
 #include "dpcluster/dp/above_threshold.h"
 #include "dpcluster/dp/exponential_mechanism.h"
@@ -17,10 +34,199 @@
 #include "dpcluster/geo/pairwise.h"
 #include "dpcluster/la/jl_transform.h"
 #include "dpcluster/la/qr.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/parallel/thread_pool.h"
 #include "dpcluster/random/distributions.h"
 
 namespace dpcluster {
 namespace {
+
+// ------------------------------------------------------------------------
+// Frozen pre-PR reference implementations (the serial baselines the
+// acceptance speedups are measured against — do not "optimize" these).
+// ------------------------------------------------------------------------
+
+// Seed-era PairwiseDistances::Compute: per-pair sqrt(SquaredDistance) with
+// symmetric fill, then per-row sorts.
+std::vector<float> ReferencePairwiseRows(const PointSet& s) {
+  const std::size_t n = s.size();
+  std::vector<float> rows(n * n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = s[i];
+    float* row_i = &rows[i * n];
+    for (std::size_t j = i; j < n; ++j) {
+      const float d = std::nextafter(
+          static_cast<float>(std::sqrt(SquaredDistance(xi, s[j]))),
+          std::numeric_limits<float>::infinity());
+      row_i[j] = d;
+      rows[j * n + i] = d;
+    }
+    row_i[i] = 0.0f;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = &rows[i * n];
+    std::sort(row, row + n);
+  }
+  return rows;
+}
+
+// Seed-era GoodCenter step 1: one matrix-vector Apply per point.
+void ReferenceJlLoop(const JlTransform& jl, const PointSet& s, Matrix& out) {
+  for (std::size_t i = 0; i < s.size(); ++i) jl.Apply(s[i], out.Row(i));
+}
+
+// Seed-era CountWithin: std::upper_bound over the sorted row.
+std::size_t ReferenceCountWithin(std::span<const float> row, double r) {
+  const float bound = std::nextafter(static_cast<float>(r),
+                                     std::numeric_limits<float>::infinity());
+  return static_cast<std::size_t>(
+      std::upper_bound(row.begin(), row.end(), bound) - row.begin());
+}
+
+// ------------------------------------------------------------------------
+// Headline section.
+// ------------------------------------------------------------------------
+
+PointSet ClusteredCube(Rng& rng, std::size_t n, std::size_t d) {
+  PointSet s(d);
+  const std::vector<double> c(d, 0.5);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      s.Add(SampleBall(rng, c, 0.1));
+    } else {
+      std::vector<double> p(d);
+      for (double& x : p) x = rng.NextDouble();
+      s.Add(p);
+    }
+  }
+  return s;
+}
+
+template <typename F>
+double BestOfMs(int reps, F&& f) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) best = std::min(best, bench::TimeMs(f));
+  return best;
+}
+
+struct HeadlineResult {
+  double pairwise_speedup = 0.0;
+  double jl_speedup = 0.0;
+};
+
+HeadlineResult RunHeadline(bench::JsonReporter& reporter, bool smoke) {
+  HeadlineResult result;
+  const int reps = smoke ? 2 : 5;
+  Rng rng(20260730);
+  const std::size_t hw = ThreadPool(0).num_threads();
+
+  bench::Banner("Pairwise distance build: naive baseline vs blocked Gram");
+  {
+    const std::size_t n = 2048, d = 64;
+    const PointSet s = ClusteredCube(rng, n, d);
+    const double naive_ms = BestOfMs(reps, [&] {
+      benchmark::DoNotOptimize(ReferencePairwiseRows(s));
+    });
+    ThreadPool serial(1);
+    const double gram_ms = BestOfMs(reps, [&] {
+      benchmark::DoNotOptimize(PairwiseDistances::Compute(s, n, &serial));
+    });
+    ThreadPool pool(0);
+    const double gram_mt_ms = BestOfMs(reps, [&] {
+      benchmark::DoNotOptimize(PairwiseDistances::Compute(s, n, &pool));
+    });
+    result.pairwise_speedup = naive_ms / gram_ms;
+    bench::Note("n=" + std::to_string(n) + " d=" + std::to_string(d) +
+                ": naive " + std::to_string(naive_ms) + " ms, gram(1T) " +
+                std::to_string(gram_ms) + " ms, gram(" + std::to_string(hw) +
+                "T) " + std::to_string(gram_mt_ms) + " ms  =>  " +
+                std::to_string(result.pairwise_speedup) + "x serial speedup");
+    const double per_op = 1e6 / static_cast<double>(n) / static_cast<double>(n);
+    reporter.Add("PairwiseDistances::Compute[naive-baseline]", n, d, 1,
+                 naive_ms * per_op);
+    reporter.Add("PairwiseDistances::Compute", n, d, 1, gram_ms * per_op);
+    reporter.Add("PairwiseDistances::Compute", n, d, hw, gram_mt_ms * per_op);
+  }
+
+  bench::Banner("Batched JL projection: per-point baseline vs ApplyAll");
+  {
+    const std::size_t n = 4096, d = 256, k = 16;
+    const PointSet s = ClusteredCube(rng, n, d);
+    const JlTransform jl(rng, d, k);
+    Matrix loop_out(n, k);
+    const double loop_ms =
+        BestOfMs(reps, [&] { ReferenceJlLoop(jl, s, loop_out); });
+    ThreadPool serial(1);
+    const double batched_ms = BestOfMs(reps, [&] {
+      benchmark::DoNotOptimize(jl.ApplyAll(s, &serial));
+    });
+    ThreadPool pool(0);
+    const double batched_mt_ms = BestOfMs(reps, [&] {
+      benchmark::DoNotOptimize(jl.ApplyAll(s, &pool));
+    });
+    result.jl_speedup = loop_ms / batched_ms;
+    bench::Note("n=" + std::to_string(n) + " d=" + std::to_string(d) + " k=" +
+                std::to_string(k) + ": loop " + std::to_string(loop_ms) +
+                " ms, ApplyAll(1T) " + std::to_string(batched_ms) +
+                " ms, ApplyAll(" + std::to_string(hw) + "T) " +
+                std::to_string(batched_mt_ms) + " ms  =>  " +
+                std::to_string(result.jl_speedup) + "x serial speedup");
+    const double per_op = 1e6 / static_cast<double>(n);
+    reporter.Add("JlTransform::Apply[loop-baseline]", n, d, 1, loop_ms * per_op);
+    reporter.Add("JlTransform::ApplyAll", n, d, 1, batched_ms * per_op);
+    reporter.Add("JlTransform::ApplyAll", n, d, hw, batched_mt_ms * per_op);
+  }
+
+  bench::Banner("CountWithin: std::upper_bound vs branchless upper_bound");
+  {
+    const std::size_t n = 2048, d = 4;
+    const PointSet s = ClusteredCube(rng, n, d);
+    const auto pd = PairwiseDistances::Compute(s, n);
+    std::vector<double> radii(4096);
+    for (double& r : radii) r = rng.NextDouble() * 1.2;
+    std::size_t sink = 0;
+    const double std_ms = BestOfMs(reps, [&] {
+      for (std::size_t q = 0; q < radii.size(); ++q) {
+        sink += ReferenceCountWithin(pd->SortedRow(q % n), radii[q]);
+      }
+    });
+    const double branchless_ms = BestOfMs(reps, [&] {
+      for (std::size_t q = 0; q < radii.size(); ++q) {
+        sink += pd->CountWithin(q % n, radii[q]);
+      }
+    });
+    benchmark::DoNotOptimize(sink);
+    bench::Note("4096 queries over rows of " + std::to_string(n) + ": std " +
+                std::to_string(std_ms) + " ms, branchless " +
+                std::to_string(branchless_ms) + " ms");
+    const double per_op = 1e6 / static_cast<double>(radii.size());
+    reporter.Add("CountWithin[std-upper-bound-baseline]", n, d, 1,
+                 std_ms * per_op);
+    reporter.Add("CountWithin[branchless]", n, d, 1, branchless_ms * per_op);
+  }
+
+  bench::Banner("CappedTopAverage (scratch buffer reuse)");
+  {
+    const std::size_t n = 2048, d = 4;
+    const PointSet s = ClusteredCube(rng, n, d);
+    const auto pd = PairwiseDistances::Compute(s, n);
+    const double ms = BestOfMs(reps, [&] {
+      for (double r : {0.05, 0.2, 0.5, 0.9}) {
+        benchmark::DoNotOptimize(pd->CappedTopAverage(r, n / 2));
+      }
+    });
+    bench::Note("4 L(r) queries at n=" + std::to_string(n) + ": " +
+                std::to_string(ms) + " ms");
+    reporter.Add("PairwiseDistances::CappedTopAverage", n, d, 1,
+                 ms * 1e6 / 4.0);
+  }
+
+  return result;
+}
+
+// ------------------------------------------------------------------------
+// google-benchmark suite (full mode only).
+// ------------------------------------------------------------------------
 
 void BM_SampleLaplace(benchmark::State& state) {
   Rng rng(1);
@@ -109,6 +315,21 @@ void BM_JlProject(benchmark::State& state) {
 }
 BENCHMARK(BM_JlProject)->Arg(16)->Arg(256);
 
+void BM_JlProjectAll(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 256;
+  const JlTransform jl(rng, d, 16);
+  PointSet s(d);
+  std::vector<double> x(d, 0.3);
+  for (std::size_t i = 0; i < n; ++i) s.Add(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jl.ApplyAll(s));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_JlProjectAll)->Arg(1024)->Arg(4096);
+
 void BM_RandomOrthonormalBasis(benchmark::State& state) {
   Rng rng(8);
   const auto d = static_cast<std::size_t>(state.range(0));
@@ -170,4 +391,50 @@ BENCHMARK(BM_PairwiseCappedTopAverage)->Arg(512)->Arg(2048);
 }  // namespace
 }  // namespace dpcluster
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace dpcluster;
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  bench::JsonReporter reporter("BENCH_primitives.json");
+  const HeadlineResult headline = RunHeadline(reporter, smoke);
+  reporter.Write();
+
+  if (smoke) {
+    // Regression floors, deliberately below the recorded ~3x/2x speedups so
+    // shared CI runners don't flake, but far above any "kernel fell back to
+    // scalar" regression.
+    bool ok = true;
+    if (headline.pairwise_speedup < 1.5) {
+      std::fprintf(stderr,
+                   "FAIL: PairwiseDistances::Compute speedup %.2fx < 1.5x "
+                   "regression floor\n",
+                   headline.pairwise_speedup);
+      ok = false;
+    }
+    if (headline.jl_speedup < 1.2) {
+      std::fprintf(stderr,
+                   "FAIL: batched JL speedup %.2fx < 1.2x regression floor\n",
+                   headline.jl_speedup);
+      ok = false;
+    }
+    std::printf("smoke: pairwise %.2fx (floor 1.5x), jl %.2fx (floor 1.2x) "
+                "=> %s\n",
+                headline.pairwise_speedup, headline.jl_speedup,
+                ok ? "OK" : "FAIL");
+    return ok ? 0 : 1;
+  }
+
+  int gb_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&gb_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,10 @@
 // E12 — Theorem 3.2's running-time claim: the pipeline is
-// poly(n, d, log|X|). Phase-level wall-clock sweeps over n, d and |X|.
-// (GoodRadius is Theta(n^2) by construction — the documented quadratic core;
-// GoodCenter is O~(n d + n k * rounds).)
+// poly(n, d, log|X|). Phase-level wall-clock sweeps over n, d, |X| and the
+// thread count. (GoodRadius is Theta(n^2) by construction — the documented
+// quadratic core; GoodCenter is O~(n d + n k * rounds).)
+//
+// Every configuration is also appended to BENCH_scaling.json (op, n, d,
+// threads, ns/op) so the perf trajectory stays machine-readable across PRs.
 
 #include <algorithm>
 #include <cstdio>
@@ -9,14 +12,16 @@
 #include "bench_util.h"
 #include "dpcluster/core/good_center.h"
 #include "dpcluster/core/good_radius.h"
+#include "dpcluster/parallel/thread_pool.h"
 #include "dpcluster/workload/synthetic.h"
 #include "dpcluster/workload/table.h"
 
 namespace dpcluster {
 namespace {
 
-void RunConfig(TextTable& table, Rng& rng, std::size_t n, std::size_t d,
-               std::uint64_t levels, double eps = 8.0) {
+void RunConfig(TextTable& table, bench::JsonReporter& reporter, Rng& rng,
+               std::size_t n, std::size_t d, std::uint64_t levels,
+               double eps = 8.0, std::size_t num_threads = 1) {
   PlantedClusterSpec spec;
   spec.n = n;
   spec.t = n / 2;
@@ -28,6 +33,7 @@ void RunConfig(TextTable& table, Rng& rng, std::size_t n, std::size_t d,
   GoodRadiusOptions radius_opts;
   radius_opts.params = {eps, 1e-9};
   radius_opts.beta = 0.1;
+  radius_opts.num_threads = num_threads;
   Result<GoodRadiusResult> radius = Status::Internal("unset");
   const double radius_ms = bench::TimeMs(
       [&] { radius = GoodRadius(rng, w.points, w.t, w.domain, radius_opts); });
@@ -35,14 +41,20 @@ void RunConfig(TextTable& table, Rng& rng, std::size_t n, std::size_t d,
   GoodCenterOptions center_opts;
   center_opts.params = {eps, 1e-9};
   center_opts.beta = 0.1;
+  center_opts.num_threads = num_threads;
   const double r = radius.ok() ? std::max(radius->radius, 0.005) : 0.05;
   Result<GoodCenterResult> center = Status::Internal("unset");
   const double center_ms = bench::TimeMs(
       [&] { center = GoodCenter(rng, w.points, w.t, r, center_opts); });
 
+  const std::size_t threads = ThreadPool(num_threads).num_threads();
+  reporter.Add("GoodRadius", n, d, threads, radius_ms * 1e6);
+  if (center.ok()) reporter.Add("GoodCenter", n, d, threads, center_ms * 1e6);
+
   table.AddRow({TextTable::FmtInt(static_cast<long long>(n)),
                 TextTable::FmtInt(static_cast<long long>(d)),
                 TextTable::FmtInt(static_cast<long long>(levels)),
+                TextTable::FmtInt(static_cast<long long>(threads)),
                 TextTable::Fmt(radius_ms, 1),
                 center.ok() ? TextTable::Fmt(center_ms, 1) : "-",
                 center.ok()
@@ -50,19 +62,22 @@ void RunConfig(TextTable& table, Rng& rng, std::size_t n, std::size_t d,
                     : "-"});
 }
 
+const std::vector<std::string> kHeader = {
+    "n", "d", "|X|", "threads", "GoodRadius ms", "GoodCenter ms", "rounds"};
+
 }  // namespace
 }  // namespace dpcluster
 
 int main() {
   using namespace dpcluster;
   Rng rng(41);
+  bench::JsonReporter reporter("BENCH_scaling.json");
 
   bench::Banner("Runtime scaling, n sweep (d=2, |X|=2^12, t=n/2, eps=8)");
   {
-    TextTable table({"n", "d", "|X|", "GoodRadius ms", "GoodCenter ms",
-                     "rounds"});
+    TextTable table(kHeader);
     for (std::size_t n : {512u, 1024u, 2048u, 4096u}) {
-      RunConfig(table, rng, n, 2, 1u << 12);
+      RunConfig(table, reporter, rng, n, 2, 1u << 12);
     }
     table.Print();
     bench::Note("Expected: GoodRadius ~ n^2 (the exact L profile), GoodCenter"
@@ -71,12 +86,11 @@ int main() {
 
   bench::Banner("Runtime scaling, d sweep (n=2048, |X|=2^12)");
   {
-    TextTable table({"n", "d", "|X|", "GoodRadius ms", "GoodCenter ms",
-                     "rounds"});
+    TextTable table(kHeader);
     // Larger d needs a larger budget for the per-axis histograms; this sweep
     // is about runtime, so give it eps=32.
     for (std::size_t d : {2u, 8u, 32u, 64u}) {
-      RunConfig(table, rng, 2048, d, 1u << 12, 32.0);
+      RunConfig(table, reporter, rng, 2048, d, 1u << 12, 32.0);
     }
     table.Print();
     bench::Note("Expected: polynomial in d (distance computations + the d x d"
@@ -85,15 +99,27 @@ int main() {
 
   bench::Banner("Runtime scaling, |X| sweep (n=2048, d=2)");
   {
-    TextTable table({"n", "d", "|X|", "GoodRadius ms", "GoodCenter ms",
-                     "rounds"});
+    TextTable table(kHeader);
     for (int lx : {8, 12, 16, 20}) {
-      RunConfig(table, rng, 2048, 2, std::uint64_t{1} << lx);
+      RunConfig(table, reporter, rng, 2048, 2, std::uint64_t{1} << lx);
     }
     table.Print();
     bench::Note("Expected: only logarithmic growth in |X| (the radius grid is"
                 " handled through the piecewise-constant profile, never"
                 " enumerated).");
   }
+
+  bench::Banner("Thread scaling (n=4096, d=32, |X|=2^12, eps=32)");
+  {
+    TextTable table(kHeader);
+    for (std::size_t threads : {1u, 2u, 4u, 0u}) {
+      RunConfig(table, reporter, rng, 4096, 32, 1u << 12, 32.0, threads);
+    }
+    table.Print();
+    bench::Note("Released outputs are bit-identical at every thread count"
+                " (see determinism_test); only the wall clock moves.");
+  }
+
+  reporter.Write();
   return 0;
 }

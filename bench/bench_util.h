@@ -5,13 +5,73 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "dpcluster/api/solver.h"
 
 namespace dpcluster {
 namespace bench {
+
+/// One measured operation for the machine-readable perf log.
+struct BenchRecord {
+  std::string op;      ///< Operation name, e.g. "PairwiseDistances::Compute".
+  std::size_t n = 0;   ///< Input rows.
+  std::size_t d = 0;   ///< Input dimension.
+  std::size_t threads = 1;
+  double ns_per_op = 0.0;
+};
+
+/// Collects BenchRecords and writes them as a JSON array (BENCH_*.json), so
+/// the perf trajectory stays machine-readable across PRs. Records survive a
+/// failed Write (the file is rewritten atomically per call).
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string path) : path_(std::move(path)) {}
+
+  void Add(std::string op, std::size_t n, std::size_t d, std::size_t threads,
+           double ns_per_op) {
+    records_.push_back({std::move(op), n, d, threads, ns_per_op});
+  }
+
+  /// Writes all records; returns false (and prints to stderr) on IO failure.
+  bool Write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f,
+                   "  {\"op\": \"%s\", \"n\": %zu, \"d\": %zu, \"threads\": "
+                   "%zu, \"ns_per_op\": %.1f}%s\n",
+                   Escaped(r.op).c_str(), r.n, r.d, r.threads, r.ns_per_op,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu records to %s\n", records_.size(), path_.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
 
 /// Wall-clock milliseconds of a callable.
 template <typename F>

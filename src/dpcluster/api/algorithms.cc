@@ -57,6 +57,7 @@ OneClusterOptions OneClusterOptionsFrom(const Request& request) {
   o.beta = request.beta;
   o.radius_budget_fraction = request.tuning.radius_budget_fraction;
   o.radius.subsample_large_inputs = request.tuning.subsample_large_inputs;
+  o.num_threads = request.num_threads;
   return o;
 }
 
@@ -135,6 +136,7 @@ class KClusterAlgorithm : public Algorithm {
     o.per_round_t = request.t;  // 0 = spread the remaining points.
     o.refine_fraction = request.tuning.refine_fraction;
     o.advanced_composition = request.tuning.advanced_composition;
+    o.num_threads = request.num_threads;
     o.one_cluster.radius_budget_fraction =
         request.tuning.radius_budget_fraction;
     o.one_cluster.radius.subsample_large_inputs =
@@ -268,6 +270,7 @@ class SampleAggregateAlgorithm : public Algorithm {
     o.beta = request.beta;
     o.block_size = BlockSize(request);
     o.alpha = request.alpha;
+    o.num_threads = request.num_threads;
     o.one_cluster = OneClusterOptionsFrom(request);
     const Estimator f = request.estimator ? request.estimator : MeanEstimator();
     DPC_ASSIGN_OR_RETURN(

@@ -82,6 +82,12 @@ struct Request {
   /// Sample-aggregate: the non-private block analysis (defaults to the
   /// coordinate-wise mean when unset).
   Estimator estimator;
+  /// Worker threads for the deterministic numeric kernels of the selected
+  /// algorithm (0 = one per hardware thread, 1 = serial). Released outputs
+  /// are bit-identical at any setting: threads never touch the request's Rng
+  /// stream, and the parallel work decomposition depends only on the problem
+  /// size (see src/dpcluster/parallel/).
+  std::size_t num_threads = 1;
   /// Algorithm-specific knobs.
   Tuning tuning;
   /// Optional scope label for the ledger; "" = "<algorithm>#<index>".

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "dpcluster/la/matrix.h"
 #include "dpcluster/la/qr.h"
 #include "dpcluster/la/vector_ops.h"
+#include "dpcluster/parallel/parallel_for.h"
 
 namespace dpcluster {
 namespace {
@@ -24,16 +26,40 @@ using BoxKey = std::vector<std::int64_t>;
 using BoxCounts = std::unordered_map<BoxKey, std::size_t, BoxIndexHash>;
 
 // Box-occupancy histogram of the projected points for one random partition.
-BoxCounts CountBoxes(const Matrix& projected, const BoxPartition& partition) {
-  BoxCounts counts;
-  counts.reserve(projected.rows());
-  BoxKey key(projected.cols());
-  for (std::size_t i = 0; i < projected.rows(); ++i) {
-    const auto row = projected.Row(i);
-    for (std::size_t a = 0; a < key.size(); ++a) {
-      key[a] = partition.axis(a).IndexOf(row[a]);
+// Chunks count into private maps; the merge inserts keys in ascending-chunk
+// first-seen order, which is exactly the serial row-order insertion sequence —
+// ChooseHeavyCell iterates the map (drawing one noise sample per cell), so
+// reproducing the insertion order keeps the released choice independent of
+// the thread count.
+BoxCounts CountBoxes(const Matrix& projected, const BoxPartition& partition,
+                     ThreadPool* pool) {
+  struct ChunkCounts {
+    BoxCounts counts;
+    std::vector<BoxKey> first_seen;
+  };
+  const std::size_t n = projected.rows();
+  std::vector<ChunkCounts> chunks(NumChunks(n, kDefaultGrain));
+  ParallelForChunks(pool, 0, n, kDefaultGrain,
+                    [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+    ChunkCounts& local = chunks[chunk];
+    local.counts.reserve(hi - lo);
+    BoxKey key(projected.cols());
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto row = projected.Row(i);
+      for (std::size_t a = 0; a < key.size(); ++a) {
+        key[a] = partition.axis(a).IndexOf(row[a]);
+      }
+      const auto [it, inserted] = local.counts.try_emplace(key, 0);
+      ++it->second;
+      if (inserted) local.first_seen.push_back(key);
     }
-    ++counts[key];
+  });
+  BoxCounts counts;
+  counts.reserve(n);
+  for (ChunkCounts& chunk : chunks) {
+    for (BoxKey& key : chunk.first_seen) {
+      counts[key] += chunk.counts.find(key)->second;
+    }
   }
   return counts;
 }
@@ -101,6 +127,10 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
   const double beta = options.beta;
   const PrivacyParams quarter{eps / 4.0, delta / 4.0};
 
+  // One pool for the whole call; every parallel region below is deterministic
+  // numeric work (the Rng is only ever touched from this thread).
+  ThreadPool pool(options.num_threads);
+
   GoodCenterResult result;
 
   // ---- Step 1: JL projection into R^k. -----------------------------------
@@ -111,8 +141,7 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
   result.jl_dim = k;
 
   const JlTransform jl(rng, d, k);
-  Matrix projected(n, k);
-  for (std::size_t i = 0; i < n; ++i) jl.Apply(s[i], projected.Row(i));
+  const Matrix projected = jl.ApplyAll(s, &pool);
 
   // ---- Step 2: AboveThreshold over the box-partition queries (eps/4). ----
   const double threshold =
@@ -131,10 +160,12 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
   const double box_side = options.box_side_factor * r;
   BoxCounts counts;
   bool found = false;
-  BoxPartition partition(rng, k, box_side);
+  // Constructed lazily inside the loop: a throwaway up-front construction
+  // would burn k Rng draws that no round ever uses.
+  std::optional<BoxPartition> partition;
   for (std::size_t round = 0; round < max_rounds; ++round) {
-    partition = BoxPartition(rng, k, box_side);
-    counts = CountBoxes(projected, partition);
+    partition.emplace(rng, k, box_side);
+    counts = CountBoxes(projected, *partition, &pool);
     result.rounds_used = round + 1;
     DPC_ASSIGN_OR_RETURN(
         bool top,
@@ -157,17 +188,26 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
 
   std::vector<std::size_t> d_indices;
   {
-    BoxKey key(k);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto row = projected.Row(i);
-      bool match = true;
-      for (std::size_t a = 0; a < k; ++a) {
-        if (partition.axis(a).IndexOf(row[a]) != box_choice.key[a]) {
-          match = false;
-          break;
+    // Membership scan over the chosen box; per-chunk hits concatenated in
+    // chunk order reproduce the serial ascending-index sequence.
+    std::vector<std::vector<std::size_t>> chunk_hits(NumChunks(n, kDefaultGrain));
+    ParallelForChunks(&pool, 0, n, kDefaultGrain,
+                      [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+      std::vector<std::size_t>& hits = chunk_hits[chunk];
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto row = projected.Row(i);
+        bool match = true;
+        for (std::size_t a = 0; a < k; ++a) {
+          if (partition->axis(a).IndexOf(row[a]) != box_choice.key[a]) {
+            match = false;
+            break;
+          }
         }
+        if (match) hits.push_back(i);
       }
-      if (match) d_indices.push_back(i);
+    });
+    for (const std::vector<std::size_t>& hits : chunk_hits) {
+      d_indices.insert(d_indices.end(), hits.begin(), hits.end());
     }
   }
   const PointSet d_set = s.Subset(d_indices);
@@ -205,14 +245,17 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
       use_advanced ? delta / (8.0 * static_cast<double>(d))
                    : delta / (4.0 * static_cast<double>(d))};
 
+  // All d axis projections of D in one blocked GEMM (row i of axis_proj is
+  // the rotated coordinates of d_set[i]; bit-identical to per-axis Dot calls).
+  Matrix axis_proj(d_set.size(), d);
+  basis.MultiplyAll(d_set.Data(), d_set.size(), axis_proj.MutableData(), &pool);
+
   std::vector<double> mids(d);
-  std::vector<double> proj_buf(d_set.size());
   for (std::size_t axis = 0; axis < d; ++axis) {
-    const auto z = basis.Row(axis);
     std::unordered_map<std::int64_t, std::size_t> cells;
     for (std::size_t i = 0; i < d_set.size(); ++i) {
-      proj_buf[i] = Dot(d_set[i], z);
-      ++cells[static_cast<std::int64_t>(std::floor(proj_buf[i] / p_len))];
+      ++cells[static_cast<std::int64_t>(
+          std::floor(axis_proj.At(i, axis) / p_len))];
     }
     auto interval_choice = ChooseHeavyCell<std::int64_t, std::hash<std::int64_t>>(
         rng, cells, axis_params);

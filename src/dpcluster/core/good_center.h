@@ -72,6 +72,13 @@ struct GoodCenterOptions {
   /// expected handful of retries.
   std::size_t max_rounds = 4096;
 
+  /// Worker threads for the deterministic numeric passes (batched JL
+  /// projection, per-round box counting, axis projections). 0 = one per
+  /// hardware thread, 1 = serial. Released outputs are bit-identical at any
+  /// setting: threads never touch the Rng, and the work decomposition is
+  /// independent of the thread count.
+  std::size_t num_threads = 1;
+
   /// Side length of the (public) domain cube the data lives in. When > 0, the
   /// per-axis interval length and the bounding sphere C are clamped by the
   /// cube's diameter and C's center is clamped into the cube — all

@@ -8,6 +8,7 @@
 #include "dpcluster/common/math_util.h"
 #include "dpcluster/core/radius_profile.h"
 #include "dpcluster/geo/pairwise.h"
+#include "dpcluster/parallel/thread_pool.h"
 #include "dpcluster/random/distributions.h"
 
 namespace dpcluster {
@@ -54,12 +55,12 @@ Result<GoodRadiusResult> RunRecConcaveEngine(Rng& rng, const PointSet& s,
                                              std::size_t t,
                                              const GridDomain& domain,
                                              const GoodRadiusOptions& options,
-                                             double gamma) {
+                                             double gamma, ThreadPool* pool) {
   const double eps = options.params.epsilon;
   const double beta = options.beta;
   DPC_ASSIGN_OR_RETURN(
       RadiusProfile profile,
-      RadiusProfile::Build(s, t, domain, options.max_profile_points));
+      RadiusProfile::Build(s, t, domain, options.max_profile_points, pool));
 
   GoodRadiusResult result;
   result.gamma = gamma;
@@ -92,12 +93,13 @@ Result<GoodRadiusResult> RunRecConcaveEngine(Rng& rng, const PointSet& s,
 Result<GoodRadiusResult> RunSparseVectorEngine(Rng& rng, const PointSet& s,
                                                std::size_t t,
                                                const GridDomain& domain,
-                                               const GoodRadiusOptions& options) {
+                                               const GoodRadiusOptions& options,
+                                               ThreadPool* pool) {
   const double eps = options.params.epsilon;
   const double beta = options.beta;
   DPC_ASSIGN_OR_RETURN(
       PairwiseDistances distances,
-      PairwiseDistances::Compute(s, options.max_profile_points));
+      PairwiseDistances::Compute(s, options.max_profile_points, pool));
 
   GoodRadiusResult result;
 
@@ -187,11 +189,12 @@ Result<GoodRadiusResult> GoodRadius(Rng& rng, const PointSet& s, std::size_t t,
   }
 
   const double gamma = GoodRadiusGamma(domain, options);
+  ThreadPool pool(options.num_threads);
   switch (options.engine) {
     case GoodRadiusOptions::Engine::kRecConcave:
-      return RunRecConcaveEngine(rng, s, t, domain, options, gamma);
+      return RunRecConcaveEngine(rng, s, t, domain, options, gamma, &pool);
     case GoodRadiusOptions::Engine::kSparseVector:
-      return RunSparseVectorEngine(rng, s, t, domain, options);
+      return RunSparseVectorEngine(rng, s, t, domain, options, &pool);
   }
   return Status::Internal("GoodRadius: unknown engine");
 }

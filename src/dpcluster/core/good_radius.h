@@ -38,6 +38,11 @@ struct GoodRadiusOptions {
   Engine engine = Engine::kRecConcave;
   /// Hard cap on the quadratic L(r,S) computation (DESIGN.md substitution #3).
   std::size_t max_profile_points = 4096;
+  /// Worker threads for the deterministic numeric passes (the O(n^2 d)
+  /// profile / pairwise builds). 0 = one per hardware thread, 1 = serial.
+  /// Released outputs are bit-identical at any setting: threads never touch
+  /// the Rng, and the work decomposition is independent of the thread count.
+  std::size_t num_threads = 1;
   /// When n exceeds max_profile_points, run the radius stage on a uniform
   /// subsample of max_profile_points rows with t rescaled proportionally.
   /// Privacy only improves (amplification by subsampling, Lemma 6.4); utility

@@ -67,6 +67,7 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
     oc.params = per_round;
     oc.params.epsilon *= (1.0 - options.refine_fraction);
     oc.beta = options.beta / static_cast<double>(options.k);
+    oc.num_threads = options.num_threads;
     auto round_result = OneCluster(rng, current, t, domain, oc);
     if (!round_result.ok()) {
       if (options.best_effort) {

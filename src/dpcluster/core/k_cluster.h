@@ -26,7 +26,11 @@ struct KClusterOptions {
   std::size_t per_round_t = 0;
   /// Use advanced composition (Theorem 4.7) to size per-round budgets.
   bool advanced_composition = false;
-  /// Per-round 1-cluster options (params/beta overwritten).
+  /// Worker threads for every round's deterministic numeric kernels (0 = one
+  /// per hardware thread, 1 = serial; outputs are bit-identical at any
+  /// setting). Overwrites one_cluster.num_threads.
+  std::size_t num_threads = 1;
+  /// Per-round 1-cluster options (params/beta/num_threads overwritten).
   OneClusterOptions one_cluster;
   /// Rounds that fail (e.g. too few remaining points) are skipped rather than
   /// failing the whole call when true.

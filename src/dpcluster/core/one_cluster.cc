@@ -35,6 +35,7 @@ Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
   GoodRadiusOptions radius_opts = options.radius;
   radius_opts.params = options.params.Fraction(options.radius_budget_fraction);
   radius_opts.beta = options.beta / 2.0;
+  radius_opts.num_threads = options.num_threads;
   DPC_ASSIGN_OR_RETURN(result.radius_stage,
                        GoodRadius(rng, s, t, domain, radius_opts));
   result.ledger.Charge("good_radius", radius_opts.params);
@@ -49,6 +50,7 @@ Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
   center_opts.params =
       options.params.Fraction(1.0 - options.radius_budget_fraction);
   center_opts.beta = options.beta / 2.0;
+  center_opts.num_threads = options.num_threads;
   if (center_opts.domain_axis_length > 0.0) {
     center_opts.domain_axis_length = domain.axis_length();
   }

@@ -29,7 +29,12 @@ struct OneClusterOptions {
   double beta = 0.1;
   /// Fraction of the budget given to GoodRadius (the rest goes to GoodCenter).
   double radius_budget_fraction = 0.5;
-  /// Phase options; their params/beta fields are overwritten by this struct.
+  /// Worker threads for both phases' deterministic numeric kernels (0 = one
+  /// per hardware thread, 1 = serial; outputs are bit-identical at any
+  /// setting). Overwrites the phase options' num_threads.
+  std::size_t num_threads = 1;
+  /// Phase options; their params/beta/num_threads fields are overwritten by
+  /// this struct.
   GoodRadiusOptions radius;
   GoodCenterOptions center;
 

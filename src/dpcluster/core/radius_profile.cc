@@ -6,6 +6,7 @@
 
 #include "dpcluster/common/check.h"
 #include "dpcluster/la/vector_ops.h"
+#include "dpcluster/parallel/parallel_for.h"
 
 namespace dpcluster {
 namespace {
@@ -71,7 +72,8 @@ class CappedTopTracker {
 
 Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
                                            const GridDomain& domain,
-                                           std::size_t max_points) {
+                                           std::size_t max_points,
+                                           ThreadPool* pool) {
   const std::size_t n = s.size();
   if (n == 0) return Status::InvalidArgument("RadiusProfile: empty dataset");
   if (t < 1 || t > n) {
@@ -99,20 +101,38 @@ Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
     std::uint64_t index;
     std::uint32_t center;
   };
+  const std::uint64_t max_fine = fine_domain - 1;
+  // The O(n^2 d) pair pass runs in parallel over row chunks; per-chunk event
+  // vectors concatenated in chunk order reproduce the serial i-ascending
+  // sequence exactly, so the profile is independent of the thread count.
+  constexpr std::size_t kRowGrain = 32;
+  const std::size_t num_chunks = NumChunks(n, kRowGrain);
+  std::vector<std::vector<Event>> chunk_events(num_chunks);
+  ParallelForChunks(pool, 0, n, kRowGrain,
+                    [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+    std::vector<Event>& local = chunk_events[chunk];
+    std::size_t pairs = 0;
+    for (std::size_t i = lo; i < hi; ++i) pairs += n - 1 - i;
+    local.reserve(2 * pairs);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto xi = s[i];
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dist = Distance(xi, s[j]);
+        double idx = std::ceil(dist / fine_step - 1e-12);
+        if (idx < 0.0) idx = 0.0;
+        std::uint64_t g = static_cast<std::uint64_t>(idx);
+        if (g > max_fine) g = max_fine;
+        local.push_back({g, static_cast<std::uint32_t>(i)});
+        local.push_back({g, static_cast<std::uint32_t>(j)});
+      }
+    }
+  });
   std::vector<Event> events;
   events.reserve(n * (n - 1));
-  const std::uint64_t max_fine = fine_domain - 1;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto xi = s[i];
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double dist = Distance(xi, s[j]);
-      double idx = std::ceil(dist / fine_step - 1e-12);
-      if (idx < 0.0) idx = 0.0;
-      std::uint64_t g = static_cast<std::uint64_t>(idx);
-      if (g > max_fine) g = max_fine;
-      events.push_back({g, static_cast<std::uint32_t>(i)});
-      events.push_back({g, static_cast<std::uint32_t>(j)});
-    }
+  for (std::vector<Event>& local : chunk_events) {
+    events.insert(events.end(), local.begin(), local.end());
+    local.clear();
+    local.shrink_to_fit();
   }
   std::sort(events.begin(), events.end(),
             [](const Event& a, const Event& b) { return a.index < b.index; });

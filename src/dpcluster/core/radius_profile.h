@@ -25,14 +25,20 @@
 
 namespace dpcluster {
 
+class ThreadPool;
+
 /// Exact L(r, S) over the fine radius grid.
 class RadiusProfile {
  public:
   /// Builds the profile. Fails with ResourceExhausted when s.size() >
-  /// max_points (see GoodRadiusOptions::max_profile_points).
+  /// max_points (see GoodRadiusOptions::max_profile_points). `pool`
+  /// parallelizes the O(n^2 d) pair-event pass (null = serial); the event
+  /// sequence is assembled in chunk order, so the profile is bit-identical
+  /// at any thread count.
   static Result<RadiusProfile> Build(const PointSet& s, std::size_t t,
                                      const GridDomain& domain,
-                                     std::size_t max_points);
+                                     std::size_t max_points,
+                                     ThreadPool* pool = nullptr);
 
   /// L as a step function over fine indices [0, 2*(RadiusGridSize()-1)+1).
   const StepFunction& fine_l() const { return fine_l_; }

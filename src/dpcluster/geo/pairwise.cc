@@ -1,17 +1,115 @@
 #include "dpcluster/geo/pairwise.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <limits>
 
 #include "dpcluster/common/check.h"
-#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/common/simd.h"
+#include "dpcluster/parallel/parallel_for.h"
 
 namespace dpcluster {
+namespace {
+
+// Points per distance tile. Fixed (never derived from the thread count) so the
+// tile arithmetic — and therefore every stored float — is identical at any
+// pool size. A tile of the packed transpose is d * kTile doubles, which stays
+// cache-resident across a whole row chunk.
+constexpr std::size_t kTile = 64;
+
+// Rows per parallel chunk of the build.
+constexpr std::size_t kRowGrain = 32;
+
+// nextafter(f, +inf) for non-negative finite floats, without the libm call:
+// incrementing the bit pattern of a non-negative float yields the next
+// representable value (0.0f maps to the smallest subnormal, as nextafter does).
+inline float BumpUp(float f) {
+  return std::bit_cast<float>(std::bit_cast<std::uint32_t>(f) + 1u);
+}
+
+// One chunk of the tiled Gram pass (rows [lo, hi)): only tiles touching or
+// right of each row's diagonal are computed — the strict lower triangle is
+// mirrored afterwards (the Gram formula is exactly symmetric: the dot
+// product's c-order and the norm sum are operand-order independent, so
+// (j, i) equals (i, j) bit for bit). Cloned for AVX2 with runtime dispatch
+// where supported; the stored floats are bit-identical either way (see
+// simd.h).
+DPC_TARGET_CLONES_AVX2
+void GramTileChunk(std::size_t lo, std::size_t hi, std::size_t n, std::size_t d,
+                   const double* data, const double* xt, const double* norms,
+                   float* rows) {
+  double dots[kTile];
+  for (std::size_t jt = 0; jt < n; jt += kTile) {
+    const std::size_t tile = std::min(kTile, n - jt);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (jt + kTile <= i) continue;  // Strictly below the diagonal tile.
+      const double* x = &data[i * d];
+      for (std::size_t j = 0; j < tile; ++j) dots[j] = 0.0;
+      for (std::size_t c = 0; c < d; ++c) {
+        const double xc = x[c];
+        const double* xt_row = &xt[c * n + jt];
+        for (std::size_t j = 0; j < tile; ++j) dots[j] += xc * xt_row[j];
+      }
+      const double ni = norms[i];
+      float* out = &rows[i * n + jt];
+      for (std::size_t j = 0; j < tile; ++j) {
+        const double sq = ni + norms[jt + j] - 2.0 * dots[j];
+        out[j] = BumpUp(static_cast<float>(std::sqrt(sq > 0.0 ? sq : 0.0)));
+      }
+    }
+  }
+  for (std::size_t i = lo; i < hi; ++i) rows[i * n + i] = 0.0f;
+}
+
+// Fills rows [lo, hi)'s strict-lower-triangle tiles from the transposed
+// entries (a cache-blocked transpose copy). Runs as a second parallel region
+// so every source entry is complete; kRowGrain divides kTile, hence all rows
+// of a chunk share one diagonal tile.
+void MirrorChunk(std::size_t lo, std::size_t hi, std::size_t n, float* rows) {
+  const std::size_t diag = lo & ~(kTile - 1);
+  for (std::size_t jb = 0; jb < diag; jb += kTile) {
+    for (std::size_t j = jb; j < jb + kTile; ++j) {
+      const float* src = &rows[j * n];
+      for (std::size_t i = lo; i < hi; ++i) rows[i * n + j] = src[i];
+    }
+  }
+}
+
+// Stable LSD radix sort of one row of non-negative floats: their bit patterns
+// are order-isomorphic to the values, so three 11-bit passes over the uint32
+// keys replace the comparison sort (the build's former hot spot). Produces
+// exactly std::sort's output for these keys.
+void RadixSortRow(float* row, std::size_t n, std::uint32_t* a,
+                  std::uint32_t* b) {
+  constexpr std::size_t kBins = std::size_t{1} << 11;
+  for (std::size_t i = 0; i < n; ++i) a[i] = std::bit_cast<std::uint32_t>(row[i]);
+  for (const int shift : {0, 11, 22}) {
+    std::uint32_t hist[kBins] = {};
+    for (std::size_t i = 0; i < n; ++i) ++hist[(a[i] >> shift) & (kBins - 1)];
+    std::uint32_t offset = 0;
+    for (std::size_t bin = 0; bin < kBins; ++bin) {
+      const std::uint32_t count = hist[bin];
+      hist[bin] = offset;
+      offset += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      b[hist[(a[i] >> shift) & (kBins - 1)]++] = a[i];
+    }
+    std::swap(a, b);
+  }
+  // After an odd number of passes the sorted keys live in the buffer the
+  // local `a` points to.
+  for (std::size_t i = 0; i < n; ++i) row[i] = std::bit_cast<float>(a[i]);
+}
+
+}  // namespace
 
 Result<PairwiseDistances> PairwiseDistances::Compute(const PointSet& s,
-                                                     std::size_t max_points) {
+                                                     std::size_t max_points,
+                                                     ThreadPool* pool) {
   const std::size_t n = s.size();
   if (n > max_points) {
     return Status::ResourceExhausted(
@@ -19,44 +117,71 @@ Result<PairwiseDistances> PairwiseDistances::Compute(const PointSet& s,
         " points, cap is " + std::to_string(max_points) +
         " (see GoodRadiusOptions::max_profile_points)");
   }
+  const std::size_t d = s.dim();
   PairwiseDistances pd;
   pd.n_ = n;
   pd.rows_.assign(n * n, 0.0f);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto xi = s[i];
-    float* row_i = &pd.rows_[i * n];
-    for (std::size_t j = i; j < n; ++j) {
-      // Round the stored distance up one ulp so CountWithin(i, exact_distance)
-      // always includes the pair despite the double->float narrowing.
-      const float d = std::nextafter(
-          static_cast<float>(std::sqrt(SquaredDistance(xi, s[j]))),
-          std::numeric_limits<float>::infinity());
-      row_i[j] = d;
-      pd.rows_[j * n + i] = d;
+  pd.count_scratch_.assign(n, 0);
+  if (n == 0) return pd;
+
+  // Row squared norms, accumulated in coordinate order. The self dot product
+  // of the tile kernel accumulates in the same order, so the Gram identity
+  // gives exactly 0 on the diagonal and for duplicate rows.
+  std::vector<double> norms(n);
+  const std::span<const double> data = s.Data();
+  ParallelFor(pool, 0, n, kDefaultGrain, [&](std::size_t i) {
+    const double* x = &data[i * d];
+    double sum = 0.0;
+    for (std::size_t c = 0; c < d; ++c) sum += x[c] * x[c];
+    norms[i] = sum;
+  });
+
+  // Packed transpose xt[c * n + j] = x_j[c]: the tile kernel's inner loop
+  // then streams unit-stride over j, which vectorizes without reassociating
+  // any accumulation (each dot product still sums c in ascending order).
+  std::vector<double> xt(d * n);
+  ParallelFor(pool, 0, n, kDefaultGrain, [&](std::size_t j) {
+    const double* x = &data[j * d];
+    for (std::size_t c = 0; c < d; ++c) xt[c * n + j] = x[c];
+  });
+
+  // Tiled Gram pass: rows are chunk-owned, so writes never overlap. Rounding
+  // the stored distance up one ulp keeps CountWithin(i, exact_distance)
+  // inclusive despite the double->float narrowing (as the direct build did).
+  static_assert(kTile % kRowGrain == 0,
+                "mirror chunks must not straddle diagonal tiles");
+  ParallelForChunks(pool, 0, n, kRowGrain,
+                    [&](std::size_t lo, std::size_t hi, std::size_t) {
+    GramTileChunk(lo, hi, n, d, data.data(), xt.data(), norms.data(),
+                  pd.rows_.data());
+  });
+  ParallelForChunks(pool, 0, n, kRowGrain,
+                    [&](std::size_t lo, std::size_t hi, std::size_t) {
+    MirrorChunk(lo, hi, n, pd.rows_.data());
+  });
+
+  ParallelForChunks(pool, 0, n, kRowGrain,
+                    [&](std::size_t lo, std::size_t hi, std::size_t) {
+    std::vector<std::uint32_t> scratch_a(n), scratch_b(n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      RadixSortRow(&pd.rows_[i * n], n, scratch_a.data(), scratch_b.data());
     }
-    row_i[i] = 0.0f;
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    float* row = &pd.rows_[i * n];
-    std::sort(row, row + n);
-  }
+  });
   return pd;
 }
 
 std::size_t PairwiseDistances::CountWithin(std::size_t i, double r) const {
   DPC_CHECK_LT(i, n_);
   if (r < 0.0) return 0;
-  const auto row = SortedRow(i);
   const float bound = std::nextafter(static_cast<float>(r),
                                      std::numeric_limits<float>::infinity());
-  return static_cast<std::size_t>(
-      std::upper_bound(row.begin(), row.end(), bound) - row.begin());
+  return BranchlessUpperBound(SortedRow(i), bound);
 }
 
 double PairwiseDistances::CappedTopAverage(double r, std::size_t cap) const {
   DPC_CHECK_GE(cap, 1u);
   DPC_CHECK_LE(cap, n_);
-  std::vector<std::size_t> counts(n_);
+  std::vector<std::size_t>& counts = count_scratch_;
   for (std::size_t i = 0; i < n_; ++i) {
     counts[i] = std::min(CountWithin(i, r), cap);
   }

@@ -3,8 +3,15 @@
 // and the capped average
 //   L(r, S) = (1/t) max_{distinct i_1..i_t} sum_j min(B_r(x_{i_j}), t)
 // of Algorithm 1 (GoodRadius). Exact evaluation of L is inherently Theta(n^2);
-// the structure materializes sorted per-center distance rows once (O(n^2 d)
-// time, O(n^2) floats) and answers L(r) queries in O(n log n).
+// the structure materializes sorted per-center distance rows once and answers
+// L(r) queries in O(n log n).
+//
+// The build uses the Gram trick: per-row squared norms are precomputed and
+// ||x_i - x_j||^2 = ||x_i||^2 + ||x_j||^2 - 2 <x_i, x_j> is evaluated in
+// cache-blocked tiles (the dot products stream a packed transpose of the
+// data with unit stride), with rows built and sorted in parallel through
+// ParallelFor. The arithmetic per entry is fixed by the tiling constants, so
+// the structure is bit-identical at any thread count.
 //
 // The memory cap is explicit: callers must pass max_points and get a
 // ResourceExhausted Status beyond it (see DESIGN.md, substitution #3).
@@ -21,12 +28,35 @@
 
 namespace dpcluster {
 
+class ThreadPool;
+
+/// Branchless upper_bound over an ascending row: the number of elements
+/// <= bound. Each halving step is a conditional move instead of a compare
+/// branch, so the n log n count queries of CappedTopAverage never stall on
+/// mispredictions (bench_primitives measures it against std::upper_bound).
+inline std::size_t BranchlessUpperBound(std::span<const float> sorted,
+                                        float bound) {
+  if (sorted.empty()) return 0;
+  const float* base = sorted.data();
+  std::size_t len = sorted.size();
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    base += (base[half - 1] <= bound) ? half : 0;
+    len -= half;
+  }
+  return static_cast<std::size_t>(base - sorted.data()) +
+         (base[0] <= bound ? 1 : 0);
+}
+
 /// Sorted per-center distance rows for a dataset.
 class PairwiseDistances {
  public:
   /// Builds the structure; fails with ResourceExhausted if s.size() > max_points.
+  /// `pool` parallelizes the tile and sort passes (null = serial); the result
+  /// is bit-identical at any thread count.
   static Result<PairwiseDistances> Compute(const PointSet& s,
-                                           std::size_t max_points);
+                                           std::size_t max_points,
+                                           ThreadPool* pool = nullptr);
 
   std::size_t size() const { return n_; }
 
@@ -39,7 +69,9 @@ class PairwiseDistances {
   std::size_t CountWithin(std::size_t i, double r) const;
 
   /// L(r, S) with counts capped at `cap`: the average of the `cap` largest
-  /// values of min(B_r(x_i), cap). Requires 1 <= cap <= n.
+  /// values of min(B_r(x_i), cap). Requires 1 <= cap <= n. Reuses an internal
+  /// scratch buffer, so concurrent calls on one instance must be externally
+  /// synchronized (every caller in this library queries serially).
   double CappedTopAverage(double r, std::size_t cap) const;
 
  private:
@@ -47,6 +79,7 @@ class PairwiseDistances {
 
   std::size_t n_;
   std::vector<float> rows_;  // n_ x n_, each row ascending.
+  mutable std::vector<std::size_t> count_scratch_;  // n_ slots, see above.
 };
 
 }  // namespace dpcluster

@@ -25,6 +25,14 @@ std::vector<double> JlTransform::Apply(std::span<const double> x) const {
   return out;
 }
 
+Matrix JlTransform::ApplyAll(const PointSet& points, ThreadPool* pool) const {
+  DPC_CHECK_EQ(points.dim(), in_dim());
+  Matrix out(points.size(), out_dim());
+  matrix_.MultiplyAll(points.Data(), points.size(), out.MutableData(), pool);
+  for (double& v : out.MutableData()) v *= scale_;
+  return out;
+}
+
 std::size_t JlTransform::DimensionFor(std::size_t n, double eta, double beta) {
   DPC_CHECK_GT(eta, 0.0);
   DPC_CHECK_GT(beta, 0.0);

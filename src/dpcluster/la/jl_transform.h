@@ -9,10 +9,13 @@
 #include <span>
 #include <vector>
 
+#include "dpcluster/geo/point_set.h"
 #include "dpcluster/la/matrix.h"
 #include "dpcluster/random/rng.h"
 
 namespace dpcluster {
+
+class ThreadPool;
 
 /// A sampled JL map R^in_dim -> R^out_dim.
 class JlTransform {
@@ -26,6 +29,11 @@ class JlTransform {
   /// Projects one point.
   void Apply(std::span<const double> x, std::span<double> out) const;
   std::vector<double> Apply(std::span<const double> x) const;
+
+  /// Projects a whole dataset (points.dim() == in_dim()) in one cache-blocked
+  /// batched GEMM; row i of the result is Apply(points[i]) bit-for-bit.
+  /// `pool` may be null (serial).
+  Matrix ApplyAll(const PointSet& points, ThreadPool* pool = nullptr) const;
 
   /// Theoretical number of output dimensions guaranteeing distortion <= eta on
   /// n points with probability >= 1 - beta (from Lemma 4.10's tail bound

@@ -1,8 +1,35 @@
 #include "dpcluster/la/matrix.h"
 
+#include <algorithm>
+
 #include "dpcluster/common/check.h"
+#include "dpcluster/common/simd.h"
+#include "dpcluster/parallel/parallel_for.h"
 
 namespace dpcluster {
+namespace {
+
+// The batched-product kernel for points [lo, hi): o[i][r] accumulates its
+// terms in ascending-c order, exactly like Multiply(). Cloned for AVX2 with
+// runtime dispatch where supported; kernel outputs are bit-identical either
+// way (see simd.h).
+DPC_TARGET_CLONES_AVX2
+void MultiplyAllChunk(std::size_t lo, std::size_t hi, std::size_t rows,
+                      std::size_t cols, const double* mt, const double* xs,
+                      double* out) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double* x = &xs[i * cols];
+    double* o = &out[i * rows];
+    for (std::size_t r = 0; r < rows; ++r) o[r] = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double xc = x[c];
+      const double* mt_row = &mt[c * rows];
+      for (std::size_t r = 0; r < rows; ++r) o[r] += xc * mt_row[r];
+    }
+  }
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
@@ -16,6 +43,34 @@ void Matrix::Multiply(std::span<const double> x, std::span<double> out) const {
     for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
     out[r] = s;
   }
+}
+
+void Matrix::MultiplyAll(std::span<const double> xs, std::size_t count,
+                         std::span<double> out, ThreadPool* pool) const {
+  DPC_CHECK_EQ(xs.size(), count * cols_);
+  DPC_CHECK_EQ(out.size(), count * rows_);
+  if (count == 0 || rows_ == 0) return;
+  if (cols_ == 0) {
+    for (double& v : out) v = 0.0;
+    return;
+  }
+  // Pack M^T once so the inner loop streams unit-stride over output rows: the
+  // kernel is out[i][r] += xs[i][c] * Mt[c][r] with c outermost per point,
+  // which keeps the per-element accumulation order identical to Multiply()
+  // while letting the compiler vectorize over r (no reduction involved).
+  std::vector<double> mt(cols_ * rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) mt[c * rows_ + r] = row[c];
+  }
+  // Grain: keep chunks at ~1M multiply-adds so small batches stay serial.
+  const std::size_t per_point = rows_ * cols_;
+  const std::size_t grain =
+      std::max<std::size_t>(16, (std::size_t{1} << 20) / per_point);
+  ParallelForChunks(pool, 0, count, grain,
+                    [&](std::size_t lo, std::size_t hi, std::size_t) {
+    MultiplyAllChunk(lo, hi, rows_, cols_, mt.data(), xs.data(), out.data());
+  });
 }
 
 void Matrix::MultiplyTransposed(std::span<const double> x,

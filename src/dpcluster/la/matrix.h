@@ -11,6 +11,8 @@
 
 namespace dpcluster {
 
+class ThreadPool;
+
 /// Dense row-major matrix of doubles.
 class Matrix {
  public:
@@ -36,6 +38,15 @@ class Matrix {
 
   /// out = M * x (x has cols() entries, out has rows() entries).
   void Multiply(std::span<const double> x, std::span<double> out) const;
+
+  /// Batched M * x over `count` row-major input vectors: xs is count x cols()
+  /// and out is count x rows(), out.row(i) = M * xs.row(i) — one cache-blocked
+  /// GEMM (Out = Xs * M^T) instead of `count` matrix-vector calls. Each output
+  /// element accumulates its terms in exactly Multiply()'s order, so the
+  /// result is bit-identical to the per-row path at any block size or thread
+  /// count. `pool` may be null (serial).
+  void MultiplyAll(std::span<const double> xs, std::size_t count,
+                   std::span<double> out, ThreadPool* pool = nullptr) const;
 
   /// out = M^T * x (x has rows() entries, out has cols() entries).
   void MultiplyTransposed(std::span<const double> x, std::span<double> out) const;

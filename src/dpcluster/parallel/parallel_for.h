@@ -1,0 +1,79 @@
+// ParallelFor: deterministic static chunking on top of ThreadPool.
+//
+// The chunk decomposition is a pure function of (range size, grain) — it never
+// depends on the pool's thread count or on runtime timing. Combined with the
+// ThreadPool contract (workers run deterministic numeric bodies that write to
+// chunk-owned slots), every parallel region produces bit-identical results at
+// any thread count, including the inline serial path taken when pool is null
+// or has a single thread. Callers that must merge per-chunk partial results
+// (e.g. CountBoxes) do so on the calling thread in ascending chunk order,
+// which reproduces the serial merge exactly.
+
+#ifndef DPCLUSTER_PARALLEL_PARALLEL_FOR_H_
+#define DPCLUSTER_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "dpcluster/parallel/thread_pool.h"
+
+namespace dpcluster {
+
+/// Default work granularity: chunks below this many indices are not worth a
+/// thread handoff for the kernels in this library.
+inline constexpr std::size_t kDefaultGrain = 256;
+
+/// Number of chunks a range of `count` indices splits into at granularity
+/// `grain`. Depends only on (count, grain) — never on the thread count.
+inline std::size_t NumChunks(std::size_t count, std::size_t grain) {
+  if (count == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (count + grain - 1) / grain;
+}
+
+/// Half-open index range of chunk `chunk` of a [begin, end) split at `grain`.
+inline std::pair<std::size_t, std::size_t> ChunkRange(std::size_t begin,
+                                                      std::size_t end,
+                                                      std::size_t grain,
+                                                      std::size_t chunk) {
+  if (grain == 0) grain = 1;
+  const std::size_t lo = begin + chunk * grain;
+  const std::size_t hi = lo + grain < end ? lo + grain : end;
+  return {lo, hi};
+}
+
+/// Runs body(chunk_begin, chunk_end, chunk_index) for every chunk of
+/// [begin, end). `pool` may be null (serial). Exceptions from the body
+/// propagate to the caller (the lowest-indexed throwing chunk wins).
+template <typename ChunkBody>
+void ParallelForChunks(ThreadPool* pool, std::size_t begin, std::size_t end,
+                       std::size_t grain, ChunkBody&& body) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  const std::size_t num_chunks = NumChunks(count, grain);
+  if (pool == nullptr || pool->num_threads() <= 1 || num_chunks == 1) {
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const auto [lo, hi] = ChunkRange(begin, end, grain, chunk);
+      body(lo, hi, chunk);
+    }
+    return;
+  }
+  pool->RunChunks(num_chunks, [&](std::size_t chunk) {
+    const auto [lo, hi] = ChunkRange(begin, end, grain, chunk);
+    body(lo, hi, chunk);
+  });
+}
+
+/// Runs body(i) for every i in [begin, end); see ParallelForChunks.
+template <typename Body>
+void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                 std::size_t grain, Body&& body) {
+  ParallelForChunks(pool, begin, end, grain,
+                    [&](std::size_t lo, std::size_t hi, std::size_t) {
+                      for (std::size_t i = lo; i < hi; ++i) body(i);
+                    });
+}
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_PARALLEL_PARALLEL_FOR_H_

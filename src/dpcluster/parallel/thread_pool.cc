@@ -1,0 +1,135 @@
+#include "dpcluster/parallel/thread_pool.h"
+
+#include <atomic>
+#include <limits>
+
+namespace dpcluster {
+
+// Shared state of one RunChunks call. Lives on the caller's stack; a worker
+// may only obtain the pointer under the pool mutex while the region is
+// installed, and `participants` (caller + joined workers) governs when the
+// caller may let the region go out of scope: a participant's final touch of
+// the region is either the fetch_sub itself or the done-flag handoff under
+// done_mutex, both of which complete before the caller returns.
+struct ThreadPool::Region {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> participants{1};  // The caller.
+
+  // First exception by chunk index, so a failure surfaces deterministically
+  // even when several chunks throw in the same region.
+  std::mutex error_mutex;
+  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  // Returns true if this participant was the last one out.
+  bool Leave() {
+    if (participants.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(done_mutex);
+    done = true;
+    done_cv.notify_one();
+    return true;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(num_threads == 0
+                       ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                       : num_threads) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainChunks(Region& region) {
+  for (;;) {
+    const std::size_t chunk =
+        region.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= region.num_chunks) return;
+    try {
+      (*region.body)(chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.error_mutex);
+      if (chunk < region.error_chunk) {
+        region.error_chunk = chunk;
+        region.error = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t last_seq = 0;
+  for (;;) {
+    Region* region = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (region_ != nullptr && region_seq_ != last_seq);
+      });
+      if (shutdown_) return;
+      last_seq = region_seq_;
+      region = region_;
+      region->participants.fetch_add(1, std::memory_order_relaxed);
+    }
+    DrainChunks(*region);
+    region->Leave();
+  }
+}
+
+void ThreadPool::EnsureWorkers() {
+  if (!workers_.empty() || num_threads_ <= 1) return;
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::RunChunks(std::size_t num_chunks,
+                           const std::function<void(std::size_t)>& body) {
+  if (num_chunks == 0) return;
+  if (num_threads_ <= 1 || num_chunks == 1) {
+    // Serial fast path: run in chunk order on the caller's thread. The first
+    // throwing chunk propagates immediately, matching the parallel contract.
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) body(chunk);
+    return;
+  }
+
+  EnsureWorkers();
+  Region region;
+  region.body = &body;
+  region.num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_ = &region;
+    ++region_seq_;
+  }
+  work_cv_.notify_all();
+  // The caller participates; workers that never woke in time simply find the
+  // chunk counter exhausted.
+  DrainChunks(region);
+  {
+    // Uninstall so no further worker can join the drained region.
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_ = nullptr;
+  }
+  if (!region.Leave()) {
+    std::unique_lock<std::mutex> lock(region.done_mutex);
+    region.done_cv.wait(lock, [&] { return region.done; });
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+}  // namespace dpcluster

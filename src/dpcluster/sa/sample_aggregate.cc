@@ -1,9 +1,11 @@
 #include "dpcluster/sa/sample_aggregate.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "dpcluster/common/check.h"
+#include "dpcluster/parallel/parallel_for.h"
 
 namespace dpcluster {
 
@@ -39,17 +41,38 @@ Result<SampleAggregateResult> SampleAggregate(
   std::vector<std::size_t> sample(k * m);
   for (auto& idx : sample) idx = rng.NextUint64(n);
 
-  // Step 2: evaluate the estimator on every block; snap outputs to X^d.
+  // Step 2: evaluate the estimator on every block (in parallel — each block
+  // writes its own preallocated output row, and the first failing block by
+  // index wins, matching the serial error); snap outputs to X^d.
   SampleAggregateResult result;
   result.blocks = k;
-  PointSet outputs(out_domain.dim());
-  std::vector<double> buf(out_domain.dim());
-  for (std::size_t b = 0; b < k; ++b) {
-    const PointSet block =
-        s.Subset(std::span<const std::size_t>(sample).subspan(b * m, m));
-    DPC_RETURN_IF_ERROR(f(block, buf));
-    out_domain.SnapPoint(buf);
-    outputs.Add(buf);
+  PointSet outputs(out_domain.dim(),
+                   std::vector<double>(k * out_domain.dim(), 0.0));
+  ThreadPool pool(options.num_threads);
+  std::vector<Status> chunk_status(NumChunks(k, 1), Status::OK());
+  std::atomic<bool> failed{false};
+  ParallelForChunks(&pool, 0, k, 1,
+                    [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+    // Short-circuit once any block failed (the serial path then matches the
+    // old first-error behavior exactly; in parallel, in-flight blocks may
+    // still finish, but the reported error is the lowest failing block's).
+    if (failed.load(std::memory_order_relaxed)) return;
+    std::vector<double> buf(out_domain.dim());
+    for (std::size_t b = lo; b < hi; ++b) {
+      const PointSet block =
+          s.Subset(std::span<const std::size_t>(sample).subspan(b * m, m));
+      const Status status = f(block, buf);
+      if (!status.ok()) {
+        chunk_status[chunk] = status;
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      out_domain.SnapPoint(buf);
+      std::copy(buf.begin(), buf.end(), outputs.MutableRow(b).begin());
+    }
+  });
+  for (const Status& status : chunk_status) {
+    DPC_RETURN_IF_ERROR(status);
   }
 
   // Step 3: aggregate with the 1-cluster solver, t = alpha k / 2.
@@ -58,6 +81,7 @@ Result<SampleAggregateResult> SampleAggregate(
   OneClusterOptions oc = options.one_cluster;
   oc.params = options.params;
   oc.beta = options.beta;
+  oc.num_threads = options.num_threads;
   DPC_ASSIGN_OR_RETURN(result.aggregate,
                        OneCluster(rng, outputs, t, out_domain, oc));
   result.point = result.aggregate.ball.center;

@@ -37,7 +37,13 @@ struct SampleAggregateOptions {
   std::size_t block_size = 0;
   /// Stability fraction alpha in (0, 1]; t = alpha k / 2.
   double alpha = 0.5;
-  /// Aggregator configuration (params/beta overwritten).
+  /// Worker threads for the per-block estimator evaluations and the
+  /// aggregator's numeric kernels (0 = one per hardware thread, 1 = serial;
+  /// outputs are bit-identical at any setting). With num_threads != 1 the
+  /// estimator must be thread-safe — a pure function of its block, which all
+  /// estimators in sa/estimators.h are. Overwrites one_cluster.num_threads.
+  std::size_t num_threads = 1;
+  /// Aggregator configuration (params/beta/num_threads overwritten).
   OneClusterOptions one_cluster;
 
   Status Validate() const;

@@ -29,6 +29,30 @@ double BruteForceL(const PointSet& s, double r, std::size_t t) {
   return sum / static_cast<double>(t);
 }
 
+TEST(BranchlessUpperBoundTest, MatchesStdUpperBound) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = rng.NextUint64(40);
+    std::vector<float> row(n);
+    for (float& v : row) v = static_cast<float>(rng.NextDouble());
+    std::sort(row.begin(), row.end());
+    for (int q = 0; q < 20; ++q) {
+      const float bound = static_cast<float>(rng.NextDouble() * 1.2 - 0.1);
+      const auto expected = static_cast<std::size_t>(
+          std::upper_bound(row.begin(), row.end(), bound) - row.begin());
+      EXPECT_EQ(BranchlessUpperBound(row, bound), expected)
+          << "n=" << n << " bound=" << bound;
+    }
+    // Exact-element bounds exercise the <= edge.
+    for (const float v : row) {
+      const auto expected = static_cast<std::size_t>(
+          std::upper_bound(row.begin(), row.end(), v) - row.begin());
+      EXPECT_EQ(BranchlessUpperBound(row, v), expected);
+    }
+  }
+  EXPECT_EQ(BranchlessUpperBound({}, 1.0f), 0u);
+}
+
 TEST(PairwiseDistancesTest, RespectsCap) {
   Rng rng(1);
   const PointSet s = testing_util::UniformCube(rng, 10, 2);

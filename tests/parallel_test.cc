@@ -1,0 +1,117 @@
+// Tests for the deterministic parallel runtime (ThreadPool + ParallelFor).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "dpcluster/parallel/parallel_for.h"
+#include "dpcluster/parallel/thread_pool.h"
+
+namespace dpcluster {
+namespace {
+
+TEST(ThreadPoolTest, ResolvesThreadCount) {
+  EXPECT_GE(ThreadPool(0).num_threads(), 1u);
+  EXPECT_EQ(ThreadPool(1).num_threads(), 1u);
+  EXPECT_EQ(ThreadPool(5).num_threads(), 5u);
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 0, 0, 16, [&](std::size_t) { ++calls; });
+  ParallelFor(&pool, 7, 7, 16, [&](std::size_t) { ++calls; });
+  ParallelForChunks(&pool, 3, 3, 16,
+                    [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, RangeSmallerThanChunkRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> hits(5, 0);
+  ParallelFor(&pool, 0, 5, 100, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 5);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    ParallelFor(&pool, 0, n, 7, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolIsSerial) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(nullptr, 0, 64, 8, [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, ChunkDecompositionIgnoresThreadCount) {
+  // The chunk boundaries are a pure function of (range, grain) — the
+  // foundation of the bit-identical-at-any-thread-count guarantee.
+  EXPECT_EQ(NumChunks(0, 16), 0u);
+  EXPECT_EQ(NumChunks(1, 16), 1u);
+  EXPECT_EQ(NumChunks(16, 16), 1u);
+  EXPECT_EQ(NumChunks(17, 16), 2u);
+  const auto [lo, hi] = ChunkRange(10, 50, 16, 1);
+  EXPECT_EQ(lo, 26u);
+  EXPECT_EQ(hi, 42u);
+  const auto [lo2, hi2] = ChunkRange(10, 50, 16, 2);
+  EXPECT_EQ(lo2, 42u);
+  EXPECT_EQ(hi2, 50u);
+}
+
+TEST(ParallelForTest, ExceptionsPropagate) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        ParallelFor(&pool, 0, 1024, 8,
+                    [&](std::size_t i) {
+                      if (i == 500) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+    // The pool survives a throwing region and stays usable.
+    std::atomic<int> calls{0};
+    ParallelFor(&pool, 0, 100, 8, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 100);
+  }
+}
+
+TEST(ParallelForTest, LowestChunkExceptionWins) {
+  ThreadPool pool(8);
+  try {
+    ParallelForChunks(&pool, 0, 1024, 8,
+                      [&](std::size_t lo, std::size_t, std::size_t) {
+                        throw std::runtime_error("chunk@" + std::to_string(lo));
+                      });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk@0");
+  }
+}
+
+TEST(ParallelForTest, ParallelWritesMatchSerial) {
+  const std::size_t n = 4096;
+  std::vector<double> serial(n);
+  ParallelFor(nullptr, 0, n, 64, [&](std::size_t i) {
+    serial[i] = static_cast<double>(i) * 1.5 + 1.0 / (1.0 + static_cast<double>(i));
+  });
+  for (std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<double> parallel(n);
+    ParallelFor(&pool, 0, n, 64, [&](std::size_t i) {
+      parallel[i] = static_cast<double>(i) * 1.5 + 1.0 / (1.0 + static_cast<double>(i));
+    });
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
+}  // namespace
+}  // namespace dpcluster
