@@ -1,0 +1,56 @@
+// bench_accuracy — the Table-1-style accuracy dashboard over the scenario
+// registry. Where bench_table1 reproduces the paper's original comparison on
+// the planted-cluster workload, this harness sweeps *every* registered
+// scenario family × algorithm × epsilon through the Solver façade and reports
+// ground-truth-relative medians (radius blow-up, cluster coverage, center
+// offset), then writes BENCH_accuracy.json so the accuracy trajectory stays
+// machine-readable across PRs.
+//
+//   bench_accuracy            # the eval_harness default grid -> BENCH_accuracy.json
+//   bench_accuracy --quick    # smoke-sized grid -> BENCH_accuracy_quick.json
+
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "dpcluster/data/accuracy.h"
+#include "dpcluster/data/registry.h"
+
+using namespace dpcluster;
+using namespace dpcluster::bench;
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  // The full run keeps SweepConfig's defaults — the exact grid of the
+  // committed BENCH_accuracy.json — so regenerating the baseline from either
+  // tool produces the same shape. --quick writes to its own file.
+  SweepConfig config;  // all registered scenarios, default 3 algorithms
+  if (quick) {
+    config.epsilons = {2.0};
+    config.ns = {2048};
+    config.trials = 3;
+  }
+  const char* out = quick ? "BENCH_accuracy_quick.json" : "BENCH_accuracy.json";
+
+  Banner("Accuracy dashboard: scenario x algorithm x epsilon (medians over " +
+         std::to_string(config.trials) + " seeds)");
+  Note("radius_ratio = released radius / tightest true-center t-ball;");
+  Note("coverage = fraction of the planted cluster captured; center_off in");
+  Note("units of the reference radius. Truth is the planted ground truth,");
+  Note("not a non-private fit (see src/dpcluster/data/).");
+
+  const auto cells = RunAccuracySweep(config);
+  if (!cells.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 cells.status().ToString().c_str());
+    return 1;
+  }
+
+  PrintSweepTables(*cells);
+
+  return WriteAccuracyJson(out, config, *cells) ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+#include "dpcluster/api/scenario.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace dpcluster {
+namespace {
+
+std::string EpsilonTag(double epsilon) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", epsilon);
+  return buf;
+}
+
+}  // namespace
+
+Request ScenarioRequest(const ScenarioInstance& instance,
+                        std::string algorithm, PrivacyParams budget,
+                        std::size_t num_threads) {
+  Request request;
+  request.label =
+      instance.scenario + "/" + algorithm + "/eps" + EpsilonTag(budget.epsilon);
+  request.algorithm = std::move(algorithm);
+  request.data = instance.points;
+  request.domain = instance.domain;
+  request.budget = budget;
+  request.t = instance.t;
+  request.num_threads = num_threads;
+  return request;
+}
+
+std::vector<Request> ScenarioRequestGrid(const ScenarioInstance& instance,
+                                         std::span<const std::string> algorithms,
+                                         std::span<const double> epsilons,
+                                         double delta,
+                                         std::size_t num_threads) {
+  std::vector<Request> requests;
+  requests.reserve(algorithms.size() * epsilons.size());
+  for (const std::string& algorithm : algorithms) {
+    for (double epsilon : epsilons) {
+      requests.push_back(ScenarioRequest(instance, algorithm,
+                                         {epsilon, delta}, num_threads));
+    }
+  }
+  return requests;
+}
+
+}  // namespace dpcluster

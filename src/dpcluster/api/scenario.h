@@ -1,0 +1,37 @@
+// Scenario-aware Request helpers: turn a generated ScenarioInstance
+// (data/scenario.h) into façade Requests, singly or as the full
+// algorithm × epsilon grid the evaluation harness sweeps through
+// Solver::RunAll.
+
+#ifndef DPCLUSTER_API_SCENARIO_H_
+#define DPCLUSTER_API_SCENARIO_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dpcluster/api/request.h"
+#include "dpcluster/data/scenario.h"
+#include "dpcluster/dp/privacy_params.h"
+
+namespace dpcluster {
+
+/// Builds the Request that asks `algorithm` the 1-cluster question encoded by
+/// `instance` (its points, domain, and ground-truth cluster size t). The label
+/// is "<scenario>/<algorithm>/eps<epsilon>" so sweep ledgers stay readable.
+Request ScenarioRequest(const ScenarioInstance& instance,
+                        std::string algorithm, PrivacyParams budget,
+                        std::size_t num_threads = 1);
+
+/// The full algorithm × epsilon grid over one instance: every pair shares the
+/// instance's data/domain/t and the given delta. Feed to Solver::RunAll; the
+/// result order is algorithms-major (all epsilons of algorithms[0] first).
+std::vector<Request> ScenarioRequestGrid(const ScenarioInstance& instance,
+                                         std::span<const std::string> algorithms,
+                                         std::span<const double> epsilons,
+                                         double delta,
+                                         std::size_t num_threads = 1);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_API_SCENARIO_H_

@@ -1,0 +1,303 @@
+#include "dpcluster/data/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "dpcluster/api/scenario.h"
+#include "dpcluster/api/solver.h"
+#include "dpcluster/data/registry.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/workload/table.h"
+
+namespace dpcluster {
+namespace {
+
+/// Median of the collected values; NaN when none were collected. Even counts
+/// average the two middle values.
+double Median(std::vector<double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+/// Per-(algorithm, epsilon) accumulator of one scenario × n × dim combination.
+struct CellAccumulator {
+  std::vector<double> radius_ratio;
+  std::vector<double> coverage;
+  std::vector<double> center_offset;
+  std::vector<double> eps_spent;
+  std::vector<double> delta_spent;
+  std::vector<double> wall_ms;
+  std::size_t failures = 0;
+  std::string note;
+};
+
+}  // namespace
+
+Status SweepConfig::Validate() const {
+  if (algorithms.empty()) {
+    return Status::InvalidArgument("SweepConfig: no algorithms");
+  }
+  if (epsilons.empty()) {
+    return Status::InvalidArgument("SweepConfig: no epsilons");
+  }
+  for (double epsilon : epsilons) {
+    if (!(epsilon > 0.0)) {
+      return Status::InvalidArgument("SweepConfig: epsilons must be > 0");
+    }
+  }
+  if (delta < 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("SweepConfig: delta must be in [0, 1)");
+  }
+  if (ns.empty() || dims.empty()) {
+    return Status::InvalidArgument("SweepConfig: empty n or dim grid");
+  }
+  if (trials == 0) {
+    return Status::InvalidArgument("SweepConfig: trials must be >= 1");
+  }
+  return Status::OK();
+}
+
+double ReferenceRadius(const ScenarioInstance& instance) {
+  // Tightest ball around the *true* center holding t points, floored at one
+  // grid step (grid-snapped truths can be radius 0).
+  return std::max(
+      RadiusCapturing(instance.points, instance.primary().center,
+                      std::min(instance.t, instance.points.size())),
+      instance.domain.step());
+}
+
+Result<AccuracyMetrics> ScoreResponse(const ScenarioInstance& instance,
+                                      const Response& response) {
+  return ScoreResponse(instance, response, ReferenceRadius(instance));
+}
+
+Result<AccuracyMetrics> ScoreResponse(const ScenarioInstance& instance,
+                                      const Response& response,
+                                      double reference_radius) {
+  if (response.ball.center.size() != instance.points.dim()) {
+    return Status::InvalidArgument(
+        "ScoreResponse: response released no ball of the instance dimension");
+  }
+  const Ball& truth = instance.primary();
+  const double r_ref = reference_radius;
+  AccuracyMetrics metrics;
+  metrics.radius_ratio = response.ball.radius / r_ref;
+  std::size_t captured = 0;
+  for (std::size_t i = 0; i < instance.points.size(); ++i) {
+    if (instance.labels[i] == 0 && response.ball.Contains(instance.points[i])) {
+      ++captured;
+    }
+  }
+  metrics.coverage =
+      static_cast<double>(captured) / static_cast<double>(instance.t);
+  metrics.center_offset =
+      Distance(response.ball.center, truth.center) / r_ref;
+  metrics.eps_spent = response.charged.epsilon;
+  metrics.delta_spent = response.charged.delta;
+  metrics.wall_ms = response.wall_ms;
+  return metrics;
+}
+
+Result<std::vector<SweepCell>> RunAccuracySweep(const SweepConfig& config) {
+  DPC_RETURN_IF_ERROR(config.Validate());
+  const std::vector<std::string> scenarios =
+      config.scenarios.empty() ? ScenarioRegistry::Global().Names()
+                               : config.scenarios;
+
+  Rng root(config.seed);
+  SolverOptions solver_options;
+  solver_options.seed = config.seed ^ 0x5CE9A210ACCULL;
+  Solver solver(solver_options);
+
+  const std::size_t grid = config.algorithms.size() * config.epsilons.size();
+  std::vector<SweepCell> cells;
+  cells.reserve(scenarios.size() * config.ns.size() * config.dims.size() * grid);
+
+  for (const std::string& scenario : scenarios) {
+    for (std::size_t n : config.ns) {
+      for (std::size_t dim : config.dims) {
+        std::vector<CellAccumulator> acc(grid);
+        for (std::size_t trial = 0; trial < config.trials; ++trial) {
+          Rng rng = root.Fork();
+          ScenarioSpec spec;
+          spec.scenario = scenario;
+          spec.n = n;
+          spec.dim = dim;
+          spec.levels = config.levels;
+          auto instance = GenerateScenario(rng, spec);
+          if (!instance.ok()) {
+            // A family that rejects this (n, dim) combination fails the whole
+            // trial for its cells instead of aborting the sweep.
+            for (CellAccumulator& cell : acc) {
+              ++cell.failures;
+              cell.note = instance.status().ToString();
+            }
+            continue;
+          }
+          std::vector<Request> requests = ScenarioRequestGrid(
+              *instance, config.algorithms, config.epsilons, config.delta,
+              config.num_threads);
+          for (Request& request : requests) {
+            request.tuning.refine_one_cluster = config.refine;
+          }
+          const auto responses = solver.RunAll(requests);
+          const double r_ref = ReferenceRadius(*instance);
+          for (std::size_t i = 0; i < responses.size(); ++i) {
+            CellAccumulator& cell = acc[i];
+            if (!responses[i].ok()) {
+              ++cell.failures;
+              cell.note = responses[i].status().ToString();
+              continue;
+            }
+            const auto metrics = ScoreResponse(*instance, *responses[i], r_ref);
+            if (!metrics.ok()) {
+              ++cell.failures;
+              cell.note = metrics.status().ToString();
+              continue;
+            }
+            cell.radius_ratio.push_back(metrics->radius_ratio);
+            cell.coverage.push_back(metrics->coverage);
+            cell.center_offset.push_back(metrics->center_offset);
+            cell.eps_spent.push_back(metrics->eps_spent);
+            cell.delta_spent.push_back(metrics->delta_spent);
+            cell.wall_ms.push_back(metrics->wall_ms);
+          }
+        }
+        for (std::size_t a = 0; a < config.algorithms.size(); ++a) {
+          for (std::size_t e = 0; e < config.epsilons.size(); ++e) {
+            CellAccumulator& collected = acc[a * config.epsilons.size() + e];
+            SweepCell cell;
+            cell.scenario = scenario;
+            cell.algorithm = config.algorithms[a];
+            cell.epsilon = config.epsilons[e];
+            cell.n = n;
+            cell.dim = dim;
+            cell.trials = config.trials;
+            cell.failures = collected.failures;
+            cell.note = std::move(collected.note);
+            cell.median.radius_ratio = Median(std::move(collected.radius_ratio));
+            cell.median.coverage = Median(std::move(collected.coverage));
+            cell.median.center_offset =
+                Median(std::move(collected.center_offset));
+            cell.median.eps_spent = Median(std::move(collected.eps_spent));
+            cell.median.delta_spent = Median(std::move(collected.delta_spent));
+            cell.median.wall_ms = Median(std::move(collected.wall_ms));
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+const SweepCell* FindCell(const std::vector<SweepCell>& cells,
+                          std::string_view scenario, std::string_view algorithm,
+                          double epsilon) {
+  for (const SweepCell& cell : cells) {
+    if (cell.scenario == scenario && cell.algorithm == algorithm &&
+        cell.epsilon == epsilon) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// NaN/inf are not valid JSON numbers; emit null for them.
+void PrintMetric(std::FILE* f, const char* key, double value,
+                 const char* suffix) {
+  if (std::isfinite(value)) {
+    std::fprintf(f, "\"%s\": %.6g%s", key, value, suffix);
+  } else {
+    std::fprintf(f, "\"%s\": null%s", key, suffix);
+  }
+}
+
+}  // namespace
+
+void PrintSweepTables(const std::vector<SweepCell>& cells) {
+  for (std::size_t i = 0; i < cells.size();) {
+    const SweepCell& head = cells[i];
+    std::printf("\n--- %s  (n=%zu, d=%zu) ---\n", head.scenario.c_str(),
+                head.n, head.dim);
+    TextTable table({"algorithm", "eps", "radius_ratio", "coverage",
+                     "center_off", "eps_spent", "fails", "ms"});
+    for (; i < cells.size(); ++i) {
+      const SweepCell& cell = cells[i];
+      if (cell.scenario != head.scenario || cell.n != head.n ||
+          cell.dim != head.dim) {
+        break;
+      }
+      table.AddRow({cell.algorithm, TextTable::Fmt(cell.epsilon, 2),
+                    TextTable::Fmt(cell.median.radius_ratio, 3),
+                    TextTable::Fmt(cell.median.coverage, 3),
+                    TextTable::Fmt(cell.median.center_offset, 3),
+                    TextTable::Fmt(cell.median.eps_spent, 3),
+                    TextTable::FmtInt(static_cast<long long>(cell.failures)),
+                    TextTable::Fmt(cell.median.wall_ms, 2)});
+    }
+    table.Print();
+  }
+}
+
+bool WriteAccuracyJson(const std::string& path, const SweepConfig& config,
+                       const std::vector<SweepCell>& cells) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteAccuracyJson: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"config\": {\"trials\": %zu, \"delta\": %.6g, "
+               "\"levels\": %llu, \"seed\": %llu},\n"
+               "  \"cells\": [\n",
+               config.trials, config.delta,
+               static_cast<unsigned long long>(config.levels),
+               static_cast<unsigned long long>(config.seed));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"algorithm\": \"%s\", "
+                 "\"epsilon\": %.6g, \"n\": %zu, \"d\": %zu, "
+                 "\"trials\": %zu, \"failures\": %zu, ",
+                 JsonEscaped(cell.scenario).c_str(),
+                 JsonEscaped(cell.algorithm).c_str(), cell.epsilon, cell.n,
+                 cell.dim, cell.trials, cell.failures);
+    PrintMetric(f, "radius_ratio", cell.median.radius_ratio, ", ");
+    PrintMetric(f, "coverage", cell.median.coverage, ", ");
+    PrintMetric(f, "center_offset", cell.median.center_offset, ", ");
+    PrintMetric(f, "eps_spent", cell.median.eps_spent, ", ");
+    PrintMetric(f, "delta_spent", cell.median.delta_spent, ", ");
+    PrintMetric(f, "wall_ms", cell.median.wall_ms, "");
+    if (!cell.note.empty()) {
+      std::fprintf(f, ", \"note\": \"%s\"", JsonEscaped(cell.note).c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu cells to %s\n", cells.size(), path.c_str());
+  return true;
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,74 @@
+#include "dpcluster/data/registry.h"
+
+#include <utility>
+
+namespace dpcluster {
+
+Status ScenarioRegistry::Register(std::unique_ptr<ScenarioFamily> family) {
+  if (family == nullptr) {
+    return Status::InvalidArgument("Register: scenario family is null");
+  }
+  std::string key(family->name());
+  if (key.empty()) {
+    return Status::InvalidArgument("Register: scenario family name is empty");
+  }
+  auto [it, inserted] = families_.emplace(std::move(key), std::move(family));
+  if (!inserted) {
+    return Status::InvalidArgument("Register: duplicate scenario name '" +
+                                   it->first + "'");
+  }
+  return Status::OK();
+}
+
+Result<const ScenarioFamily*> ScenarioRegistry::Lookup(
+    std::string_view name) const {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    std::string known;
+    for (const auto& [key, unused] : families_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status::NotFound("no scenario named '" + std::string(name) +
+                            "' (registered: " + known + ")");
+  }
+  return it->second.get();
+}
+
+bool ScenarioRegistry::Contains(std::string_view name) const {
+  return families_.find(name) != families_.end();
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const auto& [key, unused] : families_) names.push_back(key);
+  return names;  // std::map iterates in sorted order.
+}
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    // Built-in registration only fails on duplicate names, impossible here.
+    RegisterBuiltinScenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Result<ScenarioInstance> GenerateScenario(const ScenarioRegistry& registry,
+                                          Rng& rng, const ScenarioSpec& spec) {
+  DPC_RETURN_IF_ERROR(spec.Validate());
+  DPC_ASSIGN_OR_RETURN(const ScenarioFamily* family,
+                       registry.Lookup(spec.scenario));
+  DPC_RETURN_IF_ERROR(family->ValidateSpec(spec));
+  DPC_ASSIGN_OR_RETURN(ScenarioInstance instance, family->Generate(rng, spec));
+  DPC_RETURN_IF_ERROR(instance.CheckInvariants());
+  return instance;
+}
+
+Result<ScenarioInstance> GenerateScenario(Rng& rng, const ScenarioSpec& spec) {
+  return GenerateScenario(ScenarioRegistry::Global(), rng, spec);
+}
+
+}  // namespace dpcluster

@@ -15,6 +15,7 @@
 #include "dpcluster/api/registry.h"
 #include "dpcluster/api/request.h"
 #include "dpcluster/api/response.h"
+#include "dpcluster/api/scenario.h"
 #include "dpcluster/api/solver.h"
 #include "dpcluster/baselines/exp_mech_baseline.h"
 #include "dpcluster/baselines/noisy_mean_baseline.h"
@@ -22,6 +23,9 @@
 #include "dpcluster/baselines/threshold_release_1d.h"
 #include "dpcluster/common/math_util.h"
 #include "dpcluster/common/status.h"
+#include "dpcluster/data/accuracy.h"
+#include "dpcluster/data/registry.h"
+#include "dpcluster/data/scenario.h"
 #include "dpcluster/core/good_center.h"
 #include "dpcluster/core/good_radius.h"
 #include "dpcluster/core/interior_point.h"

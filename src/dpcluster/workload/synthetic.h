@@ -2,6 +2,11 @@
 // Each generator returns a ClusterWorkload: a dataset snapped to the grid
 // domain X^d, the target count t, and the planted ground-truth ball(s) used by
 // the evaluation metrics.
+//
+// NOTE: new workloads belong in the scenario subsystem (data/scenario.h): a
+// registry of named families with per-point ground-truth labels, consumed by
+// the accuracy harness. These free functions remain for the original
+// reproduction benches (bench_table1, bench_thm32_*).
 
 #ifndef DPCLUSTER_WORKLOAD_SYNTHETIC_H_
 #define DPCLUSTER_WORKLOAD_SYNTHETIC_H_

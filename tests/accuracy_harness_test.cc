@@ -1,0 +1,211 @@
+// Tests for the accuracy evaluation harness (data/accuracy.h) and the
+// scenario-aware Request helpers (api/scenario.h): scoring against ground
+// truth, the sweep runner through Solver::RunAll, and the JSON artifact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dpcluster/api/scenario.h"
+#include "dpcluster/data/accuracy.h"
+#include "dpcluster/data/registry.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+ScenarioInstance TinyInstance() {
+  Rng rng(21);
+  ScenarioSpec spec;
+  spec.scenario = "planted_cluster";
+  spec.n = 300;
+  spec.dim = 2;
+  spec.levels = 1u << 9;
+  auto instance = GenerateScenario(rng, spec);
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+// ------------------------------------------------------ request helpers ---
+
+TEST(ScenarioRequestTest, FillsTheRequestFromTheInstance) {
+  const ScenarioInstance instance = TinyInstance();
+  const Request request = ScenarioRequest(instance, "one_cluster", {2.0, 1e-7});
+  EXPECT_EQ(request.algorithm, "one_cluster");
+  EXPECT_EQ(request.data.size(), instance.points.size());
+  ASSERT_TRUE(request.domain.has_value());
+  EXPECT_EQ(request.domain->levels(), instance.domain.levels());
+  EXPECT_EQ(request.t, instance.t);
+  EXPECT_DOUBLE_EQ(request.budget.epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(request.budget.delta, 1e-7);
+  EXPECT_EQ(request.label, "planted_cluster/one_cluster/eps2");
+  EXPECT_OK(request.Validate());
+}
+
+TEST(ScenarioRequestTest, GridIsAlgorithmsMajor) {
+  const ScenarioInstance instance = TinyInstance();
+  const std::vector<std::string> algorithms = {"one_cluster", "nonprivate"};
+  const std::vector<double> epsilons = {0.5, 1.0, 2.0};
+  const auto requests =
+      ScenarioRequestGrid(instance, algorithms, epsilons, 1e-7);
+  ASSERT_EQ(requests.size(), 6u);
+  EXPECT_EQ(requests[0].algorithm, "one_cluster");
+  EXPECT_DOUBLE_EQ(requests[0].budget.epsilon, 0.5);
+  EXPECT_EQ(requests[2].algorithm, "one_cluster");
+  EXPECT_DOUBLE_EQ(requests[2].budget.epsilon, 2.0);
+  EXPECT_EQ(requests[3].algorithm, "nonprivate");
+  EXPECT_DOUBLE_EQ(requests[3].budget.epsilon, 0.5);
+}
+
+// --------------------------------------------------------------- scoring ---
+
+TEST(ScoreResponseTest, PerfectBallScoresPerfectly) {
+  const ScenarioInstance instance = TinyInstance();
+  Response response;
+  response.ball = instance.primary();
+  // Give the true ball a safety margin for grid snapping.
+  response.ball.radius += instance.domain.step() * 2.0;
+  response.charged = {1.0, 1e-7};
+  ASSERT_OK_AND_ASSIGN(AccuracyMetrics metrics,
+                       ScoreResponse(instance, response));
+  EXPECT_NEAR(metrics.coverage, 1.0, 1e-9);
+  EXPECT_NEAR(metrics.center_offset, 0.0, 1e-9);
+  // The reference radius is at most the true radius (+ snap), so the ratio is
+  // close to 1 from above.
+  EXPECT_GE(metrics.radius_ratio, 1.0);
+  EXPECT_LE(metrics.radius_ratio, 2.0);
+  EXPECT_DOUBLE_EQ(metrics.eps_spent, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.delta_spent, 1e-7);
+}
+
+TEST(ScoreResponseTest, MissedClusterScoresZeroCoverage) {
+  const ScenarioInstance instance = TinyInstance();
+  Response response;
+  // A far-away corner ball of the same radius: no cluster points inside.
+  response.ball.center.assign(instance.points.dim(), 0.0);
+  response.ball.radius = 1e-6;
+  ASSERT_OK_AND_ASSIGN(AccuracyMetrics metrics,
+                       ScoreResponse(instance, response));
+  EXPECT_DOUBLE_EQ(metrics.coverage, 0.0);
+  EXPECT_GT(metrics.center_offset, 1.0);
+}
+
+TEST(ScoreResponseTest, RejectsDimensionMismatch) {
+  const ScenarioInstance instance = TinyInstance();
+  Response response;
+  response.ball.center = {0.5};  // 1D ball against a 2D instance
+  EXPECT_FALSE(ScoreResponse(instance, response).ok());
+}
+
+// ----------------------------------------------------------------- sweep ---
+
+TEST(AccuracySweepTest, RunsTheFullGridThroughTheSolver) {
+  SweepConfig config;
+  config.scenarios = {"planted_cluster", "near_tie"};
+  config.algorithms = {"nonprivate", "noisy_mean_baseline"};
+  config.epsilons = {1.0};
+  config.ns = {256};
+  config.dims = {2};
+  config.levels = 1u << 9;
+  config.trials = 2;
+  ASSERT_OK_AND_ASSIGN(std::vector<SweepCell> cells, RunAccuracySweep(config));
+  ASSERT_EQ(cells.size(), 4u);  // 2 scenarios x 2 algorithms x 1 epsilon
+  for (const SweepCell& cell : cells) {
+    EXPECT_EQ(cell.trials, 2u);
+    EXPECT_EQ(cell.n, 256u);
+    EXPECT_EQ(cell.dim, 2u);
+  }
+  // The non-private reference never fails and lands near the optimum on the
+  // easy planted workload.
+  const SweepCell* cell = FindCell(cells, "planted_cluster", "nonprivate", 1.0);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->failures, 0u);
+  EXPECT_GT(cell->median.coverage, 0.5);
+  EXPECT_LT(cell->median.radius_ratio, 3.0);
+  EXPECT_DOUBLE_EQ(cell->median.eps_spent, 0.0);  // charges no budget
+}
+
+TEST(AccuracySweepTest, UtilityMetricsAreSeedDeterministic) {
+  SweepConfig config;
+  config.scenarios = {"annulus"};
+  config.algorithms = {"noisy_mean_baseline"};
+  config.epsilons = {1.0};
+  config.ns = {200};
+  config.dims = {2};
+  config.levels = 1u << 9;
+  config.trials = 2;
+  ASSERT_OK_AND_ASSIGN(std::vector<SweepCell> a, RunAccuracySweep(config));
+  ASSERT_OK_AND_ASSIGN(std::vector<SweepCell> b, RunAccuracySweep(config));
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].median.radius_ratio, b[0].median.radius_ratio);
+  EXPECT_EQ(a[0].median.coverage, b[0].median.coverage);
+  EXPECT_EQ(a[0].median.center_offset, b[0].median.center_offset);
+}
+
+TEST(AccuracySweepTest, UnknownAlgorithmCountsAsCellFailures) {
+  SweepConfig config;
+  config.scenarios = {"planted_cluster"};
+  config.algorithms = {"no_such_algorithm"};
+  config.epsilons = {1.0};
+  config.ns = {128};
+  config.dims = {1};
+  config.levels = 1u << 9;
+  config.trials = 2;
+  ASSERT_OK_AND_ASSIGN(std::vector<SweepCell> cells, RunAccuracySweep(config));
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].failures, 2u);
+  EXPECT_NE(cells[0].note.find("no_such_algorithm"), std::string::npos);
+  EXPECT_TRUE(std::isnan(cells[0].median.radius_ratio));
+}
+
+TEST(AccuracySweepTest, RejectsEmptyGrids) {
+  SweepConfig config;
+  config.algorithms.clear();
+  EXPECT_FALSE(RunAccuracySweep(config).ok());
+  config = SweepConfig();
+  config.epsilons = {-1.0};
+  EXPECT_FALSE(RunAccuracySweep(config).ok());
+  config = SweepConfig();
+  config.trials = 0;
+  EXPECT_FALSE(RunAccuracySweep(config).ok());
+}
+
+// ------------------------------------------------------------------ JSON ---
+
+TEST(AccuracyJsonTest, WritesConfigAndCells) {
+  SweepConfig config;
+  config.scenarios = {"planted_cluster"};
+  config.algorithms = {"nonprivate"};
+  config.epsilons = {1.0};
+  config.ns = {128};
+  config.dims = {2};
+  config.levels = 1u << 9;
+  config.trials = 2;
+  ASSERT_OK_AND_ASSIGN(std::vector<SweepCell> cells, RunAccuracySweep(config));
+
+  const std::string path =
+      ::testing::TempDir() + "/dpcluster_accuracy_test.json";
+  ASSERT_TRUE(WriteAccuracyJson(path, config, cells));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"config\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"planted_cluster\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\": \"nonprivate\""), std::string::npos);
+  EXPECT_NE(json.find("\"radius_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\"center_offset\""), std::string::npos);
+  // Valid JSON numbers only: NaN must have been emitted as null.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dpcluster

@@ -1,0 +1,261 @@
+// eval_harness — end-to-end accuracy evaluation over the scenario registry.
+//
+// Sweeps scenario × algorithm × (epsilon, n, d) through the Solver façade
+// (data/accuracy.h), prints per-scenario tables of ground-truth-relative
+// medians, and writes BENCH_accuracy.json. With --smoke it runs a small
+// deterministic grid and enforces coarse regression floors — the CI accuracy
+// gate.
+//
+// Usage:
+//   eval_harness                         # default sweep, writes BENCH_accuracy.json
+//   eval_harness --smoke                 # CI gate: small grid + floors
+//   eval_harness --list                  # scenario families and algorithms
+//
+// Options:
+//   --scenarios a,b,..   scenario families   (default: every registered family)
+//   --algorithms a,b,..  algorithm names     (default one_cluster,noisy_mean_baseline,nonprivate)
+//   --eps e1,e2,..       epsilon grid        (default 1,2,4)
+//   --delta D            per-request delta   (default 1e-6)
+//   --n n1,n2,..         dataset sizes       (default 4096)
+//   --dim d1,d2,..       dimensions          (default 2)
+//   --levels L           grid levels |X|     (default 1024)
+//   --trials T           seeds per cell      (default 5)
+//   --seed S             root RNG seed       (default 2016)
+//   --threads W          kernel threads      (default 1)
+//   --out PATH           JSON output path    (default BENCH_accuracy.json)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dpcluster/api/registry.h"
+#include "dpcluster/data/accuracy.h"
+#include "dpcluster/data/registry.h"
+
+namespace {
+
+using namespace dpcluster;
+
+std::vector<std::string> SplitCsv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : arg) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+std::vector<double> SplitCsvDoubles(const std::string& arg) {
+  std::vector<double> out;
+  for (const std::string& item : SplitCsv(arg)) {
+    out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out;
+}
+
+std::vector<std::size_t> SplitCsvSizes(const std::string& arg) {
+  std::vector<std::size_t> out;
+  for (const std::string& item : SplitCsv(arg)) {
+    out.push_back(
+        static_cast<std::size_t>(std::strtoull(item.c_str(), nullptr, 10)));
+  }
+  return out;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: eval_harness [--smoke] [--list] [--scenarios a,b]\n"
+               "       [--algorithms a,b] [--eps e1,e2] [--delta D]\n"
+               "       [--n n1,n2] [--dim d1,d2] [--levels L] [--trials T]\n"
+               "       [--seed S] [--threads W] [--out PATH]\n");
+}
+
+void ListRegistries() {
+  std::printf("scenario families:\n");
+  for (const std::string& name : ScenarioRegistry::Global().Names()) {
+    const auto family = ScenarioRegistry::Global().Lookup(name);
+    std::printf("  %-22s %s\n", name.c_str(),
+                std::string((*family)->description()).c_str());
+  }
+  std::printf("\nalgorithms:\n");
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    const auto algorithm = AlgorithmRegistry::Global().Lookup(name);
+    std::printf("  %-22s %s\n", name.c_str(),
+                std::string((*algorithm)->description()).c_str());
+  }
+}
+
+/// Coarse regression floors of the CI accuracy gate. Thresholds are
+/// deliberately loose (3-5x the typical values at the smoke grid's seed) so
+/// they trip on real regressions — a generator gone degenerate, a solver
+/// stage silently dropping utility — not on noise.
+struct Floor {
+  const char* scenario;
+  const char* algorithm;
+  double epsilon;
+  double max_radius_ratio;
+  double min_coverage;
+  std::size_t max_failures;
+};
+
+int CheckSmokeFloors(const std::vector<SweepCell>& cells) {
+  // The non-private reference must stay near-exact on the easy regime, and
+  // the paper pipeline at eps=1 must keep its O(sqrt(log n)) character.
+  // Observed medians at the smoke grid (n=2048, d=2, eps=2, seed 2016):
+  // nonprivate radius_ratio ~1.0 / coverage ~0.97; one_cluster (refined)
+  // radius_ratio ~0.3-3.2 with 0-2 NoPrivateAnswer trials per cell.
+  static constexpr Floor kFloors[] = {
+      {"planted_cluster", "nonprivate", 2.0, 2.5, 0.60, 0},
+      {"outlier_contaminated", "nonprivate", 2.0, 2.5, 0.60, 0},
+      {"planted_cluster", "one_cluster", 2.0, 30.0, 0.00, 2},
+      {"outlier_contaminated", "one_cluster", 2.0, 30.0, 0.20, 1},
+      {"grid_snapped", "one_cluster", 2.0, 30.0, 0.20, 2},
+  };
+  int violations = 0;
+  for (const Floor& floor : kFloors) {
+    const SweepCell* cell =
+        FindCell(cells, floor.scenario, floor.algorithm, floor.epsilon);
+    if (cell == nullptr) {
+      std::fprintf(stderr, "FLOOR: missing cell %s/%s eps=%g\n",
+                   floor.scenario, floor.algorithm, floor.epsilon);
+      ++violations;
+      continue;
+    }
+    if (cell->failures > floor.max_failures) {
+      std::fprintf(stderr, "FLOOR: %s/%s failures %zu > %zu (%s)\n",
+                   floor.scenario, floor.algorithm, cell->failures,
+                   floor.max_failures, cell->note.c_str());
+      ++violations;
+    }
+    if (!(cell->median.radius_ratio <= floor.max_radius_ratio)) {
+      std::fprintf(stderr, "FLOOR: %s/%s radius_ratio %.3f > %.3f\n",
+                   floor.scenario, floor.algorithm, cell->median.radius_ratio,
+                   floor.max_radius_ratio);
+      ++violations;
+    }
+    if (!(cell->median.coverage >= floor.min_coverage)) {
+      std::fprintf(stderr, "FLOOR: %s/%s coverage %.3f < %.3f\n",
+                   floor.scenario, floor.algorithm, cell->median.coverage,
+                   floor.min_coverage);
+      ++violations;
+    }
+  }
+  // Structural gate: the sweep must cover every registered family with at
+  // least 3 algorithms (the acceptance shape of BENCH_accuracy.json).
+  for (const std::string& scenario : ScenarioRegistry::Global().Names()) {
+    std::size_t algorithms = 0;
+    std::string last;
+    for (const SweepCell& cell : cells) {
+      if (cell.scenario == scenario && cell.algorithm != last) {
+        ++algorithms;
+        last = cell.algorithm;
+      }
+    }
+    if (algorithms < 3) {
+      std::fprintf(stderr, "FLOOR: scenario %s covered by %zu < 3 algorithms\n",
+                   scenario.c_str(), algorithms);
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepConfig config;
+  std::string out = "BENCH_accuracy.json";
+  bool smoke = false;
+  bool grid_flags_set = false;  // --smoke owns the grid; reject conflicts
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--list") {
+      ListRegistries();
+      return 0;
+    } else if (arg == "--scenarios" && (v = next())) {
+      config.scenarios = SplitCsv(v);
+      grid_flags_set = true;
+    } else if (arg == "--algorithms" && (v = next())) {
+      config.algorithms = SplitCsv(v);
+    } else if (arg == "--eps" && (v = next())) {
+      config.epsilons = SplitCsvDoubles(v);
+      grid_flags_set = true;
+    } else if (arg == "--delta" && (v = next())) {
+      config.delta = std::strtod(v, nullptr);
+    } else if (arg == "--n" && (v = next())) {
+      config.ns = SplitCsvSizes(v);
+      grid_flags_set = true;
+    } else if (arg == "--dim" && (v = next())) {
+      config.dims = SplitCsvSizes(v);
+      grid_flags_set = true;
+    } else if (arg == "--levels" && (v = next())) {
+      config.levels = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trials" && (v = next())) {
+      config.trials =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      grid_flags_set = true;
+    } else if (arg == "--seed" && (v = next())) {
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads" && (v = next())) {
+      config.num_threads =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--out" && (v = next())) {
+      out = v;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  if (smoke) {
+    if (grid_flags_set) {
+      std::fprintf(stderr,
+                   "--smoke fixes the grid (scenarios/eps/n/dim/trials); "
+                   "drop those flags or run without --smoke\n");
+      Usage();
+      return 2;
+    }
+    // Small deterministic grid: every registered family × the default 3
+    // algorithms at eps = 2 (the smallest budget where the paper pipeline
+    // clears its noise floor at n = 2048), sized for CI minutes.
+    config.scenarios.clear();
+    config.epsilons = {2.0};
+    config.ns = {2048};
+    config.dims = {2};
+    config.trials = 3;
+  }
+
+  const auto cells = RunAccuracySweep(config);
+  if (!cells.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 cells.status().ToString().c_str());
+    return 1;
+  }
+  PrintSweepTables(*cells);
+  if (!WriteAccuracyJson(out, config, *cells)) return 1;
+
+  if (smoke) {
+    const int violations = CheckSmokeFloors(*cells);
+    if (violations > 0) {
+      std::fprintf(stderr, "\n--smoke: %d floor violation(s)\n", violations);
+      return 1;
+    }
+    std::printf("\n--smoke: all accuracy floors hold\n");
+  }
+  return 0;
+}
