@@ -7,7 +7,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "dpcluster/api/solver.h"
@@ -36,25 +38,36 @@ class JsonReporter {
     records_.push_back({std::move(op), n, d, threads, ns_per_op});
   }
 
-  /// Writes all records; returns false (and prints to stderr) on IO failure.
+  /// Writes all records deduplicated on the (op, n, d, threads) key — last
+  /// write wins — and sorted by that key, so re-measured configurations never
+  /// pile up as duplicate rows and baseline diffs stay clean. Returns false
+  /// (and prints to stderr) on IO failure.
   bool Write() const {
+    std::map<std::tuple<std::string, std::size_t, std::size_t, std::size_t>,
+             double>
+        rows;
+    for (const BenchRecord& r : records_) {
+      rows[{r.op, r.n, r.d, r.threads}] = r.ns_per_op;
+    }
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
       return false;
     }
     std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const BenchRecord& r = records_[i];
+    std::size_t i = 0;
+    for (const auto& [key, ns_per_op] : rows) {
+      const auto& [op, n, d, threads] = key;
       std::fprintf(f,
                    "  {\"op\": \"%s\", \"n\": %zu, \"d\": %zu, \"threads\": "
                    "%zu, \"ns_per_op\": %.1f}%s\n",
-                   Escaped(r.op).c_str(), r.n, r.d, r.threads, r.ns_per_op,
-                   i + 1 < records_.size() ? "," : "");
+                   Escaped(op).c_str(), n, d, threads, ns_per_op,
+                   ++i < rows.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
-    std::printf("wrote %zu records to %s\n", records_.size(), path_.c_str());
+    std::printf("wrote %zu records (%zu measured) to %s\n", rows.size(),
+                records_.size(), path_.c_str());
     return true;
   }
 

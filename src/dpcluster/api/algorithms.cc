@@ -57,6 +57,7 @@ OneClusterOptions OneClusterOptionsFrom(const Request& request) {
   o.beta = request.beta;
   o.radius_budget_fraction = request.tuning.radius_budget_fraction;
   o.radius.subsample_large_inputs = request.tuning.subsample_large_inputs;
+  o.radius.profile_index = request.tuning.profile_index;
   o.num_threads = request.num_threads;
   return o;
 }
@@ -141,6 +142,7 @@ class KClusterAlgorithm : public Algorithm {
         request.tuning.radius_budget_fraction;
     o.one_cluster.radius.subsample_large_inputs =
         request.tuning.subsample_large_inputs;
+    o.one_cluster.radius.profile_index = request.tuning.profile_index;
     DPC_ASSIGN_OR_RETURN(KClusterResult run,
                          KCluster(rng, request.data, *request.domain, o));
     if (o.advanced_composition) {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "dpcluster/common/status.h"
+#include "dpcluster/core/radius_profile.h"
 #include "dpcluster/dp/privacy_params.h"
 #include "dpcluster/geo/grid_domain.h"
 #include "dpcluster/geo/point_set.h"
@@ -39,6 +40,12 @@ struct Tuning {
   double radius_budget_fraction = 0.5;
   /// One-cluster: subsample the GoodRadius pair profile on large inputs.
   bool subsample_large_inputs = false;
+  /// GoodRadius L(r,S) event generator: auto (measured crossover), grid
+  /// (t-NN pruned spatial index, ~O(n t) at low dimension), or exact (the
+  /// all-pairs O(n^2) sweep). Bit-identical outputs either way; read by
+  /// every algorithm that runs GoodRadius (one_cluster, k_cluster,
+  /// outlier_screen, sample_aggregate's inner pipeline).
+  ProfileIndex profile_index = ProfileIndex::kAuto;
   /// Fraction of the (per-round) epsilon spent on RefineRadius to tighten
   /// the released ball. Read by k_cluster and outlier_screen, and by
   /// one_cluster when `refine_one_cluster` is set.

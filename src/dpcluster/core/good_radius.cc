@@ -60,7 +60,8 @@ Result<GoodRadiusResult> RunRecConcaveEngine(Rng& rng, const PointSet& s,
   const double beta = options.beta;
   DPC_ASSIGN_OR_RETURN(
       RadiusProfile profile,
-      RadiusProfile::Build(s, t, domain, options.max_profile_points, pool));
+      RadiusProfile::Build(s, t, domain, options.max_profile_points, pool,
+                           options.profile_index));
 
   GoodRadiusResult result;
   result.gamma = gamma;

@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "dpcluster/common/status.h"
+#include "dpcluster/core/radius_profile.h"
 #include "dpcluster/dp/privacy_params.h"
 #include "dpcluster/dp/rec_concave.h"
 #include "dpcluster/geo/grid_domain.h"
@@ -36,8 +37,16 @@ struct GoodRadiusOptions {
   /// Engine choice (see file comment).
   enum class Engine { kRecConcave, kSparseVector };
   Engine engine = Engine::kRecConcave;
-  /// Hard cap on the quadratic L(r,S) computation (DESIGN.md substitution #3).
+  /// Hard cap on the L(r,S) computation (DESIGN.md substitution #3).
   std::size_t max_profile_points = 4096;
+  /// Event generator for the kRecConcave engine's L(r,S) profile:
+  /// auto (measured crossover), grid (t-NN pruned through geo/SpatialGrid,
+  /// ~O(n t) at low dimension), or exact (the all-pairs O(n^2 (d + log n))
+  /// sweep). Released outputs are bit-identical for every choice — the
+  /// pruning is lossless (see core/radius_profile.h); only the runtime
+  /// moves. The kSparseVector engine keeps its PairwiseDistances structure
+  /// and ignores this knob.
+  ProfileIndex profile_index = ProfileIndex::kAuto;
   /// Worker threads for the deterministic numeric passes (the O(n^2 d)
   /// profile / pairwise builds). 0 = one per hardware thread, 1 = serial.
   /// Released outputs are bit-identical at any setting: threads never touch

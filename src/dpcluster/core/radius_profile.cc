@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "dpcluster/common/check.h"
+#include "dpcluster/geo/spatial_grid.h"
 #include "dpcluster/la/vector_ops.h"
 #include "dpcluster/parallel/parallel_for.h"
 
@@ -19,6 +21,12 @@ namespace {
 // Invariant: thr is the value of the top-set's smallest member, i.e.
 //   cnt_above := #{elements > thr} < top   and   cnt_above + cnt[thr] >= top,
 // and the top-t sum is sum_above + thr * (top - cnt_above).
+//
+// The invariant pins (thr, cnt_above, sum_above) as functions of the count
+// histogram alone (thr is exactly the top-th largest value), and every
+// quantity is integer-valued, so the state after processing a batch of
+// increments is independent of their order — what makes the t-NN pruned
+// event stream bit-identical to the all-pairs one.
 class CappedTopTracker {
  public:
   CappedTopTracker(std::size_t cap, std::size_t top, std::size_t n_centers)
@@ -68,76 +76,18 @@ class CappedTopTracker {
   double sum_above_;
 };
 
-}  // namespace
+// One B-count increment: `center`'s ball gains a point at fine index `index`.
+struct Event {
+  std::uint64_t index;
+  std::uint32_t center;
+};
 
-Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
-                                           const GridDomain& domain,
-                                           std::size_t max_points,
-                                           ThreadPool* pool) {
-  const std::size_t n = s.size();
-  if (n == 0) return Status::InvalidArgument("RadiusProfile: empty dataset");
-  if (t < 1 || t > n) {
-    return Status::InvalidArgument("RadiusProfile: t must satisfy 1 <= t <= n");
-  }
-  if (s.dim() != domain.dim()) {
-    return Status::InvalidArgument("RadiusProfile: domain dimension mismatch");
-  }
-  if (n > max_points) {
-    return Status::ResourceExhausted(
-        "RadiusProfile: n=" + std::to_string(n) + " exceeds max_points=" +
-        std::to_string(max_points) +
-        "; raise GoodRadiusOptions::max_profile_points or subsample the "
-        "radius stage");
-  }
-
-  RadiusProfile profile;
-  profile.solution_grid_ = domain.RadiusGridSize();
-  const std::uint64_t fine_domain = 2 * (profile.solution_grid_ - 1) + 1;
-  const double fine_step =
-      domain.axis_length() / (4.0 * static_cast<double>(domain.levels()));
-
-  // Events: (fine index, center) for every ordered pair of distinct rows.
-  struct Event {
-    std::uint64_t index;
-    std::uint32_t center;
-  };
-  const std::uint64_t max_fine = fine_domain - 1;
-  // The O(n^2 d) pair pass runs in parallel over row chunks; per-chunk event
-  // vectors concatenated in chunk order reproduce the serial i-ascending
-  // sequence exactly, so the profile is independent of the thread count.
-  constexpr std::size_t kRowGrain = 32;
-  const std::size_t num_chunks = NumChunks(n, kRowGrain);
-  std::vector<std::vector<Event>> chunk_events(num_chunks);
-  ParallelForChunks(pool, 0, n, kRowGrain,
-                    [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
-    std::vector<Event>& local = chunk_events[chunk];
-    std::size_t pairs = 0;
-    for (std::size_t i = lo; i < hi; ++i) pairs += n - 1 - i;
-    local.reserve(2 * pairs);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto xi = s[i];
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double dist = Distance(xi, s[j]);
-        double idx = std::ceil(dist / fine_step - 1e-12);
-        if (idx < 0.0) idx = 0.0;
-        std::uint64_t g = static_cast<std::uint64_t>(idx);
-        if (g > max_fine) g = max_fine;
-        local.push_back({g, static_cast<std::uint32_t>(i)});
-        local.push_back({g, static_cast<std::uint32_t>(j)});
-      }
-    }
-  });
-  std::vector<Event> events;
-  events.reserve(n * (n - 1));
-  for (std::vector<Event>& local : chunk_events) {
-    events.insert(events.end(), local.begin(), local.end());
-    local.clear();
-    local.shrink_to_fit();
-  }
-  std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) { return a.index < b.index; });
-
-  // Sweep: maintain per-center counts (capped at t) and the top-t sum.
+// The shared sweep over index-sorted events: maintain per-center counts
+// (capped at t) and the top-t sum, recording a breakpoint wherever the value
+// changes. Only the grouping of events by index matters (see CappedTopTracker),
+// never their order within one index.
+StepFunction SweepEvents(std::span<const Event> events, std::size_t n,
+                         std::size_t t, std::uint64_t fine_domain) {
   std::vector<std::uint32_t> counts(n, 1);  // Every ball contains its center.
   CappedTopTracker tracker(t, t, n);
   const double inv_t = 1.0 / static_cast<double>(t);
@@ -170,8 +120,179 @@ Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
     }
   }
 
-  profile.fine_l_ = StepFunction::FromBreakpoints(fine_domain, std::move(starts),
-                                                  std::move(values));
+  return StepFunction::FromBreakpoints(fine_domain, std::move(starts),
+                                       std::move(values));
+}
+
+// Distance -> fine event index; shared by both generators so their events
+// carry identical indices for identical pairs.
+inline std::uint64_t FineIndexOf(double dist, double fine_step,
+                                 std::uint64_t max_fine) {
+  double idx = std::ceil(dist / fine_step - 1e-12);
+  if (idx < 0.0) idx = 0.0;
+  auto g = static_cast<std::uint64_t>(idx);
+  return g > max_fine ? max_fine : g;
+}
+
+// All n(n-1) ordered pair events, index-sorted — the O(n^2 (d + log n)) path.
+std::vector<Event> BuildExactEvents(const PointSet& s, double fine_step,
+                                    std::uint64_t max_fine, ThreadPool* pool) {
+  const std::size_t n = s.size();
+  // The O(n^2 d) pair pass runs in parallel over row chunks; per-chunk event
+  // vectors concatenated in chunk order reproduce the serial i-ascending
+  // sequence exactly, so the profile is independent of the thread count.
+  constexpr std::size_t kRowGrain = 32;
+  const std::size_t num_chunks = NumChunks(n, kRowGrain);
+  std::vector<std::vector<Event>> chunk_events(num_chunks);
+  ParallelForChunks(
+      pool, 0, n, kRowGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+        std::vector<Event>& local = chunk_events[chunk];
+        std::size_t pairs = 0;
+        for (std::size_t i = lo; i < hi; ++i) pairs += n - 1 - i;
+        local.reserve(2 * pairs);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto xi = s[i];
+          for (std::size_t j = i + 1; j < n; ++j) {
+            const std::uint64_t g =
+                FineIndexOf(Distance(xi, s[j]), fine_step, max_fine);
+            local.push_back({g, static_cast<std::uint32_t>(i)});
+            local.push_back({g, static_cast<std::uint32_t>(j)});
+          }
+        }
+      },
+      kAlwaysParallel);
+  std::vector<Event> events;
+  events.reserve(n * (n - 1));
+  for (std::vector<Event>& local : chunk_events) {
+    events.insert(events.end(), local.begin(), local.end());
+    local.clear();
+    local.shrink_to_fit();
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.index < b.index; });
+  return events;
+}
+
+// The t-NN pruned event stream, index-sorted: each center emits exactly its
+// t-1 nearest-neighbor distances (any farther pair is a no-op in the capped
+// sweep — see the header). The grid computes squared distances with the same
+// accumulation order as Distance(), so sqrt() reproduces the exact path's
+// event indices bit-for-bit.
+Result<std::vector<Event>> BuildGridEvents(const PointSet& s, std::size_t t,
+                                           const GridDomain& domain,
+                                           double fine_step,
+                                           std::uint64_t max_fine,
+                                           std::uint64_t fine_domain,
+                                           ThreadPool* pool) {
+  const std::size_t n = s.size();
+  const std::size_t k = t - 1;
+  std::vector<Event> events;
+  if (k == 0) return events;  // t = 1: every increment saturates immediately.
+
+  DPC_ASSIGN_OR_RETURN(SpatialGrid grid, SpatialGrid::Build(s, domain, k));
+  std::vector<double> knn(n * k);
+  grid.BatchKnnDistances(k, knn, pool, /*sorted=*/false);
+
+  // Index the n*k distances, then group by fine index: a counting sort when
+  // the fine grid is comparably sized (the common case — two O(E) passes),
+  // std::sort otherwise (huge |X| with few events).
+  std::vector<Event> unsorted(n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      unsorted[i * k + j] = {FineIndexOf(knn[i * k + j], fine_step, max_fine),
+                             static_cast<std::uint32_t>(i)};
+    }
+  }
+  if (fine_domain <= 8 * unsorted.size() + 1024) {
+    std::vector<std::uint64_t> bucket_start(fine_domain + 1, 0);
+    for (const Event& ev : unsorted) ++bucket_start[ev.index + 1];
+    for (std::uint64_t g = 0; g < fine_domain; ++g) {
+      bucket_start[g + 1] += bucket_start[g];
+    }
+    events.resize(unsorted.size());
+    for (const Event& ev : unsorted) {
+      events[bucket_start[ev.index]++] = ev;
+    }
+  } else {
+    events = std::move(unsorted);
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.index < b.index; });
+  }
+  return events;
+}
+
+}  // namespace
+
+std::string_view ProfileIndexName(ProfileIndex index) {
+  switch (index) {
+    case ProfileIndex::kAuto:
+      return "auto";
+    case ProfileIndex::kGrid:
+      return "grid";
+    case ProfileIndex::kExact:
+      return "exact";
+  }
+  return "auto";
+}
+
+Result<ProfileIndex> ProfileIndexFromName(std::string_view name) {
+  if (name == "auto") return ProfileIndex::kAuto;
+  if (name == "grid") return ProfileIndex::kGrid;
+  if (name == "exact") return ProfileIndex::kExact;
+  return Status::InvalidArgument("ProfileIndex: unknown name '" +
+                                 std::string(name) +
+                                 "' (expected auto|grid|exact)");
+}
+
+ProfileIndex ResolveProfileIndex(ProfileIndex requested, std::size_t n,
+                                 std::size_t t) {
+  if (requested != ProfileIndex::kAuto) return requested;
+  // Measured crossover (bench_scaling, n sweep at d in {2, 8}): sorting the
+  // n(n-1) pair events dominates the exact build from n ~ 1000, and the
+  // pruned stream must be a few times smaller to pay for the k-NN search.
+  // Below n = 512 both builds are sub-10ms and the exact path avoids the
+  // index setup; at t > n/4 pruning drops fewer than 4x of the events.
+  return (n >= 512 && t - 1 <= n / 4) ? ProfileIndex::kGrid
+                                      : ProfileIndex::kExact;
+}
+
+Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
+                                           const GridDomain& domain,
+                                           std::size_t max_points,
+                                           ThreadPool* pool,
+                                           ProfileIndex index) {
+  const std::size_t n = s.size();
+  if (n == 0) return Status::InvalidArgument("RadiusProfile: empty dataset");
+  if (t < 1 || t > n) {
+    return Status::InvalidArgument("RadiusProfile: t must satisfy 1 <= t <= n");
+  }
+  if (s.dim() != domain.dim()) {
+    return Status::InvalidArgument("RadiusProfile: domain dimension mismatch");
+  }
+  if (n > max_points) {
+    return Status::ResourceExhausted(
+        "RadiusProfile: n=" + std::to_string(n) + " exceeds max_points=" +
+        std::to_string(max_points) +
+        "; raise GoodRadiusOptions::max_profile_points or subsample the "
+        "radius stage");
+  }
+
+  RadiusProfile profile;
+  profile.solution_grid_ = domain.RadiusGridSize();
+  const std::uint64_t fine_domain = 2 * (profile.solution_grid_ - 1) + 1;
+  const double fine_step =
+      domain.axis_length() / (4.0 * static_cast<double>(domain.levels()));
+  const std::uint64_t max_fine = fine_domain - 1;
+
+  std::vector<Event> events;
+  if (ResolveProfileIndex(index, n, t) == ProfileIndex::kGrid) {
+    DPC_ASSIGN_OR_RETURN(events, BuildGridEvents(s, t, domain, fine_step,
+                                                 max_fine, fine_domain, pool));
+  } else {
+    events = BuildExactEvents(s, fine_step, max_fine, pool);
+  }
+  profile.fine_l_ = SweepEvents(events, n, t, fine_domain);
   return profile;
 }
 

@@ -7,16 +7,34 @@
 // quality Q of Algorithm 1, step 3) are exact lookups: solution index g maps
 // to fine index 2g for L(r) and fine index g for L(r/2).
 //
-// Construction is an event sweep over all n(n-1) ordered pairs: each pair
-// (i, j) raises B_.(x_i) by one at the fine index ceil(dist(i,j)/fine_step).
-// A Fenwick tree over capped count values maintains the sum of the t largest
-// capped counts in O(log n) per event, so the total build cost is
-// O(n^2 (d + log n)) — the documented quadratic core of GoodRadius.
+// Construction is an event sweep: each pair (i, j) raises B_.(x_i) by one at
+// the fine index ceil(dist(i,j)/fine_step), and an amortized-O(1) tracker
+// maintains the sum of the t largest capped counts. Two event generators
+// feed the identical sweep:
+//
+//  * kExact  — all n(n-1) ordered pairs, the documented O(n^2 (d + log n))
+//    quadratic core.
+//  * kGrid   — only each point's t-1 nearest neighbors, found through a
+//    geo/SpatialGrid index in ~O(n t) work at low dimension. This is lossless
+//    pruning, not an approximation: every per-center count is capped at t, so
+//    a center's increments beyond its t-1 nearest neighbors are no-ops in the
+//    exact sweep (the t-1 smallest distances are exactly the effective
+//    events), and the tracker's state after each fine index is a function of
+//    the count histogram alone. The resulting StepFunction is therefore
+//    bit-identical to the exact sweep's — same breakpoints, same values —
+//    which determinism_test and radius_profile_test pin across all scenario
+//    families and thread counts.
+//
+// kAuto picks between them with a measured crossover: the grid build wins
+// once the pruned event stream is >= ~4x smaller than the pair stream
+// (sorting the n(n-1) events dominates the exact build from n ~ 1000), and
+// the exact sweep keeps small inputs and t ~ n, where pruning saves nothing.
 
 #ifndef DPCLUSTER_CORE_RADIUS_PROFILE_H_
 #define DPCLUSTER_CORE_RADIUS_PROFILE_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "dpcluster/common/status.h"
 #include "dpcluster/dp/step_function.h"
@@ -27,18 +45,38 @@ namespace dpcluster {
 
 class ThreadPool;
 
+/// How RadiusProfile::Build generates the pair events (see file comment).
+/// Every choice yields bit-identical profiles; only the runtime differs.
+enum class ProfileIndex {
+  kAuto,   ///< Measured crossover between the two (the default).
+  kGrid,   ///< t-NN pruned events through a geo/SpatialGrid, ~O(n t) at low d.
+  kExact,  ///< All-pairs event sweep, O(n^2 (d + log n)).
+};
+
+/// "auto", "grid", "exact".
+std::string_view ProfileIndexName(ProfileIndex index);
+
+/// Inverse of ProfileIndexName; InvalidArgument on unknown names.
+Result<ProfileIndex> ProfileIndexFromName(std::string_view name);
+
+/// The generator kAuto resolves to for a given problem shape (exposed for
+/// tests and benches; see the crossover note in the file comment).
+ProfileIndex ResolveProfileIndex(ProfileIndex requested, std::size_t n,
+                                 std::size_t t);
+
 /// Exact L(r, S) over the fine radius grid.
 class RadiusProfile {
  public:
   /// Builds the profile. Fails with ResourceExhausted when s.size() >
   /// max_points (see GoodRadiusOptions::max_profile_points). `pool`
-  /// parallelizes the O(n^2 d) pair-event pass (null = serial); the event
-  /// sequence is assembled in chunk order, so the profile is bit-identical
-  /// at any thread count.
+  /// parallelizes the event generation (null = serial); chunk-ordered
+  /// assembly keeps the profile bit-identical at any thread count. `index`
+  /// selects the event generator (bit-identical either way, see above).
   static Result<RadiusProfile> Build(const PointSet& s, std::size_t t,
                                      const GridDomain& domain,
                                      std::size_t max_points,
-                                     ThreadPool* pool = nullptr);
+                                     ThreadPool* pool = nullptr,
+                                     ProfileIndex index = ProfileIndex::kAuto);
 
   /// L as a step function over fine indices [0, 2*(RadiusGridSize()-1)+1).
   const StepFunction& fine_l() const { return fine_l_; }

@@ -47,6 +47,7 @@
 #include "dpcluster/geo/grid_domain.h"
 #include "dpcluster/geo/minimal_ball.h"
 #include "dpcluster/geo/point_set.h"
+#include "dpcluster/geo/spatial_grid.h"
 #include "dpcluster/random/distributions.h"
 #include "dpcluster/random/rng.h"
 #include "dpcluster/sa/estimators.h"

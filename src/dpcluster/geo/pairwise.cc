@@ -150,23 +150,29 @@ Result<PairwiseDistances> PairwiseDistances::Compute(const PointSet& s,
   // inclusive despite the double->float narrowing (as the direct build did).
   static_assert(kTile % kRowGrain == 0,
                 "mirror chunks must not straddle diagonal tiles");
-  ParallelForChunks(pool, 0, n, kRowGrain,
-                    [&](std::size_t lo, std::size_t hi, std::size_t) {
-    GramTileChunk(lo, hi, n, d, data.data(), xt.data(), norms.data(),
-                  pd.rows_.data());
-  });
-  ParallelForChunks(pool, 0, n, kRowGrain,
-                    [&](std::size_t lo, std::size_t hi, std::size_t) {
-    MirrorChunk(lo, hi, n, pd.rows_.data());
-  });
+  ParallelForChunks(
+      pool, 0, n, kRowGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        GramTileChunk(lo, hi, n, d, data.data(), xt.data(), norms.data(),
+                      pd.rows_.data());
+      },
+      kAlwaysParallel);
+  ParallelForChunks(
+      pool, 0, n, kRowGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        MirrorChunk(lo, hi, n, pd.rows_.data());
+      },
+      kAlwaysParallel);
 
-  ParallelForChunks(pool, 0, n, kRowGrain,
-                    [&](std::size_t lo, std::size_t hi, std::size_t) {
-    std::vector<std::uint32_t> scratch_a(n), scratch_b(n);
-    for (std::size_t i = lo; i < hi; ++i) {
-      RadixSortRow(&pd.rows_[i * n], n, scratch_a.data(), scratch_b.data());
-    }
-  });
+  ParallelForChunks(
+      pool, 0, n, kRowGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        std::vector<std::uint32_t> scratch_a(n), scratch_b(n);
+        for (std::size_t i = lo; i < hi; ++i) {
+          RadixSortRow(&pd.rows_[i * n], n, scratch_a.data(), scratch_b.data());
+        }
+      },
+      kAlwaysParallel);
   return pd;
 }
 

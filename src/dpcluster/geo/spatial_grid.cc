@@ -1,0 +1,342 @@
+#include "dpcluster/geo/spatial_grid.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/parallel/parallel_for.h"
+
+namespace dpcluster {
+namespace {
+
+// Hard caps on the cell table: cells are dense (CSR offsets), so the table is
+// bounded independently of the data distribution. ~2M cells = 16 MB offsets.
+constexpr std::size_t kMaxCellsPerAxis = 1024;
+constexpr std::size_t kMaxTotalCells = std::size_t{1} << 21;
+
+// m^d with saturation at kMaxTotalCells + 1.
+std::size_t SaturatingCellCount(std::size_t m, std::size_t d) {
+  std::size_t total = 1;
+  for (std::size_t a = 0; a < d; ++a) {
+    if (total > kMaxTotalCells / m + 1) return kMaxTotalCells + 1;
+    total *= m;
+  }
+  return total;
+}
+
+// Cells per axis sized so a cell holds ~k/4 points of a uniform spread: few
+// enough rings reach k candidates fast, coarse enough that ring enumeration
+// does not dwarf the point scans. Bounded so the dense cell table stays small;
+// m == 1 (always at high d) degrades every query to one full scan, which is
+// the right call there — rings grow as 3^d while occupancy is capped by n.
+std::size_t ChooseCellsPerAxis(std::size_t n, std::size_t d, std::size_t k) {
+  const double occupancy =
+      std::clamp(static_cast<double>(std::max<std::size_t>(k, 1)) / 4.0, 1.0,
+                 512.0);
+  const double target_cells =
+      std::max(1.0, static_cast<double>(n) / occupancy);
+  auto m = static_cast<std::size_t>(
+      std::floor(std::pow(target_cells, 1.0 / static_cast<double>(d))));
+  m = std::clamp<std::size_t>(m, 1, kMaxCellsPerAxis);
+  while (m > 1 && SaturatingCellCount(m, d) > kMaxTotalCells) --m;
+  return m;
+}
+
+// ||x - y||^2 over raw rows, accumulated in coordinate order — the same
+// sums as la/vector_ops' SquaredDistance, so sqrt() of the result is
+// bit-identical to Distance() on the same pair.
+inline double RowSquaredDistance(const double* x, const double* y,
+                                 std::size_t d) {
+  double s = 0.0;
+  for (std::size_t c = 0; c < d; ++c) {
+    const double diff = x[c] - y[c];
+    s += diff * diff;
+  }
+  return s;
+}
+
+// Keeps the k smallest of `vals` (non-negative doubles) as its first k
+// elements (unordered, exact value multiset) and truncates the rest. One
+// histogram pass over the top 16 bits of the order-preserving bit image
+// (sign + exponent + 4 mantissa bits: ~16 buckets per binade, so the k-th
+// value's tie bucket holds only the candidates within ~6% of it), one
+// in-place compaction pass, and an exact nth_element on that small tie
+// bucket. The 2^16-entry histogram lives in the workspace and only the
+// touched buckets are re-zeroed, so the select is ~2 branch-light linear
+// passes — about 6x cheaper than std::nth_element on 4k-candidate sets,
+// where introselect's data-dependent pivot branches dominated the batch.
+void SelectSmallest(std::vector<double>& vals, std::size_t k,
+                    SpatialGrid::Workspace& ws) {
+  if (k >= vals.size()) return;
+  if (ws.hist16.empty()) ws.hist16.assign(std::size_t{1} << 16, 0);
+  for (const double v : vals) {
+    const auto key =
+        static_cast<std::uint32_t>(std::bit_cast<std::uint64_t>(v) >> 48);
+    if (ws.hist16[key]++ == 0) ws.touched.push_back(key);
+  }
+  std::sort(ws.touched.begin(), ws.touched.end());
+  // Bucket kb holds the k-th smallest; every lower bucket is accepted whole.
+  std::size_t below = 0;
+  std::size_t bi = 0;
+  while (below + ws.hist16[ws.touched[bi]] < k) {
+    below += ws.hist16[ws.touched[bi++]];
+  }
+  const std::uint32_t kb = ws.touched[bi];
+  for (const std::uint32_t key : ws.touched) ws.hist16[key] = 0;
+  ws.touched.clear();
+
+  ws.ties.clear();
+  std::size_t out = 0;
+  for (const double v : vals) {  // In-place compaction (out <= read index).
+    const auto key =
+        static_cast<std::uint32_t>(std::bit_cast<std::uint64_t>(v) >> 48);
+    if (key < kb) {
+      vals[out++] = v;
+    } else if (key == kb) {
+      ws.ties.push_back(v);
+    }
+  }
+  const std::size_t need = k - below;  // >= 1 by choice of kb.
+  std::nth_element(ws.ties.begin(),
+                   ws.ties.begin() + static_cast<std::ptrdiff_t>(need - 1),
+                   ws.ties.end());
+  for (std::size_t i = 0; i < need; ++i) vals[out++] = ws.ties[i];
+  vals.resize(k);
+  DPC_CHECK_EQ(out, k);
+}
+
+}  // namespace
+
+Result<SpatialGrid> SpatialGrid::Build(const PointSet& s,
+                                       const GridDomain& domain,
+                                       std::size_t expected_neighbors) {
+  if (s.empty()) return Status::InvalidArgument("SpatialGrid: empty dataset");
+  if (s.dim() != domain.dim()) {
+    return Status::InvalidArgument("SpatialGrid: domain dimension mismatch");
+  }
+  SpatialGrid grid;
+  grid.n_ = s.size();
+  grid.dim_ = s.dim();
+  grid.data_ = s.Data();
+  grid.cells_per_axis_ =
+      ChooseCellsPerAxis(grid.n_, grid.dim_, expected_neighbors);
+  grid.cell_size_ =
+      domain.axis_length() / static_cast<double>(grid.cells_per_axis_);
+
+  // Counting sort of the point ids by cell id; ascending index within a cell.
+  const std::size_t total_cells =
+      SaturatingCellCount(grid.cells_per_axis_, grid.dim_);
+  std::vector<std::uint64_t> cell_of(grid.n_);
+  grid.cell_start_.assign(total_cells + 1, 0);
+  for (std::size_t i = 0; i < grid.n_; ++i) {
+    cell_of[i] = grid.CellOf(s[i]);
+    ++grid.cell_start_[cell_of[i] + 1];
+  }
+  for (std::size_t c = 0; c < total_cells; ++c) {
+    grid.cell_start_[c + 1] += grid.cell_start_[c];
+    if (grid.cell_start_[c + 1] > grid.cell_start_[c]) {
+      grid.occupied_.push_back(c);
+    }
+  }
+  grid.cell_points_.resize(grid.n_);
+  std::vector<std::uint64_t> cursor(grid.cell_start_.begin(),
+                                    grid.cell_start_.end() - 1);
+  for (std::size_t i = 0; i < grid.n_; ++i) {
+    grid.cell_points_[cursor[cell_of[i]]++] = static_cast<std::uint32_t>(i);
+  }
+  return grid;
+}
+
+std::uint64_t SpatialGrid::CellOf(std::span<const double> p) const {
+  const auto m = static_cast<std::int64_t>(cells_per_axis_);
+  std::uint64_t id = 0;
+  for (std::size_t a = 0; a < dim_; ++a) {
+    auto c = static_cast<std::int64_t>(std::floor(p[a] / cell_size_));
+    c = std::clamp<std::int64_t>(c, 0, m - 1);
+    id = id * static_cast<std::uint64_t>(m) + static_cast<std::uint64_t>(c);
+  }
+  return id;
+}
+
+void SpatialGrid::ScanCell(std::uint64_t cell,
+                           std::span<const double> q,
+                           std::vector<double>& cands) const {
+  const double* base = data_.data();
+  const double* qp = q.data();
+  const std::uint64_t lo = cell_start_[cell];
+  const std::uint64_t hi = cell_start_[cell + 1];
+  std::size_t at_out = cands.size();
+  cands.resize(at_out + (hi - lo));
+  double* out = cands.data();
+  std::uint64_t at = lo;
+  // Four independent accumulator chains hide the latency of the dependent
+  // in-order sums (which must reproduce vector_ops' SquaredDistance exactly,
+  // so no single sum may be reassociated).
+  for (; at + 4 <= hi; at += 4, at_out += 4) {
+    const double* x0 = base + cell_points_[at] * dim_;
+    const double* x1 = base + cell_points_[at + 1] * dim_;
+    const double* x2 = base + cell_points_[at + 2] * dim_;
+    const double* x3 = base + cell_points_[at + 3] * dim_;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t c = 0; c < dim_; ++c) {
+      const double qc = qp[c];
+      const double d0 = x0[c] - qc;
+      const double d1 = x1[c] - qc;
+      const double d2 = x2[c] - qc;
+      const double d3 = x3[c] - qc;
+      s0 += d0 * d0;
+      s1 += d1 * d1;
+      s2 += d2 * d2;
+      s3 += d3 * d3;
+    }
+    out[at_out] = s0;
+    out[at_out + 1] = s1;
+    out[at_out + 2] = s2;
+    out[at_out + 3] = s3;
+  }
+  for (; at < hi; ++at, ++at_out) {
+    out[at_out] =
+        RowSquaredDistance(qp, base + cell_points_[at] * dim_, dim_);
+  }
+}
+
+void SpatialGrid::KnnDistances(std::size_t query, std::size_t k,
+                               Workspace& scratch, std::vector<double>& out,
+                               bool sorted) const {
+  DPC_CHECK_LT(query, n_);
+  out.clear();
+  k = std::min(k, n_ - 1);
+  if (k == 0) return;
+
+  const std::span<const double> q{data_.data() + query * dim_, dim_};
+  const auto m = static_cast<std::int64_t>(cells_per_axis_);
+  const std::uint64_t center_cell = CellOf(q);
+  std::vector<std::int64_t>& center = scratch.center;
+  center.assign(dim_, 0);
+  {
+    std::uint64_t id = center_cell;
+    for (std::size_t a = dim_; a-- > 0;) {
+      center[a] = static_cast<std::int64_t>(id % static_cast<std::uint64_t>(m));
+      id /= static_cast<std::uint64_t>(m);
+    }
+  }
+  // After ring max_rho the whole grid has been scanned.
+  std::size_t max_rho = 0;
+  for (std::size_t a = 0; a < dim_; ++a) {
+    max_rho = std::max<std::size_t>(
+        max_rho, static_cast<std::size_t>(
+                     std::max(center[a], m - 1 - center[a])));
+  }
+
+  std::vector<double>& cands = scratch.candidates;
+  cands.clear();
+
+  // Ring 0 is the only cell that contains the query itself. Scan it with the
+  // same branch-free kernel as every other cell — the self-distance comes out
+  // as exactly +0.0 (x - x is +0.0 per coordinate) — then drop one 0.0 entry.
+  // Duplicate points also land on exactly +0.0, so removing any one leaves
+  // the brute-force multiset (self excluded by index) unchanged.
+  {
+    ScanCell(center_cell, q, cands);
+    const auto self = std::find(cands.begin(), cands.end(), 0.0);
+    DPC_CHECK(self != cands.end());
+    *self = cands.back();
+    cands.pop_back();
+  }
+
+  // Visits every in-bounds cell at Chebyshev offset exactly rho from center.
+  // `attained` tracks whether an earlier axis already contributes |off| = rho;
+  // the last axis is restricted to +-rho when none has.
+  auto visit_ring = [&](auto&& self, std::size_t axis, bool attained,
+                        std::uint64_t partial, std::int64_t rho) -> void {
+    if (axis == dim_) {
+      ScanCell(partial, q, cands);
+      return;
+    }
+    const std::int64_t lo = std::max<std::int64_t>(center[axis] - rho, 0);
+    const std::int64_t hi = std::min<std::int64_t>(center[axis] + rho, m - 1);
+    for (std::int64_t c = lo; c <= hi; ++c) {
+      const bool at_rho = std::llabs(c - center[axis]) == rho;
+      if (axis + 1 == dim_ && !attained && !at_rho) continue;
+      self(self, axis + 1, attained || at_rho,
+           partial * static_cast<std::uint64_t>(m) +
+               static_cast<std::uint64_t>(c),
+           rho);
+    }
+  };
+
+  // The ring guarantee: rings 0..rho cover every point within Euclidean
+  // distance rho * cell_size of the query (an unscanned cell is more than
+  // rho cells away on some axis). The 1e-9 haircut absorbs the float
+  // rounding of the cell assignment and of rho * cell_size itself, so the
+  // early stop can never exclude a point that brute force would return
+  // (equal-distance ties beyond the boundary leave the k smallest values
+  // unchanged either way).
+  for (std::size_t rho = 0; rho < max_rho;) {
+    if (cands.size() >= k) {
+      // Keep only the k best so far: rejected candidates can never re-enter
+      // (later rings only push the k-th down), so each ring's selection also
+      // shrinks every later ring's work.
+      SelectSmallest(cands, k, scratch);
+      const double kth = *std::max_element(cands.begin(), cands.end());
+      const double guarantee =
+          static_cast<double>(rho) * cell_size_ * (1.0 - 1e-9);
+      if (kth <= guarantee * guarantee) break;
+    }
+    // Ring enumeration visits ~(2 rho + 3)^d - (2 rho + 1)^d cells next; once
+    // that passes the occupied-cell count, finishing with one scan over the
+    // remaining occupied cells is strictly cheaper and completes coverage.
+    const double next_ring_cells =
+        std::pow(2.0 * static_cast<double>(rho) + 3.0,
+                 static_cast<double>(dim_)) -
+        std::pow(2.0 * static_cast<double>(rho) + 1.0,
+                 static_cast<double>(dim_));
+    if (next_ring_cells > static_cast<double>(occupied_.size())) {
+      for (const std::uint64_t cell : occupied_) {
+        std::uint64_t id = cell;
+        std::size_t chebyshev = 0;
+        for (std::size_t a = dim_; a-- > 0;) {
+          const auto c = static_cast<std::int64_t>(
+              id % static_cast<std::uint64_t>(m));
+          id /= static_cast<std::uint64_t>(m);
+          chebyshev = std::max<std::size_t>(
+              chebyshev,
+              static_cast<std::size_t>(std::llabs(c - center[a])));
+        }
+        if (chebyshev > rho) ScanCell(cell, q, cands);
+      }
+      break;
+    }
+    ++rho;
+    visit_ring(visit_ring, 0, false, 0, static_cast<std::int64_t>(rho));
+  }
+  DPC_CHECK_GE(cands.size(), k);
+
+  SelectSmallest(cands, k, scratch);
+  if (sorted) std::sort(cands.begin(), cands.end());
+  out.resize(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = std::sqrt(cands[i]);
+}
+
+void SpatialGrid::BatchKnnDistances(std::size_t k, std::span<double> out,
+                                    ThreadPool* pool, bool sorted) const {
+  DPC_CHECK_LE(k, n_ - 1);
+  DPC_CHECK_EQ(out.size(), n_ * k);
+  if (k == 0) return;
+  constexpr std::size_t kQueryGrain = 16;
+  ParallelForChunks(
+      pool, 0, n_, kQueryGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        Workspace scratch;
+        std::vector<double> row;
+        for (std::size_t i = lo; i < hi; ++i) {
+          KnnDistances(i, k, scratch, row, sorted);
+          std::copy(row.begin(), row.end(), out.begin() + i * k);
+        }
+      },
+      kAlwaysParallel);
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,98 @@
+// SpatialGrid: a uniform cell grid over the GridDomain cube for batched
+// t-nearest-neighbor queries — the index behind the subquadratic
+// RadiusProfile build (core/radius_profile.cc).
+//
+// The cube [0, axis]^d is cut into m^d equal cells (m chosen from n, d and
+// the expected neighbor count k so that a cell holds ~k/4 points); points are
+// bucketed into a CSR layout by cell id. A k-NN query expands Chebyshev
+// rings of cells around the query's cell: after scanning rings 0..rho, every
+// point within Euclidean distance rho * cell_size has been seen (a point in
+// an unscanned cell differs from the query by more than rho * cell_size on
+// some axis), so the search stops as soon as the current k-th smallest
+// candidate distance is <= rho * cell_size. When the next ring would touch
+// more cells than remain occupied — high d makes rings exponentially wide
+// while occupancy stays <= n — the query degrades gracefully to a scan of
+// the remaining occupied cells, which completes coverage in one step. Either
+// way the returned distances are *exact*: the same multiset brute force
+// produces, computed by the same SquaredDistance kernel.
+//
+// Determinism: queries return the sorted k smallest distance values, which
+// are independent of cell-enumeration order and of tie-breaking among
+// equidistant neighbors. BatchKnnDistances writes each query's row into a
+// caller-owned slice through ParallelForChunks, so the batch is bit-identical
+// at any thread count.
+
+#ifndef DPCLUSTER_GEO_SPATIAL_GRID_H_
+#define DPCLUSTER_GEO_SPATIAL_GRID_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+
+namespace dpcluster {
+
+class ThreadPool;
+
+/// Uniform cell grid over `domain`'s cube for exact k-NN distance queries.
+class SpatialGrid {
+ public:
+  /// Indexes `s` (points must lie in the cube). `expected_neighbors` sizes
+  /// the cells for k-NN queries with k of that order; any k stays correct.
+  static Result<SpatialGrid> Build(const PointSet& s, const GridDomain& domain,
+                                   std::size_t expected_neighbors);
+
+  std::size_t size() const { return n_; }
+  std::size_t dim() const { return dim_; }
+  /// Cells per axis (1 = degenerate single-cell grid, queries scan all points).
+  std::size_t cells_per_axis() const { return cells_per_axis_; }
+  double cell_size() const { return cell_size_; }
+
+  /// The min(k, n-1) smallest distances from s[query] to the other points
+  /// (self excluded by index, so duplicate coordinates count as neighbors at
+  /// distance 0). Exact — equal to the brute-force multiset; ascending when
+  /// `sorted`, in selection order otherwise (cheaper — the radius profile
+  /// only consumes the multiset). `scratch` carries reusable buffers across
+  /// calls (see Workspace).
+  struct Workspace {
+    std::vector<double> candidates;     // squared distances
+    std::vector<std::uint32_t> hist16;  // 2^16 selection buckets, kept zeroed
+    std::vector<std::uint32_t> touched;  // buckets dirtied by this query
+    std::vector<double> ties;            // the k-th value's tie bucket
+    std::vector<std::int64_t> center;    // decoded query cell coordinates
+  };
+  void KnnDistances(std::size_t query, std::size_t k, Workspace& scratch,
+                    std::vector<double>& out, bool sorted = true) const;
+
+  /// All n queries at once: row i of `out` (row stride `k`) receives
+  /// KnnDistances(i, k, sorted) — callers pass k <= n-1. out.size() must be
+  /// n * k. Rows are chunk-owned, so the result is bit-identical at any
+  /// thread count.
+  void BatchKnnDistances(std::size_t k, std::span<double> out,
+                         ThreadPool* pool, bool sorted = true) const;
+
+ private:
+  SpatialGrid() = default;
+
+  std::uint64_t CellOf(std::span<const double> p) const;
+  /// Appends the squared distances from q to every point of cell `cell`.
+  void ScanCell(std::uint64_t cell, std::span<const double> q,
+                std::vector<double>& cands) const;
+
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t cells_per_axis_ = 1;
+  double cell_size_ = 1.0;
+  std::span<const double> data_;     // borrowed from the indexed PointSet
+  std::vector<std::uint64_t> cell_start_;  // CSR offsets, size m^d + 1
+  std::vector<std::uint32_t> cell_points_;  // point ids, cell-major, ascending
+  std::vector<std::uint64_t> occupied_;     // ids of non-empty cells, ascending
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_GEO_SPATIAL_GRID_H_

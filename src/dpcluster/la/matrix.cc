@@ -67,10 +67,12 @@ void Matrix::MultiplyAll(std::span<const double> xs, std::size_t count,
   const std::size_t per_point = rows_ * cols_;
   const std::size_t grain =
       std::max<std::size_t>(16, (std::size_t{1} << 20) / per_point);
-  ParallelForChunks(pool, 0, count, grain,
-                    [&](std::size_t lo, std::size_t hi, std::size_t) {
-    MultiplyAllChunk(lo, hi, rows_, cols_, mt.data(), xs.data(), out.data());
-  });
+  ParallelForChunks(
+      pool, 0, count, grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        MultiplyAllChunk(lo, hi, rows_, cols_, mt.data(), xs.data(), out.data());
+      },
+      kAlwaysParallel);  // grain already targets ~1M madds per chunk
 }
 
 void Matrix::MultiplyTransposed(std::span<const double> x,

@@ -36,8 +36,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// The resolved thread count (always >= 1; includes the caller's thread).
+  /// The configured parallelism degree (always >= 1; includes the caller's
+  /// thread). Work decomposition heuristics key off this number; the pool
+  /// itself never spawns more workers than the hardware offers, so asking
+  /// for more threads than cores costs nothing (see EnsureWorkers).
   std::size_t num_threads() const { return num_threads_; }
+
+  /// False when the hardware cap leaves no worker to hand work to (e.g. a
+  /// single-core machine): every region then runs inline on the caller's
+  /// thread, and ParallelFor skips the dispatch machinery entirely.
+  bool can_parallelize() const { return effective_threads_ > 1; }
 
   /// Executes body(chunk) for every chunk in [0, num_chunks), blocking until
   /// all chunks are done. Chunks are claimed dynamically (which *thread* runs
@@ -56,6 +64,7 @@ class ThreadPool {
   static void DrainChunks(Region& region);
 
   std::size_t num_threads_;
+  std::size_t effective_threads_;  // min(num_threads_, hardware cores)
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;

@@ -70,7 +70,7 @@ Result<SampleAggregateResult> SampleAggregate(
       out_domain.SnapPoint(buf);
       std::copy(buf.begin(), buf.end(), outputs.MutableRow(b).begin());
     }
-  });
+  }, kAlwaysParallel);
   for (const Status& status : chunk_status) {
     DPC_RETURN_IF_ERROR(status);
   }

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "dpcluster/core/good_center.h"
@@ -56,20 +57,32 @@ TEST(DeterminismTest, GoodRadiusBitIdenticalAcrossThreadCounts) {
     options.engine = engine;
 
     options.num_threads = 1;
+    options.profile_index = ProfileIndex::kExact;
     Rng rng_serial(77);
     ASSERT_OK_AND_ASSIGN(GoodRadiusResult serial,
                          GoodRadius(rng_serial, w.points, w.t, w.domain, options));
 
-    for (std::size_t threads : kThreadCounts) {
-      options.num_threads = threads;
-      Rng rng(77);
-      ASSERT_OK_AND_ASSIGN(GoodRadiusResult run,
-                           GoodRadius(rng, w.points, w.t, w.domain, options));
-      EXPECT_EQ(run.radius, serial.radius) << "threads=" << threads;
-      EXPECT_EQ(run.grid_index, serial.grid_index) << "threads=" << threads;
-      EXPECT_EQ(run.gamma, serial.gamma) << "threads=" << threads;
-      EXPECT_EQ(run.zero_radius_shortcut, serial.zero_radius_shortcut)
-          << "threads=" << threads;
+    // The serial exact sweep is the reference: every (event generator,
+    // thread count) combination must release the same bits — the spatial
+    // grid's t-NN pruning is lossless, not an approximation.
+    for (const auto profile_index :
+         {ProfileIndex::kExact, ProfileIndex::kGrid, ProfileIndex::kAuto}) {
+      options.profile_index = profile_index;
+      for (std::size_t threads : kThreadCounts) {
+        options.num_threads = threads;
+        Rng rng(77);
+        ASSERT_OK_AND_ASSIGN(GoodRadiusResult run,
+                             GoodRadius(rng, w.points, w.t, w.domain, options));
+        const std::string context =
+            std::string(" profile_index=") +
+            std::string(ProfileIndexName(profile_index)) +
+            " threads=" + std::to_string(threads);
+        EXPECT_EQ(run.radius, serial.radius) << context;
+        EXPECT_EQ(run.grid_index, serial.grid_index) << context;
+        EXPECT_EQ(run.gamma, serial.gamma) << context;
+        EXPECT_EQ(run.zero_radius_shortcut, serial.zero_radius_shortcut)
+            << context;
+      }
     }
   }
 }

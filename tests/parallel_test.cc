@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "dpcluster/parallel/parallel_for.h"
@@ -72,10 +74,12 @@ TEST(ParallelForTest, ExceptionsPropagate) {
   for (std::size_t threads : {1u, 2u, 8u}) {
     ThreadPool pool(threads);
     EXPECT_THROW(
-        ParallelFor(&pool, 0, 1024, 8,
-                    [&](std::size_t i) {
-                      if (i == 500) throw std::runtime_error("boom");
-                    }),
+        ParallelFor(
+            &pool, 0, 1024, 8,
+            [&](std::size_t i) {
+              if (i == 500) throw std::runtime_error("boom");
+            },
+            kAlwaysParallel),
         std::runtime_error);
     // The pool survives a throwing region and stays usable.
     std::atomic<int> calls{0};
@@ -87,14 +91,40 @@ TEST(ParallelForTest, ExceptionsPropagate) {
 TEST(ParallelForTest, LowestChunkExceptionWins) {
   ThreadPool pool(8);
   try {
-    ParallelForChunks(&pool, 0, 1024, 8,
-                      [&](std::size_t lo, std::size_t, std::size_t) {
-                        throw std::runtime_error("chunk@" + std::to_string(lo));
-                      });
+    ParallelForChunks(
+        &pool, 0, 1024, 8,
+        [&](std::size_t lo, std::size_t, std::size_t) {
+          throw std::runtime_error("chunk@" + std::to_string(lo));
+        },
+        kAlwaysParallel);
     FAIL() << "expected a throw";
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "chunk@0");
   }
+}
+
+TEST(ParallelForTest, SmallRangesRunInlineOnTheCallerThread) {
+  // The minimum-grain cutoff: a range offering fewer than
+  // kMinItemsPerThread indices per pool thread never pays a worker handoff.
+  ThreadPool pool(4);
+  const std::size_t n = 4 * kMinItemsPerThread - 1;
+  std::set<std::thread::id> ids;
+  ParallelForChunks(&pool, 0, n, kDefaultGrain,
+                    [&](std::size_t, std::size_t, std::size_t) {
+                      ids.insert(std::this_thread::get_id());
+                    });
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelForTest, AlwaysParallelOptOutKeepsSmallRangesCorrect) {
+  // Heavy-per-item call sites opt out with kAlwaysParallel; the decomposition
+  // and results are unchanged either way.
+  ThreadPool pool(4);
+  std::vector<int> hits(64, 0);
+  ParallelFor(
+      &pool, 0, 64, 8, [&](std::size_t i) { ++hits[i]; }, kAlwaysParallel);
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(ParallelForTest, ParallelWritesMatchSerial) {

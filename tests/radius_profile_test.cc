@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "dpcluster/core/radius_profile.h"
+#include "dpcluster/data/registry.h"
 #include "dpcluster/geo/pairwise.h"
+#include "dpcluster/parallel/thread_pool.h"
 #include "test_util.h"
 
 namespace dpcluster {
@@ -104,6 +108,90 @@ TEST(RadiusProfileTest, SensitivityAtMostTwoUnderReplacement) {
       EXPECT_LE(std::abs(p0.LAtSolutionIndex(g) - p1.LAtSolutionIndex(g)),
                 2.0 + 1e-9)
           << "g=" << g;
+    }
+  }
+}
+
+void ExpectSameProfile(const RadiusProfile& a, const RadiusProfile& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.fine_l().domain_size(), b.fine_l().domain_size()) << context;
+  ASSERT_EQ(a.fine_l().num_pieces(), b.fine_l().num_pieces()) << context;
+  for (std::size_t p = 0; p < a.fine_l().num_pieces(); ++p) {
+    ASSERT_EQ(a.fine_l().starts()[p], b.fine_l().starts()[p])
+        << context << " piece=" << p;
+    ASSERT_EQ(a.fine_l().values()[p], b.fine_l().values()[p])
+        << context << " piece=" << p;
+  }
+}
+
+TEST(RadiusProfileTest, ProfileIndexNamesRoundTrip) {
+  for (const auto index :
+       {ProfileIndex::kAuto, ProfileIndex::kGrid, ProfileIndex::kExact}) {
+    ASSERT_OK_AND_ASSIGN(ProfileIndex parsed,
+                         ProfileIndexFromName(ProfileIndexName(index)));
+    EXPECT_EQ(parsed, index);
+  }
+  EXPECT_FALSE(ProfileIndexFromName("fancy").ok());
+}
+
+TEST(RadiusProfileTest, AutoCrossoverPrefersGridForSmallT) {
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 4096, 256),
+            ProfileIndex::kGrid);
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 4096, 2048),
+            ProfileIndex::kExact);
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 100, 4),
+            ProfileIndex::kExact);
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kGrid, 100, 50),
+            ProfileIndex::kGrid);
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kExact, 4096, 2),
+            ProfileIndex::kExact);
+}
+
+// The lossless-pruning property: the grid-indexed profile must be
+// bit-identical to the exact all-pairs sweep — same StepFunction breakpoints,
+// same values — on every scenario family, for t spanning the degenerate
+// edges (t=1: no events matter; t=n: nothing is pruned), at any thread count.
+TEST(RadiusProfileTest, GridBitIdenticalToExactAcrossScenarioFamilies) {
+  const ScenarioRegistry& registry = ScenarioRegistry::Global();
+  const std::vector<std::string> families = registry.Names();
+  ASSERT_EQ(families.size(), 8u);
+  ThreadPool pool(8);
+  std::uint64_t seed = 900;
+  for (const std::string& family : families) {
+    for (const auto& [n, dim] :
+         std::vector<std::pair<std::size_t, std::size_t>>{{64, 1},
+                                                          {192, 2},
+                                                          {256, 3}}) {
+      ScenarioSpec spec;
+      spec.scenario = family;
+      spec.n = n;
+      spec.dim = dim;
+      spec.levels = 1u << 8;
+      Rng rng(++seed);
+      ASSERT_OK_AND_ASSIGN(const ScenarioFamily* generator,
+                           registry.Lookup(family));
+      ASSERT_OK_AND_ASSIGN(ScenarioInstance instance,
+                           generator->Generate(rng, spec));
+      for (const std::size_t t :
+           {std::size_t{1}, std::size_t{2}, instance.t, n / 2, n}) {
+        ASSERT_OK_AND_ASSIGN(
+            RadiusProfile exact,
+            RadiusProfile::Build(instance.points, t, instance.domain, n,
+                                 nullptr, ProfileIndex::kExact));
+        ASSERT_OK_AND_ASSIGN(
+            RadiusProfile grid,
+            RadiusProfile::Build(instance.points, t, instance.domain, n,
+                                 nullptr, ProfileIndex::kGrid));
+        ASSERT_OK_AND_ASSIGN(
+            RadiusProfile grid_mt,
+            RadiusProfile::Build(instance.points, t, instance.domain, n,
+                                 &pool, ProfileIndex::kGrid));
+        const std::string context = family + " n=" + std::to_string(n) +
+                                    " d=" + std::to_string(dim) +
+                                    " t=" + std::to_string(t);
+        ExpectSameProfile(exact, grid, context);
+        ExpectSameProfile(exact, grid_mt, context + " (threads=8)");
+      }
     }
   }
 }

@@ -20,6 +20,8 @@
 //   --axis A        axis length of the cube    (default 1.0)
 //   --beta B        utility failure prob       (default 0.1)
 //   --seed S        RNG seed                   (default 2016)
+//   --profile-index I  GoodRadius L(r,S) event generator: auto | grid | exact
+//                   (bit-identical outputs; grid is ~O(n t) at low dimension)
 //   --refine        spend part of the budget tightening the released radius
 //   --ledger        print the per-phase privacy ledger
 
@@ -56,6 +58,7 @@ struct CliOptions {
   double beta = 0.1;
   std::uint64_t seed = 2016;
   bool refine = false;
+  std::string profile_index = "auto";
 };
 
 void Usage() {
@@ -64,7 +67,7 @@ void Usage() {
                "       [--algorithm NAME] [--mode cluster|outlier|interior]\n"
                "       [--k K] [--fraction F] [--epsilon E] [--delta D]\n"
                "       [--levels L] [--axis A] [--beta B] [--seed S]\n"
-               "       [--refine] [--ledger]\n");
+               "       [--profile-index auto|grid|exact] [--refine] [--ledger]\n");
 }
 
 /// Maps the legacy --mode values onto registry names.
@@ -101,6 +104,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return false;
       opt.mode = v;
+    } else if (arg == "--profile-index") {
+      const char* v = next();
+      if (!v) return false;
+      opt.profile_index = v;
     } else if (arg == "--t") {
       const char* v = next();
       if (!v) return false;
@@ -213,6 +220,12 @@ int main_impl(int argc, char** argv) {
   request.k = opt.k;
   request.inlier_fraction = opt.fraction;
   request.tuning.subsample_large_inputs = true;
+  const auto profile_index = ProfileIndexFromName(opt.profile_index);
+  if (!profile_index.ok()) {
+    std::fprintf(stderr, "%s\n", profile_index.status().ToString().c_str());
+    return 2;
+  }
+  request.tuning.profile_index = *profile_index;
   // k_cluster and outlier_screen refine by default (tuning.refine_fraction);
   // --refine opts the plain one_cluster release in as well.
   request.tuning.refine_one_cluster = opt.refine;
