@@ -24,6 +24,7 @@ struct BenchRecord {
   std::size_t d = 0;   ///< Input dimension.
   std::size_t threads = 1;
   double ns_per_op = 0.0;
+  std::size_t bytes = 0;  ///< Structure memory, 0 = not measured (omitted).
 };
 
 /// Collects BenchRecords and writes them as a JSON array (BENCH_*.json), so
@@ -34,20 +35,22 @@ class JsonReporter {
   explicit JsonReporter(std::string path) : path_(std::move(path)) {}
 
   void Add(std::string op, std::size_t n, std::size_t d, std::size_t threads,
-           double ns_per_op) {
-    records_.push_back({std::move(op), n, d, threads, ns_per_op});
+           double ns_per_op, std::size_t bytes = 0) {
+    records_.push_back({std::move(op), n, d, threads, ns_per_op, bytes});
   }
 
   /// Writes all records deduplicated on the (op, n, d, threads) key — last
   /// write wins — and sorted by that key, so re-measured configurations never
-  /// pile up as duplicate rows and baseline diffs stay clean. Returns false
-  /// (and prints to stderr) on IO failure.
+  /// pile up as duplicate rows and baseline diffs stay clean. Records with a
+  /// measured allocation carry an extra "bytes" column (e.g. the SparseVector
+  /// engine's count structure, pinning the n x n matrix removal). Returns
+  /// false (and prints to stderr) on IO failure.
   bool Write() const {
     std::map<std::tuple<std::string, std::size_t, std::size_t, std::size_t>,
-             double>
+             std::pair<double, std::size_t>>
         rows;
     for (const BenchRecord& r : records_) {
-      rows[{r.op, r.n, r.d, r.threads}] = r.ns_per_op;
+      rows[{r.op, r.n, r.d, r.threads}] = {r.ns_per_op, r.bytes};
     }
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
@@ -56,13 +59,15 @@ class JsonReporter {
     }
     std::fprintf(f, "[\n");
     std::size_t i = 0;
-    for (const auto& [key, ns_per_op] : rows) {
+    for (const auto& [key, value] : rows) {
       const auto& [op, n, d, threads] = key;
+      const auto& [ns_per_op, bytes] = value;
       std::fprintf(f,
                    "  {\"op\": \"%s\", \"n\": %zu, \"d\": %zu, \"threads\": "
-                   "%zu, \"ns_per_op\": %.1f}%s\n",
-                   Escaped(op).c_str(), n, d, threads, ns_per_op,
-                   ++i < rows.size() ? "," : "");
+                   "%zu, \"ns_per_op\": %.1f",
+                   Escaped(op).c_str(), n, d, threads, ns_per_op);
+      if (bytes > 0) std::fprintf(f, ", \"bytes\": %zu", bytes);
+      std::fprintf(f, "}%s\n", ++i < rows.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);

@@ -57,6 +57,8 @@ OneClusterOptions OneClusterOptionsFrom(const Request& request) {
   o.beta = request.beta;
   o.radius_budget_fraction = request.tuning.radius_budget_fraction;
   o.radius.subsample_large_inputs = request.tuning.subsample_large_inputs;
+  o.radius.subsample_grid_cap_factor =
+      request.tuning.subsample_grid_cap_factor;
   o.radius.profile_index = request.tuning.profile_index;
   o.num_threads = request.num_threads;
   return o;
@@ -85,7 +87,8 @@ class OneClusterAlgorithm : public Algorithm {
     options.params = request.budget.Fraction(1.0 - refine_fraction);
     DPC_ASSIGN_OR_RETURN(OneClusterResult run,
                          OneCluster(rng, request.data, request.t,
-                                    *request.domain, options));
+                                    *request.domain, options,
+                                    request.shared_index.get()));
     DPC_RETURN_IF_ERROR(session.ChargeLedger(run.ledger));
     Response response;
     response.ball = run.ball;
@@ -142,9 +145,12 @@ class KClusterAlgorithm : public Algorithm {
         request.tuning.radius_budget_fraction;
     o.one_cluster.radius.subsample_large_inputs =
         request.tuning.subsample_large_inputs;
+    o.one_cluster.radius.subsample_grid_cap_factor =
+        request.tuning.subsample_grid_cap_factor;
     o.one_cluster.radius.profile_index = request.tuning.profile_index;
     DPC_ASSIGN_OR_RETURN(KClusterResult run,
-                         KCluster(rng, request.data, *request.domain, o));
+                         KCluster(rng, request.data, *request.domain, o,
+                                  request.shared_index.get()));
     if (o.advanced_composition) {
       // The per-round ledger composes to the budget under the ADVANCED rule;
       // its basic sum may exceed it. Charge the composed total the run is
@@ -191,8 +197,10 @@ class OutlierScreenAlgorithm : public Algorithm {
     o.one_cluster.params = request.budget.Fraction(1.0 - refine_fraction);
     o.refine.epsilon = request.budget.epsilon * refine_fraction;
     o.refine.beta = request.beta;
-    DPC_ASSIGN_OR_RETURN(OutlierScreen screen,
-                         BuildOutlierScreen(rng, request.data, *request.domain, o));
+    DPC_ASSIGN_OR_RETURN(
+        OutlierScreen screen,
+        BuildOutlierScreen(rng, request.data, *request.domain, o,
+                           request.shared_index.get()));
     DPC_RETURN_IF_ERROR(session.ChargeLedger(screen.pipeline.ledger));
     if (o.refine.epsilon > 0.0) {
       DPC_RETURN_IF_ERROR(session.Charge("refine", {o.refine.epsilon, 0.0}));

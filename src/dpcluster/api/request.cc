@@ -1,6 +1,31 @@
 #include "dpcluster/api/request.h"
 
+#include <algorithm>
+#include <memory>
+#include <utility>
+
 namespace dpcluster {
+namespace {
+
+// True if the index views exactly this data with every row active.
+bool IndexMatches(const IndexedDataset& index, const PointSet& data,
+                  const std::optional<GridDomain>& domain) {
+  if (index.size() != data.size() || index.dim() != data.dim() ||
+      index.active_size() != index.size()) {
+    return false;
+  }
+  if (domain.has_value() &&
+      (index.domain().levels() != domain->levels() ||
+       index.domain().dim() != domain->dim() ||
+       index.domain().axis_length() != domain->axis_length())) {
+    return false;
+  }
+  const std::span<const double> a = index.points().Data();
+  const std::span<const double> b = data.Data();
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
 
 const char* ProblemKindName(ProblemKind kind) {
   switch (kind) {
@@ -51,7 +76,49 @@ Status Request::Validate() const {
   if (!(alpha > 0.0) || !(alpha <= 1.0)) {
     return Status::InvalidArgument("Request: alpha must be in (0,1]");
   }
+  if (!(tuning.subsample_grid_cap_factor >= 1.0)) {
+    return Status::InvalidArgument(
+        "Request: tuning.subsample_grid_cap_factor must be >= 1");
+  }
+  if (shared_index != nullptr && !IndexMatches(*shared_index, data, domain)) {
+    return Status::InvalidArgument(
+        "Request: shared_index does not view this request's data (build it "
+        "with BuildSharedIndex over the same data and domain, all rows "
+        "active)");
+  }
   return Status::OK();
+}
+
+Result<std::shared_ptr<IndexedDataset>> BuildSharedIndex(
+    const Request& request) {
+  if (!request.domain.has_value()) {
+    return Status::InvalidArgument(
+        "BuildSharedIndex: the request carries no domain");
+  }
+  DPC_ASSIGN_OR_RETURN(IndexedDataset index,
+                       IndexedDataset::Create(request.data, *request.domain));
+  return std::make_shared<IndexedDataset>(std::move(index));
+}
+
+Result<std::size_t> ShareIndexAcross(std::span<Request> requests) {
+  const Request* source = nullptr;
+  for (const Request& request : requests) {
+    if (request.domain.has_value() && !request.data.empty()) {
+      source = &request;
+      break;
+    }
+  }
+  if (source == nullptr) return std::size_t{0};
+  DPC_ASSIGN_OR_RETURN(std::shared_ptr<IndexedDataset> index,
+                       BuildSharedIndex(*source));
+  std::size_t attached = 0;
+  for (Request& request : requests) {
+    if (request.shared_index != nullptr) continue;
+    if (!IndexMatches(*index, request.data, request.domain)) continue;
+    request.shared_index = index;
+    ++attached;
+  }
+  return attached;
 }
 
 }  // namespace dpcluster

@@ -7,12 +7,15 @@
 #define DPCLUSTER_API_REQUEST_H_
 
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "dpcluster/common/status.h"
 #include "dpcluster/core/radius_profile.h"
 #include "dpcluster/dp/privacy_params.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/geo/grid_domain.h"
 #include "dpcluster/geo/point_set.h"
 #include "dpcluster/sa/sample_aggregate.h"
@@ -40,6 +43,10 @@ struct Tuning {
   double radius_budget_fraction = 0.5;
   /// One-cluster: subsample the GoodRadius pair profile on large inputs.
   bool subsample_large_inputs = false;
+  /// With subsample_large_inputs: multiplier on the subsample cap when the
+  /// ~O(n t) grid profile serves the subsampled problem (see
+  /// GoodRadiusOptions::subsample_grid_cap_factor). Must be >= 1.
+  double subsample_grid_cap_factor = 10.0;
   /// GoodRadius L(r,S) event generator: auto (measured crossover), grid
   /// (t-NN pruned spatial index, ~O(n t) at low dimension), or exact (the
   /// all-pairs O(n^2) sweep). Bit-identical outputs either way; read by
@@ -99,11 +106,32 @@ struct Request {
   Tuning tuning;
   /// Optional scope label for the ledger; "" = "<algorithm>#<index>".
   std::string label;
+  /// Index-reuse hook: a shared geometry index over exactly `data` (same
+  /// rows, every row active — see BuildSharedIndex / ShareIndexAcross).
+  /// Algorithms that own geometry (one_cluster, k_cluster, outlier_screen)
+  /// borrow it instead of rebuilding their spatial index, so a RunAll batch
+  /// over the same dataset indexes it once. Released outputs are
+  /// bit-identical with or without it; algorithms restore the index's state
+  /// before returning. Ignored by algorithms that never index (baselines,
+  /// interior point, sample-aggregate's block pipeline).
+  std::shared_ptr<IndexedDataset> shared_index;
 
-  /// Generic field validation (budget, beta, fractions); algorithm-specific
-  /// requirements are checked by Algorithm::ValidateRequest.
+  /// Generic field validation (budget, beta, fractions, shared_index
+  /// consistency); algorithm-specific requirements are checked by
+  /// Algorithm::ValidateRequest.
   Status Validate() const;
 };
+
+/// Builds a shared geometry index over request.data / request.domain, ready
+/// to assign to Request::shared_index (the request must carry a domain).
+Result<std::shared_ptr<IndexedDataset>> BuildSharedIndex(
+    const Request& request);
+
+/// The RunAll batching hook: builds one index from the first request carrying
+/// a domain and attaches it to every request in the batch with the same data
+/// and domain (requests that already carry an index are left untouched).
+/// Returns the number of requests the index was attached to.
+Result<std::size_t> ShareIndexAcross(std::span<Request> requests);
 
 }  // namespace dpcluster
 

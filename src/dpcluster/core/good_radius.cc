@@ -7,7 +7,7 @@
 #include "dpcluster/common/check.h"
 #include "dpcluster/common/math_util.h"
 #include "dpcluster/core/radius_profile.h"
-#include "dpcluster/geo/pairwise.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/parallel/thread_pool.h"
 #include "dpcluster/random/distributions.h"
 
@@ -17,51 +17,111 @@ namespace {
 // Builds the Algorithm 1 quality
 //   Q(g) = 1/2 * min{ t - L(r_g / 2),  L(r_g) - t + 4 Gamma }
 // as a step function over solution-grid indices g, from the fine profile.
+//
+// Q changes value only where L(r_g) changes (fine index 2g crosses a fine
+// breakpoint b => g = ceil(b/2)) or where L(r_g/2) changes (fine index g
+// crosses b => g = b). Both candidate streams ascend with b, so one merged
+// two-pointer pass visits every candidate in order while two piece cursors
+// track the fine pieces containing 2g and g — no sort, no per-candidate
+// binary searches (the former enumeration walked the breakpoints twice and
+// paid a log-factor lookup per candidate).
 StepFunction BuildQuality(const RadiusProfile& profile, double t, double gamma) {
   const StepFunction& fine = profile.fine_l();
   const std::uint64_t grid = profile.solution_grid_size();
-
-  // Q changes value only where L(r_g) changes (fine index 2g crosses a fine
-  // breakpoint b => g = ceil(b/2)) or where L(r_g/2) changes (fine index g
-  // crosses b => g = b).
-  std::vector<std::uint64_t> candidates;
-  candidates.reserve(2 * fine.num_pieces() + 1);
-  candidates.push_back(0);
-  for (std::uint64_t b : fine.starts()) {
-    if (b < grid) candidates.push_back(b);
-    const std::uint64_t half = (b + 1) / 2;
-    if (half < grid) candidates.push_back(half);
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+  const std::span<const std::uint64_t> bps = fine.starts();
+  const std::span<const double> fine_values = fine.values();
+  const std::size_t pieces = bps.size();
 
   std::vector<std::uint64_t> starts;
   std::vector<double> values;
-  starts.reserve(candidates.size());
-  values.reserve(candidates.size());
-  for (std::uint64_t g : candidates) {
-    const double l_full = fine.ValueAt(2 * g);
-    const double l_half = fine.ValueAt(g);
+  starts.reserve(2 * pieces + 1);
+  values.reserve(2 * pieces + 1);
+
+  std::size_t pf = 0;  // piece containing fine index 2g (for L(r_g))
+  std::size_t ph = 0;  // piece containing fine index g (for L(r_g/2))
+  auto emit = [&](std::uint64_t g) {
+    while (pf + 1 < pieces && bps[pf + 1] <= 2 * g) ++pf;
+    while (ph + 1 < pieces && bps[ph + 1] <= g) ++ph;
+    const double l_full = fine_values[pf];
+    const double l_half = fine_values[ph];
     const double q = 0.5 * std::min(t - l_half, l_full - t + 4.0 * gamma);
-    if (!values.empty() && values.back() == q) continue;
-    starts.push_back(g);
-    values.push_back(q);
+    if (values.empty() || values.back() != q) {
+      starts.push_back(g);
+      values.push_back(q);
+    }
+  };
+
+  emit(0);
+  // Stream A: g = ceil(b/2); stream B: g = b. Candidates at or past the grid
+  // end are dropped — monotone, so the whole stream tail is dropped with
+  // them. Duplicate candidates re-evaluate to the same q and coalesce.
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < pieces && (bps[ia] + 1) / 2 >= grid) ia = pieces;
+  while (ib < pieces && bps[ib] >= grid) ib = pieces;
+  while (ia < pieces || ib < pieces) {
+    const std::uint64_t ga =
+        ia < pieces ? (bps[ia] + 1) / 2 : std::uint64_t(-1);
+    const std::uint64_t gb = ib < pieces ? bps[ib] : std::uint64_t(-1);
+    if (ga <= gb) {
+      emit(ga);
+      if (++ia >= pieces || (bps[ia] + 1) / 2 >= grid) ia = pieces;
+    } else {
+      emit(gb);
+      if (++ib >= pieces || bps[ib] >= grid) ib = pieces;
+    }
   }
   return StepFunction::FromBreakpoints(grid, std::move(starts), std::move(values));
 }
 
-Result<GoodRadiusResult> RunRecConcaveEngine(Rng& rng, const PointSet& s,
+// t rescaled for a subsample of m of the n rows (never below 1).
+std::size_t RescaledT(std::size_t t, std::size_t m, std::size_t n) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(static_cast<double>(t) * static_cast<double>(m) /
+                          static_cast<double>(n))));
+}
+
+// The subsample size the radius stage may keep (satellite of the
+// IndexedDataset PR): max_profile_points guards the quadratic structures,
+// but when the ~O(n t) grid profile would serve the subsampled problem the
+// stage can afford subsample_grid_cap_factor times more rows — less
+// subsampling error at about the same cost. Only the RecConcave engine's
+// grid path qualifies; everything else keeps the strict cap.
+std::size_t EffectiveSubsampleCap(std::size_t n, std::size_t t,
+                                  const GoodRadiusOptions& options) {
+  const std::size_t m = options.max_profile_points;
+  if (options.engine != GoodRadiusOptions::Engine::kRecConcave) return m;
+  if (!(options.subsample_grid_cap_factor > 1.0)) return m;
+  const double raised =
+      static_cast<double>(m) * options.subsample_grid_cap_factor;
+  const std::size_t m2 = static_cast<std::size_t>(std::min(
+      static_cast<double>(n), raised));
+  if (m2 <= m) return m;
+  if (ResolveProfileIndex(options.profile_index, m2, RescaledT(t, m2, n)) !=
+      ProfileIndex::kGrid) {
+    return m;
+  }
+  return m2;
+}
+
+Result<GoodRadiusResult> RunRecConcaveEngine(Rng& rng, const PointSet* s,
+                                             const IndexedDataset* index,
                                              std::size_t t,
                                              const GridDomain& domain,
                                              const GoodRadiusOptions& options,
+                                             std::size_t profile_cap,
                                              double gamma, ThreadPool* pool) {
   const double eps = options.params.epsilon;
   const double beta = options.beta;
-  DPC_ASSIGN_OR_RETURN(
-      RadiusProfile profile,
-      RadiusProfile::Build(s, t, domain, options.max_profile_points, pool,
-                           options.profile_index));
+  Result<RadiusProfile> built =
+      index != nullptr
+          ? RadiusProfile::Build(*index, t, profile_cap, pool,
+                                 options.profile_index)
+          : RadiusProfile::Build(*s, t, domain, profile_cap, pool,
+                                 options.profile_index);
+  DPC_RETURN_IF_ERROR(built.status());
+  const RadiusProfile& profile = *built;
 
   GoodRadiusResult result;
   result.gamma = gamma;
@@ -91,16 +151,28 @@ Result<GoodRadiusResult> RunRecConcaveEngine(Rng& rng, const PointSet& s,
   return result;
 }
 
-Result<GoodRadiusResult> RunSparseVectorEngine(Rng& rng, const PointSet& s,
+Result<GoodRadiusResult> RunSparseVectorEngine(Rng& rng, const PointSet* s,
+                                               const IndexedDataset* index,
                                                std::size_t t,
                                                const GridDomain& domain,
                                                const GoodRadiusOptions& options,
+                                               std::size_t profile_cap,
                                                ThreadPool* pool) {
   const double eps = options.params.epsilon;
   const double beta = options.beta;
-  DPC_ASSIGN_OR_RETURN(
-      PairwiseDistances distances,
-      PairwiseDistances::Compute(s, options.max_profile_points, pool));
+  // The ~log|X| capped counts of the binary search come from per-point t-NN
+  // rows (O(n t) memory) — the n x n PairwiseDistances matrix this engine
+  // used to materialize is gone.
+  Result<KnnCappedCounts> built = Status::Internal("unset");
+  if (index != nullptr) {
+    built = KnnCappedCounts::Build(*index, t, profile_cap, pool);
+  } else {
+    DPC_ASSIGN_OR_RETURN(IndexedDataset local,
+                         IndexedDataset::Create(*s, domain));
+    built = KnnCappedCounts::Build(local, t, profile_cap, pool);
+  }
+  DPC_RETURN_IF_ERROR(built.status());
+  const KnnCappedCounts& counts = *built;
 
   GoodRadiusResult result;
 
@@ -120,7 +192,7 @@ Result<GoodRadiusResult> RunSparseVectorEngine(Rng& rng, const PointSet& s,
   std::uint64_t hi = grid - 1;
   while (lo < hi) {
     const std::uint64_t mid = lo + (hi - lo) / 2;
-    const double l = distances.CappedTopAverage(domain.RadiusFromIndex(mid), t);
+    const double l = counts.CappedTopAverage(domain.RadiusFromIndex(mid), t);
     const double noisy = l + SampleLaplace(rng, scale);
     if (noisy >= target) {
       hi = mid;
@@ -134,6 +206,63 @@ Result<GoodRadiusResult> RunSparseVectorEngine(Rng& rng, const PointSet& s,
   return result;
 }
 
+// Shared driver behind both public entry points: `index` == nullptr runs on
+// `s`; otherwise on the index's active points (s unused).
+Result<GoodRadiusResult> GoodRadiusImpl(Rng& rng, const PointSet* s,
+                                        const IndexedDataset* index,
+                                        std::size_t t, const GridDomain& domain,
+                                        const GoodRadiusOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  const std::size_t n = index != nullptr ? index->active_size() : s->size();
+  if (n == 0) return Status::InvalidArgument("GoodRadius: empty dataset");
+  const std::size_t dim = index != nullptr ? index->dim() : s->dim();
+  if (dim != domain.dim()) {
+    return Status::InvalidArgument("GoodRadius: domain dimension mismatch");
+  }
+  if (t < 1 || t > n) {
+    return Status::InvalidArgument("GoodRadius: t must satisfy 1 <= t <= n");
+  }
+
+  std::size_t profile_cap = options.max_profile_points;
+  // Amplification-by-subsampling escape hatch for the profile cap: run on an
+  // iid subsample with t rescaled. The subsampled mechanism is at least as
+  // private as the full-data one (Lemma 6.4). When the grid profile path
+  // makes the enlarged cap cheap, keep up to subsample_grid_cap_factor times
+  // more rows — possibly all of them, in which case no subsample is drawn
+  // and only the cap is raised.
+  if (options.subsample_large_inputs && n > options.max_profile_points) {
+    profile_cap = EffectiveSubsampleCap(n, t, options);
+    if (n > profile_cap) {
+      const std::size_t m = profile_cap;
+      std::vector<std::size_t> idx(m);
+      for (auto& i : idx) i = rng.NextUint64(n);
+      PointSet sample(dim);
+      if (index != nullptr) {
+        const std::span<const std::uint32_t> ids = index->ActiveIds();
+        for (const std::size_t i : idx) sample.Add(index->points()[ids[i]]);
+      } else {
+        for (const std::size_t i : idx) sample.Add((*s)[i]);
+      }
+      GoodRadiusOptions inner = options;
+      inner.subsample_large_inputs = false;
+      inner.max_profile_points = std::max(inner.max_profile_points, m);
+      return GoodRadius(rng, sample, RescaledT(t, m, n), domain, inner);
+    }
+  }
+
+  const double gamma = GoodRadiusGamma(domain, options);
+  ThreadPool pool(options.num_threads);
+  switch (options.engine) {
+    case GoodRadiusOptions::Engine::kRecConcave:
+      return RunRecConcaveEngine(rng, s, index, t, domain, options,
+                                 profile_cap, gamma, &pool);
+    case GoodRadiusOptions::Engine::kSparseVector:
+      return RunSparseVectorEngine(rng, s, index, t, domain, options,
+                                   profile_cap, &pool);
+  }
+  return Status::Internal("GoodRadius: unknown engine");
+}
+
 }  // namespace
 
 Status GoodRadiusOptions::Validate() const {
@@ -143,6 +272,11 @@ Status GoodRadiusOptions::Validate() const {
   }
   if (max_profile_points < 1) {
     return Status::InvalidArgument("GoodRadius: max_profile_points must be >= 1");
+  }
+  if (!(subsample_grid_cap_factor >= 1.0)) {
+    return Status::InvalidArgument(
+        "GoodRadius: subsample_grid_cap_factor must be >= 1 (1 disables the "
+        "grid-path cap raise)");
   }
   return Status::OK();
 }
@@ -164,40 +298,13 @@ double GoodRadiusGamma(const GridDomain& domain,
 Result<GoodRadiusResult> GoodRadius(Rng& rng, const PointSet& s, std::size_t t,
                                     const GridDomain& domain,
                                     const GoodRadiusOptions& options) {
-  DPC_RETURN_IF_ERROR(options.Validate());
-  if (s.empty()) return Status::InvalidArgument("GoodRadius: empty dataset");
-  if (s.dim() != domain.dim()) {
-    return Status::InvalidArgument("GoodRadius: domain dimension mismatch");
-  }
-  if (t < 1 || t > s.size()) {
-    return Status::InvalidArgument("GoodRadius: t must satisfy 1 <= t <= n");
-  }
-  // Amplification-by-subsampling escape hatch for the quadratic profile: run
-  // on an iid subsample with t rescaled. The subsampled mechanism is at least
-  // as private as the full-data one (Lemma 6.4).
-  if (options.subsample_large_inputs && s.size() > options.max_profile_points) {
-    const std::size_t m = options.max_profile_points;
-    std::vector<std::size_t> idx(m);
-    for (auto& i : idx) i = rng.NextUint64(s.size());
-    const PointSet sample = s.Subset(idx);
-    const auto t_scaled = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::llround(
-               static_cast<double>(t) * static_cast<double>(m) /
-               static_cast<double>(s.size()))));
-    GoodRadiusOptions inner = options;
-    inner.subsample_large_inputs = false;
-    return GoodRadius(rng, sample, t_scaled, domain, inner);
-  }
+  return GoodRadiusImpl(rng, &s, nullptr, t, domain, options);
+}
 
-  const double gamma = GoodRadiusGamma(domain, options);
-  ThreadPool pool(options.num_threads);
-  switch (options.engine) {
-    case GoodRadiusOptions::Engine::kRecConcave:
-      return RunRecConcaveEngine(rng, s, t, domain, options, gamma, &pool);
-    case GoodRadiusOptions::Engine::kSparseVector:
-      return RunSparseVectorEngine(rng, s, t, domain, options, &pool);
-  }
-  return Status::Internal("GoodRadius: unknown engine");
+Result<GoodRadiusResult> GoodRadius(Rng& rng, const IndexedDataset& index,
+                                    std::size_t t,
+                                    const GoodRadiusOptions& options) {
+  return GoodRadiusImpl(rng, nullptr, &index, t, index.domain(), options);
 }
 
 }  // namespace dpcluster

@@ -30,6 +30,8 @@
 
 namespace dpcluster {
 
+class IndexedDataset;
+
 struct GoodRadiusOptions {
   PrivacyParams params{1.0, 1e-9};
   /// Failure probability of the utility guarantee.
@@ -44,20 +46,29 @@ struct GoodRadiusOptions {
   /// ~O(n t) at low dimension), or exact (the all-pairs O(n^2 (d + log n))
   /// sweep). Released outputs are bit-identical for every choice — the
   /// pruning is lossless (see core/radius_profile.h); only the runtime
-  /// moves. The kSparseVector engine keeps its PairwiseDistances structure
-  /// and ignores this knob.
+  /// moves. The kSparseVector engine answers its radius counts from
+  /// per-point t-NN rows (geo/KnnCappedCounts, O(n t) memory — it never
+  /// materializes the n x n PairwiseDistances matrix) and ignores this knob.
   ProfileIndex profile_index = ProfileIndex::kAuto;
   /// Worker threads for the deterministic numeric passes (the O(n^2 d)
   /// profile / pairwise builds). 0 = one per hardware thread, 1 = serial.
   /// Released outputs are bit-identical at any setting: threads never touch
   /// the Rng, and the work decomposition is independent of the thread count.
   std::size_t num_threads = 1;
-  /// When n exceeds max_profile_points, run the radius stage on a uniform
-  /// subsample of max_profile_points rows with t rescaled proportionally.
+  /// When n exceeds the effective profile cap, run the radius stage on a
+  /// uniform subsample of that many rows with t rescaled proportionally.
   /// Privacy only improves (amplification by subsampling, Lemma 6.4); utility
   /// gains a sampling error of ~sqrt(t) in the counts. Off by default so the
-  /// quadratic cap stays an explicit, opted-into tradeoff.
+  /// profile cap stays an explicit, opted-into tradeoff.
   bool subsample_large_inputs = false;
+  /// Multiplier on max_profile_points for the subsample path when the ~O(n t)
+  /// grid profile would serve the subsampled problem (RecConcave engine,
+  /// ResolveProfileIndex -> kGrid at the enlarged size): the cap that guards
+  /// the quadratic sweep is far too conservative for the t-NN pruned build,
+  /// so the subsample keeps ~factor more rows (less sampling error) at ~the
+  /// same cost. 1 reproduces the pre-grid behavior; must be >= 1. Ignored
+  /// when the exact sweep or the SparseVector engine would run.
+  double subsample_grid_cap_factor = 10.0;
   /// If true, Gamma uses the paper's verbatim formula (astronomical); default
   /// sizes Gamma by what this RecConcave implementation actually needs.
   bool paper_constants = false;
@@ -91,6 +102,16 @@ struct GoodRadiusResult {
 /// Runs GoodRadius on dataset s (points must lie in `domain`'s cube).
 Result<GoodRadiusResult> GoodRadius(Rng& rng, const PointSet& s, std::size_t t,
                                     const GridDomain& domain,
+                                    const GoodRadiusOptions& options);
+
+/// Runs GoodRadius over the active points of a prebuilt geo/IndexedDataset
+/// (domain taken from the index). Released outputs are bit-identical to
+/// GoodRadius(rng, index.ActiveView(), t, index.domain(), options) — the
+/// profile / radius-count structures are served by the shared index instead
+/// of being rebuilt, which is how KCluster amortizes its per-round geometry.
+/// Does not mutate the index.
+Result<GoodRadiusResult> GoodRadius(Rng& rng, const IndexedDataset& index,
+                                    std::size_t t,
                                     const GoodRadiusOptions& options);
 
 /// The Gamma promise GoodRadius would use for these parameters (releasable,

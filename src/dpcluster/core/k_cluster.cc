@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "dpcluster/common/check.h"
 #include "dpcluster/dp/accountant.h"
@@ -28,9 +30,33 @@ Status KClusterOptions::Validate() const {
   return Status::OK();
 }
 
+namespace {
+
+// Restores a lent shared index to its entry state on every exit path.
+class SnapshotGuard {
+ public:
+  SnapshotGuard(IndexedDataset* index, IndexedDataset::Snapshot snapshot)
+      : index_(index), snapshot_(std::move(snapshot)) {}
+  ~SnapshotGuard() {
+    if (index_ != nullptr) {
+      const Status restored = index_->Restore(snapshot_);
+      DPC_CHECK(restored.ok());  // Same dataset by construction.
+    }
+  }
+  SnapshotGuard(const SnapshotGuard&) = delete;
+  SnapshotGuard& operator=(const SnapshotGuard&) = delete;
+
+ private:
+  IndexedDataset* index_;
+  IndexedDataset::Snapshot snapshot_;
+};
+
+}  // namespace
+
 Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
                                 const GridDomain& domain,
-                                const KClusterOptions& options) {
+                                const KClusterOptions& options,
+                                IndexedDataset* shared_index) {
   DPC_RETURN_IF_ERROR(options.Validate());
 
   // Per-round budget under the selected composition rule.
@@ -46,14 +72,48 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
     per_round.delta = options.params.delta / static_cast<double>(options.k);
   }
 
+  // The incremental path keeps one deletion-capable index across rounds; the
+  // legacy rebuild path re-subsets per round (kept as the bit-identity
+  // reference — both paths release exactly the same bytes).
+  const bool incremental =
+      shared_index != nullptr ||
+      options.index_mode == KClusterOptions::IndexMode::kIncremental;
+  std::optional<IndexedDataset> local_index;
+  std::optional<SnapshotGuard> restore_on_exit;
+  IndexedDataset* index = nullptr;
+  if (incremental) {
+    if (shared_index != nullptr) {
+      const std::span<const double> lent = shared_index->points().Data();
+      const std::span<const double> given = s.Data();
+      if (shared_index->active_size() != s.size() ||
+          shared_index->dim() != s.dim() ||
+          !std::equal(lent.begin(), lent.end(), given.begin(), given.end())) {
+        return Status::InvalidArgument(
+            "KCluster: shared_index must view exactly the dataset with every "
+            "row active");
+      }
+      index = shared_index;
+      restore_on_exit.emplace(index, index->TakeSnapshot());
+    } else {
+      DPC_ASSIGN_OR_RETURN(local_index, IndexedDataset::Create(s, domain));
+      index = &*local_index;
+    }
+  }
+
   KClusterResult result;
-  // Working copy: indices of points not yet covered.
-  std::vector<std::size_t> remaining(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) remaining[i] = i;
+  // Rebuild path's working copy: indices of points not yet covered.
+  std::vector<std::size_t> remaining;
+  if (!incremental) {
+    remaining.resize(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) remaining[i] = i;
+  }
 
   for (std::size_t round = 0; round < options.k; ++round) {
-    if (remaining.empty()) break;
-    const PointSet current = s.Subset(remaining);
+    const std::size_t left =
+        incremental ? index->active_size() : remaining.size();
+    if (left == 0) break;
+    const PointSet current =
+        incremental ? index->ActiveView() : s.Subset(remaining);
 
     std::size_t t = options.per_round_t;
     if (t == 0) {
@@ -68,7 +128,7 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
     oc.params.epsilon *= (1.0 - options.refine_fraction);
     oc.beta = options.beta / static_cast<double>(options.k);
     oc.num_threads = options.num_threads;
-    auto round_result = OneCluster(rng, current, t, domain, oc);
+    auto round_result = OneCluster(rng, current, t, domain, oc, index);
     if (!round_result.ok()) {
       if (options.best_effort) {
         // The failed round may have partially run (no partial ledger is
@@ -95,18 +155,23 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
       if (refined.ok()) round_result->ball.radius = *refined;
     }
 
-    // Remove the covered points (post-processing of the private ball).
+    // Remove the covered points (post-processing of the private ball) —
+    // incrementally from the shared index, or by filtering the working copy.
     const Ball& ball = round_result->ball;
-    std::vector<std::size_t> next;
-    next.reserve(remaining.size());
-    for (std::size_t idx : remaining) {
-      if (!ball.Contains(s[idx])) next.push_back(idx);
+    if (incremental) {
+      index->RemoveWithin(ball);
+    } else {
+      std::vector<std::size_t> next;
+      next.reserve(remaining.size());
+      for (std::size_t idx : remaining) {
+        if (!ball.Contains(s[idx])) next.push_back(idx);
+      }
+      remaining = std::move(next);
     }
-    remaining = std::move(next);
     result.rounds.push_back(std::move(*round_result));
   }
 
-  result.uncovered = remaining.size();
+  result.uncovered = incremental ? index->active_size() : remaining.size();
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "dpcluster/common/status.h"
 #include "dpcluster/core/one_cluster.h"
 #include "dpcluster/core/radius_refine.h"
+#include "dpcluster/geo/dataset.h"
 
 namespace dpcluster {
 
@@ -40,6 +41,14 @@ struct KClusterOptions {
   /// guarantee-radius ball can cover the whole domain and the first round
   /// swallows everything. 0 disables refinement.
   double refine_fraction = 0.25;
+  /// How each round's geometry is served. kIncremental (the default) builds
+  /// one deletion-capable geo/IndexedDataset and removes covered points in
+  /// place across the k rounds — one index build instead of k. kRebuild is
+  /// the pre-index path (subset + fresh index per round), kept as the
+  /// bit-identity reference: both modes release exactly the same bytes
+  /// (pinned by the k-cluster property test), only the runtime differs.
+  enum class IndexMode { kIncremental, kRebuild };
+  IndexMode index_mode = IndexMode::kIncremental;
 
   Status Validate() const;
 };
@@ -55,10 +64,17 @@ struct KClusterResult {
   Accountant ledger;
 };
 
-/// Runs the iterated heuristic on dataset s.
+/// Runs the iterated heuristic on dataset s. `shared_index` (optional) lends
+/// a prebuilt IndexedDataset over exactly s with every row active — e.g. the
+/// per-request index a Solver::RunAll batch shares; the rounds then peel
+/// covered points from it instead of building their own. The index is
+/// restored to its entry state before returning (success or failure), so one
+/// index serves many runs. Passing a shared index implies the incremental
+/// path regardless of options.index_mode.
 Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
                                 const GridDomain& domain,
-                                const KClusterOptions& options);
+                                const KClusterOptions& options,
+                                IndexedDataset* shared_index = nullptr);
 
 }  // namespace dpcluster
 

@@ -6,6 +6,7 @@
 #include "dpcluster/common/check.h"
 #include "dpcluster/dp/accountant.h"
 #include "dpcluster/dp/stable_histogram.h"
+#include "dpcluster/geo/dataset.h"
 
 namespace dpcluster {
 
@@ -23,21 +24,30 @@ Status OneClusterOptions::Validate() const {
 
 Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
                                     const GridDomain& domain,
-                                    const OneClusterOptions& options) {
+                                    const OneClusterOptions& options,
+                                    const IndexedDataset* index) {
   DPC_RETURN_IF_ERROR(options.Validate());
   if (s.dim() != domain.dim()) {
     return Status::InvalidArgument("OneCluster: domain dimension mismatch");
   }
+  if (index != nullptr && index->active_size() != s.size()) {
+    return Status::InvalidArgument(
+        "OneCluster: index active set does not match the dataset");
+  }
 
   OneClusterResult result;
 
-  // Phase 1: GoodRadius with its share of the budget.
+  // Phase 1: GoodRadius with its share of the budget, served by the shared
+  // index when one is provided (bit-identical outputs either way).
   GoodRadiusOptions radius_opts = options.radius;
   radius_opts.params = options.params.Fraction(options.radius_budget_fraction);
   radius_opts.beta = options.beta / 2.0;
   radius_opts.num_threads = options.num_threads;
-  DPC_ASSIGN_OR_RETURN(result.radius_stage,
-                       GoodRadius(rng, s, t, domain, radius_opts));
+  Result<GoodRadiusResult> radius_stage =
+      index != nullptr ? GoodRadius(rng, *index, t, radius_opts)
+                       : GoodRadius(rng, s, t, domain, radius_opts);
+  DPC_RETURN_IF_ERROR(radius_stage.status());
+  result.radius_stage = *radius_stage;
   result.ledger.Charge("good_radius", radius_opts.params);
 
   // A zero radius (duplicate-point cluster) cannot drive GoodCenter's interval

@@ -22,6 +22,8 @@
 
 namespace dpcluster {
 
+class IndexedDataset;
+
 struct OneClusterOptions {
   /// Total privacy budget of the pipeline.
   PrivacyParams params{1.0, 1e-9};
@@ -55,9 +57,15 @@ struct OneClusterResult {
 };
 
 /// Solves the 1-cluster problem on s (points must lie in `domain`'s cube).
+/// When `index` is non-null it must view exactly s (index->ActiveView() row
+/// for row — KCluster passes the shared deletion-capable geo/IndexedDataset
+/// it peels rounds from); the GoodRadius phase is then served by the
+/// prebuilt index instead of rebuilding its geometry, with bit-identical
+/// released outputs. The index is not mutated.
 Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
                                     const GridDomain& domain,
-                                    const OneClusterOptions& options);
+                                    const OneClusterOptions& options,
+                                    const IndexedDataset* index = nullptr);
 
 /// A data-independent recommendation for the smallest t this configuration can
 /// resolve meaningfully: max of ~4*Gamma (GoodRadius loss) and the sparse-

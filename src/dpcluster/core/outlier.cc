@@ -29,14 +29,16 @@ PointSet OutlierScreen::Inliers(const PointSet& s) const {
 
 Result<OutlierScreen> BuildOutlierScreen(Rng& rng, const PointSet& s,
                                          const GridDomain& domain,
-                                         const OutlierScreenOptions& options) {
+                                         const OutlierScreenOptions& options,
+                                         const IndexedDataset* index) {
   DPC_RETURN_IF_ERROR(options.Validate());
   if (s.empty()) return Status::InvalidArgument("OutlierScreen: empty dataset");
   const auto t = static_cast<std::size_t>(
       std::ceil(options.inlier_fraction * static_cast<double>(s.size())));
   OutlierScreen screen;
-  DPC_ASSIGN_OR_RETURN(screen.pipeline,
-                       OneCluster(rng, s, t, domain, options.one_cluster));
+  DPC_ASSIGN_OR_RETURN(
+      screen.pipeline,
+      OneCluster(rng, s, t, domain, options.one_cluster, index));
   screen.ball = screen.pipeline.ball;
   if (options.refine.epsilon > 0.0) {
     DPC_ASSIGN_OR_RETURN(

@@ -45,9 +45,12 @@ struct OutlierScreen {
 };
 
 /// Builds the screen by solving the 1-cluster problem with t = fraction * n.
+/// `index` (optional) lends a prebuilt geo/IndexedDataset over exactly s with
+/// every row active (see OneCluster); not mutated, outputs bit-identical.
 Result<OutlierScreen> BuildOutlierScreen(Rng& rng, const PointSet& s,
                                          const GridDomain& domain,
-                                         const OutlierScreenOptions& options);
+                                         const OutlierScreenOptions& options,
+                                         const IndexedDataset* index = nullptr);
 
 }  // namespace dpcluster
 

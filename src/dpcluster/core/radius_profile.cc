@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dpcluster/common/check.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/geo/spatial_grid.h"
 #include "dpcluster/la/vector_ops.h"
 #include "dpcluster/parallel/parallel_for.h"
@@ -135,9 +136,13 @@ inline std::uint64_t FineIndexOf(double dist, double fine_step,
 }
 
 // All n(n-1) ordered pair events, index-sorted — the O(n^2 (d + log n)) path.
-std::vector<Event> BuildExactEvents(const PointSet& s, double fine_step,
-                                    std::uint64_t max_fine, ThreadPool* pool) {
-  const std::size_t n = s.size();
+// `row(i)` yields the i-th point, so the same kernel sweeps a PointSet
+// directly (identity rows) or the active subset of an IndexedDataset
+// (rank -> original id indirection) with identical chunking and event order.
+template <typename GetRow>
+std::vector<Event> BuildExactEvents(std::size_t n, GetRow&& row,
+                                    double fine_step, std::uint64_t max_fine,
+                                    ThreadPool* pool) {
   // The O(n^2 d) pair pass runs in parallel over row chunks; per-chunk event
   // vectors concatenated in chunk order reproduce the serial i-ascending
   // sequence exactly, so the profile is independent of the thread count.
@@ -152,10 +157,10 @@ std::vector<Event> BuildExactEvents(const PointSet& s, double fine_step,
         for (std::size_t i = lo; i < hi; ++i) pairs += n - 1 - i;
         local.reserve(2 * pairs);
         for (std::size_t i = lo; i < hi; ++i) {
-          const auto xi = s[i];
+          const auto xi = row(i);
           for (std::size_t j = i + 1; j < n; ++j) {
             const std::uint64_t g =
-                FineIndexOf(Distance(xi, s[j]), fine_step, max_fine);
+                FineIndexOf(Distance(xi, row(j)), fine_step, max_fine);
             local.push_back({g, static_cast<std::uint32_t>(i)});
             local.push_back({g, static_cast<std::uint32_t>(j)});
           }
@@ -174,29 +179,14 @@ std::vector<Event> BuildExactEvents(const PointSet& s, double fine_step,
   return events;
 }
 
-// The t-NN pruned event stream, index-sorted: each center emits exactly its
-// t-1 nearest-neighbor distances (any farther pair is a no-op in the capped
-// sweep — see the header). The grid computes squared distances with the same
-// accumulation order as Distance(), so sqrt() reproduces the exact path's
-// event indices bit-for-bit.
-Result<std::vector<Event>> BuildGridEvents(const PointSet& s, std::size_t t,
-                                           const GridDomain& domain,
-                                           double fine_step,
-                                           std::uint64_t max_fine,
-                                           std::uint64_t fine_domain,
-                                           ThreadPool* pool) {
-  const std::size_t n = s.size();
-  const std::size_t k = t - 1;
-  std::vector<Event> events;
-  if (k == 0) return events;  // t = 1: every increment saturates immediately.
-
-  DPC_ASSIGN_OR_RETURN(SpatialGrid grid, SpatialGrid::Build(s, domain, k));
-  std::vector<double> knn(n * k);
-  grid.BatchKnnDistances(k, knn, pool, /*sorted=*/false);
-
-  // Index the n*k distances, then group by fine index: a counting sort when
-  // the fine grid is comparably sized (the common case — two O(E) passes),
-  // std::sort otherwise (huge |X| with few events).
+// Converts n rows of k nearest-neighbor distances (row r = center r) into the
+// index-sorted pruned event stream: a counting sort by fine index when the
+// fine grid is comparably sized (the common case — two O(E) passes),
+// std::sort otherwise (huge |X| with few events).
+std::vector<Event> EventsFromKnnRows(std::span<const double> knn,
+                                     std::size_t n, std::size_t k,
+                                     double fine_step, std::uint64_t max_fine,
+                                     std::uint64_t fine_domain) {
   std::vector<Event> unsorted(n * k);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < k; ++j) {
@@ -204,6 +194,7 @@ Result<std::vector<Event>> BuildGridEvents(const PointSet& s, std::size_t t,
                              static_cast<std::uint32_t>(i)};
     }
   }
+  std::vector<Event> events;
   if (fine_domain <= 8 * unsorted.size() + 1024) {
     std::vector<std::uint64_t> bucket_start(fine_domain + 1, 0);
     for (const Event& ev : unsorted) ++bucket_start[ev.index + 1];
@@ -220,6 +211,43 @@ Result<std::vector<Event>> BuildGridEvents(const PointSet& s, std::size_t t,
               [](const Event& a, const Event& b) { return a.index < b.index; });
   }
   return events;
+}
+
+// The t-NN pruned event stream, index-sorted: each center emits exactly its
+// t-1 nearest-neighbor distances (any farther pair is a no-op in the capped
+// sweep — see the header). The grid computes squared distances with the same
+// accumulation order as Distance(), so sqrt() reproduces the exact path's
+// event indices bit-for-bit.
+Result<std::vector<Event>> BuildGridEvents(const PointSet& s, std::size_t t,
+                                           const GridDomain& domain,
+                                           double fine_step,
+                                           std::uint64_t max_fine,
+                                           std::uint64_t fine_domain,
+                                           ThreadPool* pool) {
+  const std::size_t n = s.size();
+  const std::size_t k = t - 1;
+  if (k == 0) return std::vector<Event>{};  // t = 1: every increment saturates.
+
+  DPC_ASSIGN_OR_RETURN(SpatialGrid grid, SpatialGrid::Build(s, domain, k));
+  std::vector<double> knn(n * k);
+  grid.BatchKnnDistances(k, knn, pool, /*sorted=*/false);
+  return EventsFromKnnRows(knn, n, k, fine_step, max_fine, fine_domain);
+}
+
+// Validation shared by both Build entry points.
+Status ValidateBuildArgs(std::size_t n, std::size_t t, std::size_t max_points) {
+  if (n == 0) return Status::InvalidArgument("RadiusProfile: empty dataset");
+  if (t < 1 || t > n) {
+    return Status::InvalidArgument("RadiusProfile: t must satisfy 1 <= t <= n");
+  }
+  if (n > max_points) {
+    return Status::ResourceExhausted(
+        "RadiusProfile: n=" + std::to_string(n) + " exceeds max_points=" +
+        std::to_string(max_points) +
+        "; raise GoodRadiusOptions::max_profile_points or subsample the "
+        "radius stage");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -263,19 +291,9 @@ Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
                                            ThreadPool* pool,
                                            ProfileIndex index) {
   const std::size_t n = s.size();
-  if (n == 0) return Status::InvalidArgument("RadiusProfile: empty dataset");
-  if (t < 1 || t > n) {
-    return Status::InvalidArgument("RadiusProfile: t must satisfy 1 <= t <= n");
-  }
+  DPC_RETURN_IF_ERROR(ValidateBuildArgs(n, t, max_points));
   if (s.dim() != domain.dim()) {
     return Status::InvalidArgument("RadiusProfile: domain dimension mismatch");
-  }
-  if (n > max_points) {
-    return Status::ResourceExhausted(
-        "RadiusProfile: n=" + std::to_string(n) + " exceeds max_points=" +
-        std::to_string(max_points) +
-        "; raise GoodRadiusOptions::max_profile_points or subsample the "
-        "radius stage");
   }
 
   RadiusProfile profile;
@@ -290,7 +308,49 @@ Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
     DPC_ASSIGN_OR_RETURN(events, BuildGridEvents(s, t, domain, fine_step,
                                                  max_fine, fine_domain, pool));
   } else {
-    events = BuildExactEvents(s, fine_step, max_fine, pool);
+    events = BuildExactEvents(
+        n, [&s](std::size_t i) { return s[i]; }, fine_step, max_fine, pool);
+  }
+  profile.fine_l_ = SweepEvents(events, n, t, fine_domain);
+  return profile;
+}
+
+Result<RadiusProfile> RadiusProfile::Build(const IndexedDataset& index,
+                                           std::size_t t,
+                                           std::size_t max_points,
+                                           ThreadPool* pool,
+                                           ProfileIndex profile_index) {
+  const std::size_t n = index.active_size();
+  DPC_RETURN_IF_ERROR(ValidateBuildArgs(n, t, max_points));
+  const GridDomain& domain = index.domain();
+
+  RadiusProfile profile;
+  profile.solution_grid_ = domain.RadiusGridSize();
+  const std::uint64_t fine_domain = 2 * (profile.solution_grid_ - 1) + 1;
+  const double fine_step =
+      domain.axis_length() / (4.0 * static_cast<double>(domain.levels()));
+  const std::uint64_t max_fine = fine_domain - 1;
+
+  // Event centers are active *ranks* (positions in the ascending active-id
+  // list), which is exactly the row numbering of ActiveView() — so both
+  // generators emit the same events the subset-rebuild path would, and the
+  // sweep below is untouched.
+  std::vector<Event> events;
+  if (ResolveProfileIndex(profile_index, n, t) == ProfileIndex::kGrid) {
+    const std::size_t k = t - 1;
+    if (k > 0) {
+      std::vector<double> knn(n * k);
+      index.BatchKnn(k, knn, pool, /*sorted=*/false);
+      events = EventsFromKnnRows(knn, n, k, fine_step, max_fine, fine_domain);
+    }
+  } else {
+    // Materialize the active view once: the O(n^2 d) pair sweep then streams
+    // contiguous rows — a per-access rank indirection into the full dataset
+    // costs ~10% in this hot loop, far more than one O(n d) copy.
+    const PointSet view = index.ActiveView();
+    events = BuildExactEvents(
+        n, [&view](std::size_t i) { return view[i]; }, fine_step, max_fine,
+        pool);
   }
   profile.fine_l_ = SweepEvents(events, n, t, fine_domain);
   return profile;

@@ -43,6 +43,7 @@
 
 namespace dpcluster {
 
+class IndexedDataset;
 class ThreadPool;
 
 /// How RadiusProfile::Build generates the pair events (see file comment).
@@ -77,6 +78,20 @@ class RadiusProfile {
                                      std::size_t max_points,
                                      ThreadPool* pool = nullptr,
                                      ProfileIndex index = ProfileIndex::kAuto);
+
+  /// Builds the profile over the *active* points of a prebuilt
+  /// geo/IndexedDataset — bit-identical to Build(index.ActiveView(), ...),
+  /// but the kGrid event generator queries the dataset's cached
+  /// (deletion-pruned) spatial index instead of indexing the subset from
+  /// scratch, which is what amortizes KCluster's per-round profile cost.
+  /// The kExact generator sweeps the active pairs directly. `profile_index`
+  /// resolves its kAuto crossover on (active_size, t), exactly as the
+  /// subset-rebuild path would.
+  static Result<RadiusProfile> Build(const IndexedDataset& index,
+                                     std::size_t t, std::size_t max_points,
+                                     ThreadPool* pool = nullptr,
+                                     ProfileIndex profile_index =
+                                         ProfileIndex::kAuto);
 
   /// L as a step function over fine indices [0, 2*(RadiusGridSize()-1)+1).
   const StepFunction& fine_l() const { return fine_l_; }

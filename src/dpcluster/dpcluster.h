@@ -44,6 +44,7 @@
 #include "dpcluster/dp/stable_histogram.h"
 #include "dpcluster/dp/step_function.h"
 #include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/geo/grid_domain.h"
 #include "dpcluster/geo/minimal_ball.h"
 #include "dpcluster/geo/point_set.h"

@@ -1,0 +1,194 @@
+#include "dpcluster/geo/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/geo/pairwise.h"
+
+namespace dpcluster {
+
+// ------------------------------------------------------------ IndexedDataset
+
+IndexedDataset::IndexedDataset(PointSet points, GridDomain domain)
+    : points_(std::move(points)),
+      domain_(std::move(domain)),
+      active_(points_.size(), 1),
+      active_count_(points_.size()) {
+  active_ids_.resize(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    active_ids_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+Result<IndexedDataset> IndexedDataset::Create(PointSet points,
+                                              GridDomain domain) {
+  if (!points.empty() && points.dim() != domain.dim()) {
+    return Status::InvalidArgument(
+        "IndexedDataset: domain dimension mismatch");
+  }
+  return IndexedDataset(std::move(points), std::move(domain));
+}
+
+std::span<const std::uint32_t> IndexedDataset::ActiveIds() const {
+  if (active_ids_dirty_) {
+    active_ids_.clear();
+    active_ids_.reserve(active_count_);
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i]) active_ids_.push_back(static_cast<std::uint32_t>(i));
+    }
+    active_ids_dirty_ = false;
+  }
+  return active_ids_;
+}
+
+PointSet IndexedDataset::ActiveView() const {
+  const std::size_t d = points_.dim();
+  std::vector<double> data;
+  data.reserve(active_count_ * d);
+  for (const std::uint32_t id : ActiveIds()) {
+    const auto row = points_[id];
+    data.insert(data.end(), row.begin(), row.end());
+  }
+  return d == 0 ? PointSet() : PointSet(d, std::move(data));
+}
+
+void IndexedDataset::Remove(std::size_t id) {
+  DPC_CHECK_LT(id, active_.size());
+  DPC_CHECK(active_[id]);
+  active_[id] = 0;
+  --active_count_;
+  active_ids_dirty_ = true;
+  if (grid_.has_value()) grid_->Remove(id);
+}
+
+void IndexedDataset::Remove(std::span<const std::uint32_t> ids) {
+  for (const std::uint32_t id : ids) Remove(id);
+}
+
+std::size_t IndexedDataset::RemoveWithin(const Ball& ball) {
+  // Collect first: Remove() invalidates the ActiveIds() span.
+  std::vector<std::uint32_t> covered;
+  for (const std::uint32_t id : ActiveIds()) {
+    if (ball.Contains(points_[id])) covered.push_back(id);
+  }
+  Remove(covered);
+  return covered.size();
+}
+
+IndexedDataset::Snapshot IndexedDataset::TakeSnapshot() const {
+  return {active_, active_count_};
+}
+
+Status IndexedDataset::Restore(const Snapshot& snapshot) {
+  if (snapshot.active.size() != active_.size()) {
+    return Status::InvalidArgument(
+        "IndexedDataset: snapshot is from a different dataset");
+  }
+  active_ = snapshot.active;
+  active_count_ = snapshot.active_count;
+  active_ids_dirty_ = true;
+  if (grid_.has_value()) grid_->ResetActive(active_);
+  return Status::OK();
+}
+
+void IndexedDataset::RestoreAll() {
+  std::fill(active_.begin(), active_.end(), std::uint8_t{1});
+  active_count_ = active_.size();
+  active_ids_dirty_ = true;
+  if (grid_.has_value()) grid_->ResetActive(active_);
+}
+
+const SpatialGrid& IndexedDataset::EnsureGrid(
+    std::size_t expected_neighbors) const {
+  DPC_CHECK(!points_.empty());
+  if (!grid_.has_value()) {
+    auto built = SpatialGrid::Build(points_, domain_, expected_neighbors);
+    DPC_CHECK(built.ok());  // Preconditions hold by construction.
+    grid_.emplace(std::move(*built));
+    if (active_count_ < points_.size()) grid_->ResetActive(active_);
+  }
+  return *grid_;
+}
+
+void IndexedDataset::BatchKnn(std::size_t k, std::span<double> out,
+                              ThreadPool* pool, bool sorted) const {
+  DPC_CHECK_GE(active_count_, 1u);
+  DPC_CHECK_LE(k, active_count_ - 1);
+  const SpatialGrid& grid = EnsureGrid(k);
+  grid.BatchKnnDistancesFor(ActiveIds(), k, out, pool, sorted);
+}
+
+void IndexedDataset::BatchCountWithin(double r, std::span<std::size_t> out,
+                                      ThreadPool* pool) const {
+  DPC_CHECK_EQ(out.size(), active_count_);
+  if (active_count_ == 0) return;
+  const SpatialGrid& grid = EnsureGrid(/*expected_neighbors=*/16);
+  grid.BatchCountWithin(ActiveIds(), r, out, pool);
+}
+
+// ----------------------------------------------------------- KnnCappedCounts
+
+Result<KnnCappedCounts> KnnCappedCounts::Build(const IndexedDataset& index,
+                                               std::size_t cap,
+                                               std::size_t max_points,
+                                               ThreadPool* pool) {
+  const std::size_t n = index.active_size();
+  if (n == 0) {
+    return Status::InvalidArgument("KnnCappedCounts: empty active set");
+  }
+  if (cap < 1 || cap > n) {
+    return Status::InvalidArgument(
+        "KnnCappedCounts: cap must satisfy 1 <= cap <= active_size");
+  }
+  if (n > max_points) {
+    return Status::ResourceExhausted(
+        "KnnCappedCounts: dataset has " + std::to_string(n) +
+        " active points, cap is " + std::to_string(max_points) +
+        " (see GoodRadiusOptions::max_profile_points)");
+  }
+  KnnCappedCounts counts;
+  counts.n_ = n;
+  counts.cap_ = cap;
+  counts.k_ = cap - 1;
+  counts.count_scratch_.assign(n, 0);
+  if (counts.k_ == 0) return counts;  // Every capped count is 1.
+
+  std::vector<double> knn(n * counts.k_);
+  index.BatchKnn(counts.k_, knn, pool, /*sorted=*/true);
+  counts.rows_.resize(n * counts.k_);
+  for (std::size_t i = 0; i < knn.size(); ++i) {
+    counts.rows_[i] = BumpDistanceUp(static_cast<float>(knn[i]));
+  }
+  return counts;
+}
+
+std::size_t KnnCappedCounts::CountWithinCapped(std::size_t rank,
+                                               double r) const {
+  DPC_CHECK_LT(rank, n_);
+  if (r < 0.0) return 0;
+  if (k_ == 0) return 1;  // Only the center itself is counted.
+  const float bound = std::nextafter(static_cast<float>(r),
+                                     std::numeric_limits<float>::infinity());
+  const std::span<const float> row{&rows_[rank * k_], k_};
+  return 1 + BranchlessUpperBound(row, bound);
+}
+
+double KnnCappedCounts::CappedTopAverage(double r, std::size_t top) const {
+  DPC_CHECK_GE(top, 1u);
+  DPC_CHECK_LE(top, cap_);
+  std::vector<std::size_t>& counts = count_scratch_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    counts[i] = std::min(CountWithinCapped(i, r), top);
+  }
+  std::nth_element(counts.begin(),
+                   counts.begin() + static_cast<std::ptrdiff_t>(top - 1),
+                   counts.end(), std::greater<>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < top; ++i) sum += static_cast<double>(counts[i]);
+  return sum / static_cast<double>(top);
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,185 @@
+// IndexedDataset: the shared geometry layer of the library. One object
+// bundles the dataset (PointSet), its universe (GridDomain), and a lazily
+// built, cached, deletion-capable SpatialGrid behind an active-set view, so
+// that algorithms *borrow* the hottest data structure in the codebase instead
+// of rebuilding it ad hoc:
+//
+//  * KCluster peels one cluster per round and removes the covered points
+//    incrementally (Remove / RemoveWithin) — k grid builds amortize to one.
+//  * GoodRadius / RadiusProfile::Build run their t-NN pruned profile through
+//    the prebuilt index (BatchKnn) instead of indexing the round's subset.
+//  * The footnote-2 SparseVector engine answers its ~log|X| capped radius
+//    counts from per-point t-NN rows (KnnCappedCounts, O(n t) memory)
+//    instead of the n x n PairwiseDistances matrix.
+//  * Solver::RunAll batches attach one shared index to many requests over
+//    the same dataset (api/request.h).
+//
+// Exactness contract: every query answers over exactly the active points and
+// is bit-identical to rebuilding a fresh index over ActiveView() — deletion
+// is structural (live-prefix partitioning inside the grid's CSR cells), never
+// approximate, and the distance kernels match la/vector_ops' Distance
+// accumulation order. Snapshot/Restore make the mutation reversible in
+// O(n + cells) so one index serves many runs.
+//
+// Threading: mutators and queries must be called from one thread at a time
+// (the library convention — algorithms query serially and hand a ThreadPool
+// to the batched calls for internal parallelism). Batched queries are
+// bit-identical at any thread count.
+
+#ifndef DPCLUSTER_GEO_DATASET_H_
+#define DPCLUSTER_GEO_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/grid_domain.h"
+#include "dpcluster/geo/point_set.h"
+#include "dpcluster/geo/spatial_grid.h"
+
+namespace dpcluster {
+
+class ThreadPool;
+
+/// PointSet + GridDomain + cached deletion-capable SpatialGrid, behind an
+/// active-set view. Move-only: the grid borrows the stored points.
+class IndexedDataset {
+ public:
+  /// Takes ownership of the dataset. Points must lie in `domain`'s cube
+  /// (snap them first — the same contract every algorithm already has).
+  static Result<IndexedDataset> Create(PointSet points, GridDomain domain);
+
+  IndexedDataset(IndexedDataset&&) = default;
+  IndexedDataset& operator=(IndexedDataset&&) = default;
+  IndexedDataset(const IndexedDataset&) = delete;
+  IndexedDataset& operator=(const IndexedDataset&) = delete;
+
+  const PointSet& points() const { return points_; }
+  const GridDomain& domain() const { return domain_; }
+  /// Total rows, including removed ones.
+  std::size_t size() const { return points_.size(); }
+  std::size_t dim() const { return points_.dim(); }
+  std::size_t active_size() const { return active_count_; }
+  bool IsActive(std::size_t i) const { return active_[i] != 0; }
+
+  /// Original row ids of the active points, ascending.
+  std::span<const std::uint32_t> ActiveIds() const;
+
+  /// Materializes the active points as a PointSet, rows in ascending
+  /// original order — exactly PointSet::Subset over the active ids, which is
+  /// what index-free code paths (GoodCenter, RefineRadius, subsampling)
+  /// consume.
+  PointSet ActiveView() const;
+
+  /// Deactivates one active row (O(1) on the cached grid).
+  void Remove(std::size_t id);
+  /// Deactivates the listed rows (each must currently be active).
+  void Remove(std::span<const std::uint32_t> ids);
+  /// Deactivates every active point the ball contains (Ball::Contains
+  /// semantics, i.e. the same predicate KCluster's per-round removal used).
+  /// Returns the number of points removed.
+  std::size_t RemoveWithin(const Ball& ball);
+
+  /// The active mask at a moment in time; restorable in O(n + cells).
+  struct Snapshot {
+    std::vector<std::uint8_t> active;
+    std::size_t active_count = 0;
+  };
+  Snapshot TakeSnapshot() const;
+  /// Rewinds the active set to `snapshot` (from this dataset; size-checked).
+  Status Restore(const Snapshot& snapshot);
+  /// Reactivates every row.
+  void RestoreAll();
+
+  /// Row r of `out` (row stride `k`) receives the k smallest distances from
+  /// active point ActiveIds()[r] to the other active points (self excluded;
+  /// ascending when `sorted`, selection order otherwise). Requires
+  /// k <= active_size() - 1 and out.size() == active_size() * k. Exact and
+  /// bit-identical to a fresh SpatialGrid over ActiveView() at any thread
+  /// count. Builds the cached grid on first use.
+  void BatchKnn(std::size_t k, std::span<double> out, ThreadPool* pool,
+                bool sorted = true) const;
+
+  /// out[r] = number of active points within distance r of ActiveIds()[r]
+  /// (itself included); out.size() == active_size(). Exact
+  /// (sqrt-of-squared <= r, Distance accumulation order).
+  void BatchCountWithin(double r, std::span<std::size_t> out,
+                        ThreadPool* pool) const;
+
+  /// The cached grid, built on first use with cells sized for
+  /// `expected_neighbors`-NN queries (any k stays correct; only cell
+  /// granularity is tuned). Subsequent calls reuse the existing build.
+  const SpatialGrid& EnsureGrid(std::size_t expected_neighbors) const;
+
+  /// True if the grid has been built (diagnostics / tests).
+  bool grid_built() const { return grid_.has_value(); }
+
+ private:
+  IndexedDataset(PointSet points, GridDomain domain);
+
+  PointSet points_;
+  GridDomain domain_;
+  std::vector<std::uint8_t> active_;
+  std::size_t active_count_ = 0;
+  mutable std::vector<std::uint32_t> active_ids_;  // cache; see dirty flag
+  mutable bool active_ids_dirty_ = false;
+  mutable std::optional<SpatialGrid> grid_;  // lazy; kept in sync with active_
+};
+
+/// Sorted per-active-point rows of the (cap-1) nearest-neighbor distances —
+/// the O(n t) replacement for the n x n PairwiseDistances matrix on the
+/// SparseVector GoodRadius path. Because every per-center ball count is
+/// capped at `cap`, the cap-1 smallest distances determine min(B_r, cap)
+/// exactly: if all of them are <= r the count saturates at cap, otherwise
+/// the count is 1 + #{row entries <= r}. Distances are narrowed to float
+/// with the same inclusive one-ulp rounding PairwiseDistances stores
+/// (BumpDistanceUp), so the two backends agree on a count unless the
+/// underlying doubles already straddle a float rounding boundary — the grid
+/// accumulates coordinate-order squared diffs while the matrix uses the
+/// Gram identity, whose ~1e-16 absolute rounding difference can cross a
+/// float ulp for near-boundary distances on geometries whose coordinates
+/// are not exactly representable (dataset_test pins equality on snapped
+/// unit-cube data, where both formulas resolve identically).
+class KnnCappedCounts {
+ public:
+  /// Builds the rows from `index`'s active points; 1 <= cap <= active_size().
+  /// Fails with ResourceExhausted when active_size() > max_points (the same
+  /// explicit cap contract PairwiseDistances::Compute had).
+  static Result<KnnCappedCounts> Build(const IndexedDataset& index,
+                                       std::size_t cap, std::size_t max_points,
+                                       ThreadPool* pool = nullptr);
+
+  /// Active points covered.
+  std::size_t size() const { return n_; }
+  /// The count cap the rows were built for.
+  std::size_t cap() const { return cap_; }
+  /// Bytes held by the distance rows (the structure's dominant allocation).
+  std::size_t MemoryBytes() const { return rows_.size() * sizeof(float); }
+
+  /// min(B_r(x_rank), cap) over the active points, x_rank the rank-th active
+  /// point in ascending original order.
+  std::size_t CountWithinCapped(std::size_t rank, double r) const;
+
+  /// L(r) with counts capped at `top`: the average of the `top` largest
+  /// values of min(B_r(x_i), top). Requires 1 <= top <= cap. Mirrors
+  /// PairwiseDistances::CappedTopAverage (same scratch reuse: callers query
+  /// serially).
+  double CappedTopAverage(double r, std::size_t top) const;
+
+ private:
+  KnnCappedCounts() = default;
+
+  std::size_t n_ = 0;
+  std::size_t cap_ = 1;
+  std::size_t k_ = 0;                // row width = cap - 1
+  std::vector<float> rows_;          // n_ x k_, each ascending
+  mutable std::vector<std::size_t> count_scratch_;  // n_ slots
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_GEO_DATASET_H_

@@ -23,13 +23,6 @@ constexpr std::size_t kTile = 64;
 // Rows per parallel chunk of the build.
 constexpr std::size_t kRowGrain = 32;
 
-// nextafter(f, +inf) for non-negative finite floats, without the libm call:
-// incrementing the bit pattern of a non-negative float yields the next
-// representable value (0.0f maps to the smallest subnormal, as nextafter does).
-inline float BumpUp(float f) {
-  return std::bit_cast<float>(std::bit_cast<std::uint32_t>(f) + 1u);
-}
-
 // One chunk of the tiled Gram pass (rows [lo, hi)): only tiles touching or
 // right of each row's diagonal are computed — the strict lower triangle is
 // mirrored afterwards (the Gram formula is exactly symmetric: the dot
@@ -57,7 +50,8 @@ void GramTileChunk(std::size_t lo, std::size_t hi, std::size_t n, std::size_t d,
       float* out = &rows[i * n + jt];
       for (std::size_t j = 0; j < tile; ++j) {
         const double sq = ni + norms[jt + j] - 2.0 * dots[j];
-        out[j] = BumpUp(static_cast<float>(std::sqrt(sq > 0.0 ? sq : 0.0)));
+        out[j] =
+            BumpDistanceUp(static_cast<float>(std::sqrt(sq > 0.0 ? sq : 0.0)));
       }
     }
   }

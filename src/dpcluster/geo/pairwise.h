@@ -19,6 +19,7 @@
 #ifndef DPCLUSTER_GEO_PAIRWISE_H_
 #define DPCLUSTER_GEO_PAIRWISE_H_
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -29,6 +30,17 @@
 namespace dpcluster {
 
 class ThreadPool;
+
+/// nextafter(f, +inf) for non-negative finite floats, without the libm call:
+/// incrementing the bit pattern of a non-negative float yields the next
+/// representable value (0.0f maps to the smallest subnormal, as nextafter
+/// does). This is the inclusive one-ulp rounding every stored distance float
+/// gets before a CountWithin-style `<= bound` comparison; PairwiseDistances
+/// and geo/dataset.h's KnnCappedCounts share this single definition so the
+/// two count backends resolve query radii against identically rounded rows.
+inline float BumpDistanceUp(float f) {
+  return std::bit_cast<float>(std::bit_cast<std::uint32_t>(f) + 1u);
+}
 
 /// Branchless upper_bound over an ascending row: the number of elements
 /// <= bound. Each halving step is a conditional move instead of a compare

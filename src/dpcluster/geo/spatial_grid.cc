@@ -118,6 +118,7 @@ Result<SpatialGrid> SpatialGrid::Build(const PointSet& s,
   }
   SpatialGrid grid;
   grid.n_ = s.size();
+  grid.live_ = grid.n_;
   grid.dim_ = s.dim();
   grid.data_ = s.Data();
   grid.cells_per_axis_ =
@@ -128,11 +129,11 @@ Result<SpatialGrid> SpatialGrid::Build(const PointSet& s,
   // Counting sort of the point ids by cell id; ascending index within a cell.
   const std::size_t total_cells =
       SaturatingCellCount(grid.cells_per_axis_, grid.dim_);
-  std::vector<std::uint64_t> cell_of(grid.n_);
+  grid.cell_of_.resize(grid.n_);
   grid.cell_start_.assign(total_cells + 1, 0);
   for (std::size_t i = 0; i < grid.n_; ++i) {
-    cell_of[i] = grid.CellOf(s[i]);
-    ++grid.cell_start_[cell_of[i] + 1];
+    grid.cell_of_[i] = grid.CellOf(s[i]);
+    ++grid.cell_start_[grid.cell_of_[i] + 1];
   }
   for (std::size_t c = 0; c < total_cells; ++c) {
     grid.cell_start_[c + 1] += grid.cell_start_[c];
@@ -140,13 +141,60 @@ Result<SpatialGrid> SpatialGrid::Build(const PointSet& s,
       grid.occupied_.push_back(c);
     }
   }
+  grid.live_occupied_ = grid.occupied_.size();
+  grid.cell_end_.assign(grid.cell_start_.begin() + 1, grid.cell_start_.end());
   grid.cell_points_.resize(grid.n_);
+  grid.pos_.resize(grid.n_);
   std::vector<std::uint64_t> cursor(grid.cell_start_.begin(),
                                     grid.cell_start_.end() - 1);
   for (std::size_t i = 0; i < grid.n_; ++i) {
-    grid.cell_points_[cursor[cell_of[i]]++] = static_cast<std::uint32_t>(i);
+    const std::uint64_t at = cursor[grid.cell_of_[i]]++;
+    grid.cell_points_[at] = static_cast<std::uint32_t>(i);
+    grid.pos_[i] = static_cast<std::uint32_t>(at);
   }
   return grid;
+}
+
+void SpatialGrid::Remove(std::size_t point) {
+  DPC_CHECK_LT(point, n_);
+  const std::uint64_t cell = cell_of_[point];
+  const std::uint32_t at = pos_[point];
+  DPC_CHECK_LT(at, cell_end_[cell]);  // Must still be live.
+  const std::uint64_t last = cell_end_[cell] - 1;
+  const std::uint32_t moved = cell_points_[last];
+  // Swap into the dead suffix; the dead point stays parked in its segment so
+  // ResetActive can revive it without re-indexing.
+  cell_points_[at] = moved;
+  pos_[moved] = at;
+  cell_points_[last] = static_cast<std::uint32_t>(point);
+  pos_[point] = static_cast<std::uint32_t>(last);
+  --cell_end_[cell];
+  --live_;
+  if (cell_end_[cell] == cell_start_[cell]) --live_occupied_;
+}
+
+void SpatialGrid::ResetActive(std::span<const std::uint8_t> active) {
+  DPC_CHECK_EQ(active.size(), n_);
+  live_ = 0;
+  live_occupied_ = 0;
+  for (const std::uint64_t cell : occupied_) {
+    const std::uint64_t lo = cell_start_[cell];
+    const std::uint64_t hi = cell_start_[cell + 1];
+    std::uint64_t w = lo;
+    for (std::uint64_t p = lo; p < hi; ++p) {
+      const std::uint32_t id = cell_points_[p];
+      if (active[id]) {
+        std::swap(cell_points_[p], cell_points_[w]);
+        ++w;
+      }
+    }
+    for (std::uint64_t p = lo; p < hi; ++p) {
+      pos_[cell_points_[p]] = static_cast<std::uint32_t>(p);
+    }
+    cell_end_[cell] = w;
+    live_ += w - lo;
+    if (w > lo) ++live_occupied_;
+  }
 }
 
 std::uint64_t SpatialGrid::CellOf(std::span<const double> p) const {
@@ -166,7 +214,7 @@ void SpatialGrid::ScanCell(std::uint64_t cell,
   const double* base = data_.data();
   const double* qp = q.data();
   const std::uint64_t lo = cell_start_[cell];
-  const std::uint64_t hi = cell_start_[cell + 1];
+  const std::uint64_t hi = cell_end_[cell];  // Live prefix only.
   std::size_t at_out = cands.size();
   cands.resize(at_out + (hi - lo));
   double* out = cands.data();
@@ -202,33 +250,40 @@ void SpatialGrid::ScanCell(std::uint64_t cell,
   }
 }
 
-void SpatialGrid::KnnDistances(std::size_t query, std::size_t k,
-                               Workspace& scratch, std::vector<double>& out,
-                               bool sorted) const {
-  DPC_CHECK_LT(query, n_);
-  out.clear();
-  k = std::min(k, n_ - 1);
-  if (k == 0) return;
-
-  const std::span<const double> q{data_.data() + query * dim_, dim_};
+std::size_t SpatialGrid::DecodeCenter(std::span<const double> q,
+                                      Workspace& scratch) const {
   const auto m = static_cast<std::int64_t>(cells_per_axis_);
-  const std::uint64_t center_cell = CellOf(q);
   std::vector<std::int64_t>& center = scratch.center;
   center.assign(dim_, 0);
-  {
-    std::uint64_t id = center_cell;
-    for (std::size_t a = dim_; a-- > 0;) {
-      center[a] = static_cast<std::int64_t>(id % static_cast<std::uint64_t>(m));
-      id /= static_cast<std::uint64_t>(m);
-    }
+  std::uint64_t id = CellOf(q);
+  for (std::size_t a = dim_; a-- > 0;) {
+    center[a] = static_cast<std::int64_t>(id % static_cast<std::uint64_t>(m));
+    id /= static_cast<std::uint64_t>(m);
   }
   // After ring max_rho the whole grid has been scanned.
   std::size_t max_rho = 0;
   for (std::size_t a = 0; a < dim_; ++a) {
     max_rho = std::max<std::size_t>(
-        max_rho, static_cast<std::size_t>(
-                     std::max(center[a], m - 1 - center[a])));
+        max_rho,
+        static_cast<std::size_t>(std::max(center[a], m - 1 - center[a])));
   }
+  return max_rho;
+}
+
+void SpatialGrid::KnnDistances(std::size_t query, std::size_t k,
+                               Workspace& scratch, std::vector<double>& out,
+                               bool sorted) const {
+  DPC_CHECK_LT(query, n_);
+  DPC_CHECK(IsLive(query));
+  out.clear();
+  k = std::min(k, live_ - 1);
+  if (k == 0) return;
+
+  const std::span<const double> q{data_.data() + query * dim_, dim_};
+  const auto m = static_cast<std::int64_t>(cells_per_axis_);
+  const std::uint64_t center_cell = CellOf(q);
+  const std::size_t max_rho = DecodeCenter(q, scratch);
+  std::vector<std::int64_t>& center = scratch.center;
 
   std::vector<double>& cands = scratch.candidates;
   cands.clear();
@@ -286,15 +341,16 @@ void SpatialGrid::KnnDistances(std::size_t query, std::size_t k,
       if (kth <= guarantee * guarantee) break;
     }
     // Ring enumeration visits ~(2 rho + 3)^d - (2 rho + 1)^d cells next; once
-    // that passes the occupied-cell count, finishing with one scan over the
-    // remaining occupied cells is strictly cheaper and completes coverage.
+    // that passes the live occupied-cell count, finishing with one scan over
+    // the remaining occupied cells is strictly cheaper and completes coverage.
     const double next_ring_cells =
         std::pow(2.0 * static_cast<double>(rho) + 3.0,
                  static_cast<double>(dim_)) -
         std::pow(2.0 * static_cast<double>(rho) + 1.0,
                  static_cast<double>(dim_));
-    if (next_ring_cells > static_cast<double>(occupied_.size())) {
+    if (next_ring_cells > static_cast<double>(live_occupied_)) {
       for (const std::uint64_t cell : occupied_) {
+        if (cell_end_[cell] == cell_start_[cell]) continue;  // Fully removed.
         std::uint64_t id = cell;
         std::size_t chebyshev = 0;
         for (std::size_t a = dim_; a-- > 0;) {
@@ -322,6 +378,7 @@ void SpatialGrid::KnnDistances(std::size_t query, std::size_t k,
 
 void SpatialGrid::BatchKnnDistances(std::size_t k, std::span<double> out,
                                     ThreadPool* pool, bool sorted) const {
+  DPC_CHECK_EQ(live_, n_);
   DPC_CHECK_LE(k, n_ - 1);
   DPC_CHECK_EQ(out.size(), n_ * k);
   if (k == 0) return;
@@ -334,6 +391,105 @@ void SpatialGrid::BatchKnnDistances(std::size_t k, std::span<double> out,
         for (std::size_t i = lo; i < hi; ++i) {
           KnnDistances(i, k, scratch, row, sorted);
           std::copy(row.begin(), row.end(), out.begin() + i * k);
+        }
+      },
+      kAlwaysParallel);
+}
+
+void SpatialGrid::BatchKnnDistancesFor(std::span<const std::uint32_t> queries,
+                                       std::size_t k, std::span<double> out,
+                                       ThreadPool* pool, bool sorted) const {
+  DPC_CHECK_GE(live_, 1u);
+  DPC_CHECK_LE(k, live_ - 1);
+  DPC_CHECK_EQ(out.size(), queries.size() * k);
+  if (k == 0 || queries.empty()) return;
+  constexpr std::size_t kQueryGrain = 16;
+  ParallelForChunks(
+      pool, 0, queries.size(), kQueryGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        Workspace scratch;
+        std::vector<double> row;
+        for (std::size_t r = lo; r < hi; ++r) {
+          KnnDistances(queries[r], k, scratch, row, sorted);
+          std::copy(row.begin(), row.end(), out.begin() + r * k);
+        }
+      },
+      kAlwaysParallel);
+}
+
+std::size_t SpatialGrid::CountWithin(std::size_t query, double r,
+                                     Workspace& scratch) const {
+  DPC_CHECK_LT(query, n_);
+  DPC_CHECK(IsLive(query));
+  if (r < 0.0) return 0;
+
+  const std::span<const double> q{data_.data() + query * dim_, dim_};
+  const auto m = static_cast<std::int64_t>(cells_per_axis_);
+  const std::size_t max_rho = DecodeCenter(q, scratch);
+  std::vector<std::int64_t>& center = scratch.center;
+  std::vector<double>& cands = scratch.candidates;
+  cands.clear();
+
+  // Rings 0..rho cover every point within rho * cell_size (see KnnDistances);
+  // the 1e-9 margin mirrors the k-NN early stop's haircut so cell-assignment
+  // rounding can never exclude a point at distance exactly r.
+  const double cells_needed = r / (cell_size_ * (1.0 - 1e-9));
+  std::size_t rho_needed = max_rho;
+  if (cells_needed < static_cast<double>(max_rho)) {
+    rho_needed = static_cast<std::size_t>(std::ceil(cells_needed));
+  }
+
+  // Enumerating the Chebyshev box of radius rho_needed touches
+  // (2 rho + 1)^d cells; past the live occupancy, scanning every occupied
+  // cell is cheaper and trivially complete.
+  const double box_cells = std::pow(
+      2.0 * static_cast<double>(rho_needed) + 1.0, static_cast<double>(dim_));
+  if (box_cells > static_cast<double>(live_occupied_)) {
+    for (const std::uint64_t cell : occupied_) {
+      if (cell_end_[cell] == cell_start_[cell]) continue;
+      ScanCell(cell, q, cands);
+    }
+  } else {
+    // Visits every in-bounds cell within Chebyshev distance rho_needed.
+    auto visit_box = [&](auto&& self, std::size_t axis,
+                         std::uint64_t partial) -> void {
+      if (axis == dim_) {
+        if (cell_end_[partial] > cell_start_[partial]) {
+          ScanCell(partial, q, cands);
+        }
+        return;
+      }
+      const auto rho = static_cast<std::int64_t>(rho_needed);
+      const std::int64_t lo = std::max<std::int64_t>(center[axis] - rho, 0);
+      const std::int64_t hi =
+          std::min<std::int64_t>(center[axis] + rho, m - 1);
+      for (std::int64_t c = lo; c <= hi; ++c) {
+        self(self, axis + 1,
+             partial * static_cast<std::uint64_t>(m) +
+                 static_cast<std::uint64_t>(c));
+      }
+    };
+    visit_box(visit_box, 0, 0);
+  }
+
+  std::size_t count = 0;
+  for (const double sq : cands) {
+    if (std::sqrt(sq) <= r) ++count;
+  }
+  return count;
+}
+
+void SpatialGrid::BatchCountWithin(std::span<const std::uint32_t> queries,
+                                   double r, std::span<std::size_t> out,
+                                   ThreadPool* pool) const {
+  DPC_CHECK_EQ(out.size(), queries.size());
+  constexpr std::size_t kQueryGrain = 16;
+  ParallelForChunks(
+      pool, 0, queries.size(), kQueryGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        Workspace scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = CountWithin(queries[i], r, scratch);
         }
       },
       kAlwaysParallel);

@@ -1,6 +1,7 @@
 // SpatialGrid: a uniform cell grid over the GridDomain cube for batched
-// t-nearest-neighbor queries — the index behind the subquadratic
-// RadiusProfile build (core/radius_profile.cc).
+// t-nearest-neighbor and radius-count queries — the index behind the
+// subquadratic RadiusProfile build (core/radius_profile.cc) and the
+// deletion-capable IndexedDataset layer (geo/dataset.h).
 //
 // The cube [0, axis]^d is cut into m^d equal cells (m chosen from n, d and
 // the expected neighbor count k so that a cell holds ~k/4 points); points are
@@ -16,9 +17,18 @@
 // way the returned distances are *exact*: the same multiset brute force
 // produces, computed by the same SquaredDistance kernel.
 //
+// Structural deletion: each cell's CSR segment is split into a live prefix
+// [cell_start, cell_end) and a dead suffix. Remove() swap-moves a point into
+// its cell's dead suffix in O(1); queries scan live prefixes only, so after
+// any deletion sequence every query returns exactly what a fresh Build over
+// the surviving points would return (both are exact). ResetActive()
+// re-partitions every segment from an activity mask in O(n + cells), which
+// is how IndexedDataset implements Snapshot/Restore without re-indexing.
+//
 // Determinism: queries return the sorted k smallest distance values, which
-// are independent of cell-enumeration order and of tie-breaking among
-// equidistant neighbors. BatchKnnDistances writes each query's row into a
+// are independent of cell-enumeration order, of tie-breaking among
+// equidistant neighbors, and of the intra-cell permutation left behind by
+// swap-removal. BatchKnnDistances writes each query's row into a
 // caller-owned slice through ParallelForChunks, so the batch is bit-identical
 // at any thread count.
 
@@ -47,17 +57,35 @@ class SpatialGrid {
                                    std::size_t expected_neighbors);
 
   std::size_t size() const { return n_; }
+  /// Points not structurally removed; queries see only these.
+  std::size_t live_size() const { return live_; }
   std::size_t dim() const { return dim_; }
   /// Cells per axis (1 = degenerate single-cell grid, queries scan all points).
   std::size_t cells_per_axis() const { return cells_per_axis_; }
   double cell_size() const { return cell_size_; }
 
-  /// The min(k, n-1) smallest distances from s[query] to the other points
-  /// (self excluded by index, so duplicate coordinates count as neighbors at
-  /// distance 0). Exact — equal to the brute-force multiset; ascending when
-  /// `sorted`, in selection order otherwise (cheaper — the radius profile
-  /// only consumes the multiset). `scratch` carries reusable buffers across
-  /// calls (see Workspace).
+  /// True if `point` has not been removed.
+  bool IsLive(std::size_t point) const {
+    return pos_[point] < cell_end_[cell_of_[point]];
+  }
+
+  /// Structurally removes a live point: O(1) swap into its cell's dead
+  /// suffix. Subsequent queries (issued for live points) behave exactly as if
+  /// the grid had been rebuilt without it.
+  void Remove(std::size_t point);
+
+  /// Re-partitions every cell segment so exactly the points with
+  /// active[point] != 0 are live (active.size() == size()). O(n + cells);
+  /// the basis of IndexedDataset's Snapshot/Restore.
+  void ResetActive(std::span<const std::uint8_t> active);
+
+  /// The min(k, live-1) smallest distances from s[query] to the other live
+  /// points (self excluded by index, so duplicate coordinates count as
+  /// neighbors at distance 0; `query` must itself be live). Exact — equal to
+  /// the brute-force multiset over the live points; ascending when `sorted`,
+  /// in selection order otherwise (cheaper — the radius profile only
+  /// consumes the multiset). `scratch` carries reusable buffers across calls
+  /// (see Workspace).
   struct Workspace {
     std::vector<double> candidates;     // squared distances
     std::vector<std::uint32_t> hist16;  // 2^16 selection buckets, kept zeroed
@@ -70,27 +98,59 @@ class SpatialGrid {
 
   /// All n queries at once: row i of `out` (row stride `k`) receives
   /// KnnDistances(i, k, sorted) — callers pass k <= n-1. out.size() must be
-  /// n * k. Rows are chunk-owned, so the result is bit-identical at any
+  /// n * k. Only valid while no point has been removed (every index is
+  /// queried). Rows are chunk-owned, so the result is bit-identical at any
   /// thread count.
   void BatchKnnDistances(std::size_t k, std::span<double> out,
                          ThreadPool* pool, bool sorted = true) const;
+
+  /// Batched k-NN for an explicit query list (every id must be live): row r
+  /// of `out` (row stride `k`) receives KnnDistances(queries[r], k, sorted);
+  /// callers pass k <= live_size()-1 and out.size() == queries.size() * k.
+  /// Bit-identical at any thread count.
+  void BatchKnnDistancesFor(std::span<const std::uint32_t> queries,
+                            std::size_t k, std::span<double> out,
+                            ThreadPool* pool, bool sorted = true) const;
+
+  /// Number of live points within Euclidean distance r of s[query] (the
+  /// query itself included; it must be live). The comparison is
+  /// sqrt(squared) <= r with the same accumulation order as la/vector_ops'
+  /// Distance, so the count matches a brute-force sweep bit for bit.
+  std::size_t CountWithin(std::size_t query, double r,
+                          Workspace& scratch) const;
+
+  /// Batched CountWithin over an explicit query list; out.size() must equal
+  /// queries.size(). Bit-identical at any thread count.
+  void BatchCountWithin(std::span<const std::uint32_t> queries, double r,
+                        std::span<std::size_t> out, ThreadPool* pool) const;
 
  private:
   SpatialGrid() = default;
 
   std::uint64_t CellOf(std::span<const double> p) const;
-  /// Appends the squared distances from q to every point of cell `cell`.
+  /// Appends the squared distances from q to every live point of cell `cell`.
   void ScanCell(std::uint64_t cell, std::span<const double> q,
                 std::vector<double>& cands) const;
+  /// Decodes the query's cell coordinates into scratch.center and returns the
+  /// largest Chebyshev ring radius that still touches the grid.
+  std::size_t DecodeCenter(std::span<const double> q,
+                           Workspace& scratch) const;
 
   std::size_t n_ = 0;
+  std::size_t live_ = 0;                    // points not removed
   std::size_t dim_ = 0;
   std::size_t cells_per_axis_ = 1;
   double cell_size_ = 1.0;
   std::span<const double> data_;     // borrowed from the indexed PointSet
   std::vector<std::uint64_t> cell_start_;  // CSR offsets, size m^d + 1
-  std::vector<std::uint32_t> cell_points_;  // point ids, cell-major, ascending
-  std::vector<std::uint64_t> occupied_;     // ids of non-empty cells, ascending
+  std::vector<std::uint64_t> cell_end_;    // live end per cell, size m^d
+  std::vector<std::uint32_t> cell_points_;  // point ids, cell-major; each
+                                            // cell: live prefix, dead suffix
+  std::vector<std::uint64_t> occupied_;     // cells non-empty at Build time,
+                                            // ascending (kept across removals)
+  std::size_t live_occupied_ = 0;           // cells with a non-empty live prefix
+  std::vector<std::uint64_t> cell_of_;      // cell id per point
+  std::vector<std::uint32_t> pos_;          // position in cell_points_ per point
 };
 
 }  // namespace dpcluster

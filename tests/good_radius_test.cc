@@ -9,6 +9,7 @@
 
 #include "dpcluster/core/good_radius.h"
 #include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/geo/minimal_ball.h"
 #include "dpcluster/workload/synthetic.h"
 #include "test_util.h"
@@ -150,6 +151,107 @@ TEST(GoodRadiusTest, ProfileCapSurfacesAsResourceExhausted) {
   options.max_profile_points = 10;
   EXPECT_EQ(GoodRadius(rng, s, 5, domain, options).status().code(),
             StatusCode::kResourceExhausted);
+}
+
+TEST(GoodRadiusTest, ValidatesSubsampleGridCapFactor) {
+  GoodRadiusOptions options = TestOptions(1.0);
+  EXPECT_OK(options.Validate());
+  options.subsample_grid_cap_factor = 1.0;  // 1 disables the raise.
+  EXPECT_OK(options.Validate());
+  options.subsample_grid_cap_factor = 0.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.subsample_grid_cap_factor = -3.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// The index overload must release exactly the bytes of the PointSet entry
+// point — on the full data and on a post-deletion active view — for both
+// engines and both event generators.
+TEST(GoodRadiusTest, IndexOverloadBitIdenticalToPointSet) {
+  Rng data_rng(11);
+  PlantedClusterSpec spec;
+  spec.n = 600;
+  spec.t = 150;
+  spec.dim = 2;
+  spec.levels = 1u << 10;
+  spec.cluster_radius = 0.03;
+  const ClusterWorkload w = MakePlantedCluster(data_rng, spec);
+
+  ASSERT_OK_AND_ASSIGN(IndexedDataset index,
+                       IndexedDataset::Create(w.points, w.domain));
+  // Deactivate a scattered third so the index serves a genuine subset.
+  std::vector<std::uint32_t> removed;
+  for (std::size_t i = 0; i < w.points.size(); i += 3) {
+    removed.push_back(static_cast<std::uint32_t>(i));
+  }
+  index.Remove(removed);
+  const PointSet view = index.ActiveView();
+  const std::size_t t = 100;
+
+  for (const auto engine : {GoodRadiusOptions::Engine::kRecConcave,
+                            GoodRadiusOptions::Engine::kSparseVector}) {
+    for (const auto profile_index :
+         {ProfileIndex::kAuto, ProfileIndex::kGrid, ProfileIndex::kExact}) {
+      GoodRadiusOptions options = TestOptions(4.0);
+      options.engine = engine;
+      options.profile_index = profile_index;
+      Rng rng_view(77);
+      Rng rng_index(77);
+      ASSERT_OK_AND_ASSIGN(GoodRadiusResult want,
+                           GoodRadius(rng_view, view, t, w.domain, options));
+      ASSERT_OK_AND_ASSIGN(GoodRadiusResult got,
+                           GoodRadius(rng_index, index, t, options));
+      const std::string context =
+          std::string(" engine=") +
+          (engine == GoodRadiusOptions::Engine::kRecConcave ? "rc" : "sv") +
+          " profile_index=" +
+          std::string(ProfileIndexName(profile_index));
+      EXPECT_EQ(got.radius, want.radius) << context;
+      EXPECT_EQ(got.grid_index, want.grid_index) << context;
+      EXPECT_EQ(got.gamma, want.gamma) << context;
+      EXPECT_EQ(got.zero_radius_shortcut, want.zero_radius_shortcut)
+          << context;
+    }
+  }
+}
+
+// With the grid profile active, the raised subsample cap can swallow the
+// whole input: the run is then bit-identical to an uncapped (no-subsample)
+// run — only the cap moved, no rows were dropped.
+TEST(GoodRadiusTest, RaisedSubsampleCapKeepsAllRowsWhenGridProfileIsCheap) {
+  Rng data_rng(12);
+  PlantedClusterSpec spec;
+  spec.n = 600;
+  spec.t = 60;  // Small t: the grid profile path is active at n=600.
+  spec.dim = 2;
+  spec.levels = 1u << 10;
+  spec.cluster_radius = 0.02;
+  const ClusterWorkload w = MakePlantedCluster(data_rng, spec);
+
+  GoodRadiusOptions raised = TestOptions(4.0);
+  raised.max_profile_points = 128;  // Below n: subsampling would trigger.
+  raised.subsample_large_inputs = true;
+  raised.subsample_grid_cap_factor = 10.0;  // 1280 >= n: keeps every row.
+
+  GoodRadiusOptions uncapped = TestOptions(4.0);
+  uncapped.max_profile_points = 4096;
+
+  Rng rng_raised(99);
+  Rng rng_uncapped(99);
+  ASSERT_OK_AND_ASSIGN(GoodRadiusResult got,
+                       GoodRadius(rng_raised, w.points, w.t, w.domain, raised));
+  ASSERT_OK_AND_ASSIGN(
+      GoodRadiusResult want,
+      GoodRadius(rng_uncapped, w.points, w.t, w.domain, uncapped));
+  EXPECT_EQ(got.radius, want.radius);
+  EXPECT_EQ(got.grid_index, want.grid_index);
+
+  // Factor 1 restores the pre-raise behavior: a genuine 128-row subsample
+  // (different RNG consumption, and it must still succeed).
+  GoodRadiusOptions legacy = raised;
+  legacy.subsample_grid_cap_factor = 1.0;
+  Rng rng_legacy(99);
+  EXPECT_OK(GoodRadius(rng_legacy, w.points, w.t, w.domain, legacy).status());
 }
 
 }  // namespace

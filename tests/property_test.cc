@@ -10,9 +10,12 @@
 #include <vector>
 
 #include "dpcluster/core/good_radius.h"
+#include "dpcluster/core/k_cluster.h"
 #include "dpcluster/core/radius_profile.h"
+#include "dpcluster/data/registry.h"
 #include "dpcluster/dp/exponential_mechanism.h"
 #include "dpcluster/dp/step_function.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/geo/minimal_ball.h"
 #include "dpcluster/la/vector_ops.h"
 #include "dpcluster/random/distributions.h"
@@ -202,6 +205,117 @@ TEST(KMeansEstimatorTest, BlockOutputsConcentrateAcrossBlocks) {
     }
   }
   EXPECT_LT(max_dist, 0.1);
+}
+
+// The IndexedDataset inversion of KCluster: one deletion-capable index
+// peeled across the k rounds must release exactly the bytes of the legacy
+// per-round subset+rebuild path — on every scenario family, at every thread
+// count, and through a lent (snapshot/restored) shared index.
+void ExpectSameKClusterResult(const KClusterResult& got,
+                              const KClusterResult& want,
+                              const std::string& context) {
+  ASSERT_EQ(got.rounds.size(), want.rounds.size()) << context;
+  EXPECT_EQ(got.uncovered, want.uncovered) << context;
+  for (std::size_t round = 0; round < got.rounds.size(); ++round) {
+    const std::string at = context + " round=" + std::to_string(round);
+    EXPECT_EQ(got.rounds[round].ball.center, want.rounds[round].ball.center)
+        << at;
+    EXPECT_EQ(got.rounds[round].ball.radius, want.rounds[round].ball.radius)
+        << at;
+    EXPECT_EQ(got.rounds[round].radius_stage.grid_index,
+              want.rounds[round].radius_stage.grid_index)
+        << at;
+    EXPECT_EQ(got.rounds[round].center_stage.center,
+              want.rounds[round].center_stage.center)
+        << at;
+  }
+}
+
+TEST(KClusterIndexPropertyTest, IncrementalBitIdenticalToRebuild) {
+  const ScenarioRegistry& registry = ScenarioRegistry::Global();
+  const std::vector<std::string> families = registry.Names();
+  ASSERT_EQ(families.size(), 8u);
+  std::uint64_t seed = 2500;
+  for (const std::string& family : families) {
+    ScenarioSpec spec;
+    spec.scenario = family;
+    spec.n = 192;
+    spec.dim = 2;
+    spec.levels = 1u << 8;
+    Rng data_rng(++seed);
+    ASSERT_OK_AND_ASSIGN(ScenarioInstance instance,
+                         GenerateScenario(data_rng, spec));
+
+    KClusterOptions options;
+    options.params = {8.0, 1e-8};
+    options.beta = 0.2;
+    options.k = 2;
+
+    // Reference: the legacy per-round subset + fresh-index path, serial.
+    options.index_mode = KClusterOptions::IndexMode::kRebuild;
+    options.num_threads = 1;
+    Rng ref_rng(4096);
+    ASSERT_OK_AND_ASSIGN(
+        KClusterResult reference,
+        KCluster(ref_rng, instance.points, instance.domain, options));
+
+    options.index_mode = KClusterOptions::IndexMode::kIncremental;
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      options.num_threads = threads;
+      Rng rng(4096);
+      ASSERT_OK_AND_ASSIGN(
+          KClusterResult run,
+          KCluster(rng, instance.points, instance.domain, options));
+      ExpectSameKClusterResult(
+          run, reference,
+          family + " incremental threads=" + std::to_string(threads));
+    }
+
+    // A lent shared index serves the same bytes and is restored afterwards
+    // (grid warmed first so the restore has real live-range state to repair).
+    ASSERT_OK_AND_ASSIGN(
+        IndexedDataset shared,
+        IndexedDataset::Create(instance.points, instance.domain));
+    std::vector<double> warm(shared.size() * 2);
+    shared.BatchKnn(2, warm, nullptr);
+    options.num_threads = 1;
+    Rng shared_rng(4096);
+    ASSERT_OK_AND_ASSIGN(KClusterResult shared_run,
+                         KCluster(shared_rng, instance.points, instance.domain,
+                                  options, &shared));
+    ExpectSameKClusterResult(shared_run, reference, family + " shared-index");
+    EXPECT_EQ(shared.active_size(), shared.size()) << family;
+    // And the restored index still answers like a fresh one.
+    std::vector<double> warm_after(shared.size() * 2);
+    shared.BatchKnn(2, warm_after, nullptr);
+    EXPECT_EQ(warm, warm_after) << family;
+  }
+}
+
+TEST(KClusterIndexPropertyTest, RejectsMismatchedSharedIndex) {
+  Rng rng(31);
+  const GridDomain domain(256, 2);
+  PointSet s = testing_util::UniformCube(rng, 64, 2);
+  domain.SnapAll(s);
+  PointSet other = testing_util::UniformCube(rng, 64, 2);
+  domain.SnapAll(other);
+
+  KClusterOptions options;
+  options.params = {4.0, 1e-8};
+  options.beta = 0.2;
+  options.k = 2;
+
+  // Different data under the index: rejected.
+  ASSERT_OK_AND_ASSIGN(IndexedDataset wrong_data,
+                       IndexedDataset::Create(other, domain));
+  EXPECT_FALSE(KCluster(rng, s, domain, options, &wrong_data).ok());
+
+  // Rows already removed from the lent index: rejected.
+  ASSERT_OK_AND_ASSIGN(IndexedDataset partial,
+                       IndexedDataset::Create(s, domain));
+  partial.Remove(std::size_t{0});
+  EXPECT_FALSE(KCluster(rng, s, domain, options, &partial).ok());
 }
 
 }  // namespace

@@ -22,6 +22,12 @@
 //   --seed S        RNG seed                   (default 2016)
 //   --profile-index I  GoodRadius L(r,S) event generator: auto | grid | exact
 //                   (bit-identical outputs; grid is ~O(n t) at low dimension)
+//   --shared-index  prebuild one geo/IndexedDataset over the input and lend
+//                   it to the algorithm (the Solver::RunAll index-reuse hook;
+//                   bit-identical outputs, k_cluster amortizes k index
+//                   builds to one)
+//   --subsample-cap-factor F  multiplier on the subsample cap when the grid
+//                   profile path is active (>= 1; default 10)
 //   --refine        spend part of the budget tightening the released radius
 //   --ledger        print the per-phase privacy ledger
 
@@ -59,6 +65,8 @@ struct CliOptions {
   std::uint64_t seed = 2016;
   bool refine = false;
   std::string profile_index = "auto";
+  bool shared_index = false;
+  double subsample_cap_factor = 10.0;
 };
 
 void Usage() {
@@ -67,7 +75,8 @@ void Usage() {
                "       [--algorithm NAME] [--mode cluster|outlier|interior]\n"
                "       [--k K] [--fraction F] [--epsilon E] [--delta D]\n"
                "       [--levels L] [--axis A] [--beta B] [--seed S]\n"
-               "       [--profile-index auto|grid|exact] [--refine] [--ledger]\n");
+               "       [--profile-index auto|grid|exact] [--shared-index]\n"
+               "       [--subsample-cap-factor F] [--refine] [--ledger]\n");
 }
 
 /// Maps the legacy --mode values onto registry names.
@@ -90,6 +99,12 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       opt.list = true;
     } else if (arg == "--refine") {
       opt.refine = true;
+    } else if (arg == "--shared-index") {
+      opt.shared_index = true;
+    } else if (arg == "--subsample-cap-factor") {
+      const char* v = next();
+      if (!v) return false;
+      opt.subsample_cap_factor = std::strtod(v, nullptr);
     } else if (arg == "--ledger") {
       opt.ledger = true;
     } else if (arg == "--input") {
@@ -226,6 +241,7 @@ int main_impl(int argc, char** argv) {
     return 2;
   }
   request.tuning.profile_index = *profile_index;
+  request.tuning.subsample_grid_cap_factor = opt.subsample_cap_factor;
   // k_cluster and outlier_screen refine by default (tuning.refine_fraction);
   // --refine opts the plain one_cluster release in as well.
   request.tuning.refine_one_cluster = opt.refine;
@@ -274,6 +290,17 @@ int main_impl(int argc, char** argv) {
               request.algorithm.c_str(), request.data.size(),
               request.data.dim(), request.t, opt.epsilon, opt.delta,
               static_cast<unsigned long long>(opt.levels));
+
+  if (opt.shared_index) {
+    auto index = BuildSharedIndex(request);
+    if (!index.ok()) {
+      std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    request.shared_index = std::move(*index);
+    std::printf("# shared geometry index attached (n=%zu)\n",
+                request.shared_index->size());
+  }
 
   SolverOptions solver_options;
   solver_options.seed = opt.seed;
