@@ -12,6 +12,7 @@
 #include "dpcluster/dp/accountant.h"
 #include "dpcluster/dp/noisy_average.h"
 #include "dpcluster/dp/stable_histogram.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/geo/partition.h"
 #include "dpcluster/la/jl_transform.h"
 #include "dpcluster/la/matrix.h"
@@ -70,50 +71,23 @@ std::size_t MaxCount(const BoxCounts& counts) {
   return best;
 }
 
-}  // namespace
+// The rows a GoodCenter call operates on: a whole PointSet (empty ids) or the
+// active subset of an IndexedDataset (row i is points[ids[i]]). Row access is
+// only needed to assemble the heavy-box preimage D — the hot passes all run
+// over the projected matrix — so the indirection never touches a hot loop.
+struct SourceRows {
+  const PointSet* points;
+  std::span<const std::uint32_t> ids;  // empty = identity over all rows
 
-GoodCenterOptions GoodCenterOptions::PaperConstants() {
-  GoodCenterOptions o;
-  o.jl_constant = 46.0;
-  o.max_jl_dim = 0;
-  o.box_side_factor = 300.0;
-  o.threshold_offset_factor = 100.0;
-  o.interval_multiplier = 3.0;
-  o.axis_cell_factor = 0.0;  // Verbatim worst-case interval length.
-  o.max_rounds = 0;  // Resolved to the paper's 2n log(1/beta)/beta at run time.
-  o.domain_axis_length = 0.0;  // No domain clamping in the verbatim preset.
-  return o;
-}
+  std::size_t size() const { return ids.empty() ? points->size() : ids.size(); }
+  std::span<const double> Row(std::size_t i) const {
+    return (*points)[ids.empty() ? i : ids[i]];
+  }
+};
 
-Status GoodCenterOptions::Validate() const {
-  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
-  if (!(beta > 0.0) || !(beta < 1.0)) {
-    return Status::InvalidArgument("GoodCenter: beta must be in (0,1)");
-  }
-  if (!(jl_constant > 0.0)) {
-    return Status::InvalidArgument("GoodCenter: jl_constant must be positive");
-  }
-  if (!(box_side_factor >= 4.0)) {
-    return Status::InvalidArgument(
-        "GoodCenter: box_side_factor must be >= 4 (the box must be able to "
-        "contain the projected cluster, whose diameter is ~3r)");
-  }
-  if (!(threshold_offset_factor >= 0.0)) {
-    return Status::InvalidArgument(
-        "GoodCenter: threshold_offset_factor must be >= 0");
-  }
-  if (!(interval_multiplier >= 3.0)) {
-    return Status::InvalidArgument(
-        "GoodCenter: interval_multiplier must be >= 3 (Lemma 4.9 bound)");
-  }
-  return Status::OK();
-}
-
-Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
-                                    double r, const GoodCenterOptions& options) {
+Status ValidateCall(const GoodCenterOptions& options, std::size_t n,
+                    std::size_t t, double r) {
   DPC_RETURN_IF_ERROR(options.Validate());
-  const std::size_t n = s.size();
-  const std::size_t d = s.dim();
   if (n == 0) return Status::InvalidArgument("GoodCenter: empty dataset");
   if (t < 1 || t > n) {
     return Status::InvalidArgument("GoodCenter: t must satisfy 1 <= t <= n");
@@ -121,27 +95,38 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
   if (!(r > 0.0) || !std::isfinite(r)) {
     return Status::InvalidArgument("GoodCenter: radius r must be positive");
   }
+  return Status::OK();
+}
+
+// Step 1's target dimension: ceil(jl_constant * ln(2n/beta)), clamped.
+std::size_t JlDimFor(std::size_t n, const GoodCenterOptions& options) {
+  std::size_t k = static_cast<std::size_t>(std::ceil(
+      options.jl_constant *
+      std::log(2.0 * static_cast<double>(n) / options.beta)));
+  if (options.max_jl_dim > 0) k = std::min(k, options.max_jl_dim);
+  return std::max<std::size_t>(k, 2);
+}
+
+// Steps 2-11, shared by both entry points: everything past the JL projection
+// consumes `projected` (src.size() x k) plus original-space row access via
+// `src`, so the PointSet and IndexedDataset paths release identical bytes
+// whenever their projected matrices match.
+Result<GoodCenterResult> GoodCenterImpl(Rng& rng, const SourceRows& src,
+                                        std::size_t t, double r,
+                                        const GoodCenterOptions& options,
+                                        const Matrix& projected,
+                                        ThreadPool& pool) {
+  const std::size_t n = src.size();
+  const std::size_t d = src.points->dim();
+  const std::size_t k = projected.cols();
 
   const double eps = options.params.epsilon;
   const double delta = options.params.delta;
   const double beta = options.beta;
   const PrivacyParams quarter{eps / 4.0, delta / 4.0};
 
-  // One pool for the whole call; every parallel region below is deterministic
-  // numeric work (the Rng is only ever touched from this thread).
-  ThreadPool pool(options.num_threads);
-
   GoodCenterResult result;
-
-  // ---- Step 1: JL projection into R^k. -----------------------------------
-  std::size_t k = static_cast<std::size_t>(
-      std::ceil(options.jl_constant * std::log(2.0 * static_cast<double>(n) / beta)));
-  if (options.max_jl_dim > 0) k = std::min(k, options.max_jl_dim);
-  k = std::max<std::size_t>(k, 2);
   result.jl_dim = k;
-
-  const JlTransform jl(rng, d, k);
-  const Matrix projected = jl.ApplyAll(s, &pool);
 
   // ---- Step 2: AboveThreshold over the box-partition queries (eps/4). ----
   const double threshold =
@@ -210,7 +195,10 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
       d_indices.insert(d_indices.end(), hits.begin(), hits.end());
     }
   }
-  const PointSet d_set = s.Subset(d_indices);
+  // The preimage D, gathered row by row (same bytes as Subset of a
+  // materialized active view).
+  PointSet d_set(d);
+  for (const std::size_t i : d_indices) d_set.Add(src.Row(i));
 
   // ---- Steps 8-9: rotate and pick a heavy interval per axis. --------------
   const Matrix basis = RandomOrthonormalBasis(rng, d);
@@ -293,6 +281,87 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
   result.guarantee_radius = (std::sqrt(2.0) * options.box_side_factor + 1.0) * r *
                             std::sqrt(static_cast<double>(k));
   return result;
+}
+
+}  // namespace
+
+GoodCenterOptions GoodCenterOptions::PaperConstants() {
+  GoodCenterOptions o;
+  o.jl_constant = 46.0;
+  o.max_jl_dim = 0;
+  o.box_side_factor = 300.0;
+  o.threshold_offset_factor = 100.0;
+  o.interval_multiplier = 3.0;
+  o.axis_cell_factor = 0.0;  // Verbatim worst-case interval length.
+  o.max_rounds = 0;  // Resolved to the paper's 2n log(1/beta)/beta at run time.
+  o.domain_axis_length = 0.0;  // No domain clamping in the verbatim preset.
+  return o;
+}
+
+Status GoodCenterOptions::Validate() const {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    return Status::InvalidArgument("GoodCenter: beta must be in (0,1)");
+  }
+  if (!(jl_constant > 0.0)) {
+    return Status::InvalidArgument("GoodCenter: jl_constant must be positive");
+  }
+  if (!(box_side_factor >= 4.0)) {
+    return Status::InvalidArgument(
+        "GoodCenter: box_side_factor must be >= 4 (the box must be able to "
+        "contain the projected cluster, whose diameter is ~3r)");
+  }
+  if (!(threshold_offset_factor >= 0.0)) {
+    return Status::InvalidArgument(
+        "GoodCenter: threshold_offset_factor must be >= 0");
+  }
+  if (!(interval_multiplier >= 3.0)) {
+    return Status::InvalidArgument(
+        "GoodCenter: interval_multiplier must be >= 3 (Lemma 4.9 bound)");
+  }
+  return Status::OK();
+}
+
+Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
+                                    double r, const GoodCenterOptions& options) {
+  DPC_RETURN_IF_ERROR(ValidateCall(options, s.size(), t, r));
+
+  // One pool for the whole call; every parallel region is deterministic
+  // numeric work (the Rng is only ever touched from this thread).
+  ThreadPool pool(options.num_threads);
+
+  // ---- Step 1: JL projection into R^k. -----------------------------------
+  const std::size_t k = JlDimFor(s.size(), options);
+  const JlTransform jl(rng, s.dim(), k);
+  const Matrix projected = jl.ApplyAll(s, &pool);
+
+  const SourceRows src{&s, {}};
+  return GoodCenterImpl(rng, src, t, r, options, projected, pool);
+}
+
+Result<GoodCenterResult> GoodCenter(Rng& rng, const IndexedDataset& index,
+                                    std::size_t t, double r,
+                                    const GoodCenterOptions& options) {
+  const std::size_t n = index.active_size();
+  DPC_RETURN_IF_ERROR(ValidateCall(options, n, t, r));
+
+  ThreadPool pool(options.num_threads);
+  const std::size_t k = JlDimFor(n, options);
+  const SourceRows src{&index.points(), index.ActiveIds()};
+
+  // ---- Step 1: JL projection of the active rows. --------------------------
+  // Default: redraw the matrix from the caller Rng and project the gathered
+  // active rows — bit-identical to the PointSet overload on ActiveView().
+  // With a projection seed: serve the slice from the dataset-wide cache (one
+  // GEMM for all rounds); the caller Rng skips the matrix draw.
+  if (options.projection_seed != 0) {
+    const Matrix& projected =
+        index.ProjectedActive(options.projection_seed, k, &pool);
+    return GoodCenterImpl(rng, src, t, r, options, projected, pool);
+  }
+  const JlTransform jl(rng, index.dim(), k);
+  const Matrix projected = jl.ApplyAllGathered(index.points(), src.ids, &pool);
+  return GoodCenterImpl(rng, src, t, r, options, projected, pool);
 }
 
 }  // namespace dpcluster

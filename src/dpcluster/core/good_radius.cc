@@ -88,7 +88,7 @@ std::size_t RescaledT(std::size_t t, std::size_t m, std::size_t n) {
 // stage can afford subsample_grid_cap_factor times more rows — less
 // subsampling error at about the same cost. Only the RecConcave engine's
 // grid path qualifies; everything else keeps the strict cap.
-std::size_t EffectiveSubsampleCap(std::size_t n, std::size_t t,
+std::size_t EffectiveSubsampleCap(std::size_t n, std::size_t t, std::size_t d,
                                   const GoodRadiusOptions& options) {
   const std::size_t m = options.max_profile_points;
   if (options.engine != GoodRadiusOptions::Engine::kRecConcave) return m;
@@ -98,7 +98,7 @@ std::size_t EffectiveSubsampleCap(std::size_t n, std::size_t t,
   const std::size_t m2 = static_cast<std::size_t>(std::min(
       static_cast<double>(n), raised));
   if (m2 <= m) return m;
-  if (ResolveProfileIndex(options.profile_index, m2, RescaledT(t, m2, n)) !=
+  if (ResolveProfileIndex(options.profile_index, m2, RescaledT(t, m2, n), d) !=
       ProfileIndex::kGrid) {
     return m;
   }
@@ -119,7 +119,8 @@ Result<GoodRadiusResult> RunRecConcaveEngine(Rng& rng, const PointSet* s,
           ? RadiusProfile::Build(*index, t, profile_cap, pool,
                                  options.profile_index)
           : RadiusProfile::Build(*s, t, domain, profile_cap, pool,
-                                 options.profile_index);
+                                 options.profile_index,
+                                 options.index_geometry);
   DPC_RETURN_IF_ERROR(built.status());
   const RadiusProfile& profile = *built;
 
@@ -169,6 +170,7 @@ Result<GoodRadiusResult> RunSparseVectorEngine(Rng& rng, const PointSet* s,
   } else {
     DPC_ASSIGN_OR_RETURN(IndexedDataset local,
                          IndexedDataset::Create(*s, domain));
+    local.set_index_geometry(options.index_geometry);
     built = KnnCappedCounts::Build(local, t, profile_cap, pool);
   }
   DPC_RETURN_IF_ERROR(built.status());
@@ -231,7 +233,7 @@ Result<GoodRadiusResult> GoodRadiusImpl(Rng& rng, const PointSet* s,
   // more rows — possibly all of them, in which case no subsample is drawn
   // and only the cap is raised.
   if (options.subsample_large_inputs && n > options.max_profile_points) {
-    profile_cap = EffectiveSubsampleCap(n, t, options);
+    profile_cap = EffectiveSubsampleCap(n, t, dim, options);
     if (n > profile_cap) {
       const std::size_t m = profile_cap;
       std::vector<std::size_t> idx(m);

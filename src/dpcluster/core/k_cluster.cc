@@ -96,6 +96,7 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
       restore_on_exit.emplace(index, index->TakeSnapshot());
     } else {
       DPC_ASSIGN_OR_RETURN(local_index, IndexedDataset::Create(s, domain));
+      local_index->set_index_geometry(options.index_geometry);
       index = &*local_index;
     }
   }
@@ -112,15 +113,17 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
     const std::size_t left =
         incremental ? index->active_size() : remaining.size();
     if (left == 0) break;
-    const PointSet current =
-        incremental ? index->ActiveView() : s.Subset(remaining);
+    // The incremental path never materializes the active subset: rounds run
+    // through the index's span-based entry points (bit-identical outputs).
+    std::optional<PointSet> current;
+    if (!incremental) current.emplace(s.Subset(remaining));
 
     std::size_t t = options.per_round_t;
     if (t == 0) {
       const std::size_t rounds_left = options.k - round;
-      t = (current.size() + rounds_left - 1) / rounds_left;
+      t = (left + rounds_left - 1) / rounds_left;
     }
-    t = std::min(t, current.size());
+    t = std::min(t, left);
     if (t == 0) break;
 
     OneClusterOptions oc = options.one_cluster;
@@ -128,7 +131,9 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
     oc.params.epsilon *= (1.0 - options.refine_fraction);
     oc.beta = options.beta / static_cast<double>(options.k);
     oc.num_threads = options.num_threads;
-    auto round_result = OneCluster(rng, current, t, domain, oc, index);
+    auto round_result = incremental
+                            ? OneCluster(rng, *index, t, oc)
+                            : OneCluster(rng, *current, t, domain, oc);
     if (!round_result.ok()) {
       if (options.best_effort) {
         // The failed round may have partially run (no partial ledger is
@@ -149,8 +154,11 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
       RadiusRefineOptions refine;
       refine.epsilon = per_round.epsilon * options.refine_fraction;
       refine.beta = options.beta / static_cast<double>(options.k);
-      auto refined = RefineRadius(rng, current, round_result->ball.center, t,
-                                  domain, refine);
+      auto refined =
+          incremental
+              ? RefineRadius(rng, *index, round_result->ball.center, t, refine)
+              : RefineRadius(rng, *current, round_result->ball.center, t,
+                             domain, refine);
       result.ledger.Charge(scope + "refine", {refine.epsilon, 0.0});
       if (refined.ok()) round_result->ball.radius = *refined;
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "dpcluster/common/check.h"
 #include "dpcluster/dp/accountant.h"
@@ -22,6 +23,62 @@ Status OneClusterOptions::Validate() const {
   return Status::OK();
 }
 
+namespace {
+
+// Shared driver: `index` == nullptr runs both phases on `s`; otherwise both
+// phases are served by the index's active points (s unused) — span-based row
+// access plus the cached spatial index, no ActiveView materialization.
+Result<OneClusterResult> OneClusterImpl(Rng& rng, const PointSet* s,
+                                        const IndexedDataset* index,
+                                        std::size_t t, const GridDomain& domain,
+                                        const OneClusterOptions& options) {
+  OneClusterResult result;
+
+  // Phase 1: GoodRadius with its share of the budget, served by the shared
+  // index when one is provided (bit-identical outputs either way).
+  GoodRadiusOptions radius_opts = options.radius;
+  radius_opts.params = options.params.Fraction(options.radius_budget_fraction);
+  radius_opts.beta = options.beta / 2.0;
+  radius_opts.num_threads = options.num_threads;
+  Result<GoodRadiusResult> radius_stage =
+      index != nullptr ? GoodRadius(rng, *index, t, radius_opts)
+                       : GoodRadius(rng, *s, t, domain, radius_opts);
+  DPC_RETURN_IF_ERROR(radius_stage.status());
+  result.radius_stage = *radius_stage;
+  result.ledger.Charge("good_radius", radius_opts.params);
+
+  // A zero radius (duplicate-point cluster) cannot drive GoodCenter's interval
+  // geometry; fall back to the smallest positive grid radius.
+  const double r =
+      std::max(result.radius_stage.radius, domain.RadiusFromIndex(1));
+
+  // Phase 2: GoodCenter with the rest, also through the index when provided
+  // (gathered-row JL projection; bit-identical by default, see good_center.h).
+  GoodCenterOptions center_opts = options.center;
+  center_opts.params =
+      options.params.Fraction(1.0 - options.radius_budget_fraction);
+  center_opts.beta = options.beta / 2.0;
+  center_opts.num_threads = options.num_threads;
+  if (center_opts.domain_axis_length > 0.0) {
+    center_opts.domain_axis_length = domain.axis_length();
+  }
+  Result<GoodCenterResult> center_stage =
+      index != nullptr ? GoodCenter(rng, *index, t, r, center_opts)
+                       : GoodCenter(rng, *s, t, r, center_opts);
+  DPC_RETURN_IF_ERROR(center_stage.status());
+  result.center_stage = std::move(*center_stage);
+  result.ledger.Charge("good_center", center_opts.params);
+
+  result.ball.center = result.center_stage.center;
+  // The claimed radius; never larger than the cube's diameter.
+  const double diameter = domain.axis_length() *
+                          std::sqrt(static_cast<double>(domain.dim()));
+  result.ball.radius = std::min(result.center_stage.guarantee_radius, diameter);
+  return result;
+}
+
+}  // namespace
+
 Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
                                     const GridDomain& domain,
                                     const OneClusterOptions& options,
@@ -34,46 +91,17 @@ Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
     return Status::InvalidArgument(
         "OneCluster: index active set does not match the dataset");
   }
+  return OneClusterImpl(rng, &s, index, t, domain, options);
+}
 
-  OneClusterResult result;
-
-  // Phase 1: GoodRadius with its share of the budget, served by the shared
-  // index when one is provided (bit-identical outputs either way).
-  GoodRadiusOptions radius_opts = options.radius;
-  radius_opts.params = options.params.Fraction(options.radius_budget_fraction);
-  radius_opts.beta = options.beta / 2.0;
-  radius_opts.num_threads = options.num_threads;
-  Result<GoodRadiusResult> radius_stage =
-      index != nullptr ? GoodRadius(rng, *index, t, radius_opts)
-                       : GoodRadius(rng, s, t, domain, radius_opts);
-  DPC_RETURN_IF_ERROR(radius_stage.status());
-  result.radius_stage = *radius_stage;
-  result.ledger.Charge("good_radius", radius_opts.params);
-
-  // A zero radius (duplicate-point cluster) cannot drive GoodCenter's interval
-  // geometry; fall back to the smallest positive grid radius.
-  const double r =
-      std::max(result.radius_stage.radius, domain.RadiusFromIndex(1));
-
-  // Phase 2: GoodCenter with the rest.
-  GoodCenterOptions center_opts = options.center;
-  center_opts.params =
-      options.params.Fraction(1.0 - options.radius_budget_fraction);
-  center_opts.beta = options.beta / 2.0;
-  center_opts.num_threads = options.num_threads;
-  if (center_opts.domain_axis_length > 0.0) {
-    center_opts.domain_axis_length = domain.axis_length();
+Result<OneClusterResult> OneCluster(Rng& rng, const IndexedDataset& index,
+                                    std::size_t t,
+                                    const OneClusterOptions& options) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  if (index.active_size() == 0) {
+    return Status::InvalidArgument("OneCluster: empty active set");
   }
-  DPC_ASSIGN_OR_RETURN(result.center_stage,
-                       GoodCenter(rng, s, t, r, center_opts));
-  result.ledger.Charge("good_center", center_opts.params);
-
-  result.ball.center = result.center_stage.center;
-  // The claimed radius; never larger than the cube's diameter.
-  const double diameter = domain.axis_length() *
-                          std::sqrt(static_cast<double>(domain.dim()));
-  result.ball.radius = std::min(result.center_stage.guarantee_radius, diameter);
-  return result;
+  return OneClusterImpl(rng, nullptr, &index, t, index.domain(), options);
 }
 
 double RecommendedMinT(std::size_t n, const GridDomain& domain,

@@ -67,6 +67,17 @@ Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
                                     const OneClusterOptions& options,
                                     const IndexedDataset* index = nullptr);
 
+/// Solves the 1-cluster problem on the *active* points of a prebuilt
+/// geo/IndexedDataset (domain taken from the index). Both phases run through
+/// the index — span-based row access and the cached spatial index, no
+/// ActiveView materialization — and release outputs bit-identical to the
+/// PointSet overload on index.ActiveView(). This is the entry point
+/// KCluster's incremental path peels rounds through. The index is not
+/// mutated.
+Result<OneClusterResult> OneCluster(Rng& rng, const IndexedDataset& index,
+                                    std::size_t t,
+                                    const OneClusterOptions& options);
+
 /// A data-independent recommendation for the smallest t this configuration can
 /// resolve meaningfully: max of ~4*Gamma (GoodRadius loss) and the sparse-
 /// vector + histogram losses of GoodCenter. Mirrors the theorem's

@@ -220,6 +220,7 @@ std::vector<Event> EventsFromKnnRows(std::span<const double> knn,
 // event indices bit-for-bit.
 Result<std::vector<Event>> BuildGridEvents(const PointSet& s, std::size_t t,
                                            const GridDomain& domain,
+                                           IndexGeometry geometry,
                                            double fine_step,
                                            std::uint64_t max_fine,
                                            std::uint64_t fine_domain,
@@ -228,7 +229,8 @@ Result<std::vector<Event>> BuildGridEvents(const PointSet& s, std::size_t t,
   const std::size_t k = t - 1;
   if (k == 0) return std::vector<Event>{};  // t = 1: every increment saturates.
 
-  DPC_ASSIGN_OR_RETURN(SpatialGrid grid, SpatialGrid::Build(s, domain, k));
+  DPC_ASSIGN_OR_RETURN(SpatialGrid grid,
+                       SpatialGrid::Build(s, domain, k, geometry));
   std::vector<double> knn(n * k);
   grid.BatchKnnDistances(k, knn, pool, /*sorted=*/false);
   return EventsFromKnnRows(knn, n, k, fine_step, max_fine, fine_domain);
@@ -274,22 +276,30 @@ Result<ProfileIndex> ProfileIndexFromName(std::string_view name) {
 }
 
 ProfileIndex ResolveProfileIndex(ProfileIndex requested, std::size_t n,
-                                 std::size_t t) {
+                                 std::size_t t, std::size_t d) {
   if (requested != ProfileIndex::kAuto) return requested;
+  if (n < 512) return ProfileIndex::kExact;  // Both builds sub-10ms; skip setup.
   // Measured crossover (bench_scaling, n sweep at d in {2, 8}): sorting the
   // n(n-1) pair events dominates the exact build from n ~ 1000, and the
   // pruned stream must be a few times smaller to pay for the k-NN search.
-  // Below n = 512 both builds are sub-10ms and the exact path avoids the
-  // index setup; at t > n/4 pruning drops fewer than 4x of the events.
-  return (n >= 512 && t - 1 <= n / 4) ? ProfileIndex::kGrid
-                                      : ProfileIndex::kExact;
+  // At t > n/4 pruning drops fewer than 4x of the events — unless the grid
+  // collapses to one cell (high d, or large t at moderate d): there the
+  // batched k-NN runs the blocked dense scan, one streamed pass over the
+  // data per query chunk at a cost independent of t, so the grid generator
+  // stays ahead of the n^2 pair-event sort up to t - 1 <= n / 2.
+  const std::size_t t_cap =
+      GridCollapsesToSingleCell(n, d, /*expected_neighbors=*/t > 1 ? t - 1 : 1)
+          ? n / 2
+          : n / 4;
+  return t - 1 <= t_cap ? ProfileIndex::kGrid : ProfileIndex::kExact;
 }
 
 Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
                                            const GridDomain& domain,
                                            std::size_t max_points,
                                            ThreadPool* pool,
-                                           ProfileIndex index) {
+                                           ProfileIndex index,
+                                           IndexGeometry geometry) {
   const std::size_t n = s.size();
   DPC_RETURN_IF_ERROR(ValidateBuildArgs(n, t, max_points));
   if (s.dim() != domain.dim()) {
@@ -304,9 +314,10 @@ Result<RadiusProfile> RadiusProfile::Build(const PointSet& s, std::size_t t,
   const std::uint64_t max_fine = fine_domain - 1;
 
   std::vector<Event> events;
-  if (ResolveProfileIndex(index, n, t) == ProfileIndex::kGrid) {
-    DPC_ASSIGN_OR_RETURN(events, BuildGridEvents(s, t, domain, fine_step,
-                                                 max_fine, fine_domain, pool));
+  if (ResolveProfileIndex(index, n, t, s.dim()) == ProfileIndex::kGrid) {
+    DPC_ASSIGN_OR_RETURN(events,
+                         BuildGridEvents(s, t, domain, geometry, fine_step,
+                                         max_fine, fine_domain, pool));
   } else {
     events = BuildExactEvents(
         n, [&s](std::size_t i) { return s[i]; }, fine_step, max_fine, pool);
@@ -336,7 +347,8 @@ Result<RadiusProfile> RadiusProfile::Build(const IndexedDataset& index,
   // generators emit the same events the subset-rebuild path would, and the
   // sweep below is untouched.
   std::vector<Event> events;
-  if (ResolveProfileIndex(profile_index, n, t) == ProfileIndex::kGrid) {
+  if (ResolveProfileIndex(profile_index, n, t, index.dim()) ==
+      ProfileIndex::kGrid) {
     const std::size_t k = t - 1;
     if (k > 0) {
       std::vector<double> knn(n * k);

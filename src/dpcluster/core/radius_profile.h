@@ -40,6 +40,7 @@
 #include "dpcluster/dp/step_function.h"
 #include "dpcluster/geo/grid_domain.h"
 #include "dpcluster/geo/point_set.h"
+#include "dpcluster/geo/spatial_grid.h"
 
 namespace dpcluster {
 
@@ -61,9 +62,13 @@ std::string_view ProfileIndexName(ProfileIndex index);
 Result<ProfileIndex> ProfileIndexFromName(std::string_view name);
 
 /// The generator kAuto resolves to for a given problem shape (exposed for
-/// tests and benches; see the crossover note in the file comment).
+/// tests and benches; see the crossover note in the file comment). `d` is the
+/// data dimension: when the spatial index's cell grid collapses to one cell
+/// (d >= ~16 at bench sizes, or large t at moderate d) batched k-NN runs the
+/// blocked dense scan at a per-query cost independent of t, so the grid
+/// generator stays profitable up to a larger t (t-1 <= n/2 instead of n/4).
 ProfileIndex ResolveProfileIndex(ProfileIndex requested, std::size_t n,
-                                 std::size_t t);
+                                 std::size_t t, std::size_t d);
 
 /// Exact L(r, S) over the fine radius grid.
 class RadiusProfile {
@@ -73,11 +78,15 @@ class RadiusProfile {
   /// parallelizes the event generation (null = serial); chunk-ordered
   /// assembly keeps the profile bit-identical at any thread count. `index`
   /// selects the event generator (bit-identical either way, see above).
+  /// `geometry` is the cell-coordinate space of the kGrid generator's
+  /// spatial index (geo/spatial_grid.h) — also bit-identical either way.
   static Result<RadiusProfile> Build(const PointSet& s, std::size_t t,
                                      const GridDomain& domain,
                                      std::size_t max_points,
                                      ThreadPool* pool = nullptr,
-                                     ProfileIndex index = ProfileIndex::kAuto);
+                                     ProfileIndex index = ProfileIndex::kAuto,
+                                     IndexGeometry geometry =
+                                         IndexGeometry::kAuto);
 
   /// Builds the profile over the *active* points of a prebuilt
   /// geo/IndexedDataset — bit-identical to Build(index.ActiveView(), ...),

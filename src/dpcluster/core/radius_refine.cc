@@ -4,27 +4,21 @@
 
 #include "dpcluster/common/math_util.h"
 #include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/random/distributions.h"
 
 namespace dpcluster {
+namespace {
 
-Result<double> RefineRadius(Rng& rng, const PointSet& s,
-                            std::span<const double> center, std::size_t t,
-                            const GridDomain& domain,
-                            const RadiusRefineOptions& options) {
-  if (!(options.epsilon > 0.0)) {
-    return Status::InvalidArgument("RefineRadius: epsilon must be positive");
-  }
-  if (!(options.beta > 0.0) || !(options.beta < 1.0)) {
-    return Status::InvalidArgument("RefineRadius: beta must be in (0,1)");
-  }
-  if (center.size() != s.dim()) {
-    return Status::InvalidArgument("RefineRadius: center dimension mismatch");
-  }
-  if (t < 1 || t > s.size()) {
-    return Status::InvalidArgument("RefineRadius: 1 <= t <= n required");
-  }
-
+// The noisy binary search, shared by both entry points. `count_at(radius)`
+// returns the exact ball count; everything else is radius-grid bookkeeping,
+// so a callback that counts through an active-id indirection releases exactly
+// the bytes the materialized-subset path would.
+template <typename CountFn>
+Result<double> RefineRadiusSearch(Rng& rng, std::size_t t,
+                                  const GridDomain& domain,
+                                  const RadiusRefineOptions& options,
+                                  CountFn&& count_at) {
   const std::uint64_t grid = domain.RadiusGridSize();
   const int comparisons = CeilLog2(grid) + 1;
   // Ball counts have sensitivity 1; split epsilon across the comparisons.
@@ -36,8 +30,8 @@ Result<double> RefineRadius(Rng& rng, const PointSet& s,
   std::uint64_t hi = grid - 1;
   while (lo < hi) {
     const std::uint64_t mid = lo + (hi - lo) / 2;
-    const double count = static_cast<double>(
-        CountWithin(s, center, domain.RadiusFromIndex(mid)));
+    const double count =
+        static_cast<double>(count_at(domain.RadiusFromIndex(mid)));
     if (count + SampleLaplace(rng, scale) >= static_cast<double>(t) - margin) {
       hi = mid;
     } else {
@@ -45,6 +39,48 @@ Result<double> RefineRadius(Rng& rng, const PointSet& s,
     }
   }
   return domain.RadiusFromIndex(lo);
+}
+
+Status ValidateRefineArgs(const RadiusRefineOptions& options,
+                          std::size_t center_dim, std::size_t data_dim,
+                          std::size_t t, std::size_t n) {
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("RefineRadius: epsilon must be positive");
+  }
+  if (!(options.beta > 0.0) || !(options.beta < 1.0)) {
+    return Status::InvalidArgument("RefineRadius: beta must be in (0,1)");
+  }
+  if (center_dim != data_dim) {
+    return Status::InvalidArgument("RefineRadius: center dimension mismatch");
+  }
+  if (t < 1 || t > n) {
+    return Status::InvalidArgument("RefineRadius: 1 <= t <= n required");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> RefineRadius(Rng& rng, const PointSet& s,
+                            std::span<const double> center, std::size_t t,
+                            const GridDomain& domain,
+                            const RadiusRefineOptions& options) {
+  DPC_RETURN_IF_ERROR(
+      ValidateRefineArgs(options, center.size(), s.dim(), t, s.size()));
+  return RefineRadiusSearch(rng, t, domain, options, [&](double radius) {
+    return CountWithin(s, center, radius);
+  });
+}
+
+Result<double> RefineRadius(Rng& rng, const IndexedDataset& index,
+                            std::span<const double> center, std::size_t t,
+                            const RadiusRefineOptions& options) {
+  DPC_RETURN_IF_ERROR(ValidateRefineArgs(options, center.size(), index.dim(),
+                                         t, index.active_size()));
+  return RefineRadiusSearch(rng, t, index.domain(), options,
+                            [&](double radius) {
+    return CountWithin(index.points(), index.ActiveIds(), center, radius);
+  });
 }
 
 }  // namespace dpcluster

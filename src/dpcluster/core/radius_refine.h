@@ -19,6 +19,8 @@
 
 namespace dpcluster {
 
+class IndexedDataset;
+
 struct RadiusRefineOptions {
   /// Budget of the refinement; (epsilon, 0)-DP.
   double epsilon = 0.5;
@@ -32,6 +34,13 @@ struct RadiusRefineOptions {
 Result<double> RefineRadius(Rng& rng, const PointSet& s,
                             std::span<const double> center, std::size_t t,
                             const GridDomain& domain,
+                            const RadiusRefineOptions& options);
+
+/// RefineRadius over the *active* points of a prebuilt geo/IndexedDataset
+/// (domain taken from the index) — bit-identical to the PointSet overload on
+/// index.ActiveView(), without materializing the view.
+Result<double> RefineRadius(Rng& rng, const IndexedDataset& index,
+                            std::span<const double> center, std::size_t t,
                             const RadiusRefineOptions& options);
 
 }  // namespace dpcluster

@@ -145,6 +145,9 @@ Result<std::vector<SweepCell>> RunAccuracySweep(const SweepConfig& config) {
               config.num_threads);
           for (Request& request : requests) {
             request.tuning.refine_one_cluster = config.refine;
+            if (config.max_jl_dim > 0) {
+              request.tuning.max_jl_dim = config.max_jl_dim;
+            }
           }
           const auto responses = solver.RunAll(requests);
           const double r_ref = ReferenceRadius(*instance);

@@ -78,6 +78,11 @@ struct SweepConfig {
   /// refined radius tracks utility far better than the worst-case guarantee
   /// radius, so the sweep measures it by default.
   bool refine = true;
+  /// When non-zero, cap GoodCenter's JL projection dimension at this value
+  /// (Tuning::max_jl_dim) for every request; 0 keeps the algorithm default.
+  /// eval_harness --jl-dim-sweep runs the sweep once per cap to map the
+  /// accuracy/cost frontier of the projection dimension.
+  std::size_t max_jl_dim = 0;
 
   Status Validate() const;
 };

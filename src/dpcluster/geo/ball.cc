@@ -50,6 +50,17 @@ std::size_t CountWithin(const PointSet& s, std::span<const double> center,
   return count;
 }
 
+std::size_t CountWithin(const PointSet& s, std::span<const std::uint32_t> ids,
+                        std::span<const double> center, double radius) {
+  DPC_CHECK_EQ(center.size(), s.dim());
+  const double r2 = radius * radius * (1.0 + 1e-12);
+  std::size_t count = 0;
+  for (const std::uint32_t id : ids) {
+    if (SquaredDistance(s[id], center) <= r2) ++count;
+  }
+  return count;
+}
+
 double RadiusCapturing(const PointSet& s, std::span<const double> center,
                        std::size_t t) {
   DPC_CHECK_GE(t, 1u);

@@ -5,6 +5,7 @@
 #define DPCLUSTER_GEO_BALL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -38,6 +39,11 @@ std::size_t CountInBall(const PointSet& s, const Ball& ball);
 /// Number of points of `s` with distance <= radius from `center`.
 std::size_t CountWithin(const PointSet& s, std::span<const double> center,
                         double radius);
+
+/// CountWithin over the row subset s[ids[0]], s[ids[1]], ... — same
+/// per-point predicate, so it equals CountWithin on a materialized subset.
+std::size_t CountWithin(const PointSet& s, std::span<const std::uint32_t> ids,
+                        std::span<const double> center, double radius);
 
 /// Smallest radius around `center` that captures at least `t` points of `s`
 /// (the t-th smallest distance). t must satisfy 1 <= t <= s.size().

@@ -7,6 +7,8 @@
 
 #include "dpcluster/common/check.h"
 #include "dpcluster/geo/pairwise.h"
+#include "dpcluster/la/jl_transform.h"
+#include "dpcluster/random/rng.h"
 
 namespace dpcluster {
 
@@ -61,6 +63,7 @@ void IndexedDataset::Remove(std::size_t id) {
   active_[id] = 0;
   --active_count_;
   active_ids_dirty_ = true;
+  ++active_version_;
   if (grid_.has_value()) grid_->Remove(id);
 }
 
@@ -90,6 +93,7 @@ Status IndexedDataset::Restore(const Snapshot& snapshot) {
   active_ = snapshot.active;
   active_count_ = snapshot.active_count;
   active_ids_dirty_ = true;
+  ++active_version_;
   if (grid_.has_value()) grid_->ResetActive(active_);
   return Status::OK();
 }
@@ -98,6 +102,7 @@ void IndexedDataset::RestoreAll() {
   std::fill(active_.begin(), active_.end(), std::uint8_t{1});
   active_count_ = active_.size();
   active_ids_dirty_ = true;
+  ++active_version_;
   if (grid_.has_value()) grid_->ResetActive(active_);
 }
 
@@ -105,12 +110,56 @@ const SpatialGrid& IndexedDataset::EnsureGrid(
     std::size_t expected_neighbors) const {
   DPC_CHECK(!points_.empty());
   if (!grid_.has_value()) {
-    auto built = SpatialGrid::Build(points_, domain_, expected_neighbors);
+    auto built = SpatialGrid::Build(points_, domain_, expected_neighbors,
+                                    index_geometry_);
     DPC_CHECK(built.ok());  // Preconditions hold by construction.
     grid_.emplace(std::move(*built));
     if (active_count_ < points_.size()) grid_->ResetActive(active_);
   }
   return *grid_;
+}
+
+void IndexedDataset::set_index_geometry(IndexGeometry geometry) {
+  if (geometry == index_geometry_) return;
+  index_geometry_ = geometry;
+  grid_.reset();  // Rebuilt lazily under the new policy.
+}
+
+const Matrix& IndexedDataset::ProjectedAll(std::uint64_t seed,
+                                           std::size_t out_dim,
+                                           ThreadPool* pool) const {
+  DPC_CHECK_GE(out_dim, 1u);
+  if (!projection_.has_value() || projection_->seed != seed ||
+      projection_->out_dim != out_dim) {
+    ProjectionCache cache;
+    cache.seed = seed;
+    cache.out_dim = out_dim;
+    Rng rng(seed);
+    const JlTransform jl(rng, points_.dim(), out_dim);
+    cache.all = jl.ApplyAll(points_, pool);
+    projection_.emplace(std::move(cache));
+  }
+  return projection_->all;
+}
+
+const Matrix& IndexedDataset::ProjectedActive(std::uint64_t seed,
+                                              std::size_t out_dim,
+                                              ThreadPool* pool) const {
+  const Matrix& all = ProjectedAll(seed, out_dim, pool);
+  if (active_count_ == points_.size()) return all;
+  ProjectionCache& cache = *projection_;
+  if (!cache.active_valid || cache.active_version != active_version_) {
+    const std::span<const std::uint32_t> ids = ActiveIds();
+    Matrix active(ids.size(), out_dim);
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      const auto row = all.Row(ids[r]);
+      std::copy(row.begin(), row.end(), active.Row(r).begin());
+    }
+    cache.active = std::move(active);
+    cache.active_valid = true;
+    cache.active_version = active_version_;
+  }
+  return cache.active;
 }
 
 void IndexedDataset::BatchKnn(std::size_t k, std::span<double> out,

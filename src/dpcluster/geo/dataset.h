@@ -40,6 +40,7 @@
 #include "dpcluster/geo/grid_domain.h"
 #include "dpcluster/geo/point_set.h"
 #include "dpcluster/geo/spatial_grid.h"
+#include "dpcluster/la/matrix.h"
 
 namespace dpcluster {
 
@@ -118,6 +119,34 @@ class IndexedDataset {
   /// True if the grid has been built (diagnostics / tests).
   bool grid_built() const { return grid_.has_value(); }
 
+  /// The geometry policy of the cached grid (see IndexGeometry; default
+  /// kAuto). Changing the policy drops an already-built grid so the next
+  /// query rebuilds under the new policy — query answers are bit-identical
+  /// across geometries, only the candidate-collection cost changes.
+  void set_index_geometry(IndexGeometry geometry);
+  IndexGeometry index_geometry() const { return index_geometry_; }
+
+  /// Per-dataset JL projection cache: rows of all `size()` points projected
+  /// through the JL map drawn from Rng(seed) into `out_dim` dimensions
+  /// (JlTransform semantics, 1/sqrt(out_dim)-scaled). Computed once per
+  /// (seed, out_dim) via the batched GEMM and reused across rounds — the
+  /// returned reference is stable until a different (seed, out_dim) is
+  /// requested, so KCluster's k GoodCenter rounds stop paying O(n d k_jl)
+  /// each. Row i is bit-identical to applying the same JlTransform to
+  /// points()[i] alone.
+  const Matrix& ProjectedAll(std::uint64_t seed, std::size_t out_dim,
+                             ThreadPool* pool = nullptr) const;
+
+  /// The active-set slice of ProjectedAll: row r is the projected row of
+  /// ActiveIds()[r]. Cached per active-set version — any Remove / Restore /
+  /// RestoreAll invalidates the slice (the full-matrix cache above is
+  /// unaffected). When every point is active this returns ProjectedAll.
+  const Matrix& ProjectedActive(std::uint64_t seed, std::size_t out_dim,
+                                ThreadPool* pool = nullptr) const;
+
+  /// Bumped by every active-set mutation; versions the ProjectedActive cache.
+  std::uint64_t active_version() const { return active_version_; }
+
  private:
   IndexedDataset(PointSet points, GridDomain domain);
 
@@ -128,6 +157,17 @@ class IndexedDataset {
   mutable std::vector<std::uint32_t> active_ids_;  // cache; see dirty flag
   mutable bool active_ids_dirty_ = false;
   mutable std::optional<SpatialGrid> grid_;  // lazy; kept in sync with active_
+  IndexGeometry index_geometry_ = IndexGeometry::kAuto;
+  std::uint64_t active_version_ = 0;
+  struct ProjectionCache {
+    std::uint64_t seed = 0;
+    std::size_t out_dim = 0;
+    Matrix all;                         // size() x out_dim
+    Matrix active;                      // active slice (lazy)
+    bool active_valid = false;
+    std::uint64_t active_version = 0;   // version `active` was gathered at
+  };
+  mutable std::optional<ProjectionCache> projection_;  // single entry
 };
 
 /// Sorted per-active-point rows of the (cap-1) nearest-neighbor distances —

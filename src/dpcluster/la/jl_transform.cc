@@ -33,6 +33,16 @@ Matrix JlTransform::ApplyAll(const PointSet& points, ThreadPool* pool) const {
   return out;
 }
 
+Matrix JlTransform::ApplyAllGathered(const PointSet& points,
+                                     std::span<const std::uint32_t> ids,
+                                     ThreadPool* pool) const {
+  DPC_CHECK_EQ(points.dim(), in_dim());
+  Matrix out(ids.size(), out_dim());
+  matrix_.MultiplyAllGathered(points.Data(), ids, out.MutableData(), pool);
+  for (double& v : out.MutableData()) v *= scale_;
+  return out;
+}
+
 std::size_t JlTransform::DimensionFor(std::size_t n, double eta, double beta) {
   DPC_CHECK_GT(eta, 0.0);
   DPC_CHECK_GT(beta, 0.0);

@@ -6,6 +6,7 @@
 #define DPCLUSTER_LA_JL_TRANSFORM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -34,6 +35,13 @@ class JlTransform {
   /// batched GEMM; row i of the result is Apply(points[i]) bit-for-bit.
   /// `pool` may be null (serial).
   Matrix ApplyAll(const PointSet& points, ThreadPool* pool = nullptr) const;
+
+  /// ApplyAll over a gathered row subset: row r of the result is
+  /// Apply(points[ids[r]]) bit-for-bit — equal to materializing the subset
+  /// and calling ApplyAll, without the O(|ids| d) copy.
+  Matrix ApplyAllGathered(const PointSet& points,
+                          std::span<const std::uint32_t> ids,
+                          ThreadPool* pool = nullptr) const;
 
   /// Theoretical number of output dimensions guaranteeing distortion <= eta on
   /// n points with probability >= 1 - beta (from Lemma 4.10's tail bound

@@ -29,6 +29,26 @@ void MultiplyAllChunk(std::size_t lo, std::size_t hi, std::size_t rows,
   }
 }
 
+// MultiplyAllChunk with one indirection on the input row: point i reads
+// xs[ids[i] * cols] instead of xs[i * cols]. Same per-element accumulation
+// order, so a gathered batch is bit-identical to a materialized one.
+DPC_TARGET_CLONES_AVX2
+void MultiplyAllGatheredChunk(std::size_t lo, std::size_t hi, std::size_t rows,
+                              std::size_t cols, const double* mt,
+                              const double* xs, const std::uint32_t* ids,
+                              double* out) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double* x = &xs[static_cast<std::size_t>(ids[i]) * cols];
+    double* o = &out[i * rows];
+    for (std::size_t r = 0; r < rows; ++r) o[r] = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double xc = x[c];
+      const double* mt_row = &mt[c * rows];
+      for (std::size_t r = 0; r < rows; ++r) o[r] += xc * mt_row[r];
+    }
+  }
+}
+
 }  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -73,6 +93,36 @@ void Matrix::MultiplyAll(std::span<const double> xs, std::size_t count,
         MultiplyAllChunk(lo, hi, rows_, cols_, mt.data(), xs.data(), out.data());
       },
       kAlwaysParallel);  // grain already targets ~1M madds per chunk
+}
+
+void Matrix::MultiplyAllGathered(std::span<const double> xs_full,
+                                 std::span<const std::uint32_t> ids,
+                                 std::span<double> out,
+                                 ThreadPool* pool) const {
+  const std::size_t count = ids.size();
+  DPC_CHECK_EQ(out.size(), count * rows_);
+  if (count == 0 || rows_ == 0) return;
+  if (cols_ == 0) {
+    for (double& v : out) v = 0.0;
+    return;
+  }
+  // Same packed M^T, grain, and chunking as MultiplyAll — only the input-row
+  // addressing differs, so the two paths stay bit-identical per row.
+  std::vector<double> mt(cols_ * rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) mt[c * rows_ + r] = row[c];
+  }
+  const std::size_t per_point = rows_ * cols_;
+  const std::size_t grain =
+      std::max<std::size_t>(16, (std::size_t{1} << 20) / per_point);
+  ParallelForChunks(
+      pool, 0, count, grain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        MultiplyAllGatheredChunk(lo, hi, rows_, cols_, mt.data(),
+                                 xs_full.data(), ids.data(), out.data());
+      },
+      kAlwaysParallel);
 }
 
 void Matrix::MultiplyTransposed(std::span<const double> x,

@@ -6,6 +6,7 @@
 #define DPCLUSTER_LA_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -47,6 +48,16 @@ class Matrix {
   /// count. `pool` may be null (serial).
   void MultiplyAll(std::span<const double> xs, std::size_t count,
                    std::span<double> out, ThreadPool* pool = nullptr) const;
+
+  /// MultiplyAll over a gathered row subset: xs_full is row-major with
+  /// cols() columns, out is ids.size() x rows(), and
+  /// out.row(r) = M * xs_full.row(ids[r]) — bit-identical to materializing
+  /// the subset first and calling MultiplyAll on it (each output row's
+  /// accumulation is independent of its batch position), without the copy.
+  void MultiplyAllGathered(std::span<const double> xs_full,
+                           std::span<const std::uint32_t> ids,
+                           std::span<double> out,
+                           ThreadPool* pool = nullptr) const;
 
   /// out = M^T * x (x has rows() entries, out has cols() entries).
   void MultiplyTransposed(std::span<const double> x, std::span<double> out) const;

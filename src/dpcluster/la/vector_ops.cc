@@ -17,12 +17,7 @@ double Norm2(std::span<const double> x) { return std::sqrt(Dot(x, x)); }
 
 double SquaredDistance(std::span<const double> x, std::span<const double> y) {
   DPC_CHECK_EQ(x.size(), y.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double diff = x[i] - y[i];
-    s += diff * diff;
-  }
-  return s;
+  return SquaredDistanceRows(x.data(), y.data(), x.size());
 }
 
 double Distance(std::span<const double> x, std::span<const double> y) {

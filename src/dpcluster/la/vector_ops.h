@@ -5,10 +5,42 @@
 #ifndef DPCLUSTER_LA_VECTOR_OPS_H_
 #define DPCLUSTER_LA_VECTOR_OPS_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
 namespace dpcluster {
+
+/// ||x - y||_2^2 over raw rows in the library's canonical summation order:
+/// four independent lane accumulators over contiguous 4-blocks, combined as
+/// (s0 + s1) + (s2 + s3), then a sequential tail. The fixed tree breaks the
+/// serial add dependency (and lets the compiler keep the four lanes in one
+/// vector register without reassociating), which is what makes the dense
+/// all-pairs fallback scan at high d run near memory speed. Every component
+/// that computes point distances directly (ball counts, the spatial grid's
+/// scans and re-checks, the exact profile sweep) uses this one kernel, so
+/// distances compare bit-for-bit across paths.
+inline double SquaredDistanceRows(const double* x, const double* y,
+                                  std::size_t d) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t c = 0;
+  for (; c + 4 <= d; c += 4) {
+    const double d0 = x[c] - y[c];
+    const double d1 = x[c + 1] - y[c + 1];
+    const double d2 = x[c + 2] - y[c + 2];
+    const double d3 = x[c + 3] - y[c + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; c < d; ++c) {
+    const double diff = x[c] - y[c];
+    s += diff * diff;
+  }
+  return s;
+}
 
 /// <x, y>; sizes must match.
 double Dot(std::span<const double> x, std::span<const double> y);

@@ -15,7 +15,9 @@
 #include "dpcluster/core/good_center.h"
 #include "dpcluster/core/good_radius.h"
 #include "dpcluster/core/k_cluster.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/geo/pairwise.h"
+#include "dpcluster/geo/spatial_grid.h"
 #include "dpcluster/la/jl_transform.h"
 #include "dpcluster/parallel/thread_pool.h"
 #include "dpcluster/sa/estimators.h"
@@ -142,6 +144,105 @@ TEST(DeterminismTest, KClusterBitIdenticalAcrossThreadCounts) {
           << "threads=" << threads << " round=" << round;
       EXPECT_EQ(run.rounds[round].ball.radius, serial.rounds[round].ball.radius)
           << "threads=" << threads << " round=" << round;
+    }
+  }
+}
+
+// GoodCenter's IndexedDataset overload (span-based row access, gathered JL
+// GEMM — no ActiveView materialization) must release the same bits as the
+// PointSet overload on the materialized active view, at any thread count.
+TEST(DeterminismTest, GoodCenterIndexOverloadMatchesActiveView) {
+  const ClusterWorkload w = Workload(18);
+  ASSERT_OK_AND_ASSIGN(IndexedDataset index,
+                       IndexedDataset::Create(w.points, w.domain));
+  for (std::size_t i = 0; i < index.size(); i += 3) index.Remove(i);
+  const PointSet view = index.ActiveView();
+  // Removal takes the planted cluster of 200 down to ~133 members; a looser
+  // budget keeps the stable histogram above its suppression threshold.
+  const std::size_t t = 120;
+  GoodCenterOptions options;
+  options.params = {8.0, 1e-9};
+  options.beta = 0.1;
+
+  options.num_threads = 1;
+  Rng rng_serial(83);
+  ASSERT_OK_AND_ASSIGN(GoodCenterResult serial,
+                       GoodCenter(rng_serial, view, t, 0.05, options));
+
+  for (std::size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    Rng rng(83);
+    ASSERT_OK_AND_ASSIGN(GoodCenterResult run,
+                         GoodCenter(rng, index, t, 0.05, options));
+    EXPECT_EQ(run.center, serial.center) << "threads=" << threads;
+    EXPECT_EQ(run.guarantee_radius, serial.guarantee_radius)
+        << "threads=" << threads;
+    EXPECT_EQ(run.jl_dim, serial.jl_dim) << "threads=" << threads;
+    EXPECT_EQ(run.rounds_used, serial.rounds_used) << "threads=" << threads;
+  }
+
+  // The cached-projection mode (projection_seed != 0) draws its JL matrix
+  // from its own seed — bytes may differ from the default path, but they must
+  // still be thread-invariant and stable across repeated calls (the cache).
+  options.projection_seed = 42;
+  options.num_threads = 1;
+  Rng rng_cached_serial(83);
+  ASSERT_OK_AND_ASSIGN(
+      GoodCenterResult cached_serial,
+      GoodCenter(rng_cached_serial, index, t, 0.05, options));
+  for (std::size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    Rng rng(83);
+    ASSERT_OK_AND_ASSIGN(GoodCenterResult run,
+                         GoodCenter(rng, index, t, 0.05, options));
+    EXPECT_EQ(run.center, cached_serial.center) << "threads=" << threads;
+    EXPECT_EQ(run.guarantee_radius, cached_serial.guarantee_radius)
+        << "threads=" << threads;
+  }
+}
+
+// High-dimensional KCluster: the incremental path (span-based rounds over one
+// shared index) must release the same bits as the PR-5 rebuild reference for
+// every index geometry — the JL-projected candidate index is lossless — at
+// any thread count.
+TEST(DeterminismTest, HighDimKClusterIndexPathsBitIdentical) {
+  Rng data_rng(19);
+  const ClusterWorkload w =
+      MakeTwoClusters(data_rng, 400, 32, 1u << 10, 0.05, 0.4);
+  KClusterOptions options;
+  options.params = {8.0, 1e-9};
+  options.beta = 0.2;
+  options.k = 2;
+
+  options.index_mode = KClusterOptions::IndexMode::kRebuild;
+  options.num_threads = 1;
+  Rng rng_serial(84);
+  ASSERT_OK_AND_ASSIGN(KClusterResult serial,
+                       KCluster(rng_serial, w.points, w.domain, options));
+
+  options.index_mode = KClusterOptions::IndexMode::kIncremental;
+  for (const auto geometry : {IndexGeometry::kExact, IndexGeometry::kProjected,
+                              IndexGeometry::kAuto}) {
+    options.index_geometry = geometry;
+    for (std::size_t threads : kThreadCounts) {
+      options.num_threads = threads;
+      Rng rng(84);
+      ASSERT_OK_AND_ASSIGN(KClusterResult run,
+                           KCluster(rng, w.points, w.domain, options));
+      const std::string context =
+          std::string(" geometry=") +
+          std::string(IndexGeometryName(geometry)) +
+          " threads=" + std::to_string(threads);
+      ASSERT_EQ(run.rounds.size(), serial.rounds.size()) << context;
+      EXPECT_EQ(run.uncovered, serial.uncovered) << context;
+      for (std::size_t round = 0; round < run.rounds.size(); ++round) {
+        EXPECT_EQ(run.rounds[round].ball.center,
+                  serial.rounds[round].ball.center)
+            << context << " round=" << round;
+        EXPECT_EQ(run.rounds[round].ball.radius,
+                  serial.rounds[round].ball.radius)
+            << context << " round=" << round;
+      }
     }
   }
 }

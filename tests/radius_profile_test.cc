@@ -135,15 +135,30 @@ TEST(RadiusProfileTest, ProfileIndexNamesRoundTrip) {
 }
 
 TEST(RadiusProfileTest, AutoCrossoverPrefersGridForSmallT) {
-  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 4096, 256),
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 4096, 256, 2),
             ProfileIndex::kGrid);
-  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 4096, 2048),
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 4096, 2048, 2),
             ProfileIndex::kExact);
-  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 100, 4),
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 100, 4, 2),
             ProfileIndex::kExact);
-  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kGrid, 100, 50),
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kGrid, 100, 50, 2),
             ProfileIndex::kGrid);
-  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kExact, 4096, 2),
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kExact, 4096, 2, 2),
+            ProfileIndex::kExact);
+}
+
+TEST(RadiusProfileTest, AutoCrossoverExtendsGridRangeAtHighDimension) {
+  // t - 1 in (n/4, n/2]: exact at low d, but at d >= 16 the cell grid
+  // collapses to one cell, batched k-NN runs the blocked dense scan at a
+  // cost independent of t, and the grid generator stays ahead of the pair
+  // sweep.
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 4096, 1500, 2),
+            ProfileIndex::kExact);
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 4096, 1500, 32),
+            ProfileIndex::kGrid);
+  // Beyond n/2 even the t-independent dense scan cannot pay for itself
+  // against the events the sweep must then carry.
+  EXPECT_EQ(ResolveProfileIndex(ProfileIndex::kAuto, 4096, 2500, 32),
             ProfileIndex::kExact);
 }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dpcluster/geo/spatial_grid.h"
@@ -101,12 +102,53 @@ TEST(SpatialGridTest, BoundaryPointsStayInTheLastCell) {
 TEST(SpatialGridTest, DegenerateHighDimensionFallsBackToFullScan) {
   Rng rng(103);
   const std::size_t d = 32;
+  const std::size_t k = 20;
   const GridDomain domain(1u << 10, d);
   PointSet s = testing_util::UniformCube(rng, 150, d);
   domain.SnapAll(s);
-  ASSERT_OK_AND_ASSIGN(SpatialGrid grid, SpatialGrid::Build(s, domain, 20));
+  // The exact geometry at high d collapses to one cell and every query scans
+  // the full live prefix (kAuto resolves to exact too; the explicit request
+  // also pins the degenerate shape if the heuristics ever move).
+  ASSERT_OK_AND_ASSIGN(
+      SpatialGrid grid,
+      SpatialGrid::Build(s, domain, k, IndexGeometry::kExact));
   EXPECT_EQ(grid.cells_per_axis(), 1u);
-  ExpectMatchesBruteForce(s, domain, 20);
+  ExpectMatchesBruteForce(s, domain, k);
+
+  // The one-cell batch runs the blocked dense pass: rows must equal the
+  // per-query path bit for bit, sorted and unsorted (as multisets), at any
+  // thread count, and for explicit query lists after a removal.
+  SpatialGrid::Workspace ws;
+  std::vector<double> row;
+  for (const bool sorted : {true, false}) {
+    std::vector<double> batch(s.size() * k);
+    grid.BatchKnnDistances(k, batch, nullptr, sorted);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      grid.KnnDistances(i, k, ws, row, sorted);
+      for (std::size_t j = 0; j < k; ++j) {
+        ASSERT_EQ(batch[i * k + j], row[j])
+            << "sorted=" << sorted << " i=" << i << " j=" << j;
+      }
+    }
+    ThreadPool pool(4);
+    std::vector<double> parallel(s.size() * k);
+    grid.BatchKnnDistances(k, parallel, &pool, sorted);
+    EXPECT_EQ(batch, parallel) << "sorted=" << sorted;
+  }
+
+  grid.Remove(17);
+  std::vector<std::uint32_t> queries;
+  for (std::uint32_t i = 0; i < s.size(); ++i) {
+    if (i != 17) queries.push_back(i);
+  }
+  std::vector<double> batch_for(queries.size() * k);
+  grid.BatchKnnDistancesFor(queries, k, batch_for, nullptr);
+  for (std::size_t r = 0; r < queries.size(); ++r) {
+    grid.KnnDistances(queries[r], k, ws, row);
+    for (std::size_t j = 0; j < k; ++j) {
+      ASSERT_EQ(batch_for[r * k + j], row[j]) << "r=" << r << " j=" << j;
+    }
+  }
 }
 
 TEST(SpatialGridTest, KLargerThanNMinusOneIsClamped) {

@@ -23,6 +23,14 @@
 //   --seed S             root RNG seed       (default 2016)
 //   --threads W          kernel threads      (default 1)
 //   --out PATH           JSON output path    (default BENCH_accuracy.json)
+//   --jl-dim-sweep       run the sweep once per GoodCenter JL projection cap
+//                        (Tuning::max_jl_dim) and emit every run in one JSON,
+//                        cells labeled "<algorithm>/jl<cap>" — maps the
+//                        accuracy/cost frontier of the projection dimension.
+//                        Defaults to d=32 data unless --dim is given, and to
+//                        an eps grid of 32,64 unless --eps is given (the d=32
+//                        pipeline is suppressed at the low-d default budgets).
+//   --jl-dims c1,c2,..   caps for --jl-dim-sweep (default 4,6,8,12,16,24)
 
 #include <cstdio>
 #include <cstdlib>
@@ -75,7 +83,8 @@ void Usage() {
                "usage: eval_harness [--smoke] [--list] [--scenarios a,b]\n"
                "       [--algorithms a,b] [--eps e1,e2] [--delta D]\n"
                "       [--n n1,n2] [--dim d1,d2] [--levels L] [--trials T]\n"
-               "       [--seed S] [--threads W] [--out PATH]\n");
+               "       [--seed S] [--threads W] [--out PATH]\n"
+               "       [--jl-dim-sweep] [--jl-dims c1,c2]\n");
 }
 
 void ListRegistries() {
@@ -174,7 +183,11 @@ int main(int argc, char** argv) {
   SweepConfig config;
   std::string out = "BENCH_accuracy.json";
   bool smoke = false;
+  bool jl_dim_sweep = false;
+  std::vector<std::size_t> jl_dims = {4, 6, 8, 12, 16, 24};
   bool grid_flags_set = false;  // --smoke owns the grid; reject conflicts
+  bool dim_flag_set = false;
+  bool eps_flag_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -195,6 +208,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--eps" && (v = next())) {
       config.epsilons = SplitCsvDoubles(v);
       grid_flags_set = true;
+      eps_flag_set = true;
     } else if (arg == "--delta" && (v = next())) {
       config.delta = std::strtod(v, nullptr);
     } else if (arg == "--n" && (v = next())) {
@@ -203,6 +217,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--dim" && (v = next())) {
       config.dims = SplitCsvSizes(v);
       grid_flags_set = true;
+      dim_flag_set = true;
+    } else if (arg == "--jl-dim-sweep") {
+      jl_dim_sweep = true;
+    } else if (arg == "--jl-dims" && (v = next())) {
+      jl_dims = SplitCsvSizes(v);
     } else if (arg == "--levels" && (v = next())) {
       config.levels = std::strtoull(v, nullptr, 10);
     } else if (arg == "--trials" && (v = next())) {
@@ -238,6 +257,41 @@ int main(int argc, char** argv) {
     config.ns = {2048};
     config.dims = {2};
     config.trials = 3;
+  }
+
+  if (jl_dim_sweep) {
+    if (smoke) {
+      std::fprintf(stderr, "--jl-dim-sweep and --smoke are exclusive\n");
+      return 2;
+    }
+    if (jl_dims.empty()) {
+      std::fprintf(stderr, "--jl-dims: empty cap list\n");
+      return 2;
+    }
+    // High-dimensional data by default — at d = 2 the projection cap never
+    // binds and every run would measure the same thing. The default eps grid
+    // moves up with it: at d = 32 the pipeline's stable histograms are
+    // suppressed up to eps ~ 16 and every cell would report only failures.
+    if (!dim_flag_set) config.dims = {32};
+    if (!eps_flag_set) config.epsilons = {32.0, 64.0};
+    std::vector<SweepCell> combined;
+    for (std::size_t cap : jl_dims) {
+      config.max_jl_dim = cap;
+      std::printf("\n=== max_jl_dim = %zu ===\n", cap);
+      const auto cells = RunAccuracySweep(config);
+      if (!cells.ok()) {
+        std::fprintf(stderr, "sweep failed at max_jl_dim=%zu: %s\n", cap,
+                     cells.status().ToString().c_str());
+        return 1;
+      }
+      PrintSweepTables(*cells);
+      for (SweepCell cell : *cells) {
+        cell.algorithm += "/jl" + std::to_string(cap);
+        combined.push_back(std::move(cell));
+      }
+    }
+    if (!WriteAccuracyJson(out, config, combined)) return 1;
+    return 0;
   }
 
   const auto cells = RunAccuracySweep(config);
