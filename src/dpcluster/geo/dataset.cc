@@ -225,6 +225,29 @@ std::size_t KnnCappedCounts::CountWithinCapped(std::size_t rank,
   return 1 + BranchlessUpperBound(row, bound);
 }
 
+std::uint64_t GeometryFingerprint(const PointSet& points,
+                                  const GridDomain& domain) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](const void* bytes, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(bytes);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+  };
+  const std::uint64_t n = points.size();
+  const std::uint64_t d = points.dim();
+  const std::uint64_t levels = domain.levels();
+  const double axis = domain.axis_length();
+  mix(&n, sizeof n);
+  mix(&d, sizeof d);
+  mix(&levels, sizeof levels);
+  mix(&axis, sizeof axis);
+  const std::span<const double> data = points.Data();
+  mix(data.data(), data.size() * sizeof(double));
+  return h;
+}
+
 double KnnCappedCounts::CappedTopAverage(double r, std::size_t top) const {
   DPC_CHECK_GE(top, 1u);
   DPC_CHECK_LE(top, cap_);

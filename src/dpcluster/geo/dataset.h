@@ -170,6 +170,16 @@ class IndexedDataset {
   mutable std::optional<ProjectionCache> projection_;  // single entry
 };
 
+/// Order-sensitive 64-bit FNV-1a fingerprint of a dataset and its universe
+/// (the row bytes plus n, d, |X|, and the axis length) — the identity check
+/// the service layer's keyed index cache runs before reusing a cached
+/// IndexedDataset under a client-chosen dataset key. Two inputs fingerprint
+/// equal iff their rows and domain shape are byte-identical (up to hash
+/// collision); row order matters, matching the ordered-multiset semantics
+/// of PointSet.
+std::uint64_t GeometryFingerprint(const PointSet& points,
+                                  const GridDomain& domain);
+
 /// Sorted per-active-point rows of the (cap-1) nearest-neighbor distances —
 /// the O(n t) replacement for the n x n PairwiseDistances matrix on the
 /// SparseVector GoodRadius path. Because every per-center ball count is

@@ -1,0 +1,109 @@
+// BoundedQueue: a small mutex/condition-variable MPMC queue with a hard
+// capacity, the admission-control seam of the service layer. Producers
+// (the daemon's accept loop) TryPush and shed load when the queue is full
+// — a bounded queue turns overload into an explicit, structured rejection
+// instead of unbounded memory growth — and consumers (ThreadPool-driven
+// worker loops) block in Pop until work arrives or the queue is closed.
+//
+// Close() is the graceful-shutdown protocol: producers are refused from
+// that point on, consumers drain whatever is already queued, and every
+// blocked Pop returns nullopt once the queue is empty. All operations are
+// thread-safe; none spin.
+
+#ifndef DPCLUSTER_PARALLEL_BOUNDED_QUEUE_H_
+#define DPCLUSTER_PARALLEL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    DPC_CHECK_GE(capacity, 1u);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Enqueues without blocking; false when the queue is full or closed
+  /// (the producer sheds the item — e.g. answers 503).
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  /// Enqueues, blocking while the queue is full; false when the queue is
+  /// (or becomes) closed before the item is accepted.
+  bool Push(T value) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      push_cv_.wait(lock,
+                    [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeues, blocking until an item is available; nullopt once the queue
+  /// is closed and fully drained.
+  std::optional<T> Pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pop_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    push_cv_.notify_one();
+    return out;
+  }
+
+  /// Refuses all future pushes and wakes every waiter; already-queued items
+  /// remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    pop_cv_.notify_all();
+    push_cv_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable pop_cv_;
+  std::condition_variable push_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_PARALLEL_BOUNDED_QUEUE_H_

@@ -1,0 +1,102 @@
+#include "dpcluster/service/http_client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dpcluster {
+
+Result<HttpResponse> HttpCall(int port, std::string_view method,
+                              std::string_view path, std::string_view body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket(): " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect(127.0.0.1:" + std::to_string(port) +
+                            "): " + message);
+  }
+  // A server that accepted the connection into its backlog but never serves
+  // it (e.g. it is draining) would otherwise hang the caller forever.
+  timeval timeout{/*tv_sec=*/60, /*tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  std::string request;
+  request.append(method);
+  request.append(" ");
+  request.append(path);
+  request.append(" HTTP/1.1\r\nHost: 127.0.0.1\r\n");
+  if (!body.empty() || method == "POST") {
+    request.append("Content-Type: application/json\r\nContent-Length: " +
+                   std::to_string(body.size()) + "\r\n");
+  }
+  request.append("Connection: close\r\n\r\n");
+  request.append(body);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      const std::string message = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("send(): " + message);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  // The server replies Connection: close, so read to EOF.
+  std::string reply;
+  char chunk[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string message = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("recv(): " + message);
+    }
+    if (n == 0) break;
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 NNN ...".
+  if (reply.size() < 12 || reply.compare(0, 5, "HTTP/") != 0) {
+    return Status::Internal("unparsable HTTP reply");
+  }
+  const std::size_t space = reply.find(' ');
+  if (space == std::string::npos || space + 4 > reply.size()) {
+    return Status::Internal("unparsable HTTP status line");
+  }
+  HttpResponse response;
+  response.status = (reply[space + 1] - '0') * 100 +
+                    (reply[space + 2] - '0') * 10 + (reply[space + 3] - '0');
+  const std::size_t header_end = reply.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Internal("HTTP reply has no header terminator");
+  }
+  response.body = reply.substr(header_end + 4);
+  return response;
+}
+
+Result<HttpResponse> HttpGet(int port, std::string_view path) {
+  return HttpCall(port, "GET", path, "");
+}
+
+Result<HttpResponse> HttpPost(int port, std::string_view path,
+                              std::string_view body) {
+  return HttpCall(port, "POST", path, body);
+}
+
+}  // namespace dpcluster

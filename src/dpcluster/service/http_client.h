@@ -1,0 +1,36 @@
+// Minimal blocking HTTP/1.1 client for the daemon's tests, bench, and CLI
+// probes: one request per connection against 127.0.0.1, Content-Length
+// bodies, no external dependencies. Not a general client — just enough to
+// drive HttpServer end to end.
+
+#ifndef DPCLUSTER_SERVICE_HTTP_CLIENT_H_
+#define DPCLUSTER_SERVICE_HTTP_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "dpcluster/common/status.h"
+
+namespace dpcluster {
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// One round trip to 127.0.0.1:port. `method` is "GET" or "POST"; POST
+/// sends `body` with Content-Type: application/json. Internal error on
+/// connect/send/recv failure or an unparsable reply.
+Result<HttpResponse> HttpCall(int port, std::string_view method,
+                              std::string_view path, std::string_view body);
+
+/// HttpCall("GET", path, "").
+Result<HttpResponse> HttpGet(int port, std::string_view path);
+
+/// HttpCall("POST", path, body).
+Result<HttpResponse> HttpPost(int port, std::string_view path,
+                              std::string_view body);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_SERVICE_HTTP_CLIENT_H_

@@ -1,0 +1,111 @@
+// HttpServer: the socket shell of the dpcluster daemon. A deliberately
+// small HTTP/1.1 server — loopback TCP, blocking I/O, no external
+// dependencies — that feeds ClusterService::Handle:
+//
+//   accept thread --TryPush--> BoundedQueue<Connection> --Pop--> workers
+//
+// One std::thread runs the accept loop (poll on the listen socket plus a
+// self-pipe for wakeup); accepted connections are TryPushed onto a bounded
+// queue. A full queue sheds load at the door: the accept loop answers 503
+// QueueFull itself and closes, so overload never grows memory. A second
+// std::thread drains the queue through the deterministic ThreadPool
+// (parallel/thread_pool.h): RunChunks(workers, ...) runs one drain loop per
+// chunk, each popping connections until the queue closes. The pool
+// hardware-caps its workers, so on a small machine the same code serves
+// sequentially — admission, budgets, and replies are identical at any
+// worker count.
+//
+// Graceful shutdown (Stop, or a served POST /v1/shutdown): the listen
+// socket closes first (no new connections), then the queue closes; workers
+// finish every request already admitted before the threads join. In-flight
+// requests are never dropped.
+//
+// Protocol support is the minimum the service needs: GET/POST,
+// Content-Length bodies (no chunked encoding), Connection: close replies.
+// Requests above the configured header/body caps answer 413.
+
+#ifndef DPCLUSTER_SERVICE_HTTP_SERVER_H_
+#define DPCLUSTER_SERVICE_HTTP_SERVER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "dpcluster/common/status.h"
+#include "dpcluster/parallel/bounded_queue.h"
+#include "dpcluster/parallel/thread_pool.h"
+#include "dpcluster/service/service.h"
+
+namespace dpcluster {
+
+struct HttpServerOptions {
+  /// TCP port on 127.0.0.1; 0 = pick an ephemeral port (see port()).
+  int port = 0;
+  /// Drain loops offered to the ThreadPool (hardware-capped like every
+  /// pool; more workers than cores costs nothing).
+  std::size_t workers = 4;
+  /// Admission-queue capacity; connection #capacity+1 is answered 503.
+  std::size_t queue_depth = 64;
+  /// Hard cap on one request's bytes on the wire (start line + headers +
+  /// body); larger requests answer 413 without buffering further.
+  std::size_t max_request_bytes = 64u << 20;
+};
+
+class HttpServer {
+ public:
+  struct Stats {
+    std::uint64_t accepted = 0;  ///< Connections taken from the OS.
+    std::uint64_t served = 0;    ///< Requests answered by a worker.
+    std::uint64_t shed = 0;      ///< 503 QueueFull answered at the door.
+  };
+
+  /// `service` must outlive the server.
+  HttpServer(ClusterService* service, HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept + drain threads.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, drain admitted connections, join.
+  /// Idempotent; also triggered by a served POST /v1/shutdown.
+  void Stop();
+
+  /// The bound port (after Start; stable for ephemeral binds).
+  int port() const { return port_; }
+
+  bool running() const { return running_; }
+
+  Stats GetStats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::chrono::steady_clock::time_point accepted_at;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection connection);
+
+  ClusterService* service_;
+  const HttpServerOptions options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
+  bool running_ = false;
+  std::unique_ptr<BoundedQueue<Connection>> queue_;
+  std::thread accept_thread_;
+  std::thread drain_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_SERVICE_HTTP_SERVER_H_

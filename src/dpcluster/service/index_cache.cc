@@ -1,0 +1,106 @@
+#include "dpcluster/service/index_cache.h"
+
+#include <utility>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+void IndexCache::Lease::Release() {
+  if (cache_ == nullptr) return;
+  // Hand the whole dataset back to the next borrower, whatever this
+  // request's algorithm removed.
+  index_->RestoreAll();
+  cache_->ReleaseEntry(index_.get());
+  cache_ = nullptr;
+  index_.reset();
+}
+
+IndexCache::IndexCache(std::size_t capacity) : capacity_(capacity) {
+  DPC_CHECK_GE(capacity, 1u);
+  entries_.reserve(capacity);
+}
+
+IndexCache::Lease IndexCache::Acquire(const std::string& key,
+                                      const PointSet& points,
+                                      const GridDomain& domain) {
+  const std::uint64_t fingerprint = GeometryFingerprint(points, domain);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : entries_) {
+    if (entry.key != key) continue;
+    if (entry.leased) {
+      ++stats_.bypasses;
+      return Lease();
+    }
+    if (entry.fingerprint != fingerprint) {
+      // Same key, different bytes: the claimed identity is stale. Replace.
+      auto rebuilt = IndexedDataset::Create(points, domain);
+      if (!rebuilt.ok()) {
+        ++stats_.bypasses;
+        return Lease();
+      }
+      entry.fingerprint = fingerprint;
+      entry.index = std::make_shared<IndexedDataset>(std::move(*rebuilt));
+      ++stats_.replaced;
+    } else {
+      ++stats_.hits;
+    }
+    entry.leased = true;
+    entry.last_used = ++clock_;
+    return Lease(this, entry.index);
+  }
+
+  // Miss: make room, then build.
+  if (entries_.size() >= capacity_) {
+    std::size_t victim = entries_.size();
+    for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+      if (entries_[slot].leased) continue;
+      if (victim == entries_.size() ||
+          entries_[slot].last_used < entries_[victim].last_used) {
+        victim = slot;
+      }
+    }
+    if (victim == entries_.size()) {
+      // Every resident entry is leased right now; serve this one index-free.
+      ++stats_.bypasses;
+      return Lease();
+    }
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++stats_.evictions;
+  }
+  auto built = IndexedDataset::Create(points, domain);
+  if (!built.ok()) {
+    ++stats_.bypasses;
+    return Lease();
+  }
+  Entry entry;
+  entry.key = key;
+  entry.fingerprint = fingerprint;
+  entry.index = std::make_shared<IndexedDataset>(std::move(*built));
+  entry.leased = true;
+  entry.last_used = ++clock_;
+  entries_.push_back(std::move(entry));
+  ++stats_.misses;
+  return Lease(this, entries_.back().index);
+}
+
+void IndexCache::ReleaseEntry(const IndexedDataset* index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : entries_) {
+    if (entry.index.get() == index) {
+      DPC_CHECK(entry.leased);
+      entry.leased = false;
+      return;
+    }
+  }
+  DPC_CHECK(false);  // A live lease always has a resident entry.
+}
+
+IndexCache::Stats IndexCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats = stats_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+}  // namespace dpcluster

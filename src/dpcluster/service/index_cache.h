@@ -1,0 +1,118 @@
+// IndexCache: the daemon's keyed LRU cache of shared IndexedDatasets.
+//
+// Clients name their dataset with a string key ("dataset" in the wire
+// request); the cache maps that key to one IndexedDataset whose SpatialGrid
+// and JL projection cache survive across requests, so repeated solves over
+// the same data stop paying the index build. Because the client key is
+// *claimed*, not proven, every hit is verified against GeometryFingerprint
+// (geo/dataset.h): a key reused for different bytes replaces the entry
+// instead of silently serving the wrong geometry.
+//
+// Concurrency: IndexedDataset is not thread-safe ("one thread at a time"),
+// so the cache hands out exclusive RAII leases. A request that finds its
+// entry leased by another worker BYPASSES the cache — it runs index-free,
+// which by the PR-5 exactness contract releases bit-identical outputs, just
+// without the reuse speedup. No request ever blocks on another tenant's
+// index. Releasing a lease restores the full active set (RestoreAll), so
+// the next borrower always starts from the whole dataset.
+//
+// Eviction: least-recently-used among entries not currently leased, only
+// when inserting above capacity. Stats() exposes hit/miss/replace/evict/
+// bypass counters for /v1/stats and the cache tests.
+
+#ifndef DPCLUSTER_SERVICE_INDEX_CACHE_H_
+#define DPCLUSTER_SERVICE_INDEX_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dpcluster/geo/dataset.h"
+
+namespace dpcluster {
+
+class IndexCache {
+ public:
+  /// Exclusive borrow of one cached IndexedDataset. Falsy when the cache
+  /// was bypassed (entry leased elsewhere, capacity exhausted by leased
+  /// entries, or index construction failed) — the caller then runs
+  /// index-free. Move-only; returns the entry on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      Release();
+      cache_ = other.cache_;
+      index_ = std::move(other.index_);
+      other.cache_ = nullptr;
+      other.index_.reset();
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    explicit operator bool() const { return index_ != nullptr; }
+    /// The leased index; only valid while the lease is truthy. The caller
+    /// may hand this to Request::shared_index but must not retain it past
+    /// the lease's lifetime.
+    const std::shared_ptr<IndexedDataset>& index() const { return index_; }
+
+   private:
+    friend class IndexCache;
+    Lease(IndexCache* cache, std::shared_ptr<IndexedDataset> index)
+        : cache_(cache), index_(std::move(index)) {}
+    void Release();
+
+    IndexCache* cache_ = nullptr;
+    std::shared_ptr<IndexedDataset> index_;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;       ///< Key found, fingerprint verified.
+    std::uint64_t misses = 0;     ///< Key absent; fresh index built.
+    std::uint64_t replaced = 0;   ///< Key found but bytes changed.
+    std::uint64_t evictions = 0;  ///< LRU entry dropped to make room.
+    std::uint64_t bypasses = 0;   ///< Served index-free (entry busy / full
+                                  ///< of leased entries / build failure).
+    std::uint64_t entries = 0;    ///< Current resident indexes.
+  };
+
+  /// `capacity` >= 1: max resident indexes.
+  explicit IndexCache(std::size_t capacity);
+
+  /// Borrows (building on demand) the index for `key` over exactly
+  /// (points, domain). Falsy lease = bypass; never blocks on a busy entry.
+  Lease Acquire(const std::string& key, const PointSet& points,
+                const GridDomain& domain);
+
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<IndexedDataset> index;
+    bool leased = false;
+    std::uint64_t last_used = 0;  // LRU clock value of the latest borrow.
+  };
+
+  /// Marks the entry holding `index` not-leased. Entries can shift position
+  /// while a lease is out (a lower slot may be evicted), so the entry is
+  /// found by pointer identity — leased entries are never evicted.
+  void ReleaseEntry(const IndexedDataset* index);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_SERVICE_INDEX_CACHE_H_

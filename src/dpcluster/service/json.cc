@@ -1,0 +1,446 @@
+#include "dpcluster/service/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "dpcluster/common/check.h"
+
+namespace dpcluster {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendUtf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Cursor over the input; all parse functions advance it or fail.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos) + ": " + what);
+  }
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+  bool PeekDigit() const {
+    return !AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()));
+  }
+
+  void SkipSpace() {
+    while (!AtEnd()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (!AtEnd() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth);
+  Result<std::string> ParseString();
+  /// Validates a JSON number at the cursor and returns its exact lexeme.
+  Result<std::string> ParseNumberLexeme();
+};
+
+Result<std::string> Parser::ParseString() {
+  if (!Consume('"')) return Error("expected '\"'");
+  std::string out;
+  while (true) {
+    if (AtEnd()) return Error("unterminated string");
+    const char c = text[pos++];
+    if (c == '"') return out;
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Error("unescaped control character in string");
+    }
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (AtEnd()) return Error("unterminated escape");
+    const char e = text[pos++];
+    switch (e) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        const auto hex4 = [&]() -> int {
+          if (pos + 4 > text.size()) return -1;
+          int value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos + i];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= h - '0';
+            else if (h >= 'a' && h <= 'f') value |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') value |= h - 'A' + 10;
+            else return -1;
+          }
+          pos += 4;
+          return value;
+        };
+        const int hi = hex4();
+        if (hi < 0) return Error("bad \\u escape");
+        std::uint32_t cp = static_cast<std::uint32_t>(hi);
+        if (cp >= 0xD800 && cp < 0xDC00) {
+          // Surrogate pair: a low surrogate escape must follow.
+          if (pos + 2 > text.size() || text[pos] != '\\' ||
+              text[pos + 1] != 'u') {
+            return Error("lone high surrogate");
+          }
+          pos += 2;
+          const int lo = hex4();
+          if (lo < 0xDC00 || lo > 0xDFFF) return Error("bad low surrogate");
+          cp = 0x10000 + ((cp - 0xD800) << 10) +
+               (static_cast<std::uint32_t>(lo) - 0xDC00);
+        } else if (cp >= 0xDC00 && cp < 0xE000) {
+          return Error("lone low surrogate");
+        }
+        AppendUtf8(out, cp);
+        break;
+      }
+      default:
+        return Error("unknown escape");
+    }
+  }
+}
+
+Result<std::string> Parser::ParseNumberLexeme() {
+  const std::size_t start = pos;
+  Consume('-');
+  if (!PeekDigit()) return Error("malformed number");
+  if (Peek() == '0') {
+    ++pos;
+  } else {
+    while (PeekDigit()) ++pos;
+  }
+  if (Consume('.')) {
+    if (!PeekDigit()) return Error("malformed number fraction");
+    while (PeekDigit()) ++pos;
+  }
+  if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+    ++pos;
+    if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos;
+    if (!PeekDigit()) return Error("malformed number exponent");
+    while (PeekDigit()) ++pos;
+  }
+  return std::string(text.substr(start, pos - start));
+}
+
+Result<JsonValue> Parser::ParseValue(int depth) {
+  if (depth > kMaxDepth) return Error("nesting too deep");
+  SkipSpace();
+  if (AtEnd()) return Error("unexpected end of input");
+  const char c = Peek();
+  if (c == '{') {
+    ++pos;
+    JsonValue object = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipSpace();
+      DPC_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      DPC_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      if (object.Find(key) != nullptr) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      object.Set(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}'");
+    }
+  }
+  if (c == '[') {
+    ++pos;
+    JsonValue array = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) return array;
+    while (true) {
+      DPC_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      array.Append(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']'");
+    }
+  }
+  if (c == '"') {
+    DPC_ASSIGN_OR_RETURN(std::string s, ParseString());
+    return JsonValue::String(std::move(s));
+  }
+  if (c == 't') {
+    if (ConsumeWord("true")) return JsonValue::Bool(true);
+    return Error("bad literal");
+  }
+  if (c == 'f') {
+    if (ConsumeWord("false")) return JsonValue::Bool(false);
+    return Error("bad literal");
+  }
+  if (c == 'n') {
+    if (ConsumeWord("null")) return JsonValue::Null();
+    return Error("bad literal");
+  }
+  if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+    DPC_ASSIGN_OR_RETURN(std::string lexeme, ParseNumberLexeme());
+    return JsonValue::NumberFromLexeme(std::move(lexeme));
+  }
+  return Error("unexpected character");
+}
+
+}  // namespace
+
+// --- JsonValue ------------------------------------------------------------
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.text_ = JsonNumberLexeme(value);
+  return v;
+}
+
+JsonValue JsonValue::Number(std::uint64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.text_ = std::to_string(value);
+  return v;
+}
+
+JsonValue JsonValue::Number(int value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.text_ = std::to_string(value);
+  return v;
+}
+
+JsonValue JsonValue::NumberFromLexeme(std::string lexeme) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.text_ = std::move(lexeme);
+  return v;
+}
+
+JsonValue JsonValue::String(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.text_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  DPC_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  DPC_CHECK(is_number());
+  return std::strtod(text_.c_str(), nullptr);
+}
+
+Result<std::uint64_t> JsonValue::AsU64() const {
+  DPC_CHECK(is_number());
+  if (!text_.empty() && text_[0] == '-') {
+    return Status::InvalidArgument("expected a non-negative integer, got " +
+                                   text_);
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text_.data(), text_.data() + text_.size(), value);
+  if (ec != std::errc() || ptr != text_.data() + text_.size()) {
+    return Status::InvalidArgument("expected an unsigned integer, got " +
+                                   text_);
+  }
+  return value;
+}
+
+const std::string& JsonValue::AsString() const {
+  DPC_CHECK(is_string());
+  return text_;
+}
+
+const std::string& JsonValue::lexeme() const {
+  DPC_CHECK(is_number());
+  return text_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  DPC_CHECK(is_array());
+  return items_;
+}
+
+void JsonValue::Append(JsonValue value) {
+  DPC_CHECK(is_array());
+  items_.push_back(std::move(value));
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  DPC_CHECK(is_object());
+  return members_;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  DPC_CHECK(is_object());
+  for (Member& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  DPC_CHECK(is_object());
+  for (const Member& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::EncodeTo(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      out += text_;
+      break;
+    case Kind::kString:
+      AppendEscaped(out, text_);
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out.push_back(',');
+        items_[i].EncodeTo(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out.push_back(',');
+        AppendEscaped(out, members_[i].first);
+        out.push_back(':');
+        members_[i].second.EncodeTo(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Encode() const {
+  std::string out;
+  EncodeTo(out);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  Parser parser{text};
+  DPC_ASSIGN_OR_RETURN(JsonValue value, parser.ParseValue(0));
+  parser.SkipSpace();
+  if (!parser.AtEnd()) return parser.Error("trailing garbage");
+  return value;
+}
+
+std::string JsonNumberLexeme(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  DPC_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+}  // namespace dpcluster

@@ -1,0 +1,108 @@
+// Minimal JSON document model for the service wire protocol: a strict
+// recursive-descent parser and a deterministic writer, no external
+// dependencies. The model is deliberately small — null/bool/number/string/
+// array/object — but two properties matter for the protocol layer:
+//
+//  * Numbers keep their lexeme. A parsed number re-encodes as the exact
+//    bytes the client sent, and numbers built from uint64 (seeds, levels)
+//    never round-trip through double — so encode(parse(encode(x))) is the
+//    identity on protocol messages (service_protocol_test pins this).
+//    Doubles are formatted with std::to_chars shortest-round-trip form.
+//  * Objects preserve insertion order (vector of members, not a map), so
+//    the writer's output is a deterministic function of construction order.
+//
+// Parsing is strict JSON (RFC 8259): no trailing garbage, no comments, no
+// trailing commas, \uXXXX escapes decoded to UTF-8, depth-capped to keep
+// adversarial inputs from recursing the stack away.
+
+#ifndef DPCLUSTER_SERVICE_JSON_H_
+#define DPCLUSTER_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dpcluster/common/status.h"
+
+namespace dpcluster {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  /// Default-constructed value is null.
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue Number(std::uint64_t value);
+  static JsonValue Number(int value);
+  /// A number carrying an exact spelling; `lexeme` must be a valid JSON
+  /// number (the parser uses this to round-trip client bytes unchanged).
+  static JsonValue NumberFromLexeme(std::string lexeme);
+  static JsonValue String(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Value accessors; each requires the matching kind.
+  bool AsBool() const;
+  /// The number as a double (strtod over the stored lexeme).
+  double AsDouble() const;
+  /// The number as an exact unsigned integer; InvalidArgument when the
+  /// lexeme is negative, fractional, or does not fit in 64 bits.
+  Result<std::uint64_t> AsU64() const;
+  const std::string& AsString() const;
+
+  /// The stored number lexeme ("1e-9", "42"); requires is_number().
+  const std::string& lexeme() const;
+
+  // --- Arrays -------------------------------------------------------------
+  const std::vector<JsonValue>& items() const;
+  void Append(JsonValue value);
+
+  // --- Objects ------------------------------------------------------------
+  const std::vector<Member>& members() const;
+  /// Appends (or overwrites, keeping position) a member.
+  void Set(std::string key, JsonValue value);
+  /// The member named `key`, or nullptr when absent.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Compact deterministic serialization (members in stored order).
+  std::string Encode() const;
+
+  /// Strict parse of a complete JSON document. Any syntax error, trailing
+  /// garbage, or nesting deeper than 64 levels is InvalidArgument with a
+  /// byte-offset message.
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void EncodeTo(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  /// String payload for kString; exact lexeme for kNumber.
+  std::string text_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Formats a double in shortest round-trip form ("0.1", "1e-9", integral
+/// doubles without a trailing ".0"). NaN/Inf are not valid JSON and encode
+/// as null — the protocol layer never emits them in number position.
+std::string JsonNumberLexeme(double value);
+
+}  // namespace dpcluster
+
+#endif  // DPCLUSTER_SERVICE_JSON_H_

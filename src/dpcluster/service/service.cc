@@ -1,0 +1,315 @@
+#include "dpcluster/service/service.h"
+
+#include <utility>
+
+#include "dpcluster/api/solver.h"
+
+namespace dpcluster {
+
+namespace {
+
+// Same floating-point slack BudgetSession allows on its own overdraw check:
+// admission must not refuse a request that composition arithmetic would
+// accept.
+constexpr double kSlack = 1e-12;
+
+std::string LedgerKey(const std::string& tenant, const std::string& dataset) {
+  return tenant + "\n" + dataset;
+}
+
+JsonValue BudgetToJson(const PrivacyParams& cap, const PrivacyParams& spent) {
+  PrivacyParams remaining{cap.epsilon - spent.epsilon, cap.delta - spent.delta};
+  if (remaining.epsilon < 0.0) remaining.epsilon = 0.0;
+  if (remaining.delta < 0.0) remaining.delta = 0.0;
+  JsonValue object = JsonValue::Object();
+  object.Set("cap", PrivacyParamsToJson(cap));
+  object.Set("spent", PrivacyParamsToJson(spent));
+  object.Set("remaining", PrivacyParamsToJson(remaining));
+  return object;
+}
+
+ServiceReply ReplyWith(int http_status, const JsonValue& json) {
+  return ServiceReply{http_status, json.Encode()};
+}
+
+}  // namespace
+
+ClusterService::ClusterService(ServiceOptions options)
+    : options_(std::move(options)),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : &AlgorithmRegistry::Global()),
+      cache_(options_.cache_capacity) {}
+
+bool ClusterService::shutdown_requested() const {
+  return shutdown_.load(std::memory_order_acquire);
+}
+
+void ClusterService::RequestShutdown() {
+  shutdown_.store(true, std::memory_order_release);
+}
+
+ClusterService::Stats ClusterService::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+PrivacyParams ClusterService::SpentBy(const std::string& tenant,
+                                      const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(ledger_mutex_);
+  const auto it = ledgers_.find(LedgerKey(tenant, dataset));
+  if (it == ledgers_.end()) return PrivacyParams{0.0, 0.0};
+  return it->second.charges.BasicTotal();
+}
+
+PrivacyParams ClusterService::CapFor(const std::string& tenant) const {
+  const auto it = options_.tenant_budgets.find(tenant);
+  return it != options_.tenant_budgets.end() ? it->second
+                                             : options_.default_budget;
+}
+
+ServiceReply ClusterService::Error(ServiceErrorCode code,
+                                   const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.rejected;
+    if (code == ServiceErrorCode::kBudgetExhausted) ++stats_.budget_rejections;
+  }
+  return ReplyWith(HttpStatusOf(code), ErrorToJson(code, message));
+}
+
+ServiceReply ClusterService::Handle(std::string_view method,
+                                    std::string_view path,
+                                    std::string_view body) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  if (path == "/healthz") {
+    if (method != "GET") {
+      return ReplyWith(405, ErrorToJson(ServiceErrorCode::kMethodNotAllowed,
+                                        "/healthz accepts GET"));
+    }
+    return Health();
+  }
+  if (path == "/v1/algorithms") {
+    if (method != "GET") {
+      return ReplyWith(405, ErrorToJson(ServiceErrorCode::kMethodNotAllowed,
+                                        "/v1/algorithms accepts GET"));
+    }
+    return Algorithms();
+  }
+  if (path == "/v1/stats") {
+    if (method != "GET") {
+      return ReplyWith(405, ErrorToJson(ServiceErrorCode::kMethodNotAllowed,
+                                        "/v1/stats accepts GET"));
+    }
+    return StatsReply();
+  }
+  if (path == "/v1/solve") {
+    if (method != "POST") {
+      return ReplyWith(405, ErrorToJson(ServiceErrorCode::kMethodNotAllowed,
+                                        "/v1/solve accepts POST"));
+    }
+    if (shutdown_requested()) {
+      return Error(ServiceErrorCode::kShuttingDown, "server is draining");
+    }
+    return Solve(body);
+  }
+  if (path == "/v1/shutdown") {
+    if (method != "POST") {
+      return ReplyWith(405, ErrorToJson(ServiceErrorCode::kMethodNotAllowed,
+                                        "/v1/shutdown accepts POST"));
+    }
+    if (!options_.allow_remote_shutdown) {
+      return ReplyWith(404, ErrorToJson(ServiceErrorCode::kRouteNotFound,
+                                        "remote shutdown is disabled"));
+    }
+    RequestShutdown();
+    JsonValue reply = JsonValue::Object();
+    reply.Set("ok", JsonValue::Bool(true));
+    reply.Set("status", JsonValue::String("draining"));
+    return ReplyWith(200, reply);
+  }
+  return ReplyWith(404, ErrorToJson(ServiceErrorCode::kRouteNotFound,
+                                    "no route " + std::string(path)));
+}
+
+ServiceReply ClusterService::Health() const {
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(true));
+  reply.Set("status", JsonValue::String(shutdown_requested() ? "draining"
+                                                             : "serving"));
+  return ReplyWith(200, reply);
+}
+
+ServiceReply ClusterService::Algorithms() const {
+  JsonValue names = JsonValue::Array();
+  for (const std::string& name : registry_->Names()) {
+    names.Append(JsonValue::String(name));
+  }
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(true));
+  reply.Set("algorithms", std::move(names));
+  return ReplyWith(200, reply);
+}
+
+ServiceReply ClusterService::StatsReply() const {
+  const Stats stats = GetStats();
+  const IndexCache::Stats cache = cache_.GetStats();
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(true));
+  JsonValue requests = JsonValue::Object();
+  requests.Set("handled", JsonValue::Number(stats.requests));
+  requests.Set("solved", JsonValue::Number(stats.solved));
+  requests.Set("rejected", JsonValue::Number(stats.rejected));
+  requests.Set("budget_rejections",
+               JsonValue::Number(stats.budget_rejections));
+  reply.Set("requests", std::move(requests));
+  JsonValue cache_json = JsonValue::Object();
+  cache_json.Set("hits", JsonValue::Number(cache.hits));
+  cache_json.Set("misses", JsonValue::Number(cache.misses));
+  cache_json.Set("replaced", JsonValue::Number(cache.replaced));
+  cache_json.Set("evictions", JsonValue::Number(cache.evictions));
+  cache_json.Set("bypasses", JsonValue::Number(cache.bypasses));
+  cache_json.Set("entries", JsonValue::Number(cache.entries));
+  reply.Set("index_cache", std::move(cache_json));
+  JsonValue tenants = JsonValue::Array();
+  {
+    std::lock_guard<std::mutex> lock(ledger_mutex_);
+    for (const auto& [key, ledger] : ledgers_) {
+      const std::size_t split = key.find('\n');
+      JsonValue row = JsonValue::Object();
+      row.Set("tenant", JsonValue::String(key.substr(0, split)));
+      row.Set("dataset", JsonValue::String(key.substr(split + 1)));
+      row.Set("budget",
+              BudgetToJson(ledger.cap, ledger.charges.BasicTotal()));
+      tenants.Append(std::move(row));
+    }
+  }
+  reply.Set("tenants", std::move(tenants));
+  return ReplyWith(200, reply);
+}
+
+ServiceReply ClusterService::Solve(std::string_view body) {
+  if (body.size() > options_.max_body_bytes) {
+    return Error(ServiceErrorCode::kPayloadTooLarge,
+                 "body exceeds " + std::to_string(options_.max_body_bytes) +
+                     " bytes");
+  }
+
+  // Phase 1 — parse. Shape problems are ParseError; nothing is charged.
+  auto parsed = ParseWireRequest(body);
+  if (!parsed.ok()) {
+    return Error(ServiceErrorCode::kParseError, parsed.status().message());
+  }
+  WireRequest wire = std::move(*parsed);
+  Request& request = wire.request;
+  if (wire.snap && request.domain.has_value()) {
+    request.domain->SnapAll(request.data);
+  }
+  if (request.data.size() > options_.max_points) {
+    return Error(ServiceErrorCode::kPayloadTooLarge,
+                 "request carries " + std::to_string(request.data.size()) +
+                     " points; the server caps at " +
+                     std::to_string(options_.max_points));
+  }
+
+  // Phase 2 — validate everything that can fail without touching the data,
+  // so invalid requests charge nothing. The same checks run again inside
+  // Solver::Run; they are cheap.
+  auto algorithm = registry_->Lookup(request.algorithm);
+  if (!algorithm.ok()) {
+    return Error(ServiceErrorCode::kUnknownAlgorithm,
+                 algorithm.status().message());
+  }
+  if (Status status = request.Validate(); !status.ok()) {
+    return Error(ServiceErrorCode::kInvalidRequest, status.message());
+  }
+  if (Status status = (*algorithm)->ValidateRequest(request); !status.ok()) {
+    return Error(ServiceErrorCode::kInvalidRequest, status.message());
+  }
+
+  // Phase 3 — admission. Under the ledger mutex: charge the FULL requested
+  // budget up front, or reject with the structured remaining-budget error.
+  PrivacyParams cap, spent;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(ledger_mutex_);
+    auto [it, inserted] =
+        ledgers_.try_emplace(LedgerKey(wire.tenant, wire.dataset));
+    TenantLedger& ledger = it->second;
+    if (inserted) ledger.cap = CapFor(wire.tenant);
+    cap = ledger.cap;
+    spent = ledger.charges.BasicTotal();
+    if (spent.epsilon + request.budget.epsilon <= cap.epsilon + kSlack &&
+        spent.delta + request.budget.delta <= cap.delta + kSlack) {
+      ledger.charges.Charge("solve/" + request.algorithm, request.budget);
+      spent = ledger.charges.BasicTotal();
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    JsonValue error = ErrorToJson(
+        ServiceErrorCode::kBudgetExhausted,
+        "(tenant \"" + wire.tenant + "\", dataset \"" + wire.dataset +
+            "\") cannot cover (epsilon=" +
+            JsonNumberLexeme(request.budget.epsilon) +
+            ", delta=" + JsonNumberLexeme(request.budget.delta) + ")");
+    error.Set("budget", BudgetToJson(cap, spent));
+    error.Set("requested", PrivacyParamsToJson(request.budget));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected;
+      ++stats_.budget_rejections;
+    }
+    return ReplyWith(HttpStatusOf(ServiceErrorCode::kBudgetExhausted),
+                     std::move(error));
+  }
+
+  // Phase 4 — borrow the shared index when the request has a domain. A busy
+  // or full cache bypasses (index-free run, bit-identical outputs).
+  IndexCache::Lease lease;
+  if (request.domain.has_value() && !request.data.empty()) {
+    lease = cache_.Acquire(wire.dataset, request.data, *request.domain);
+    if (lease) request.shared_index = lease.index();
+  }
+
+  // Phase 5 — solve on a per-request Solver, seeded from the wire request so
+  // responses are deterministic per (request, seed) regardless of traffic.
+  SolverOptions solver_options;
+  solver_options.seed = wire.seed != 0 ? wire.seed : options_.seed;
+  solver_options.diagnostics = options_.diagnostics;
+  solver_options.registry = registry_;
+  Solver solver(solver_options);
+  auto response = solver.Run(request);
+  request.shared_index.reset();  // Returned to the cache when `lease` dies.
+  if (!response.ok()) {
+    const ServiceErrorCode code = ServiceErrorFromStatus(response.status());
+    JsonValue error = ErrorToJson(code, response.status().message());
+    error.Set("budget", BudgetToJson(cap, spent));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected;
+      if (code == ServiceErrorCode::kBudgetExhausted) {
+        ++stats_.budget_rejections;
+      }
+    }
+    return ReplyWith(HttpStatusOf(code), std::move(error));
+  }
+
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(true));
+  reply.Set("tenant", JsonValue::String(wire.tenant));
+  reply.Set("dataset", JsonValue::String(wire.dataset));
+  reply.Set("seed", JsonValue::Number(solver_options.seed));
+  reply.Set("indexed", JsonValue::Bool(static_cast<bool>(lease)));
+  reply.Set("budget", BudgetToJson(cap, spent));
+  reply.Set("response", ResponseToJson(*response));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.solved;
+  }
+  return ReplyWith(200, reply);
+}
+
+}  // namespace dpcluster

@@ -54,6 +54,7 @@ struct CliOptions {
   std::string input;
   bool demo = false;
   bool list = false;
+  bool help = false;
   bool ledger = false;
   std::string algorithm;
   std::string mode;
@@ -73,15 +74,18 @@ struct CliOptions {
   double subsample_cap_factor = 10.0;
 };
 
-void Usage() {
-  std::fprintf(stderr,
+void Usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: dpcluster_cli (--input points.csv --t T | --demo | --list)\n"
                "       [--algorithm NAME] [--mode cluster|outlier|interior]\n"
-               "       [--k K] [--fraction F] [--epsilon E] [--delta D]\n"
+               "       [--t T] [--k K] [--fraction F] [--epsilon E] [--delta D]\n"
                "       [--levels L] [--axis A] [--beta B] [--seed S]\n"
                "       [--profile-index auto|grid|exact] [--shared-index]\n"
                "       [--index-geometry auto|exact|projected]\n"
-               "       [--subsample-cap-factor F] [--refine] [--ledger]\n");
+               "       [--subsample-cap-factor F] [--refine] [--ledger]\n"
+               "       [--help]\n"
+               "see docs/TUNING.md for what each performance knob does;\n"
+               "docs/OPERATIONS.md covers the resident daemon (dpcluster_serve)\n");
 }
 
 /// Maps the legacy --mode values onto registry names.
@@ -98,7 +102,9 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
     const auto next = [&]() -> const char* {
       return (i + 1 < argc) ? argv[++i] : nullptr;
     };
-    if (arg == "--demo") {
+    if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else if (arg == "--demo") {
       opt.demo = true;
     } else if (arg == "--list" || arg == "--list-algorithms") {
       opt.list = true;
@@ -177,7 +183,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
     opt.algorithm =
         opt.mode.empty() ? "one_cluster" : AlgorithmFromMode(opt.mode);
   }
-  return opt.list || opt.demo || !opt.input.empty();
+  return opt.help || opt.list || opt.demo || !opt.input.empty();
 }
 
 Result<PointSet> LoadCsv(const std::string& path) {
@@ -232,8 +238,12 @@ void PrintVector(const char* label, std::span<const double> v) {
 int main_impl(int argc, char** argv) {
   CliOptions opt;
   if (!ParseArgs(argc, argv, opt)) {
-    Usage();
+    Usage(stderr);
     return 2;
+  }
+  if (opt.help) {
+    Usage(stdout);
+    return 0;
   }
   if (opt.list) return ListAlgorithms();
 

@@ -78,13 +78,15 @@ std::vector<std::size_t> SplitCsvSizes(const std::string& arg) {
   return out;
 }
 
-void Usage() {
-  std::fprintf(stderr,
+void Usage(std::FILE* out = stderr) {
+  std::fprintf(out,
                "usage: eval_harness [--smoke] [--list] [--scenarios a,b]\n"
                "       [--algorithms a,b] [--eps e1,e2] [--delta D]\n"
                "       [--n n1,n2] [--dim d1,d2] [--levels L] [--trials T]\n"
                "       [--seed S] [--threads W] [--out PATH]\n"
-               "       [--jl-dim-sweep] [--jl-dims c1,c2]\n");
+               "       [--jl-dim-sweep] [--jl-dims c1,c2] [--help]\n"
+               "see docs/TUNING.md for the performance knobs the sweep can\n"
+               "exercise (--threads, --jl-dim-sweep)\n");
 }
 
 void ListRegistries() {
@@ -195,7 +197,10 @@ int main(int argc, char** argv) {
       return (i + 1 < argc) ? argv[++i] : nullptr;
     };
     const char* v = nullptr;
-    if (arg == "--smoke") {
+    if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--list") {
       ListRegistries();
