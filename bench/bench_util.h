@@ -12,6 +12,10 @@
 #include <tuple>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "dpcluster/api/solver.h"
 
 namespace dpcluster {
@@ -90,6 +94,24 @@ class JsonReporter {
   std::string path_;
   std::vector<BenchRecord> records_;
 };
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+/// A high-water mark, not a live gauge: it only ever grows, so measure the
+/// large-n configuration first (or in a dedicated run) when gating memory —
+/// the coreset scaling section and its --smoke floor rely on this.
+inline std::size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Wall-clock milliseconds of a callable.
 template <typename F>

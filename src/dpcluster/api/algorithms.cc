@@ -51,10 +51,19 @@ Status Require1D(const Request& request) {
   return Status::OK();
 }
 
+CoresetOptions CoresetOptionsFrom(const Request& request) {
+  CoresetOptions c;
+  c.enabled = request.tuning.coreset;
+  c.min_points = request.tuning.coreset_min_points;
+  c.target_size = request.tuning.coreset_target_size;
+  return c;
+}
+
 OneClusterOptions OneClusterOptionsFrom(const Request& request) {
   OneClusterOptions o;
   o.params = request.budget;
   o.beta = request.beta;
+  o.coreset = CoresetOptionsFrom(request);
   o.radius_budget_fraction = request.tuning.radius_budget_fraction;
   o.radius.subsample_large_inputs = request.tuning.subsample_large_inputs;
   o.radius.subsample_grid_cap_factor =
@@ -155,6 +164,7 @@ class KClusterAlgorithm : public Algorithm {
     o.one_cluster.center.max_jl_dim = request.tuning.max_jl_dim;
     o.one_cluster.center.projection_seed = request.tuning.projection_seed;
     o.index_geometry = request.tuning.index_geometry;
+    o.coreset = CoresetOptionsFrom(request);
     DPC_ASSIGN_OR_RETURN(KClusterResult run,
                          KCluster(rng, request.data, *request.domain, o,
                                   request.shared_index.get()));

@@ -4,22 +4,37 @@
 #include <memory>
 #include <utility>
 
+#include "dpcluster/coreset/coreset.h"
+#include "dpcluster/parallel/thread_pool.h"
+
 namespace dpcluster {
 namespace {
 
-// True if the index views exactly this data with every row active.
+bool DomainMatches(const IndexedDataset& index,
+                   const std::optional<GridDomain>& domain) {
+  return !domain.has_value() ||
+         (index.domain().levels() == domain->levels() &&
+          index.domain().dim() == domain->dim() &&
+          index.domain().axis_length() == domain->axis_length());
+}
+
+// True if the index views exactly this data with every row active. A
+// weighted index is a coreset summary: its rows cannot be compared to the
+// data row-for-row, so the check is mass + dimension + domain — full
+// correspondence is the builder's contract (BuildSharedIndex compresses the
+// request's own data; the service cache keys entries on a dataset
+// fingerprint).
 bool IndexMatches(const IndexedDataset& index, const PointSet& data,
                   const std::optional<GridDomain>& domain) {
+  if (index.weighted()) {
+    return index.total_mass() == data.size() && index.dim() == data.dim() &&
+           index.active_size() == index.size() && DomainMatches(index, domain);
+  }
   if (index.size() != data.size() || index.dim() != data.dim() ||
       index.active_size() != index.size()) {
     return false;
   }
-  if (domain.has_value() &&
-      (index.domain().levels() != domain->levels() ||
-       index.domain().dim() != domain->dim() ||
-       index.domain().axis_length() != domain->axis_length())) {
-    return false;
-  }
+  if (!DomainMatches(index, domain)) return false;
   const std::span<const double> a = index.points().Data();
   const std::span<const double> b = data.Data();
   return std::equal(a.begin(), a.end(), b.begin(), b.end());
@@ -80,6 +95,10 @@ Status Request::Validate() const {
     return Status::InvalidArgument(
         "Request: tuning.subsample_grid_cap_factor must be >= 1");
   }
+  if (tuning.coreset && tuning.coreset_target_size < 1) {
+    return Status::InvalidArgument(
+        "Request: tuning.coreset_target_size must be >= 1");
+  }
   if (shared_index != nullptr && !IndexMatches(*shared_index, data, domain)) {
     return Status::InvalidArgument(
         "Request: shared_index does not view this request's data (build it "
@@ -94,6 +113,25 @@ Result<std::shared_ptr<IndexedDataset>> BuildSharedIndex(
   if (!request.domain.has_value()) {
     return Status::InvalidArgument(
         "BuildSharedIndex: the request carries no domain");
+  }
+  // With the coreset knob on (and a large enough input), the shared index IS
+  // the weighted summary: every consumer of the lend then runs at summary
+  // size, and the compression happens once for the whole batch.
+  if (request.tuning.coreset &&
+      request.data.size() >= request.tuning.coreset_min_points) {
+    CoresetOptions copts;
+    copts.enabled = true;
+    copts.min_points = request.tuning.coreset_min_points;
+    copts.target_size = request.tuning.coreset_target_size;
+    ThreadPool pool(request.num_threads);
+    DPC_ASSIGN_OR_RETURN(
+        CoresetSummary summary,
+        BuildCoreset(request.data, *request.domain, copts, &pool));
+    DPC_ASSIGN_OR_RETURN(
+        IndexedDataset index,
+        MakeWeightedIndex(std::move(summary), *request.domain));
+    index.set_index_geometry(request.tuning.index_geometry);
+    return std::make_shared<IndexedDataset>(std::move(index));
   }
   DPC_ASSIGN_OR_RETURN(IndexedDataset index,
                        IndexedDataset::Create(request.data, *request.domain));
@@ -112,10 +150,21 @@ Result<std::size_t> ShareIndexAcross(std::span<Request> requests) {
   if (source == nullptr) return std::size_t{0};
   DPC_ASSIGN_OR_RETURN(std::shared_ptr<IndexedDataset> index,
                        BuildSharedIndex(*source));
+  const std::span<const double> source_bytes = source->data.Data();
   std::size_t attached = 0;
   for (Request& request : requests) {
     if (request.shared_index != nullptr) continue;
     if (!IndexMatches(*index, request.data, request.domain)) continue;
+    if (index->weighted()) {
+      // IndexMatches cannot compare summary rows to data rows; require the
+      // request's data to be byte-identical to the data the summary was
+      // built from before lending it.
+      const std::span<const double> bytes = request.data.Data();
+      if (!std::equal(bytes.begin(), bytes.end(), source_bytes.begin(),
+                      source_bytes.end())) {
+        continue;
+      }
+    }
     request.shared_index = index;
     ++attached;
   }

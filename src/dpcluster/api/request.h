@@ -83,6 +83,19 @@ struct Tuning {
   bool refine_one_cluster = false;
   /// K-cluster: size per-round budgets by advanced composition (Thm 4.7).
   bool advanced_composition = false;
+  /// Coreset stage (see coreset/coreset.h): when true, requests with at
+  /// least `coreset_min_points` rows first collapse the data to a weighted
+  /// k-center summary of ~coreset_target_size rows, and the whole pipeline
+  /// (one_cluster, k_cluster, outlier_screen) runs on the summary's weighted
+  /// index — counts weigh rows by multiplicity, so t / inlier_fraction keep
+  /// their raw-input meaning. Accuracy moves by at most the summary's
+  /// coverage radius; privacy accounting is unchanged. Service batches cache
+  /// the coreset index per dataset alongside the shared index.
+  bool coreset = false;
+  /// Inputs with fewer rows run uncompressed even when `coreset` is set.
+  std::size_t coreset_min_points = 65536;
+  /// Summary row budget of the greedy k-center traversal (~2z + O(k)).
+  std::size_t coreset_target_size = 2048;
   /// Outlier: multiplier on the found ball radius before screening.
   double inflation = 1.0;
   /// Exp-mech baseline: refuse to enumerate more than this many grid centers.

@@ -26,14 +26,38 @@ namespace {
 using BoxKey = std::vector<std::int64_t>;
 using BoxCounts = std::unordered_map<BoxKey, std::size_t, BoxIndexHash>;
 
-// Box-occupancy histogram of the projected points for one random partition.
+// The rows a GoodCenter call operates on: a whole PointSet (empty ids) or the
+// active subset of an IndexedDataset (row i is points[ids[i]]). Row access is
+// only needed to assemble the heavy-box preimage D — the hot passes all run
+// over the projected matrix — so the indirection never touches a hot loop.
+// A weighted (coreset) dataset additionally carries per-row multiplicities
+// (`weights` indexed by original row id): every count in the pipeline — box
+// occupancy, axis histograms, the averaged mass — then accumulates weight
+// instead of rows, matching the duplicate-expanded dataset's counts exactly.
+struct SourceRows {
+  const PointSet* points;
+  std::span<const std::uint32_t> ids;  // empty = identity over all rows
+  std::span<const std::uint64_t> weights;  // empty = all rows have weight 1
+
+  std::size_t size() const { return ids.empty() ? points->size() : ids.size(); }
+  std::span<const double> Row(std::size_t i) const {
+    return (*points)[ids.empty() ? i : ids[i]];
+  }
+  std::uint64_t Weight(std::size_t i) const {
+    return weights.empty() ? 1 : weights[ids.empty() ? i : ids[i]];
+  }
+};
+
+// Box-occupancy histogram of the projected points for one random partition;
+// each row contributes its weight (1 for unweighted sources), so on a coreset
+// the histogram equals the duplicate-expanded dataset's box counts exactly.
 // Chunks count into private maps; the merge inserts keys in ascending-chunk
 // first-seen order, which is exactly the serial row-order insertion sequence —
 // ChooseHeavyCell iterates the map (drawing one noise sample per cell), so
 // reproducing the insertion order keeps the released choice independent of
 // the thread count.
 BoxCounts CountBoxes(const Matrix& projected, const BoxPartition& partition,
-                     ThreadPool* pool) {
+                     const SourceRows& src, ThreadPool* pool) {
   struct ChunkCounts {
     BoxCounts counts;
     std::vector<BoxKey> first_seen;
@@ -51,7 +75,7 @@ BoxCounts CountBoxes(const Matrix& projected, const BoxPartition& partition,
         key[a] = partition.axis(a).IndexOf(row[a]);
       }
       const auto [it, inserted] = local.counts.try_emplace(key, 0);
-      ++it->second;
+      it->second += static_cast<std::size_t>(src.Weight(i));
       if (inserted) local.first_seen.push_back(key);
     }
   });
@@ -71,26 +95,14 @@ std::size_t MaxCount(const BoxCounts& counts) {
   return best;
 }
 
-// The rows a GoodCenter call operates on: a whole PointSet (empty ids) or the
-// active subset of an IndexedDataset (row i is points[ids[i]]). Row access is
-// only needed to assemble the heavy-box preimage D — the hot passes all run
-// over the projected matrix — so the indirection never touches a hot loop.
-struct SourceRows {
-  const PointSet* points;
-  std::span<const std::uint32_t> ids;  // empty = identity over all rows
-
-  std::size_t size() const { return ids.empty() ? points->size() : ids.size(); }
-  std::span<const double> Row(std::size_t i) const {
-    return (*points)[ids.empty() ? i : ids[i]];
-  }
-};
-
 Status ValidateCall(const GoodCenterOptions& options, std::size_t n,
-                    std::size_t t, double r) {
+                    std::uint64_t mass, std::size_t t, double r) {
   DPC_RETURN_IF_ERROR(options.Validate());
   if (n == 0) return Status::InvalidArgument("GoodCenter: empty dataset");
-  if (t < 1 || t > n) {
-    return Status::InvalidArgument("GoodCenter: t must satisfy 1 <= t <= n");
+  if (t < 1 || t > mass) {
+    return Status::InvalidArgument(
+        mass != n ? "GoodCenter: t must satisfy 1 <= t <= active mass"
+                  : "GoodCenter: t must satisfy 1 <= t <= n");
   }
   if (!(r > 0.0) || !std::isfinite(r)) {
     return Status::InvalidArgument("GoodCenter: radius r must be positive");
@@ -98,8 +110,10 @@ Status ValidateCall(const GoodCenterOptions& options, std::size_t n,
   return Status::OK();
 }
 
-// Step 1's target dimension: ceil(jl_constant * ln(2n/beta)), clamped.
-std::size_t JlDimFor(std::size_t n, const GoodCenterOptions& options) {
+// Step 1's target dimension: ceil(jl_constant * ln(2n/beta)), clamped. For a
+// weighted source n is the expanded mass, not the row count — the utility
+// bound's n is the number of (expanded) input points.
+std::size_t JlDimFor(std::uint64_t n, const GoodCenterOptions& options) {
   std::size_t k = static_cast<std::size_t>(std::ceil(
       options.jl_constant *
       std::log(2.0 * static_cast<double>(n) / options.beta)));
@@ -119,6 +133,13 @@ Result<GoodCenterResult> GoodCenterImpl(Rng& rng, const SourceRows& src,
   const std::size_t n = src.size();
   const std::size_t d = src.points->dim();
   const std::size_t k = projected.cols();
+  // Formulas written in terms of the input size use the expanded mass: for a
+  // weighted source the rows stand for that many duplicate-expanded points.
+  std::uint64_t mass = n;
+  if (!src.weights.empty()) {
+    mass = 0;
+    for (std::size_t i = 0; i < n; ++i) mass += src.Weight(i);
+  }
 
   const double eps = options.params.epsilon;
   const double delta = options.params.delta;
@@ -132,7 +153,7 @@ Result<GoodCenterResult> GoodCenterImpl(Rng& rng, const SourceRows& src,
   const double threshold =
       static_cast<double>(t) -
       (options.threshold_offset_factor / eps) *
-          std::log(2.0 * static_cast<double>(n) / beta);
+          std::log(2.0 * static_cast<double>(mass) / beta);
   DPC_ASSIGN_OR_RETURN(AboveThreshold sparse_vector,
                        AboveThreshold::Create(rng, eps / 4.0, threshold));
 
@@ -140,7 +161,8 @@ Result<GoodCenterResult> GoodCenterImpl(Rng& rng, const SourceRows& src,
   std::size_t max_rounds = options.max_rounds;
   if (max_rounds == 0) {
     max_rounds = static_cast<std::size_t>(
-        std::ceil(2.0 * static_cast<double>(n) * std::log(1.0 / beta) / beta));
+        std::ceil(2.0 * static_cast<double>(mass) * std::log(1.0 / beta) /
+                  beta));
   }
   const double box_side = options.box_side_factor * r;
   BoxCounts counts;
@@ -150,7 +172,7 @@ Result<GoodCenterResult> GoodCenterImpl(Rng& rng, const SourceRows& src,
   std::optional<BoxPartition> partition;
   for (std::size_t round = 0; round < max_rounds; ++round) {
     partition.emplace(rng, k, box_side);
-    counts = CountBoxes(projected, *partition, &pool);
+    counts = CountBoxes(projected, *partition, src, &pool);
     result.rounds_used = round + 1;
     DPC_ASSIGN_OR_RETURN(
         bool top,
@@ -212,8 +234,8 @@ Result<GoodCenterResult> GoodCenterImpl(Rng& rng, const SourceRows& src,
   } else {
     p_len = options.interval_multiplier * options.box_side_factor * r *
             std::sqrt(static_cast<double>(k) *
-                      std::log(static_cast<double>(d) * static_cast<double>(n) /
-                               beta) /
+                      std::log(static_cast<double>(d) *
+                               static_cast<double>(mass) / beta) /
                       static_cast<double>(d));
   }
   // The projection of any two cube points onto a unit vector differs by at
@@ -242,8 +264,9 @@ Result<GoodCenterResult> GoodCenterImpl(Rng& rng, const SourceRows& src,
   for (std::size_t axis = 0; axis < d; ++axis) {
     std::unordered_map<std::int64_t, std::size_t> cells;
     for (std::size_t i = 0; i < d_set.size(); ++i) {
-      ++cells[static_cast<std::int64_t>(
-          std::floor(axis_proj.At(i, axis) / p_len))];
+      cells[static_cast<std::int64_t>(
+          std::floor(axis_proj.At(i, axis) / p_len))] +=
+          static_cast<std::size_t>(src.Weight(d_indices[i]));
     }
     auto interval_choice = ChooseHeavyCell<std::int64_t, std::hash<std::int64_t>>(
         rng, cells, axis_params);
@@ -273,8 +296,21 @@ Result<GoodCenterResult> GoodCenterImpl(Rng& rng, const SourceRows& src,
   }
 
   // ---- Step 11: NoisyAVG of D ∩ C (eps/4, delta/4). -----------------------
-  DPC_ASSIGN_OR_RETURN(NoisyAverageOutput avg,
-                       NoisyAverage(rng, d_set, center_c, radius_c, quarter));
+  // The weighted overload averages w-fold copies of each selected row; the
+  // unweighted call stays on its own path so its bytes remain bit-identical
+  // to the pre-weights implementation.
+  Result<NoisyAverageOutput> avg_or = Status::Internal("unset");
+  if (src.weights.empty()) {
+    avg_or = NoisyAverage(rng, d_set, center_c, radius_c, quarter);
+  } else {
+    std::vector<std::uint64_t> d_weights(d_indices.size());
+    for (std::size_t i = 0; i < d_indices.size(); ++i) {
+      d_weights[i] = src.Weight(d_indices[i]);
+    }
+    avg_or = NoisyAverage(rng, d_set, d_weights, center_c, radius_c, quarter);
+  }
+  DPC_RETURN_IF_ERROR(avg_or.status());
+  NoisyAverageOutput& avg = *avg_or;
   result.center = std::move(avg.average);
   result.noisy_inlier_count = avg.noisy_count;
   result.noise_sigma = avg.sigma;
@@ -324,7 +360,7 @@ Status GoodCenterOptions::Validate() const {
 
 Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
                                     double r, const GoodCenterOptions& options) {
-  DPC_RETURN_IF_ERROR(ValidateCall(options, s.size(), t, r));
+  DPC_RETURN_IF_ERROR(ValidateCall(options, s.size(), s.size(), t, r));
 
   // One pool for the whole call; every parallel region is deterministic
   // numeric work (the Rng is only ever touched from this thread).
@@ -335,7 +371,7 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const PointSet& s, std::size_t t,
   const JlTransform jl(rng, s.dim(), k);
   const Matrix projected = jl.ApplyAll(s, &pool);
 
-  const SourceRows src{&s, {}};
+  const SourceRows src{&s, {}, {}};
   return GoodCenterImpl(rng, src, t, r, options, projected, pool);
 }
 
@@ -343,11 +379,13 @@ Result<GoodCenterResult> GoodCenter(Rng& rng, const IndexedDataset& index,
                                     std::size_t t, double r,
                                     const GoodCenterOptions& options) {
   const std::size_t n = index.active_size();
-  DPC_RETURN_IF_ERROR(ValidateCall(options, n, t, r));
+  DPC_RETURN_IF_ERROR(ValidateCall(options, n, index.active_mass(), t, r));
 
   ThreadPool pool(options.num_threads);
-  const std::size_t k = JlDimFor(n, options);
-  const SourceRows src{&index.points(), index.ActiveIds()};
+  const std::size_t k = JlDimFor(index.active_mass(), options);
+  const SourceRows src{&index.points(), index.ActiveIds(),
+                       index.weighted() ? index.weights()
+                                        : std::span<const std::uint64_t>{}};
 
   // ---- Step 1: JL projection of the active rows. --------------------------
   // Default: redraw the matrix from the caller Rng and project the gathered

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "dpcluster/common/check.h"
+#include "dpcluster/coreset/coreset.h"
 #include "dpcluster/common/math_util.h"
 #include "dpcluster/core/radius_profile.h"
 #include "dpcluster/geo/dataset.h"
@@ -221,8 +223,30 @@ Result<GoodRadiusResult> GoodRadiusImpl(Rng& rng, const PointSet* s,
   if (dim != domain.dim()) {
     return Status::InvalidArgument("GoodRadius: domain dimension mismatch");
   }
-  if (t < 1 || t > n) {
-    return Status::InvalidArgument("GoodRadius: t must satisfy 1 <= t <= n");
+  // Weighted (coreset) inputs bound t by total mass: the rows stand for a
+  // duplicate-expanded dataset, so t points may span fewer distinct rows.
+  const bool weighted = index != nullptr && index->weighted();
+  const std::uint64_t mass = weighted ? index->active_mass() : n;
+  if (t < 1 || t > mass) {
+    return Status::InvalidArgument(
+        weighted ? "GoodRadius: t must satisfy 1 <= t <= active mass"
+                 : "GoodRadius: t must satisfy 1 <= t <= n");
+  }
+
+  // Coreset stage (PointSet entry only): collapse to a weighted summary and
+  // re-enter through the weighted index — t keeps its expanded meaning
+  // because every downstream count sums multiplicities.
+  if (index == nullptr && options.coreset.enabled &&
+      n >= options.coreset.min_points) {
+    ThreadPool build_pool(options.num_threads);
+    DPC_ASSIGN_OR_RETURN(
+        CoresetSummary summary,
+        BuildCoreset(*s, domain, options.coreset, &build_pool));
+    DPC_ASSIGN_OR_RETURN(IndexedDataset weighted_index,
+                         MakeWeightedIndex(std::move(summary), domain));
+    GoodRadiusOptions inner = options;
+    inner.coreset.enabled = false;
+    return GoodRadius(rng, weighted_index, t, inner);
   }
 
   std::size_t profile_cap = options.max_profile_points;
@@ -232,7 +256,10 @@ Result<GoodRadiusResult> GoodRadiusImpl(Rng& rng, const PointSet* s,
   // makes the enlarged cap cheap, keep up to subsample_grid_cap_factor times
   // more rows — possibly all of them, in which case no subsample is drawn
   // and only the cap is raised.
-  if (options.subsample_large_inputs && n > options.max_profile_points) {
+  // A weighted index never subsamples: rows are already a compressed summary
+  // (drawing rows uniformly would ignore their multiplicities).
+  if (options.subsample_large_inputs && !weighted &&
+      n > options.max_profile_points) {
     profile_cap = EffectiveSubsampleCap(n, t, dim, options);
     if (n > profile_cap) {
       const std::size_t m = profile_cap;

@@ -22,6 +22,7 @@
 
 #include "dpcluster/common/status.h"
 #include "dpcluster/core/radius_profile.h"
+#include "dpcluster/coreset/coreset.h"
 #include "dpcluster/dp/privacy_params.h"
 #include "dpcluster/dp/rec_concave.h"
 #include "dpcluster/geo/grid_domain.h"
@@ -78,6 +79,15 @@ struct GoodRadiusOptions {
   /// same cost. 1 reproduces the pre-grid behavior; must be >= 1. Ignored
   /// when the exact sweep or the SparseVector engine would run.
   double subsample_grid_cap_factor = 10.0;
+  /// Coreset stage for the PointSet entry point: when enabled and n >=
+  /// coreset.min_points, the input is first collapsed to a weighted k-center
+  /// summary (coreset/coreset.h) and the call runs on the summary's weighted
+  /// index — every count then weighs summary rows by their multiplicities.
+  /// Accuracy moves by at most the summary's coverage radius; privacy is
+  /// unchanged (the summary is internal, the mechanisms' sensitivity analysis
+  /// applies to the expanded dataset it stands for). The IndexedDataset entry
+  /// point never re-compresses (its caller owns the index's construction).
+  CoresetOptions coreset;
   /// If true, Gamma uses the paper's verbatim formula (astronomical); default
   /// sizes Gamma by what this RecConcave implementation actually needs.
   bool paper_constants = false;

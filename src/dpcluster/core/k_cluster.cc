@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "dpcluster/common/check.h"
+#include "dpcluster/coreset/coreset.h"
 #include "dpcluster/dp/accountant.h"
 #include "dpcluster/la/vector_ops.h"
+#include "dpcluster/parallel/thread_pool.h"
 
 namespace dpcluster {
 
@@ -74,26 +76,52 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
 
   // The incremental path keeps one deletion-capable index across rounds; the
   // legacy rebuild path re-subsets per round (kept as the bit-identity
-  // reference — both paths release exactly the same bytes).
+  // reference — both paths release exactly the same bytes). The coreset
+  // stage has no rebuild form, so it forces the incremental path.
+  const bool compress = shared_index == nullptr && options.coreset.enabled &&
+                        s.size() >= options.coreset.min_points;
   const bool incremental =
-      shared_index != nullptr ||
+      shared_index != nullptr || compress ||
       options.index_mode == KClusterOptions::IndexMode::kIncremental;
   std::optional<IndexedDataset> local_index;
   std::optional<SnapshotGuard> restore_on_exit;
   IndexedDataset* index = nullptr;
   if (incremental) {
     if (shared_index != nullptr) {
-      const std::span<const double> lent = shared_index->points().Data();
-      const std::span<const double> given = s.Data();
-      if (shared_index->active_size() != s.size() ||
-          shared_index->dim() != s.dim() ||
-          !std::equal(lent.begin(), lent.end(), given.begin(), given.end())) {
-        return Status::InvalidArgument(
-            "KCluster: shared_index must view exactly the dataset with every "
-            "row active");
+      if (shared_index->weighted()) {
+        // A weighted lend is a coreset summary of s (the service lends its
+        // cached coreset index). Full row correspondence is the cache's
+        // contract (it keys entries on the dataset fingerprint); check what
+        // is checkable cheaply.
+        if (shared_index->total_mass() != s.size() ||
+            shared_index->dim() != s.dim() ||
+            shared_index->active_size() != shared_index->size()) {
+          return Status::InvalidArgument(
+              "KCluster: weighted shared_index must summarize exactly the "
+              "dataset with every row active");
+        }
+      } else {
+        const std::span<const double> lent = shared_index->points().Data();
+        const std::span<const double> given = s.Data();
+        if (shared_index->active_size() != s.size() ||
+            shared_index->dim() != s.dim() ||
+            !std::equal(lent.begin(), lent.end(), given.begin(),
+                        given.end())) {
+          return Status::InvalidArgument(
+              "KCluster: shared_index must view exactly the dataset with "
+              "every row active");
+        }
       }
       index = shared_index;
       restore_on_exit.emplace(index, index->TakeSnapshot());
+    } else if (compress) {
+      ThreadPool pool(options.num_threads);
+      DPC_ASSIGN_OR_RETURN(CoresetSummary summary,
+                           BuildCoreset(s, domain, options.coreset, &pool));
+      DPC_ASSIGN_OR_RETURN(local_index,
+                           MakeWeightedIndex(std::move(summary), domain));
+      local_index->set_index_geometry(options.index_geometry);
+      index = &*local_index;
     } else {
       DPC_ASSIGN_OR_RETURN(local_index, IndexedDataset::Create(s, domain));
       local_index->set_index_geometry(options.index_geometry);
@@ -110,8 +138,11 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
   }
 
   for (std::size_t round = 0; round < options.k; ++round) {
+    // Weighted indexes size rounds by expanded mass, so per-round t keeps
+    // its raw-input meaning (active_mass == active_size when unweighted).
     const std::size_t left =
-        incremental ? index->active_size() : remaining.size();
+        incremental ? static_cast<std::size_t>(index->active_mass())
+                    : remaining.size();
     if (left == 0) break;
     // The incremental path never materializes the active subset: rounds run
     // through the index's span-based entry points (bit-identical outputs).
@@ -179,7 +210,9 @@ Result<KClusterResult> KCluster(Rng& rng, const PointSet& s,
     result.rounds.push_back(std::move(*round_result));
   }
 
-  result.uncovered = incremental ? index->active_size() : remaining.size();
+  result.uncovered = incremental
+                         ? static_cast<std::size_t>(index->active_mass())
+                         : remaining.size();
   return result;
 }
 

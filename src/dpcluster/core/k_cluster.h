@@ -55,6 +55,17 @@ struct KClusterOptions {
   /// bit-identical released outputs, only the runtime moves. Ignored when a
   /// shared_index is lent (its setting governs).
   IndexGeometry index_geometry = IndexGeometry::kAuto;
+  /// Coreset stage: when enabled and n >= coreset.min_points (and no
+  /// shared_index is lent), the input is collapsed once to a weighted
+  /// k-center summary (coreset/coreset.h) and every round peels from the
+  /// summary's weighted index — per-round t sizing, refinement counts, and
+  /// `uncovered` all use expanded mass, so t keeps its raw-input meaning.
+  /// Forces the incremental path (the rebuild path has no weighted form).
+  /// Accuracy moves by at most the summary's coverage radius; privacy
+  /// accounting is unchanged. A lent shared_index may itself be weighted
+  /// (the service lends its cached coreset index); it is then trusted to
+  /// summarize exactly `s`, checked by total mass and dimension.
+  CoresetOptions coreset;
 
   Status Validate() const;
 };

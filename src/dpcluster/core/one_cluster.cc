@@ -5,9 +5,11 @@
 #include <utility>
 
 #include "dpcluster/common/check.h"
+#include "dpcluster/coreset/coreset.h"
 #include "dpcluster/dp/accountant.h"
 #include "dpcluster/dp/stable_histogram.h"
 #include "dpcluster/geo/dataset.h"
+#include "dpcluster/parallel/thread_pool.h"
 
 namespace dpcluster {
 
@@ -87,9 +89,35 @@ Result<OneClusterResult> OneCluster(Rng& rng, const PointSet& s, std::size_t t,
   if (s.dim() != domain.dim()) {
     return Status::InvalidArgument("OneCluster: domain dimension mismatch");
   }
-  if (index != nullptr && index->active_size() != s.size()) {
-    return Status::InvalidArgument(
-        "OneCluster: index active set does not match the dataset");
+  if (index != nullptr) {
+    if (index->weighted()) {
+      // A weighted lend is a coreset summary of s (service cache path);
+      // full correspondence is the lender's contract — check what is
+      // checkable cheaply.
+      if (index->total_mass() != s.size() || index->dim() != s.dim() ||
+          index->active_size() != index->size()) {
+        return Status::InvalidArgument(
+            "OneCluster: weighted index must summarize exactly the dataset "
+            "with every row active");
+      }
+    } else if (index->active_size() != s.size()) {
+      return Status::InvalidArgument(
+          "OneCluster: index active set does not match the dataset");
+    }
+  }
+  // Coreset stage: collapse once, run both phases on the weighted summary
+  // index. Only the raw-PointSet path compresses — a lent index is the
+  // caller's construction.
+  if (index == nullptr && options.coreset.enabled &&
+      s.size() >= options.coreset.min_points) {
+    ThreadPool pool(options.num_threads);
+    DPC_ASSIGN_OR_RETURN(CoresetSummary summary,
+                         BuildCoreset(s, domain, options.coreset, &pool));
+    DPC_ASSIGN_OR_RETURN(IndexedDataset weighted_index,
+                         MakeWeightedIndex(std::move(summary), domain));
+    OneClusterOptions inner = options;
+    inner.coreset.enabled = false;
+    return OneCluster(rng, weighted_index, t, inner);
   }
   return OneClusterImpl(rng, &s, index, t, domain, options);
 }

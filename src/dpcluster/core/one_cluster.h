@@ -35,8 +35,16 @@ struct OneClusterOptions {
   /// per hardware thread, 1 = serial; outputs are bit-identical at any
   /// setting). Overwrites the phase options' num_threads.
   std::size_t num_threads = 1;
+  /// Coreset stage for the PointSet entry point (no prebuilt index): when
+  /// enabled and n >= coreset.min_points, the input is collapsed once to a
+  /// weighted k-center summary (coreset/coreset.h) and *both* phases run on
+  /// the summary's weighted index. Accuracy moves by at most the summary's
+  /// coverage radius; privacy accounting is unchanged. Ignored when the
+  /// caller lends an index (that index's construction is the caller's).
+  CoresetOptions coreset;
   /// Phase options; their params/beta/num_threads fields are overwritten by
-  /// this struct.
+  /// this struct, and their own coreset knobs stay off (compression happens
+  /// once here, never per phase).
   GoodRadiusOptions radius;
   GoodCenterOptions center;
 

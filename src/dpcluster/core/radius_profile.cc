@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,10 +79,79 @@ class CappedTopTracker {
   double sum_above_;
 };
 
+// The weighted generalization of CappedTopTracker: elements carry integer
+// multiplicities (a weighted row stands for `weight` expanded centers sharing
+// one capped value), and an event moves a row's whole mass from `old_value`
+// to a possibly much larger `new_value` in one step. The invariant is the
+// same — (thr, cnt_above, sum_above) remain functions of the expanded count
+// histogram alone — so the tracker state matches running the unweighted
+// tracker over the duplicate-expanded events, in any order. All sums are
+// exact integers (<= top * cap <= 2^40 at bench scale), so TopSum() equals
+// the unweighted tracker's double bit for bit.
+class WeightedCappedTracker {
+ public:
+  WeightedCappedTracker(std::size_t cap, std::size_t top,
+                        std::uint64_t total_mass)
+      : cap_(cap), top_(top), cnt_(cap + 2, 0) {
+    DPC_CHECK_GE(top, 1u);
+    DPC_CHECK_LE(top, total_mass);
+    const std::size_t start = std::min<std::size_t>(1, cap);
+    cnt_[start] = total_mass;
+    thr_ = start;
+    cnt_above_ = 0;
+    sum_above_ = 0;
+  }
+
+  /// Moves `mass` expanded centers from capped value `old_value` to
+  /// `new_value` (callers pass old_value < new_value <= cap).
+  void MoveMass(std::uint64_t mass, std::size_t old_value,
+                std::size_t new_value) {
+    cnt_[old_value] -= mass;
+    cnt_[new_value] += mass;
+    if (old_value > thr_) {
+      // The mass stays strictly above the threshold; only its sum moves.
+      sum_above_ += mass * static_cast<std::uint64_t>(new_value - old_value);
+    } else if (new_value > thr_) {
+      // Lump jumps can carry mass from at-or-below the threshold to above it
+      // (impossible under unit increments from below thr, but routine here).
+      cnt_above_ += mass;
+      sum_above_ += mass * static_cast<std::uint64_t>(new_value);
+      while (cnt_above_ >= top_) {  // Raise the threshold.
+        ++thr_;
+        cnt_above_ -= cnt_[thr_];
+        sum_above_ -= static_cast<std::uint64_t>(thr_) * cnt_[thr_];
+      }
+    }
+    // new_value <= thr_: the mass stays outside the top set; nothing moves.
+  }
+
+  double TopSum() const {
+    return static_cast<double>(
+        sum_above_ +
+        static_cast<std::uint64_t>(thr_) *
+            static_cast<std::uint64_t>(top_ - cnt_above_));
+  }
+
+ private:
+  std::size_t cap_;
+  std::uint64_t top_;
+  std::vector<std::uint64_t> cnt_;
+  std::size_t thr_;
+  std::uint64_t cnt_above_;
+  std::uint64_t sum_above_;
+};
+
 // One B-count increment: `center`'s ball gains a point at fine index `index`.
 struct Event {
   std::uint64_t index;
   std::uint32_t center;
+};
+
+// Weighted increment: `center`'s ball gains `add` expanded points at `index`.
+struct WeightedEvent {
+  std::uint64_t index;
+  std::uint32_t center;
+  std::uint32_t add;
 };
 
 // The shared sweep over index-sorted events: maintain per-center counts
@@ -118,6 +189,56 @@ StepFunction SweepEvents(std::span<const Event> events, std::size_t n,
     if (value != values.back()) {
       starts.push_back(g);
       values.push_back(value);
+    }
+  }
+
+  return StepFunction::FromBreakpoints(fine_domain, std::move(starts),
+                                       std::move(values));
+}
+
+// The weighted sweep: identical structure to SweepEvents, with per-row capped
+// values advanced by lump mass moves. A weighted row's expanded copies all
+// share one capped count — each copy's ball holds the row's own mass plus
+// every within-range row's mass — so the expanded histogram is exactly
+// {value(row) with multiplicity weight(row)}, which the tracker maintains.
+// Values at every fine index therefore match the duplicate-expanded
+// unweighted sweep bit for bit, breakpoints included.
+StepFunction SweepWeightedEvents(std::span<const WeightedEvent> events,
+                                 std::span<const std::uint64_t> rank_weights,
+                                 std::size_t t, std::uint64_t fine_domain) {
+  std::uint64_t total_mass = 0;
+  for (const std::uint64_t w : rank_weights) total_mass += w;
+  const std::size_t cap = t;
+  // Per-row capped value; every expanded center starts at min(1, cap).
+  std::vector<std::size_t> value(rank_weights.size(),
+                                 std::min<std::size_t>(1, cap));
+  WeightedCappedTracker tracker(cap, t, total_mass);
+  const double inv_t = 1.0 / static_cast<double>(t);
+
+  const auto apply = [&](const WeightedEvent& ev) {
+    const std::size_t old_value = value[ev.center];
+    const std::size_t nv =
+        std::min<std::size_t>(old_value + ev.add, cap);
+    if (nv == old_value) return;  // Already saturated.
+    tracker.MoveMass(rank_weights[ev.center], old_value, nv);
+    value[ev.center] = nv;
+  };
+
+  std::vector<std::uint64_t> starts;
+  std::vector<double> values;
+  std::size_t e = 0;
+  // Index-0 events first (duplicate rows and self-mass), as in SweepEvents.
+  while (e < events.size() && events[e].index == 0) apply(events[e++]);
+  starts.push_back(0);
+  values.push_back(tracker.TopSum() * inv_t);
+
+  while (e < events.size()) {
+    const std::uint64_t g = events[e].index;
+    while (e < events.size() && events[e].index == g) apply(events[e++]);
+    const double value_at_g = tracker.TopSum() * inv_t;
+    if (value_at_g != values.back()) {
+      starts.push_back(g);
+      values.push_back(value_at_g);
     }
   }
 
@@ -176,6 +297,64 @@ std::vector<Event> BuildExactEvents(std::size_t n, GetRow&& row,
   }
   std::sort(events.begin(), events.end(),
             [](const Event& a, const Event& b) { return a.index < b.index; });
+  return events;
+}
+
+// All weighted pair events over the active rows, index-sorted: pair (i, j)
+// raises i's ball by weight(j) (and vice versa) at the shared fine index, and
+// each row with weight > 1 raises its own ball by weight - 1 at index 0 (its
+// expanded duplicate copies sit at distance 0). Same chunking and
+// chunk-ordered concatenation as BuildExactEvents, so the event sequence —
+// and therefore the profile — is independent of the thread count. The
+// weighted path always sweeps exact all-pairs events: rows are coreset-sized
+// (max_profile_points caps them), while a t-NN pruned stream would need
+// ~rows * (t-1) expanded entries, which at expanded t ~ 10^5 is exactly the
+// memory blow-up the compressed representation exists to avoid.
+std::vector<WeightedEvent> BuildWeightedExactEvents(
+    const PointSet& view, std::span<const std::uint64_t> rank_weights,
+    double fine_step, std::uint64_t max_fine, ThreadPool* pool) {
+  const std::size_t n = view.size();
+  std::vector<WeightedEvent> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    DPC_CHECK_LE(rank_weights[i], std::numeric_limits<std::uint32_t>::max());
+    if (rank_weights[i] > 1) {
+      events.push_back(
+          {0, static_cast<std::uint32_t>(i),
+           static_cast<std::uint32_t>(rank_weights[i] - 1)});
+    }
+  }
+  constexpr std::size_t kRowGrain = 32;
+  const std::size_t num_chunks = NumChunks(n, kRowGrain);
+  std::vector<std::vector<WeightedEvent>> chunk_events(num_chunks);
+  ParallelForChunks(
+      pool, 0, n, kRowGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+        std::vector<WeightedEvent>& local = chunk_events[chunk];
+        std::size_t pairs = 0;
+        for (std::size_t i = lo; i < hi; ++i) pairs += n - 1 - i;
+        local.reserve(2 * pairs);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto xi = view[i];
+          for (std::size_t j = i + 1; j < n; ++j) {
+            const std::uint64_t g =
+                FineIndexOf(Distance(xi, view[j]), fine_step, max_fine);
+            local.push_back({g, static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(rank_weights[j])});
+            local.push_back({g, static_cast<std::uint32_t>(j),
+                             static_cast<std::uint32_t>(rank_weights[i])});
+          }
+        }
+      },
+      kAlwaysParallel);
+  for (std::vector<WeightedEvent>& local : chunk_events) {
+    events.insert(events.end(), local.begin(), local.end());
+    local.clear();
+    local.shrink_to_fit();
+  }
+  std::sort(events.begin(), events.end(),
+            [](const WeightedEvent& a, const WeightedEvent& b) {
+              return a.index < b.index;
+            });
   return events;
 }
 
@@ -332,7 +511,24 @@ Result<RadiusProfile> RadiusProfile::Build(const IndexedDataset& index,
                                            ThreadPool* pool,
                                            ProfileIndex profile_index) {
   const std::size_t n = index.active_size();
-  DPC_RETURN_IF_ERROR(ValidateBuildArgs(n, t, max_points));
+  if (index.weighted()) {
+    // Weighted t bound is against total mass, not rows: the profile models the
+    // duplicate-expanded dataset, where t points may span fewer distinct rows.
+    if (n == 0) return Status::InvalidArgument("RadiusProfile: empty dataset");
+    if (t < 1 || t > index.active_mass()) {
+      return Status::InvalidArgument(
+          "RadiusProfile: t must satisfy 1 <= t <= active mass");
+    }
+    if (n > max_points) {
+      return Status::ResourceExhausted(
+          "RadiusProfile: n=" + std::to_string(n) + " exceeds max_points=" +
+          std::to_string(max_points) +
+          "; raise GoodRadiusOptions::max_profile_points or shrink the "
+          "coreset");
+    }
+  } else {
+    DPC_RETURN_IF_ERROR(ValidateBuildArgs(n, t, max_points));
+  }
   const GridDomain& domain = index.domain();
 
   RadiusProfile profile;
@@ -341,6 +537,22 @@ Result<RadiusProfile> RadiusProfile::Build(const IndexedDataset& index,
   const double fine_step =
       domain.axis_length() / (4.0 * static_cast<double>(domain.levels()));
   const std::uint64_t max_fine = fine_domain - 1;
+
+  if (index.weighted()) {
+    // Weighted rows always take the exact all-pairs generator: the coreset
+    // keeps rows well under max_profile_points, and a pruned t-NN stream
+    // would have to expand to ~rows * (t - 1) entries at expanded t.
+    const PointSet view = index.ActiveView();
+    const std::span<const std::uint32_t> active_ids = index.ActiveIds();
+    std::vector<std::uint64_t> rank_weights(n);
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      rank_weights[rank] = index.weight(active_ids[rank]);
+    }
+    const std::vector<WeightedEvent> events = BuildWeightedExactEvents(
+        view, rank_weights, fine_step, max_fine, pool);
+    profile.fine_l_ = SweepWeightedEvents(events, rank_weights, t, fine_domain);
+    return profile;
+  }
 
   // Event centers are active *ranks* (positions in the ascending active-id
   // list), which is exactly the row numbering of ActiveView() — so both

@@ -75,8 +75,18 @@ Result<double> RefineRadius(Rng& rng, const PointSet& s,
 Result<double> RefineRadius(Rng& rng, const IndexedDataset& index,
                             std::span<const double> center, std::size_t t,
                             const RadiusRefineOptions& options) {
-  DPC_RETURN_IF_ERROR(ValidateRefineArgs(options, center.size(), index.dim(),
-                                         t, index.active_size()));
+  DPC_RETURN_IF_ERROR(ValidateRefineArgs(
+      options, center.size(), index.dim(), t,
+      static_cast<std::size_t>(index.active_mass())));
+  if (index.weighted()) {
+    // Weighted rows stand for duplicate-expanded points: count mass, not rows
+    // (same per-point predicate, so this equals CountWithin on the expansion).
+    return RefineRadiusSearch(rng, t, index.domain(), options,
+                              [&](double radius) {
+      return MassWithin(index.points(), index.ActiveIds(), index.weights(),
+                        center, radius);
+    });
+  }
   return RefineRadiusSearch(rng, t, index.domain(), options,
                             [&](double radius) {
     return CountWithin(index.points(), index.ActiveIds(), center, radius);

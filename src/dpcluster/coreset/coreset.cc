@@ -1,0 +1,214 @@
+#include "dpcluster/coreset/coreset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "dpcluster/common/check.h"
+#include "dpcluster/geo/spatial_grid.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/parallel/parallel_for.h"
+
+namespace dpcluster {
+namespace {
+
+// FNV-1a over a row's raw bytes. Exact duplicates (the only thing the dedup
+// pass collapses) have identical byte images, so byte hashing is sound; the
+// map below compares bytes on collision.
+struct RowBytesHash {
+  const PointSet* s;
+  std::size_t operator()(std::uint32_t row) const {
+    const std::span<const double> r = (*s)[row];
+    const unsigned char* bytes =
+        reinterpret_cast<const unsigned char*>(r.data());
+    const std::size_t len = r.size() * sizeof(double);
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct RowBytesEq {
+  const PointSet* s;
+  bool operator()(std::uint32_t a, std::uint32_t b) const {
+    const std::span<const double> ra = (*s)[a];
+    const std::span<const double> rb = (*s)[b];
+    return std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(double)) == 0;
+  }
+};
+
+// Chunk grain for the distance relaxations and the argmax scan. Coarser than
+// kDefaultGrain: the per-element work is one d-dim kernel call, and the
+// argmax merge walks one entry per chunk.
+constexpr std::size_t kCoresetGrain = 4096;
+
+}  // namespace
+
+Status CoresetOptions::Validate() const {
+  if (target_size < 1) {
+    return Status::InvalidArgument("Coreset: target_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+CoresetSummary CollapseDuplicates(const PointSet& s) {
+  CoresetSummary out;
+  out.input_size = s.size();
+  out.points = PointSet(s.dim());
+  std::unordered_map<std::uint32_t, std::uint32_t, RowBytesHash, RowBytesEq>
+      seen(/*bucket_count=*/s.size(), RowBytesHash{&s}, RowBytesEq{&s});
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::uint32_t row = static_cast<std::uint32_t>(i);
+    const auto [it, inserted] =
+        seen.try_emplace(row, static_cast<std::uint32_t>(out.points.size()));
+    if (inserted) {
+      out.points.Add(s[i]);
+      out.weights.push_back(1);
+      out.source_ids.push_back(row);
+    } else {
+      ++out.weights[it->second];
+    }
+  }
+  return out;
+}
+
+Result<CoresetSummary> BuildCoreset(const PointSet& s, const GridDomain& domain,
+                                    const CoresetOptions& options,
+                                    ThreadPool* pool) {
+  DPC_RETURN_IF_ERROR(options.Validate());
+  if (s.size() == 0) {
+    return Status::InvalidArgument("Coreset: empty dataset");
+  }
+  if (s.dim() != domain.dim()) {
+    return Status::InvalidArgument("Coreset: domain dimension mismatch");
+  }
+
+  CoresetSummary distinct = CollapseDuplicates(s);
+  const std::size_t m = distinct.points.size();
+  const std::size_t target = options.target_size;
+  if (m <= target) return distinct;  // Lossless: duplicates alone sufficed.
+
+  const PointSet& dp = distinct.points;
+  const std::size_t d = dp.dim();
+  const double* base = dp.Data().data();
+
+  // The grid prunes each round's relaxation set; size its cells for the
+  // occupancy the finished summary will see (~m/target rows per center).
+  DPC_ASSIGN_OR_RETURN(
+      SpatialGrid grid,
+      SpatialGrid::Build(dp, domain,
+                         std::max<std::size_t>(1, m / target)));
+  SpatialGrid::Workspace ws;
+
+  // Gonzalez traversal over the distinct rows. dist2[i] = squared distance
+  // to the nearest picked center, assign[i] = its pick rank; both relax
+  // per-element (never racing), so parallel chunks are safe and the result
+  // is a pure function of the pick sequence.
+  std::vector<double> dist2(m);
+  std::vector<std::uint32_t> assign(m, 0);
+  std::vector<std::uint32_t> centers;
+  centers.reserve(target);
+  centers.push_back(0);  // First pick: first distinct row (deterministic).
+  ParallelForChunks(
+      pool, 0, m, kCoresetGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          dist2[i] = SquaredDistanceRows(base + i * d, base, d);
+        }
+      },
+      kAlwaysParallel);
+
+  // Farthest row from its nearest center, smallest index on ties: strict >
+  // keeps the earliest winner within a chunk, and the ascending chunk merge
+  // keeps the earliest chunk — so the pick is the global smallest argmax
+  // index at any thread count.
+  const std::size_t num_chunks = NumChunks(m, kCoresetGrain);
+  std::vector<double> chunk_best(num_chunks);
+  std::vector<std::uint32_t> chunk_best_i(num_chunks);
+  const auto farthest = [&]() {
+    ParallelForChunks(
+        pool, 0, m, kCoresetGrain,
+        [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+          double best = -1.0;
+          std::uint32_t best_i = static_cast<std::uint32_t>(lo);
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (dist2[i] > best) {
+              best = dist2[i];
+              best_i = static_cast<std::uint32_t>(i);
+            }
+          }
+          chunk_best[chunk] = best;
+          chunk_best_i[chunk] = best_i;
+        },
+        kAlwaysParallel);
+    double best = -1.0;
+    std::uint32_t best_i = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      if (chunk_best[c] > best) {
+        best = chunk_best[c];
+        best_i = chunk_best_i[c];
+      }
+    }
+    return std::make_pair(best_i, best);
+  };
+
+  std::vector<std::uint32_t> cands;
+  while (centers.size() < target) {
+    const auto [far, far_d2] = farthest();
+    if (!(far_d2 > 0.0)) break;  // Every distinct row is already a center.
+    const std::uint32_t rank = static_cast<std::uint32_t>(centers.size());
+    centers.push_back(far);
+
+    // Only rows within sqrt(far_d2) of the new center can relax (their
+    // current dist2 is at most the global max far_d2, and sqrt is monotone,
+    // so the grid's sqrt(sq) <= r predicate collects a superset — both sides
+    // computed by the same canonical kernel).
+    cands.clear();
+    grid.CollectWithin(far, std::sqrt(far_d2), ws, cands);
+    const double* cp = base + static_cast<std::size_t>(far) * d;
+    ParallelForChunks(
+        pool, 0, cands.size(), kCoresetGrain,
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t at = lo; at < hi; ++at) {
+            const std::uint32_t i = cands[at];
+            const double sq = SquaredDistanceRows(base + i * d, cp, d);
+            if (sq < dist2[i]) {  // Strict: ties stay with the earlier pick.
+              dist2[i] = sq;
+              assign[i] = rank;
+            }
+          }
+        },
+        kAlwaysParallel);
+  }
+  // Coverage is the farthest remaining row's distance after all picks (not
+  // the last pick's own distance).
+  const double max_d2 = farthest().second;
+
+  CoresetSummary out;
+  out.input_size = distinct.input_size;
+  out.points = PointSet(d);
+  out.weights.assign(centers.size(), 0);
+  out.source_ids.resize(centers.size());
+  for (std::size_t r = 0; r < centers.size(); ++r) {
+    out.points.Add(dp[centers[r]]);
+    out.source_ids[r] = distinct.source_ids[centers[r]];
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    out.weights[assign[i]] += distinct.weights[i];
+  }
+  out.coverage_radius = std::sqrt(std::max(0.0, max_d2));
+  return out;
+}
+
+Result<IndexedDataset> MakeWeightedIndex(CoresetSummary summary,
+                                         const GridDomain& domain) {
+  return IndexedDataset::Create(std::move(summary.points), domain,
+                                std::move(summary.weights));
+}
+
+}  // namespace dpcluster

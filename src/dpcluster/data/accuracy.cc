@@ -60,6 +60,10 @@ Status SweepConfig::Validate() const {
   if (trials == 0) {
     return Status::InvalidArgument("SweepConfig: trials must be >= 1");
   }
+  if (coreset && coreset_target_size < 1) {
+    return Status::InvalidArgument(
+        "SweepConfig: coreset_target_size must be >= 1");
+  }
   return Status::OK();
 }
 
@@ -148,6 +152,9 @@ Result<std::vector<SweepCell>> RunAccuracySweep(const SweepConfig& config) {
             if (config.max_jl_dim > 0) {
               request.tuning.max_jl_dim = config.max_jl_dim;
             }
+            request.tuning.coreset = config.coreset;
+            request.tuning.coreset_min_points = config.coreset_min_points;
+            request.tuning.coreset_target_size = config.coreset_target_size;
           }
           const auto responses = solver.RunAll(requests);
           const double r_ref = ReferenceRadius(*instance);

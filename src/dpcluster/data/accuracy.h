@@ -83,6 +83,14 @@ struct SweepConfig {
   /// eval_harness --jl-dim-sweep runs the sweep once per cap to map the
   /// accuracy/cost frontier of the projection dimension.
   std::size_t max_jl_dim = 0;
+  /// Coreset stage knobs forwarded to every request (Tuning::coreset*): with
+  /// `coreset` set, inputs of at least coreset_min_points rows are collapsed
+  /// to a weighted k-center summary before the pipeline runs. The --smoke
+  /// gate uses this to pin the compressed pipeline's radius_ratio to a fixed
+  /// factor of the uncompressed reference.
+  bool coreset = false;
+  std::size_t coreset_min_points = 65536;
+  std::size_t coreset_target_size = 2048;
 
   Status Validate() const;
 };

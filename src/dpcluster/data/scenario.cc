@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
+
+#include "dpcluster/coreset/coreset.h"
 
 namespace dpcluster {
 
@@ -33,6 +36,14 @@ Status ScenarioSpec::Validate() const {
 std::size_t ScenarioInstance::LabelCount(int label) const {
   return static_cast<std::size_t>(
       std::count(labels.begin(), labels.end(), label));
+}
+
+Result<IndexedDataset> ScenarioInstance::WeightedDistinctIndex() const {
+  if (points.empty()) {
+    return Status::InvalidArgument(
+        "ScenarioInstance: no points to collapse");
+  }
+  return MakeWeightedIndex(CollapseDuplicates(points), domain);
 }
 
 Status ScenarioInstance::CheckInvariants() const {

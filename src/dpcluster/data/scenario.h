@@ -21,6 +21,7 @@
 
 #include "dpcluster/common/status.h"
 #include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/dataset.h"
 #include "dpcluster/geo/grid_domain.h"
 #include "dpcluster/geo/point_set.h"
 #include "dpcluster/random/rng.h"
@@ -93,6 +94,16 @@ struct ScenarioInstance {
 
   /// Number of points carrying the given label.
   std::size_t LabelCount(int label) const;
+
+  /// The weighted-distinct emission of this instance: byte-identical rows
+  /// (grid_snapped's duplicate-heavy regime collapses n rows to the few
+  /// occupied cells) merged into one weighted row each, in first-occurrence
+  /// order, as a weighted IndexedDataset over `domain`. Weighted consumers
+  /// (RadiusProfile, KnnCappedCounts, CountWithin, GoodRadius) release bytes
+  /// bit-identical to running on the expanded rows — pinned by the weighted
+  /// property tests. Instances with no duplicates return an all-weight-one
+  /// index.
+  Result<IndexedDataset> WeightedDistinctIndex() const;
 
   /// Structural invariants every generator must satisfy: sizes match, t
   /// equals the primary label count, balls present, points on the grid.

@@ -56,6 +56,56 @@ Result<NoisyAverageOutput> NoisyAverage(Rng& rng, const PointSet& points,
   return out;
 }
 
+Result<NoisyAverageOutput> NoisyAverage(Rng& rng, const PointSet& points,
+                                        std::span<const std::uint64_t> weights,
+                                        std::span<const double> center,
+                                        double radius,
+                                        const PrivacyParams& params) {
+  DPC_RETURN_IF_ERROR(params.ValidateWithPositiveDelta());
+  if (weights.size() != points.size()) {
+    return Status::InvalidArgument("NoisyAverage: weights size mismatch");
+  }
+  if (center.size() != points.dim()) {
+    return Status::InvalidArgument("NoisyAverage: center dimension mismatch");
+  }
+  if (!(radius > 0.0) || !std::isfinite(radius)) {
+    return Status::InvalidArgument("NoisyAverage: radius must be positive");
+  }
+
+  const double eps = params.epsilon;
+  const double delta = params.delta;
+  const std::size_t d = points.dim();
+  const double r2 = radius * radius * (1.0 + 1e-12);
+
+  std::vector<double> sum(d, 0.0);
+  std::uint64_t m = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    if (SquaredDistance(p, center) > r2) continue;
+    const double w = static_cast<double>(weights[i]);
+    for (std::size_t j = 0; j < d; ++j) sum[j] += w * (p[j] - center[j]);
+    m += weights[i];
+  }
+
+  const double m_hat = static_cast<double>(m) + SampleLaplace(rng, 2.0 / eps) -
+                       (2.0 / eps) * std::log(2.0 / delta);
+  if (m_hat <= 0.0) {
+    return Status::NoPrivateAnswer("NoisyAverage: noisy count m_hat <= 0 (bot)");
+  }
+
+  const double sigma =
+      (8.0 * radius / (eps * m_hat)) * std::sqrt(2.0 * std::log(8.0 / delta));
+  NoisyAverageOutput out;
+  out.noisy_count = m_hat;
+  out.sigma = sigma;
+  out.average.resize(d);
+  const double inv_m = m > 0 ? 1.0 / static_cast<double>(m) : 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    out.average[j] = center[j] + sum[j] * inv_m + SampleGaussian(rng, sigma);
+  }
+  return out;
+}
+
 double NoisyAverageSigmaBound(double radius, double epsilon, double delta,
                               double m) {
   DPC_CHECK_GT(m, 0.0);

@@ -10,6 +10,7 @@
 #ifndef DPCLUSTER_DP_NOISY_AVERAGE_H_
 #define DPCLUSTER_DP_NOISY_AVERAGE_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -34,6 +35,22 @@ struct NoisyAverageOutput {
 /// (center, radius). Returns NoPrivateAnswer when the mechanism outputs bot
 /// (m_hat <= 0, step 1 of Algorithm 5).
 Result<NoisyAverageOutput> NoisyAverage(Rng& rng, const PointSet& points,
+                                        std::span<const double> center,
+                                        double radius,
+                                        const PrivacyParams& params);
+
+/// Weighted NoisyAverage: row i stands for weights[i] identical copies of
+/// points[i] (a duplicate-expanded dataset, e.g. a coreset summary). The
+/// selected sum accumulates weights[i] * (p - center) and the count
+/// accumulates weights[i]. Privacy is with respect to the *expanded* dataset
+/// (one expanded row changes the count by 1 and the re-centered sum by at
+/// most radius, the same sensitivities as the unweighted overload). The
+/// released bytes match the unweighted overload on the expanded dataset only
+/// up to floating-point associativity (w * x vs w-fold repeated addition) —
+/// this overload is deliberately outside the bit-identity contract; the Rng
+/// draw sequence is identical.
+Result<NoisyAverageOutput> NoisyAverage(Rng& rng, const PointSet& points,
+                                        std::span<const std::uint64_t> weights,
                                         std::span<const double> center,
                                         double radius,
                                         const PrivacyParams& params);

@@ -61,6 +61,18 @@ std::size_t CountWithin(const PointSet& s, std::span<const std::uint32_t> ids,
   return count;
 }
 
+std::uint64_t MassWithin(const PointSet& s, std::span<const std::uint32_t> ids,
+                         std::span<const std::uint64_t> weights,
+                         std::span<const double> center, double radius) {
+  DPC_CHECK_EQ(center.size(), s.dim());
+  const double r2 = radius * radius * (1.0 + 1e-12);
+  std::uint64_t mass = 0;
+  for (const std::uint32_t id : ids) {
+    if (SquaredDistance(s[id], center) <= r2) mass += weights[id];
+  }
+  return mass;
+}
+
 double RadiusCapturing(const PointSet& s, std::span<const double> center,
                        std::size_t t) {
   DPC_CHECK_GE(t, 1u);

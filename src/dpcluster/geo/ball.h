@@ -45,6 +45,14 @@ std::size_t CountWithin(const PointSet& s, std::span<const double> center,
 std::size_t CountWithin(const PointSet& s, std::span<const std::uint32_t> ids,
                         std::span<const double> center, double radius);
 
+/// Weighted CountWithin over a row subset: sums weights[id] over the ids
+/// whose row satisfies the same per-point predicate — exactly CountWithin on
+/// the duplicate-expanded subset. `weights` is indexed by original row id
+/// (pass IndexedDataset::weights()).
+std::uint64_t MassWithin(const PointSet& s, std::span<const std::uint32_t> ids,
+                         std::span<const std::uint64_t> weights,
+                         std::span<const double> center, double radius);
+
 /// Smallest radius around `center` that captures at least `t` points of `s`
 /// (the t-th smallest distance). t must satisfy 1 <= t <= s.size().
 double RadiusCapturing(const PointSet& s, std::span<const double> center,

@@ -4,25 +4,32 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <utility>
 
 #include "dpcluster/common/check.h"
 #include "dpcluster/geo/pairwise.h"
 #include "dpcluster/la/jl_transform.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/parallel/parallel_for.h"
 #include "dpcluster/random/rng.h"
 
 namespace dpcluster {
 
 // ------------------------------------------------------------ IndexedDataset
 
-IndexedDataset::IndexedDataset(PointSet points, GridDomain domain)
+IndexedDataset::IndexedDataset(PointSet points, GridDomain domain,
+                               std::vector<std::uint64_t> weights)
     : points_(std::move(points)),
       domain_(std::move(domain)),
+      weights_(std::move(weights)),
       active_(points_.size(), 1),
       active_count_(points_.size()) {
   active_ids_.resize(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
     active_ids_[i] = static_cast<std::uint32_t>(i);
   }
+  for (const std::uint64_t w : weights_) total_mass_ += w;
+  active_mass_ = total_mass_;
 }
 
 Result<IndexedDataset> IndexedDataset::Create(PointSet points,
@@ -32,6 +39,26 @@ Result<IndexedDataset> IndexedDataset::Create(PointSet points,
         "IndexedDataset: domain dimension mismatch");
   }
   return IndexedDataset(std::move(points), std::move(domain));
+}
+
+Result<IndexedDataset> IndexedDataset::Create(
+    PointSet points, GridDomain domain, std::vector<std::uint64_t> weights) {
+  if (!weights.empty() && weights.size() != points.size()) {
+    return Status::InvalidArgument(
+        "IndexedDataset: weights.size() must equal points.size()");
+  }
+  for (const std::uint64_t w : weights) {
+    if (w == 0) {
+      return Status::InvalidArgument(
+          "IndexedDataset: weights must be >= 1 (drop zero-weight rows)");
+    }
+  }
+  if (!points.empty() && points.dim() != domain.dim()) {
+    return Status::InvalidArgument(
+        "IndexedDataset: domain dimension mismatch");
+  }
+  return IndexedDataset(std::move(points), std::move(domain),
+                        std::move(weights));
 }
 
 std::span<const std::uint32_t> IndexedDataset::ActiveIds() const {
@@ -62,6 +89,7 @@ void IndexedDataset::Remove(std::size_t id) {
   DPC_CHECK(active_[id]);
   active_[id] = 0;
   --active_count_;
+  if (!weights_.empty()) active_mass_ -= weights_[id];
   active_ids_dirty_ = true;
   ++active_version_;
   if (grid_.has_value()) grid_->Remove(id);
@@ -92,6 +120,12 @@ Status IndexedDataset::Restore(const Snapshot& snapshot) {
   }
   active_ = snapshot.active;
   active_count_ = snapshot.active_count;
+  if (!weights_.empty()) {
+    active_mass_ = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i]) active_mass_ += weights_[i];
+    }
+  }
   active_ids_dirty_ = true;
   ++active_version_;
   if (grid_.has_value()) grid_->ResetActive(active_);
@@ -101,6 +135,7 @@ Status IndexedDataset::Restore(const Snapshot& snapshot) {
 void IndexedDataset::RestoreAll() {
   std::fill(active_.begin(), active_.end(), std::uint8_t{1});
   active_count_ = active_.size();
+  active_mass_ = total_mass_;
   active_ids_dirty_ = true;
   ++active_version_;
   if (grid_.has_value()) grid_->ResetActive(active_);
@@ -164,6 +199,10 @@ const Matrix& IndexedDataset::ProjectedActive(std::uint64_t seed,
 
 void IndexedDataset::BatchKnn(std::size_t k, std::span<double> out,
                               ThreadPool* pool, bool sorted) const {
+  if (weighted()) {
+    BatchKnnWeighted(k, out, pool);
+    return;
+  }
   DPC_CHECK_GE(active_count_, 1u);
   DPC_CHECK_LE(k, active_count_ - 1);
   const SpatialGrid& grid = EnsureGrid(k);
@@ -172,10 +211,91 @@ void IndexedDataset::BatchKnn(std::size_t k, std::span<double> out,
 
 void IndexedDataset::BatchCountWithin(double r, std::span<std::size_t> out,
                                       ThreadPool* pool) const {
+  if (weighted()) {
+    BatchCountWithinWeighted(r, out, pool);
+    return;
+  }
   DPC_CHECK_EQ(out.size(), active_count_);
   if (active_count_ == 0) return;
   const SpatialGrid& grid = EnsureGrid(/*expected_neighbors=*/16);
   grid.BatchCountWithin(ActiveIds(), r, out, pool);
+}
+
+void IndexedDataset::BatchKnnWeighted(std::size_t k, std::span<double> out,
+                                      ThreadPool* pool) const {
+  DPC_CHECK_GE(active_mass_, 1u);
+  DPC_CHECK_LE(k, active_mass_ - 1);
+  DPC_CHECK_EQ(out.size(), active_count_ * k);
+  const std::span<const std::uint32_t> ids = ActiveIds();
+  const std::size_t d = points_.dim();
+  const double* data = points_.Data().data();
+  // One query per expanded multiset: the query row's own weight-1 duplicate
+  // copies sit at squared distance exactly +0.0 (x - x accumulates +0.0 per
+  // coordinate), matching what a grid over the expanded rows returns.
+  constexpr std::size_t kQueryGrain = 16;
+  ParallelForChunks(
+      pool, 0, ids.size(), kQueryGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        std::vector<std::pair<double, std::uint64_t>> cands;
+        cands.reserve(ids.size());
+        for (std::size_t r = lo; r < hi; ++r) {
+          const std::uint32_t q = ids[r];
+          const double* qrow = data + static_cast<std::size_t>(q) * d;
+          cands.clear();
+          if (weights_[q] > 1) cands.emplace_back(0.0, weights_[q] - 1);
+          for (const std::uint32_t j : ids) {
+            if (j == q) continue;
+            cands.emplace_back(
+                SquaredDistanceRows(qrow,
+                                    data + static_cast<std::size_t>(j) * d, d),
+                weights_[j]);
+          }
+          std::sort(cands.begin(), cands.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+          double* row = out.data() + r * k;
+          std::size_t written = 0;
+          for (const auto& [sq, w] : cands) {
+            if (written == k) break;
+            const double dist = std::sqrt(sq);
+            const std::uint64_t take =
+                std::min<std::uint64_t>(w, k - written);
+            for (std::uint64_t c = 0; c < take; ++c) row[written++] = dist;
+          }
+          DPC_CHECK_EQ(written, k);
+        }
+      },
+      kAlwaysParallel);
+}
+
+void IndexedDataset::BatchCountWithinWeighted(double r,
+                                              std::span<std::size_t> out,
+                                              ThreadPool* pool) const {
+  DPC_CHECK_EQ(out.size(), active_count_);
+  if (active_count_ == 0) return;
+  const std::span<const std::uint32_t> ids = ActiveIds();
+  const std::size_t d = points_.dim();
+  const double* data = points_.Data().data();
+  constexpr std::size_t kQueryGrain = 16;
+  ParallelForChunks(
+      pool, 0, ids.size(), kQueryGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t rank = lo; rank < hi; ++rank) {
+          const std::uint32_t q = ids[rank];
+          const double* qrow = data + static_cast<std::size_t>(q) * d;
+          std::uint64_t mass = 0;
+          if (r >= 0.0) {
+            for (const std::uint32_t j : ids) {
+              const double sq = SquaredDistanceRows(
+                  qrow, data + static_cast<std::size_t>(j) * d, d);
+              if (std::sqrt(sq) <= r) mass += weights_[j];
+            }
+          }
+          out[rank] = static_cast<std::size_t>(mass);
+        }
+      },
+      kAlwaysParallel);
 }
 
 // ----------------------------------------------------------- KnnCappedCounts
@@ -184,6 +304,7 @@ Result<KnnCappedCounts> KnnCappedCounts::Build(const IndexedDataset& index,
                                                std::size_t cap,
                                                std::size_t max_points,
                                                ThreadPool* pool) {
+  if (index.weighted()) return BuildWeighted(index, cap, max_points, pool);
   const std::size_t n = index.active_size();
   if (n == 0) {
     return Status::InvalidArgument("KnnCappedCounts: empty active set");
@@ -214,10 +335,122 @@ Result<KnnCappedCounts> KnnCappedCounts::Build(const IndexedDataset& index,
   return counts;
 }
 
+Result<KnnCappedCounts> KnnCappedCounts::BuildWeighted(
+    const IndexedDataset& index, std::size_t cap, std::size_t max_points,
+    ThreadPool* pool) {
+  const std::size_t n = index.active_size();
+  if (n == 0) {
+    return Status::InvalidArgument("KnnCappedCounts: empty active set");
+  }
+  if (cap < 1 || cap > index.active_mass()) {
+    return Status::InvalidArgument(
+        "KnnCappedCounts: cap must satisfy 1 <= cap <= active_mass");
+  }
+  if (n > max_points) {
+    return Status::ResourceExhausted(
+        "KnnCappedCounts: dataset has " + std::to_string(n) +
+        " active rows, cap is " + std::to_string(max_points) +
+        " (see GoodRadiusOptions::max_profile_points)");
+  }
+  KnnCappedCounts counts;
+  counts.n_ = n;
+  counts.cap_ = cap;
+  counts.weighted_ = true;
+  const std::span<const std::uint32_t> ids = index.ActiveIds();
+  const std::span<const std::uint64_t> weights = index.weights();
+  counts.center_mass_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) counts.center_mass_[r] = weights[ids[r]];
+  counts.wrow_start_.assign(n + 1, 0);
+  if (cap == 1) return counts;  // Every capped count is 1.
+
+  // Compressed rows: ascending distinct bumped-float neighbor distances with
+  // cumulative mass clamped at cap-1 — enough to answer min(B_r, cap)
+  // exactly, at O(n) memory per row instead of O(cap).
+  const std::uint64_t neighbor_cap = cap - 1;
+  const std::size_t d = index.dim();
+  const double* data = index.points().Data().data();
+  constexpr std::size_t kRowGrain = 16;
+  const std::size_t num_chunks = NumChunks(n, kRowGrain);
+  struct ChunkRows {
+    std::vector<float> vals;
+    std::vector<std::uint64_t> mass;
+    std::vector<std::size_t> len;  // one entry per row of the chunk
+  };
+  std::vector<ChunkRows> chunks(num_chunks);
+  ParallelForChunks(
+      pool, 0, n, kRowGrain,
+      [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+        ChunkRows& out = chunks[chunk];
+        std::vector<std::pair<float, std::uint64_t>> cands;
+        cands.reserve(n);
+        for (std::size_t r = lo; r < hi; ++r) {
+          const std::uint32_t q = ids[r];
+          const double* qrow = data + static_cast<std::size_t>(q) * d;
+          cands.clear();
+          if (weights[q] > 1) {
+            cands.emplace_back(BumpDistanceUp(0.0f), weights[q] - 1);
+          }
+          for (const std::uint32_t j : ids) {
+            if (j == q) continue;
+            const double dist = std::sqrt(SquaredDistanceRows(
+                qrow, data + static_cast<std::size_t>(j) * d, d));
+            cands.emplace_back(BumpDistanceUp(static_cast<float>(dist)),
+                               weights[j]);
+          }
+          std::sort(cands.begin(), cands.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+          std::size_t len = 0;
+          std::uint64_t cum = 0;
+          std::size_t i = 0;
+          while (i < cands.size() && cum < neighbor_cap) {
+            const float v = cands[i].first;
+            std::uint64_t mass = 0;
+            while (i < cands.size() && cands[i].first == v) {
+              mass += cands[i].second;
+              ++i;
+            }
+            cum = std::min(cum + mass, neighbor_cap);
+            out.vals.push_back(v);
+            out.mass.push_back(cum);
+            ++len;
+          }
+          out.len.push_back(len);
+        }
+      },
+      kAlwaysParallel);
+  for (std::size_t chunk = 0, r = 0; chunk < num_chunks; ++chunk) {
+    for (const std::size_t len : chunks[chunk].len) {
+      counts.wrow_start_[r + 1] = counts.wrow_start_[r] + len;
+      ++r;
+    }
+    counts.wvals_.insert(counts.wvals_.end(), chunks[chunk].vals.begin(),
+                         chunks[chunk].vals.end());
+    counts.wmass_.insert(counts.wmass_.end(), chunks[chunk].mass.begin(),
+                         chunks[chunk].mass.end());
+  }
+  return counts;
+}
+
 std::size_t KnnCappedCounts::CountWithinCapped(std::size_t rank,
                                                double r) const {
   DPC_CHECK_LT(rank, n_);
   if (r < 0.0) return 0;
+  if (weighted_) {
+    if (cap_ == 1) return 1;
+    const float bound = std::nextafter(static_cast<float>(r),
+                                       std::numeric_limits<float>::infinity());
+    const std::size_t lo = wrow_start_[rank];
+    const std::size_t hi = wrow_start_[rank + 1];
+    // Strictly ascending distinct values: the last entry <= bound carries the
+    // cumulative neighbor mass (already clamped at cap-1).
+    const auto it = std::upper_bound(wvals_.begin() + lo, wvals_.begin() + hi,
+                                     bound);
+    if (it == wvals_.begin() + lo) return 1;
+    return 1 + static_cast<std::size_t>(
+                   wmass_[static_cast<std::size_t>(it - wvals_.begin()) - 1]);
+  }
   if (k_ == 0) return 1;  // Only the center itself is counted.
   const float bound = std::nextafter(static_cast<float>(r),
                                      std::numeric_limits<float>::infinity());
@@ -251,6 +484,30 @@ std::uint64_t GeometryFingerprint(const PointSet& points,
 double KnnCappedCounts::CappedTopAverage(double r, std::size_t top) const {
   DPC_CHECK_GE(top, 1u);
   DPC_CHECK_LE(top, cap_);
+  if (weighted_) {
+    // Every expanded copy of row i shares i's capped count, so the top-`top`
+    // expanded values are read off the (count, row mass) pairs sorted by
+    // count. Integer sums below 2^53 stay exact in double, so this equals the
+    // expanded nth_element average bit for bit.
+    auto& pairs = wcount_scratch_;
+    pairs.clear();
+    pairs.reserve(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      pairs.emplace_back(std::min(CountWithinCapped(i, r), top),
+                         center_mass_[i]);
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::uint64_t remaining = top;
+    std::uint64_t sum = 0;
+    for (const auto& [count, mass] : pairs) {
+      if (remaining == 0) break;
+      const std::uint64_t take = std::min<std::uint64_t>(mass, remaining);
+      sum += static_cast<std::uint64_t>(count) * take;
+      remaining -= take;
+    }
+    return static_cast<double>(sum) / static_cast<double>(top);
+  }
   std::vector<std::size_t>& counts = count_scratch_;
   for (std::size_t i = 0; i < n_; ++i) {
     counts[i] = std::min(CountWithinCapped(i, r), top);

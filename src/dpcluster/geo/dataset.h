@@ -48,11 +48,28 @@ class ThreadPool;
 
 /// PointSet + GridDomain + cached deletion-capable SpatialGrid, behind an
 /// active-set view. Move-only: the grid borrows the stored points.
+///
+/// Weighted datasets: the three-argument Create attaches an integer
+/// multiplicity to every row, making the dataset semantically equal to the
+/// *expanded* dataset in which row i appears weight(i) times. Every query
+/// answers in expanded terms — BatchKnn rows are the k smallest distances in
+/// the expanded multiset (a row's weight-1 duplicate copies sit at distance
+/// exactly 0), BatchCountWithin sums mass, KnnCappedCounts caps expanded
+/// counts — and is pinned bit-identical to running the unweighted query on
+/// the duplicate-expanded PointSet (weighted_geometry_test). This is what
+/// lets the coreset layer (coreset/coreset.h) stand a ~2^20-point dataset
+/// behind a few-thousand-row summary without changing any consumer.
 class IndexedDataset {
  public:
   /// Takes ownership of the dataset. Points must lie in `domain`'s cube
   /// (snap them first — the same contract every algorithm already has).
   static Result<IndexedDataset> Create(PointSet points, GridDomain domain);
+
+  /// Weighted variant: row i carries multiplicity weights[i] >= 1
+  /// (weights.size() == points.size(); an empty vector means all-ones, i.e.
+  /// the unweighted dataset).
+  static Result<IndexedDataset> Create(PointSet points, GridDomain domain,
+                                       std::vector<std::uint64_t> weights);
 
   IndexedDataset(IndexedDataset&&) = default;
   IndexedDataset& operator=(IndexedDataset&&) = default;
@@ -66,6 +83,24 @@ class IndexedDataset {
   std::size_t dim() const { return points_.dim(); }
   std::size_t active_size() const { return active_count_; }
   bool IsActive(std::size_t i) const { return active_[i] != 0; }
+
+  /// True when rows carry multiplicities (three-argument Create).
+  bool weighted() const { return !weights_.empty(); }
+  /// Multiplicity of row i (1 for unweighted datasets).
+  std::uint64_t weight(std::size_t i) const {
+    return weights_.empty() ? 1 : weights_[i];
+  }
+  /// The raw multiplicity vector (empty for unweighted datasets).
+  std::span<const std::uint64_t> weights() const { return weights_; }
+  /// Total multiplicity of the active rows — the expanded dataset size the
+  /// queries answer over. Equals active_size() when unweighted.
+  std::uint64_t active_mass() const {
+    return weighted() ? active_mass_ : active_count_;
+  }
+  /// Total multiplicity of all rows, removed or not.
+  std::uint64_t total_mass() const {
+    return weighted() ? total_mass_ : points_.size();
+  }
 
   /// Original row ids of the active points, ascending.
   std::span<const std::uint32_t> ActiveIds() const;
@@ -102,12 +137,21 @@ class IndexedDataset {
   /// k <= active_size() - 1 and out.size() == active_size() * k. Exact and
   /// bit-identical to a fresh SpatialGrid over ActiveView() at any thread
   /// count. Builds the cached grid on first use.
+  ///
+  /// Weighted datasets answer in expanded terms: row r holds the k smallest
+  /// distances in the expanded multiset (the query row's weight-1 duplicate
+  /// copies contribute distance exactly 0.0, row j contributes weight(j)
+  /// copies of its distance), requires k <= active_mass() - 1, and is always
+  /// ascending (`sorted` is ignored). Bit-identical to the unweighted query
+  /// on the duplicate-expanded PointSet at any thread count.
   void BatchKnn(std::size_t k, std::span<double> out, ThreadPool* pool,
                 bool sorted = true) const;
 
   /// out[r] = number of active points within distance r of ActiveIds()[r]
   /// (itself included); out.size() == active_size(). Exact
-  /// (sqrt-of-squared <= r, Distance accumulation order).
+  /// (sqrt-of-squared <= r, Distance accumulation order). Weighted datasets
+  /// count mass: out[r] sums the multiplicities of the rows within r —
+  /// exactly the expanded-dataset count.
   void BatchCountWithin(double r, std::span<std::size_t> out,
                         ThreadPool* pool) const;
 
@@ -148,10 +192,23 @@ class IndexedDataset {
   std::uint64_t active_version() const { return active_version_; }
 
  private:
-  IndexedDataset(PointSet points, GridDomain domain);
+  IndexedDataset(PointSet points, GridDomain domain,
+                 std::vector<std::uint64_t> weights = {});
+
+  /// Weighted BatchKnn/BatchCountWithin backends: blocked dense scans through
+  /// SquaredDistanceRows (weighted datasets are coreset-sized summaries, so
+  /// the O(active^2 d) pass is the fast path, and it keeps per-pair values
+  /// bit-identical to the grid's kernel on the expanded data).
+  void BatchKnnWeighted(std::size_t k, std::span<double> out,
+                        ThreadPool* pool) const;
+  void BatchCountWithinWeighted(double r, std::span<std::size_t> out,
+                                ThreadPool* pool) const;
 
   PointSet points_;
   GridDomain domain_;
+  std::vector<std::uint64_t> weights_;  // empty = unweighted (all ones)
+  std::uint64_t total_mass_ = 0;        // sum of weights_ (weighted only)
+  std::uint64_t active_mass_ = 0;       // sum over active rows (weighted only)
   std::vector<std::uint8_t> active_;
   std::size_t active_count_ = 0;
   mutable std::vector<std::uint32_t> active_ids_;  // cache; see dirty flag
@@ -199,6 +256,13 @@ class KnnCappedCounts {
   /// Builds the rows from `index`'s active points; 1 <= cap <= active_size().
   /// Fails with ResourceExhausted when active_size() > max_points (the same
   /// explicit cap contract PairwiseDistances::Compute had).
+  ///
+  /// Weighted datasets build *compressed* rows — per active row, the
+  /// ascending distinct (bumped-float) distances paired with cumulative mass
+  /// capped at cap-1 — so memory stays O(active_size^2) even when the
+  /// expanded cap is ~10^6. Counts and CappedTopAverage are bit-identical to
+  /// building the unweighted structure over the duplicate-expanded dataset
+  /// (the cap then satisfies 1 <= cap <= active_mass()).
   static Result<KnnCappedCounts> Build(const IndexedDataset& index,
                                        std::size_t cap, std::size_t max_points,
                                        ThreadPool* pool = nullptr);
@@ -208,7 +272,11 @@ class KnnCappedCounts {
   /// The count cap the rows were built for.
   std::size_t cap() const { return cap_; }
   /// Bytes held by the distance rows (the structure's dominant allocation).
-  std::size_t MemoryBytes() const { return rows_.size() * sizeof(float); }
+  std::size_t MemoryBytes() const {
+    return rows_.size() * sizeof(float) + wvals_.size() * sizeof(float) +
+           wmass_.size() * sizeof(std::uint64_t) +
+           wrow_start_.size() * sizeof(std::size_t);
+  }
 
   /// min(B_r(x_rank), cap) over the active points, x_rank the rank-th active
   /// point in ascending original order.
@@ -223,11 +291,26 @@ class KnnCappedCounts {
  private:
   KnnCappedCounts() = default;
 
+  static Result<KnnCappedCounts> BuildWeighted(const IndexedDataset& index,
+                                               std::size_t cap,
+                                               std::size_t max_points,
+                                               ThreadPool* pool);
+
   std::size_t n_ = 0;
   std::size_t cap_ = 1;
-  std::size_t k_ = 0;                // row width = cap - 1
-  std::vector<float> rows_;          // n_ x k_, each ascending
+  std::size_t k_ = 0;                // row width = cap - 1 (unweighted)
+  std::vector<float> rows_;          // n_ x k_, each ascending (unweighted)
   mutable std::vector<std::size_t> count_scratch_;  // n_ slots
+
+  // Weighted (compressed) representation: per row, strictly ascending
+  // distinct bumped-float distances with cumulative neighbor mass capped at
+  // cap-1. Row r spans [wrow_start_[r], wrow_start_[r+1]).
+  bool weighted_ = false;
+  std::vector<float> wvals_;
+  std::vector<std::uint64_t> wmass_;
+  std::vector<std::size_t> wrow_start_;               // n_+1 offsets
+  std::vector<std::uint64_t> center_mass_;            // per-row multiplicity
+  mutable std::vector<std::pair<std::size_t, std::uint64_t>> wcount_scratch_;
 };
 
 }  // namespace dpcluster

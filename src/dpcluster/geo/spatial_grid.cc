@@ -784,6 +784,71 @@ std::size_t SpatialGrid::CountWithin(std::size_t query, double r,
   return count;
 }
 
+void SpatialGrid::CollectWithin(std::size_t query, double r,
+                                Workspace& scratch,
+                                std::vector<std::uint32_t>& out) const {
+  DPC_CHECK_LT(query, n_);
+  DPC_CHECK(IsLive(query));
+  if (r < 0.0) return;
+
+  const double* base = data_.data();
+  const double* qp = base + query * dim_;
+  const auto m = static_cast<std::int64_t>(cells_per_axis_);
+  const std::size_t max_rho = DecodeCenter(GeomRow(query), scratch);
+  std::vector<std::int64_t>& center = scratch.center;
+
+  // Every candidate pays the exact original-space distance (no projected
+  // lower-bound filter: the callers re-check candidates anyway, and the exact
+  // predicate keeps the result identical across geometries).
+  const auto scan = [&](std::uint64_t cell) {
+    const std::uint64_t hi = cell_end_[cell];
+    for (std::uint64_t at = cell_start_[cell]; at < hi; ++at) {
+      const std::uint32_t id = cell_points_[at];
+      const double sq = RowSquaredDistance(qp, base + id * dim_, dim_);
+      if (std::sqrt(sq) <= r) out.push_back(id);
+    }
+  };
+
+  // Same covering-box argument as CountWithin: rings 0..rho reach every point
+  // within rho * cell_size, with the 1e-9 haircut absorbing cell-assignment
+  // rounding at distance exactly r.
+  const double cells_needed = r / (cell_size_ * (1.0 - 1e-9));
+  std::size_t rho_needed = max_rho;
+  if (cells_needed < static_cast<double>(max_rho)) {
+    rho_needed = static_cast<std::size_t>(std::ceil(cells_needed));
+  }
+
+  const double box_cells =
+      std::pow(2.0 * static_cast<double>(rho_needed) + 1.0,
+               static_cast<double>(geom_dim_));
+  if (box_cells > static_cast<double>(live_occupied_)) {
+    for (const std::uint64_t cell : occupied_) {
+      if (cell_end_[cell] == cell_start_[cell]) continue;
+      scan(cell);
+    }
+  } else {
+    auto visit_box = [&](auto&& self, std::size_t axis,
+                         std::uint64_t partial) -> void {
+      if (axis == geom_dim_) {
+        if (cell_end_[partial] > cell_start_[partial]) {
+          scan(partial);
+        }
+        return;
+      }
+      const auto rho = static_cast<std::int64_t>(rho_needed);
+      const std::int64_t lo = std::max<std::int64_t>(center[axis] - rho, 0);
+      const std::int64_t hi =
+          std::min<std::int64_t>(center[axis] + rho, m - 1);
+      for (std::int64_t c = lo; c <= hi; ++c) {
+        self(self, axis + 1,
+             partial * static_cast<std::uint64_t>(m) +
+                 static_cast<std::uint64_t>(c));
+      }
+    };
+    visit_box(visit_box, 0, 0);
+  }
+}
+
 void SpatialGrid::BatchCountWithin(std::span<const std::uint32_t> queries,
                                    double r, std::span<std::size_t> out,
                                    ThreadPool* pool) const {

@@ -189,6 +189,16 @@ class SpatialGrid {
   void BatchCountWithin(std::span<const std::uint32_t> queries, double r,
                         std::span<std::size_t> out, ThreadPool* pool) const;
 
+  /// Appends to `out` the ids of every live point within Euclidean distance r
+  /// of s[query] (the query itself included; same sqrt(squared) <= r
+  /// predicate as CountWithin), using the same Chebyshev-box pruning. Ids
+  /// arrive in cell-enumeration order — callers that need determinism across
+  /// builds sort or treat the result as a set (the coreset builder's
+  /// per-point relaxations commute, so it needs neither). `out` is not
+  /// cleared.
+  void CollectWithin(std::size_t query, double r, Workspace& scratch,
+                     std::vector<std::uint32_t>& out) const;
+
  private:
   SpatialGrid() = default;
 

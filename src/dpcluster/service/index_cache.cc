@@ -21,9 +21,41 @@ IndexCache::IndexCache(std::size_t capacity) : capacity_(capacity) {
   entries_.reserve(capacity);
 }
 
+IndexCache::Lease IndexCache::LeaseEntry(Entry& entry, const PointSet& points,
+                                         const GridDomain& domain,
+                                         const CoresetOptions& coreset) {
+  std::shared_ptr<IndexedDataset> lent = entry.index;
+  if (coreset.enabled && points.size() >= coreset.min_points) {
+    if (entry.coreset_index == nullptr ||
+        entry.coreset_target != coreset.target_size) {
+      // First coreset request for these bytes (or a new target size):
+      // compress once, serve the summary from here on. The build runs
+      // serially — it happens at most once per entry generation, like the
+      // raw index build above.
+      entry.coreset_index.reset();
+      entry.coreset_target = 0;
+      auto summary = BuildCoreset(points, domain, coreset, nullptr);
+      if (summary.ok()) {
+        auto weighted = MakeWeightedIndex(std::move(*summary), domain);
+        if (weighted.ok()) {
+          entry.coreset_index =
+              std::make_shared<IndexedDataset>(std::move(*weighted));
+          entry.coreset_target = coreset.target_size;
+        }
+      }
+    }
+    // Compression failure is a soft miss: fall back to the raw index.
+    if (entry.coreset_index != nullptr) lent = entry.coreset_index;
+  }
+  entry.leased = true;
+  entry.last_used = ++clock_;
+  return Lease(this, std::move(lent));
+}
+
 IndexCache::Lease IndexCache::Acquire(const std::string& key,
                                       const PointSet& points,
-                                      const GridDomain& domain) {
+                                      const GridDomain& domain,
+                                      const CoresetOptions& coreset) {
   const std::uint64_t fingerprint = GeometryFingerprint(points, domain);
   std::lock_guard<std::mutex> lock(mutex_);
   for (Entry& entry : entries_) {
@@ -33,7 +65,8 @@ IndexCache::Lease IndexCache::Acquire(const std::string& key,
       return Lease();
     }
     if (entry.fingerprint != fingerprint) {
-      // Same key, different bytes: the claimed identity is stale. Replace.
+      // Same key, different bytes: the claimed identity is stale. Replace
+      // (the cached summary described the old bytes; drop it too).
       auto rebuilt = IndexedDataset::Create(points, domain);
       if (!rebuilt.ok()) {
         ++stats_.bypasses;
@@ -41,13 +74,13 @@ IndexCache::Lease IndexCache::Acquire(const std::string& key,
       }
       entry.fingerprint = fingerprint;
       entry.index = std::make_shared<IndexedDataset>(std::move(*rebuilt));
+      entry.coreset_index.reset();
+      entry.coreset_target = 0;
       ++stats_.replaced;
     } else {
       ++stats_.hits;
     }
-    entry.leased = true;
-    entry.last_used = ++clock_;
-    return Lease(this, entry.index);
+    return LeaseEntry(entry, points, domain, coreset);
   }
 
   // Miss: make room, then build.
@@ -77,17 +110,15 @@ IndexCache::Lease IndexCache::Acquire(const std::string& key,
   entry.key = key;
   entry.fingerprint = fingerprint;
   entry.index = std::make_shared<IndexedDataset>(std::move(*built));
-  entry.leased = true;
-  entry.last_used = ++clock_;
   entries_.push_back(std::move(entry));
   ++stats_.misses;
-  return Lease(this, entries_.back().index);
+  return LeaseEntry(entries_.back(), points, domain, coreset);
 }
 
 void IndexCache::ReleaseEntry(const IndexedDataset* index) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (Entry& entry : entries_) {
-    if (entry.index.get() == index) {
+    if (entry.index.get() == index || entry.coreset_index.get() == index) {
       DPC_CHECK(entry.leased);
       entry.leased = false;
       return;

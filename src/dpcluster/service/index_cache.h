@@ -19,6 +19,14 @@
 // Eviction: least-recently-used among entries not currently leased, only
 // when inserting above capacity. Stats() exposes hit/miss/replace/evict/
 // bypass counters for /v1/stats and the cache tests.
+//
+// Coreset: when Acquire is passed enabled CoresetOptions (and the dataset
+// clears min_points), the entry lazily builds and caches a weighted
+// k-center summary index (coreset/coreset.h) next to the raw index, and the
+// lease hands out the summary instead — repeated coreset solves over the
+// same key pay the compression once. The summary is rebuilt when the
+// dataset bytes change (fingerprint replace) or a different target size is
+// requested; a failed summary build falls back to leasing the raw index.
 
 #ifndef DPCLUSTER_SERVICE_INDEX_CACHE_H_
 #define DPCLUSTER_SERVICE_INDEX_CACHE_H_
@@ -30,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "dpcluster/coreset/coreset.h"
 #include "dpcluster/geo/dataset.h"
 
 namespace dpcluster {
@@ -87,8 +96,12 @@ class IndexCache {
 
   /// Borrows (building on demand) the index for `key` over exactly
   /// (points, domain). Falsy lease = bypass; never blocks on a busy entry.
+  /// With `coreset.enabled` and points.size() >= coreset.min_points, the
+  /// lease carries the entry's cached weighted summary index instead of the
+  /// raw one (built on first request, reused until the bytes or the target
+  /// size change); the raw index is the fallback if compression fails.
   Lease Acquire(const std::string& key, const PointSet& points,
-                const GridDomain& domain);
+                const GridDomain& domain, const CoresetOptions& coreset = {});
 
   Stats GetStats() const;
 
@@ -97,9 +110,18 @@ class IndexCache {
     std::string key;
     std::uint64_t fingerprint = 0;
     std::shared_ptr<IndexedDataset> index;
+    /// Cached weighted summary over the same bytes; null until a coreset
+    /// lease is first requested, reset on fingerprint replacement.
+    std::shared_ptr<IndexedDataset> coreset_index;
+    std::size_t coreset_target = 0;  // target_size the summary was built at.
     bool leased = false;
     std::uint64_t last_used = 0;  // LRU clock value of the latest borrow.
   };
+
+  /// Leases `entry`, handing out its coreset summary when `coreset` asks for
+  /// one (building or rebuilding it as needed). Call with mutex_ held.
+  Lease LeaseEntry(Entry& entry, const PointSet& points,
+                   const GridDomain& domain, const CoresetOptions& coreset);
 
   /// Marks the entry holding `index` not-leased. Entries can shift position
   /// while a lease is out (a lower slot may be evicted), so the entry is

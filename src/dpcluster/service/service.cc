@@ -267,10 +267,17 @@ ServiceReply ClusterService::Solve(std::string_view body) {
   }
 
   // Phase 4 — borrow the shared index when the request has a domain. A busy
-  // or full cache bypasses (index-free run, bit-identical outputs).
+  // or full cache bypasses (index-free run, bit-identical outputs). With the
+  // coreset tuning knobs set, the lease carries the cached weighted summary
+  // instead of the raw index (built once per dataset, reused across solves).
   IndexCache::Lease lease;
   if (request.domain.has_value() && !request.data.empty()) {
-    lease = cache_.Acquire(wire.dataset, request.data, *request.domain);
+    CoresetOptions coreset;
+    coreset.enabled = request.tuning.coreset;
+    coreset.min_points = request.tuning.coreset_min_points;
+    coreset.target_size = request.tuning.coreset_target_size;
+    lease = cache_.Acquire(wire.dataset, request.data, *request.domain,
+                           coreset);
     if (lease) request.shared_index = lease.index();
   }
 

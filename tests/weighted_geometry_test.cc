@@ -1,0 +1,270 @@
+// Weighted-dataset exactness: every weighted geometry query answers in
+// *expanded* terms — a weighted IndexedDataset is semantically the dataset
+// in which row i appears weight(i) times — and the answers are pinned
+// BIT-IDENTICAL to running the unweighted query on the duplicate-expanded
+// PointSet, across all 8 scenario families and thread counts {1, 2, 8}.
+// This is the contract that lets the coreset layer stand a 10^6-point
+// dataset behind a few-thousand-row summary without changing any consumer
+// (see coreset/coreset.h and geo/dataset.h).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dpcluster/core/radius_profile.h"
+#include "dpcluster/data/registry.h"
+#include "dpcluster/data/scenario.h"
+#include "dpcluster/geo/ball.h"
+#include "dpcluster/geo/dataset.h"
+#include "dpcluster/parallel/thread_pool.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+struct WeightedCase {
+  ScenarioInstance instance;
+  std::vector<std::uint64_t> weights;  // synthesized, w_i = 1 + (i mod 5)
+  PointSet expanded;                   // row i repeated weights[i] times
+  std::vector<std::size_t> first_copy;  // expanded row of copy 0 of row i
+  std::uint64_t mass = 0;
+};
+
+// Generates a small instance of `family` and synthesizes deterministic
+// multiplicities plus the duplicate-expanded reference dataset.
+WeightedCase MakeCase(const std::string& family) {
+  ScenarioSpec spec;
+  spec.scenario = family;
+  spec.n = 96;
+  spec.dim = 2;
+  spec.levels = 1u << 10;
+  Rng rng(977);
+  auto instance = GenerateScenario(rng, spec);
+  EXPECT_TRUE(instance.ok()) << family << ": " << instance.status().ToString();
+
+  WeightedCase c;
+  c.instance = std::move(*instance);
+  const PointSet& s = c.instance.points;
+  c.expanded = PointSet(s.dim());
+  c.weights.reserve(s.size());
+  c.first_copy.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::uint64_t w = 1 + (i % 5);
+    c.weights.push_back(w);
+    c.first_copy.push_back(c.expanded.size());
+    for (std::uint64_t copy = 0; copy < w; ++copy) c.expanded.Add(s[i]);
+    c.mass += w;
+  }
+  return c;
+}
+
+const char* kFamilies[] = {
+    "planted_cluster", "gaussian_mixture", "outlier_contaminated",
+    "heavy_tailed",    "axis_degenerate",  "grid_snapped",
+    "annulus",         "near_tie"};
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+class WeightedGeometryTest : public ::testing::TestWithParam<const char*> {};
+
+// BatchKnn / BatchCountWithin: the weighted row of point i must equal the
+// expanded row of (any copy of) point i, byte for byte.
+TEST_P(WeightedGeometryTest, BatchQueriesMatchExpanded) {
+  const WeightedCase c = MakeCase(GetParam());
+  const std::size_t n = c.instance.points.size();
+  ASSERT_OK_AND_ASSIGN(
+      IndexedDataset weighted,
+      IndexedDataset::Create(c.instance.points, c.instance.domain, c.weights));
+  ASSERT_OK_AND_ASSIGN(IndexedDataset expanded,
+                       IndexedDataset::Create(c.expanded, c.instance.domain));
+  ASSERT_EQ(weighted.active_mass(), c.mass);
+
+  const std::size_t k = 7;  // < mass - 1 by construction (mass ~ 3n)
+  std::vector<double> reference_knn;
+  std::vector<std::vector<std::size_t>> reference_counts;
+  const double radii[] = {0.0, 0.01, 0.1, 0.5, 2.0};
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+
+    std::vector<double> wknn(n * k);
+    weighted.BatchKnn(k, wknn, &pool);
+    std::vector<double> eknn(c.expanded.size() * k);
+    expanded.BatchKnn(k, eknn, &pool);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        EXPECT_EQ(wknn[i * k + j], eknn[c.first_copy[i] * k + j])
+            << "row " << i << " knn " << j << " threads " << threads;
+      }
+    }
+    if (reference_knn.empty()) {
+      reference_knn = wknn;  // thread-count determinism of the weighted path
+    } else {
+      EXPECT_EQ(reference_knn, wknn) << "threads " << threads;
+    }
+
+    std::vector<std::vector<std::size_t>> all_counts;
+    for (const double r : radii) {
+      std::vector<std::size_t> wcount(n);
+      weighted.BatchCountWithin(r, wcount, &pool);
+      std::vector<std::size_t> ecount(c.expanded.size());
+      expanded.BatchCountWithin(r, ecount, &pool);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(wcount[i], ecount[c.first_copy[i]])
+            << "row " << i << " r " << r << " threads " << threads;
+      }
+      all_counts.push_back(std::move(wcount));
+    }
+    if (reference_counts.empty()) {
+      reference_counts = std::move(all_counts);
+    } else {
+      EXPECT_EQ(reference_counts, all_counts) << "threads " << threads;
+    }
+  }
+}
+
+// KnnCappedCounts: weighted compressed rows answer CountWithinCapped and
+// CappedTopAverage bit-identically to the expanded unweighted build.
+TEST_P(WeightedGeometryTest, KnnCappedCountsMatchExpanded) {
+  const WeightedCase c = MakeCase(GetParam());
+  const std::size_t n = c.instance.points.size();
+  ASSERT_OK_AND_ASSIGN(
+      IndexedDataset weighted,
+      IndexedDataset::Create(c.instance.points, c.instance.domain, c.weights));
+  ASSERT_OK_AND_ASSIGN(IndexedDataset expanded,
+                       IndexedDataset::Create(c.expanded, c.instance.domain));
+
+  const std::size_t cap = static_cast<std::size_t>(c.mass) / 4;
+  const double radii[] = {0.0, 0.01, 0.1, 0.5, 2.0};
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ASSERT_OK_AND_ASSIGN(
+        KnnCappedCounts wcounts,
+        KnnCappedCounts::Build(weighted, cap, n, &pool));
+    ASSERT_OK_AND_ASSIGN(
+        KnnCappedCounts ecounts,
+        KnnCappedCounts::Build(expanded, cap, c.expanded.size(), &pool));
+    for (const double r : radii) {
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(wcounts.CountWithinCapped(i, r),
+                  ecounts.CountWithinCapped(c.first_copy[i], r))
+            << "row " << i << " r " << r << " threads " << threads;
+      }
+      for (const std::size_t top : {std::size_t{1}, cap / 2, cap}) {
+        if (top == 0) continue;
+        EXPECT_EQ(wcounts.CappedTopAverage(r, top),
+                  ecounts.CappedTopAverage(r, top))
+            << "r " << r << " top " << top << " threads " << threads;
+      }
+    }
+  }
+}
+
+// RadiusProfile: the weighted sweep's step function equals the exact profile
+// of the expanded dataset — same breakpoints, same values.
+TEST_P(WeightedGeometryTest, RadiusProfileMatchesExpanded) {
+  const WeightedCase c = MakeCase(GetParam());
+  ASSERT_OK_AND_ASSIGN(
+      IndexedDataset weighted,
+      IndexedDataset::Create(c.instance.points, c.instance.domain, c.weights));
+  const std::size_t t = static_cast<std::size_t>(c.mass) / 8;
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    ASSERT_OK_AND_ASSIGN(
+        RadiusProfile wprofile,
+        RadiusProfile::Build(weighted, t, c.instance.points.size(), &pool));
+    ASSERT_OK_AND_ASSIGN(
+        RadiusProfile eprofile,
+        RadiusProfile::Build(c.expanded, t, c.instance.domain,
+                             c.expanded.size(), &pool));
+    ASSERT_EQ(wprofile.solution_grid_size(), eprofile.solution_grid_size());
+    const StepFunction& wf = wprofile.fine_l();
+    const StepFunction& ef = eprofile.fine_l();
+    ASSERT_EQ(wf.domain_size(), ef.domain_size()) << "threads " << threads;
+    ASSERT_EQ(wf.num_pieces(), ef.num_pieces()) << "threads " << threads;
+    for (std::size_t p = 0; p < wf.num_pieces(); ++p) {
+      EXPECT_EQ(wf.starts()[p], ef.starts()[p]) << "piece " << p;
+      EXPECT_EQ(wf.values()[p], ef.values()[p]) << "piece " << p;
+    }
+  }
+}
+
+// MassWithin: the ball-mass primitive the weighted RefineRadius path counts
+// with equals CountWithin on the expanded dataset for any center and radius.
+TEST_P(WeightedGeometryTest, MassWithinMatchesExpanded) {
+  const WeightedCase c = MakeCase(GetParam());
+  ASSERT_OK_AND_ASSIGN(
+      IndexedDataset weighted,
+      IndexedDataset::Create(c.instance.points, c.instance.domain, c.weights));
+  const std::vector<double> centers[] = {
+      c.instance.primary().center,
+      std::vector<double>(c.instance.points.dim(), 0.0),
+      std::vector<double>(c.instance.points.dim(), 0.5)};
+  for (const auto& center : centers) {
+    for (const double r : {0.0, 0.05, 0.25, 1.0, 3.0}) {
+      EXPECT_EQ(MassWithin(weighted.points(), weighted.ActiveIds(),
+                           weighted.weights(), center, r),
+                CountWithin(c.expanded, center, r))
+          << "r " << r;
+    }
+  }
+}
+
+// Deletion removes mass: removing a weighted row is removing all its copies.
+TEST_P(WeightedGeometryTest, RemovalDropsMass) {
+  const WeightedCase c = MakeCase(GetParam());
+  ASSERT_OK_AND_ASSIGN(
+      IndexedDataset weighted,
+      IndexedDataset::Create(c.instance.points, c.instance.domain, c.weights));
+  const Ball ball{c.instance.primary().center, c.instance.primary().radius};
+  std::uint64_t removed_mass = 0;
+  for (std::size_t i = 0; i < c.instance.points.size(); ++i) {
+    if (ball.Contains(c.instance.points[i])) removed_mass += c.weights[i];
+  }
+  weighted.RemoveWithin(ball);
+  EXPECT_EQ(weighted.active_mass(), c.mass - removed_mass);
+  weighted.RestoreAll();
+  EXPECT_EQ(weighted.active_mass(), c.mass);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, WeightedGeometryTest,
+                         ::testing::ValuesIn(kFamilies));
+
+// The grid_snapped emission: WeightedDistinctIndex collapses the duplicate-
+// heavy instance losslessly, and a weighted consumer on the collapsed index
+// answers bit-identically to the expanded (raw) instance.
+TEST(WeightedDistinct, GridSnappedCollapsesLosslessly) {
+  ScenarioSpec spec;
+  spec.scenario = "grid_snapped";
+  spec.n = 512;
+  spec.dim = 2;
+  spec.levels = 1u << 10;
+  spec.snap_levels = 4;  // few occupied cells: heavy duplication
+  Rng rng(1231);
+  ASSERT_OK_AND_ASSIGN(ScenarioInstance instance,
+                       GenerateScenario(rng, spec));
+  ASSERT_OK_AND_ASSIGN(IndexedDataset distinct,
+                       instance.WeightedDistinctIndex());
+  EXPECT_LT(distinct.size(), instance.points.size());
+  EXPECT_EQ(distinct.total_mass(), instance.points.size());
+
+  // Lossless: the weighted profile over the distinct rows is the raw profile.
+  const std::size_t t = instance.points.size() / 8;
+  ASSERT_OK_AND_ASSIGN(
+      RadiusProfile wprofile,
+      RadiusProfile::Build(distinct, t, distinct.size()));
+  ASSERT_OK_AND_ASSIGN(
+      RadiusProfile eprofile,
+      RadiusProfile::Build(instance.points, t, instance.domain,
+                           instance.points.size()));
+  const StepFunction& wf = wprofile.fine_l();
+  const StepFunction& ef = eprofile.fine_l();
+  ASSERT_EQ(wf.num_pieces(), ef.num_pieces());
+  for (std::size_t p = 0; p < wf.num_pieces(); ++p) {
+    EXPECT_EQ(wf.starts()[p], ef.starts()[p]) << "piece " << p;
+    EXPECT_EQ(wf.values()[p], ef.values()[p]) << "piece " << p;
+  }
+}
+
+}  // namespace
+}  // namespace dpcluster

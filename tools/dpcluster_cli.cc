@@ -31,6 +31,11 @@
 //                   builds to one)
 //   --subsample-cap-factor F  multiplier on the subsample cap when the grid
 //                   profile path is active (>= 1; default 10)
+//   --coreset       collapse large inputs to a weighted k-center summary and
+//                   run the whole pipeline on it (changes released bytes;
+//                   accuracy gated by the eval harness radius_ratio check)
+//   --coreset-target N      summary size ceiling        (default 2048)
+//   --coreset-min-points N  below this n run uncompressed (default 65536)
 //   --refine        spend part of the budget tightening the released radius
 //   --ledger        print the per-phase privacy ledger
 
@@ -72,6 +77,9 @@ struct CliOptions {
   std::string index_geometry = "auto";
   bool shared_index = false;
   double subsample_cap_factor = 10.0;
+  bool coreset = false;
+  std::size_t coreset_target = 2048;
+  std::size_t coreset_min_points = 65536;
 };
 
 void Usage(std::FILE* out) {
@@ -83,6 +91,7 @@ void Usage(std::FILE* out) {
                "       [--profile-index auto|grid|exact] [--shared-index]\n"
                "       [--index-geometry auto|exact|projected]\n"
                "       [--subsample-cap-factor F] [--refine] [--ledger]\n"
+               "       [--coreset] [--coreset-target N] [--coreset-min-points N]\n"
                "       [--help]\n"
                "see docs/TUNING.md for what each performance knob does;\n"
                "docs/OPERATIONS.md covers the resident daemon (dpcluster_serve)\n");
@@ -116,6 +125,18 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return false;
       opt.subsample_cap_factor = std::strtod(v, nullptr);
+    } else if (arg == "--coreset") {
+      opt.coreset = true;
+    } else if (arg == "--coreset-target") {
+      const char* v = next();
+      if (!v) return false;
+      opt.coreset_target =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--coreset-min-points") {
+      const char* v = next();
+      if (!v) return false;
+      opt.coreset_min_points =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--ledger") {
       opt.ledger = true;
     } else if (arg == "--input") {
@@ -267,6 +288,9 @@ int main_impl(int argc, char** argv) {
   }
   request.tuning.index_geometry = *index_geometry;
   request.tuning.subsample_grid_cap_factor = opt.subsample_cap_factor;
+  request.tuning.coreset = opt.coreset;
+  request.tuning.coreset_target_size = opt.coreset_target;
+  request.tuning.coreset_min_points = opt.coreset_min_points;
   // k_cluster and outlier_screen refine by default (tuning.refine_fraction);
   // --refine opts the plain one_cluster release in as well.
   request.tuning.refine_one_cluster = opt.refine;

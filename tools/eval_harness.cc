@@ -31,7 +31,18 @@
 //                        an eps grid of 32,64 unless --eps is given (the d=32
 //                        pipeline is suppressed at the low-d default budgets).
 //   --jl-dims c1,c2,..   caps for --jl-dim-sweep (default 4,6,8,12,16,24)
+//   --coreset            collapse each instance to a weighted k-center
+//                        summary before serving (Tuning::coreset; changes
+//                        released bytes — see docs/TUNING.md)
+//   --coreset-target N      summary size ceiling          (default 2048)
+//   --coreset-min-points N  below this n run uncompressed (default 65536)
+//
+// --smoke also runs the coreset accuracy gate: the compressed pipeline on the
+// uncompressed n = 4096 planted-cluster reference must keep its radius_ratio
+// within a fixed factor of running uncompressed.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,9 +95,10 @@ void Usage(std::FILE* out = stderr) {
                "       [--algorithms a,b] [--eps e1,e2] [--delta D]\n"
                "       [--n n1,n2] [--dim d1,d2] [--levels L] [--trials T]\n"
                "       [--seed S] [--threads W] [--out PATH]\n"
-               "       [--jl-dim-sweep] [--jl-dims c1,c2] [--help]\n"
+               "       [--jl-dim-sweep] [--jl-dims c1,c2] [--coreset]\n"
+               "       [--coreset-target N] [--coreset-min-points N] [--help]\n"
                "see docs/TUNING.md for the performance knobs the sweep can\n"
-               "exercise (--threads, --jl-dim-sweep)\n");
+               "exercise (--threads, --jl-dim-sweep, --coreset)\n");
 }
 
 void ListRegistries() {
@@ -179,6 +191,68 @@ int CheckSmokeFloors(const std::vector<SweepCell>& cells) {
   return violations;
 }
 
+/// The coreset accuracy gate: serve the planted-cluster family at the
+/// uncompressed reference size (n = 4096, eps = 2) twice — once raw, once
+/// through a forced weighted k-center summary — and require the compressed
+/// radius_ratio to stay within a fixed factor of the reference. Both sweeps
+/// share seeds, so the instances (and the reference radii) are identical and
+/// only the compression differs.
+int CheckCoresetFloor(std::uint64_t seed, std::size_t num_threads) {
+  constexpr double kMaxFactor = 10.0;
+  SweepConfig reference;
+  reference.scenarios = {"planted_cluster"};
+  reference.algorithms = {"one_cluster"};
+  reference.epsilons = {2.0};
+  reference.ns = {4096};
+  reference.dims = {2};
+  reference.trials = 3;
+  reference.seed = seed;
+  reference.num_threads = num_threads;
+  SweepConfig compressed = reference;
+  compressed.coreset = true;
+  compressed.coreset_min_points = 1;  // force compression at n = 4096
+  compressed.coreset_target_size = 512;
+
+  const auto ref_cells = RunAccuracySweep(reference);
+  const auto cs_cells = RunAccuracySweep(compressed);
+  if (!ref_cells.ok() || !cs_cells.ok()) {
+    std::fprintf(stderr, "FLOOR: coreset gate sweep failed: %s\n",
+                 (!ref_cells.ok() ? ref_cells.status() : cs_cells.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  const SweepCell* ref =
+      FindCell(*ref_cells, "planted_cluster", "one_cluster", 2.0);
+  const SweepCell* cs =
+      FindCell(*cs_cells, "planted_cluster", "one_cluster", 2.0);
+  if (ref == nullptr || cs == nullptr) {
+    std::fprintf(stderr, "FLOOR: coreset gate cell missing\n");
+    return 1;
+  }
+  int violations = 0;
+  if (cs->failures > ref->failures + 1) {
+    std::fprintf(stderr, "FLOOR: coreset failures %zu > reference %zu + 1 (%s)\n",
+                 cs->failures, ref->failures, cs->note.c_str());
+    ++violations;
+  }
+  // Floor the reference at 1.0 so a lucky near-exact raw run cannot turn the
+  // factor gate into a noise amplifier.
+  const double bound = kMaxFactor * std::max(ref->median.radius_ratio, 1.0);
+  if (!(cs->median.radius_ratio <= bound)) {
+    std::fprintf(stderr,
+                 "FLOOR: coreset radius_ratio %.3f > %.1fx reference (%.3f)\n",
+                 cs->median.radius_ratio, kMaxFactor,
+                 ref->median.radius_ratio);
+    ++violations;
+  }
+  if (violations == 0) {
+    std::printf("coreset gate: radius_ratio %.3f (reference %.3f, bound %.3f)\n",
+                cs->median.radius_ratio, ref->median.radius_ratio, bound);
+  }
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,6 +301,14 @@ int main(int argc, char** argv) {
       jl_dim_sweep = true;
     } else if (arg == "--jl-dims" && (v = next())) {
       jl_dims = SplitCsvSizes(v);
+    } else if (arg == "--coreset") {
+      config.coreset = true;
+    } else if (arg == "--coreset-target" && (v = next())) {
+      config.coreset_target_size =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--coreset-min-points" && (v = next())) {
+      config.coreset_min_points =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--levels" && (v = next())) {
       config.levels = std::strtoull(v, nullptr, 10);
     } else if (arg == "--trials" && (v = next())) {
@@ -309,7 +391,9 @@ int main(int argc, char** argv) {
   if (!WriteAccuracyJson(out, config, *cells)) return 1;
 
   if (smoke) {
-    const int violations = CheckSmokeFloors(*cells);
+    int violations = CheckSmokeFloors(*cells);
+    std::printf("\ncoreset accuracy gate (n=4096 planted cluster)...\n");
+    violations += CheckCoresetFloor(config.seed, config.num_threads);
     if (violations > 0) {
       std::fprintf(stderr, "\n--smoke: %d floor violation(s)\n", violations);
       return 1;
