@@ -164,6 +164,56 @@ std::vector<SweepPoint> RunAll(std::size_t per_client) {
   return points;
 }
 
+/// One-shot vs kept-alive transport cost on the same daemon. The request is
+/// GET /healthz — cheap enough that the TCP handshake dominates, so the
+/// ratio isolates what connection reuse buys a chatty client (a streaming
+/// ingester appending small batches is exactly that shape).
+struct ReusePoint {
+  double oneshot_rps = 0.0;
+  double reuse_rps = 0.0;
+  std::uint64_t reused = 0;       ///< Server-counted kept-alive requests.
+  std::uint64_t reconnects = 0;   ///< Client-side re-dials (cap/idle fired).
+  bool all_ok = true;
+};
+
+ReusePoint RunReuse(std::size_t requests) {
+  ClusterService service(ServiceOptions{});
+  HttpServerOptions http_options;
+  http_options.workers = 2;
+  HttpServer server(&service, http_options);
+  if (Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "bench_service: %s\n",
+                 std::string(status.message()).c_str());
+    return {0.0, 0.0, 0, 0, false};
+  }
+  ReusePoint point;
+
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto reply = HttpGet(server.port(), "/healthz");
+    if (!reply.ok() || reply->status != 200) point.all_ok = false;
+  }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  point.oneshot_rps = static_cast<double>(requests) / seconds;
+
+  HttpConnection connection(server.port());
+  start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto reply = connection.Get("/healthz");
+    if (!reply.ok() || reply->status != 200) point.all_ok = false;
+  }
+  seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  point.reuse_rps = static_cast<double>(requests) / seconds;
+  point.reconnects = connection.reconnects();
+  point.reused = server.GetStats().reused;
+  server.Stop();
+  return point;
+}
+
 void Record(bench::JsonReporter& reporter,
             const std::vector<SweepPoint>& points) {
   const std::size_t cores = std::max(1u, std::thread::hardware_concurrency());
@@ -172,6 +222,24 @@ void Record(bench::JsonReporter& reporter,
     reporter.Add("service/mixed_traffic", kClients, 2, p.workers,
                  p.requests_per_s > 0.0 ? 1e9 / p.requests_per_s : 0.0);
   }
+}
+
+void RecordReuse(bench::JsonReporter& reporter, const ReusePoint& reuse) {
+  reporter.Add("service/oneshot_healthz", 1, 0, 1,
+               reuse.oneshot_rps > 0.0 ? 1e9 / reuse.oneshot_rps : 0.0);
+  reporter.Add("service/keepalive_healthz", 1, 0, 1,
+               reuse.reuse_rps > 0.0 ? 1e9 / reuse.reuse_rps : 0.0);
+}
+
+void PrintReuse(const ReusePoint& reuse) {
+  std::printf(
+      "  connection reuse: one-shot %7.1f req/s, kept-alive %7.1f req/s "
+      "(%.2fx); server reused %llu, client re-dialed %llu%s\n",
+      reuse.oneshot_rps, reuse.reuse_rps,
+      reuse.oneshot_rps > 0.0 ? reuse.reuse_rps / reuse.oneshot_rps : 0.0,
+      static_cast<unsigned long long>(reuse.reused),
+      static_cast<unsigned long long>(reuse.reconnects),
+      reuse.all_ok ? "" : "  [non-200 replies!]");
 }
 
 /// The hardware-aware 8-worker/1-worker scaling floor (see file banner).
@@ -184,11 +252,26 @@ double ScalingFloor(std::size_t cores) {
 int RunSmoke(const std::string& out_path) {
   bench::Banner("service daemon throughput smoke");
   const std::vector<SweepPoint> points = RunAll(/*per_client=*/6);
+  const ReusePoint reuse = RunReuse(/*requests=*/64);
+  PrintReuse(reuse);
   bench::JsonReporter reporter(out_path);
   Record(reporter, points);
+  RecordReuse(reporter, reuse);
   reporter.Write();
 
   int failures = 0;
+  // Functional (deterministic) keep-alive gates: every reply is 200, and
+  // the server actually served request #2+ on reused connections. The
+  // req/s ratio itself is not a floor — loopback handshakes are cheap
+  // enough that the margin is machine-dependent.
+  if (!reuse.all_ok) {
+    std::printf("smoke: keep-alive section saw a non-200 reply -> FAIL\n");
+    ++failures;
+  }
+  if (reuse.reused == 0) {
+    std::printf("smoke: server never reused a connection -> FAIL\n");
+    ++failures;
+  }
   for (const SweepPoint& p : points) {
     if (!p.all_ok) {
       std::printf("smoke: workers=%zu saw a non-200 reply -> FAIL\n",
@@ -228,8 +311,11 @@ int main(int argc, char** argv) {
 
   bench::Banner("service daemon throughput (mixed multi-tenant traffic)");
   const std::vector<SweepPoint> points = RunAll(/*per_client=*/12);
+  const ReusePoint reuse = RunReuse(/*requests=*/512);
+  PrintReuse(reuse);
   bench::JsonReporter reporter(out);
   Record(reporter, points);
+  RecordReuse(reporter, reuse);
   reporter.Write();
   bench::Note(
       "\nEach of the 8 clients is its own tenant with its own dataset key;"

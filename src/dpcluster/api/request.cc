@@ -95,6 +95,15 @@ Status Request::Validate() const {
     return Status::InvalidArgument(
         "Request: tuning.subsample_grid_cap_factor must be >= 1");
   }
+  if (!(tuning.stream_compact_fraction >= 0.0) ||
+      !(tuning.stream_compact_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "Request: tuning.stream_compact_fraction must be in [0,1)");
+  }
+  if (!(tuning.coreset_staleness_fraction >= 0.0)) {
+    return Status::InvalidArgument(
+        "Request: tuning.coreset_staleness_fraction must be >= 0");
+  }
   if (tuning.coreset && tuning.coreset_target_size < 1) {
     return Status::InvalidArgument(
         "Request: tuning.coreset_target_size must be >= 1");

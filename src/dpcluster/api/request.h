@@ -96,6 +96,17 @@ struct Tuning {
   std::size_t coreset_min_points = 65536;
   /// Summary row budget of the greedy k-center traversal (~2z + O(k)).
   std::size_t coreset_target_size = 2048;
+  /// Streaming datasets (service /v1/stream/*): the resident index is
+  /// compacted — expired rows dropped, survivors renumbered — once
+  /// live/total falls below this fraction after a mutation, so a long-lived
+  /// stream's scan density never degrades past a constant factor. 0 never
+  /// compacts automatically.
+  double stream_compact_fraction = 0.25;
+  /// Streaming solves with `coreset`: the cached summary is reused until the
+  /// rows appended + expired since it was built exceed this fraction of the
+  /// live set, then rebuilt lazily on the next coreset solve. 0 rebuilds on
+  /// any edit.
+  double coreset_staleness_fraction = 0.5;
   /// Outlier: multiplier on the found ball radius before screening.
   double inflation = 1.0;
   /// Exp-mech baseline: refuse to enumerate more than this many grid centers.

@@ -167,16 +167,32 @@ Result<GoodRadiusResult> RunSparseVectorEngine(Rng& rng, const PointSet* s,
   // rows (O(n t) memory) — the n x n PairwiseDistances matrix this engine
   // used to materialize is gone.
   Result<KnnCappedCounts> built = Status::Internal("unset");
-  if (index != nullptr) {
+  const KnnCappedCounts* counts_ptr = nullptr;
+  if (index != nullptr && options.shared_counts != nullptr) {
+    // Streaming fast path: the caller maintains the rows across edits
+    // (KnnCappedCounts::ApplyBatch), so this query pays nothing to build
+    // them. The rows are bit-identical to a fresh Build by ApplyBatch's
+    // contract, so the released output is unchanged.
+    if (options.shared_counts->size() != index->active_size() ||
+        options.shared_counts->cap() != t) {
+      return Status::InvalidArgument(
+          "GoodRadius: shared_counts does not match the index's active set "
+          "(size or cap)");
+    }
+    counts_ptr = options.shared_counts;
+  } else if (index != nullptr) {
     built = KnnCappedCounts::Build(*index, t, profile_cap, pool);
+    DPC_RETURN_IF_ERROR(built.status());
+    counts_ptr = &*built;
   } else {
     DPC_ASSIGN_OR_RETURN(IndexedDataset local,
                          IndexedDataset::Create(*s, domain));
     local.set_index_geometry(options.index_geometry);
     built = KnnCappedCounts::Build(local, t, profile_cap, pool);
+    DPC_RETURN_IF_ERROR(built.status());
+    counts_ptr = &*built;
   }
-  DPC_RETURN_IF_ERROR(built.status());
-  const KnnCappedCounts& counts = *built;
+  const KnnCappedCounts& counts = *counts_ptr;
 
   GoodRadiusResult result;
 
@@ -246,6 +262,7 @@ Result<GoodRadiusResult> GoodRadiusImpl(Rng& rng, const PointSet* s,
                          MakeWeightedIndex(std::move(summary), domain));
     GoodRadiusOptions inner = options;
     inner.coreset.enabled = false;
+    inner.shared_counts = nullptr;  // Rows describe the uncompressed index.
     return GoodRadius(rng, weighted_index, t, inner);
   }
 
@@ -275,6 +292,7 @@ Result<GoodRadiusResult> GoodRadiusImpl(Rng& rng, const PointSet* s,
       GoodRadiusOptions inner = options;
       inner.subsample_large_inputs = false;
       inner.max_profile_points = std::max(inner.max_profile_points, m);
+      inner.shared_counts = nullptr;  // Rows describe the full dataset.
       return GoodRadius(rng, sample, RescaledT(t, m, n), domain, inner);
     }
   }

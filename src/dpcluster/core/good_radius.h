@@ -33,6 +33,7 @@
 namespace dpcluster {
 
 class IndexedDataset;
+class KnnCappedCounts;
 
 struct GoodRadiusOptions {
   PrivacyParams params{1.0, 1e-9};
@@ -52,6 +53,17 @@ struct GoodRadiusOptions {
   /// per-point t-NN rows (geo/KnnCappedCounts, O(n t) memory — it never
   /// materializes the n x n PairwiseDistances matrix) and ignores this knob.
   ProfileIndex profile_index = ProfileIndex::kAuto;
+  /// Borrowed caller-maintained t-NN rows for the kSparseVector engine on
+  /// the IndexedDataset entry point: when set, the engine answers its radius
+  /// counts from these rows instead of building its own O(n t) structure.
+  /// The streaming path keeps them current across Insert/Remove batches via
+  /// KnnCappedCounts::ApplyBatch, so a query after an edit pays only the
+  /// rows the edit touched — this is the amortization the incremental index
+  /// exists for. Must describe the index's active set with cap() == t
+  /// (validated); rows are bit-identical to a fresh Build by ApplyBatch's
+  /// contract, so released outputs are unchanged. Ignored by the PointSet
+  /// entry point and the kRecConcave engine. Not owned.
+  const KnnCappedCounts* shared_counts = nullptr;
   /// Cell-grid coordinate space for any spatial index this call builds itself
   /// (the kGrid profile's index on a PointSet input, the kSparseVector
   /// engine's local IndexedDataset): kAuto stays exact — degenerate one-cell

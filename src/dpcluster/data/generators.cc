@@ -505,6 +505,96 @@ class NearTieFamily : public ScenarioFamily {
   }
 };
 
+// --------------------------------------------------------------- streaming ---
+
+// Points arrive and expire over `ticks` rounds while the planted cluster
+// drifts along a random chord. The instance's points/labels/balls describe
+// the final tick — what a long-lived stream consumer is asked about — and
+// the full arrival/expiry history is recorded in instance.stream, so replay
+// harnesses (dpcluster_cli --stream-ticks, the streaming benches, the
+// service tests) can drive the incremental index through the exact same
+// edits and check byte-identity against indexing the final state directly.
+class StreamingFamily : public ScenarioFamily {
+ public:
+  std::string_view name() const override { return "streaming"; }
+  std::string_view description() const override {
+    return "points arrive/expire over ticks while the planted cluster "
+           "drifts; truth = final-tick ball, replay schedule in "
+           "instance.stream";
+  }
+  Status ValidateSpec(const ScenarioSpec& spec) const override {
+    if (spec.ticks < 1 || spec.ticks > 1024) {
+      return Status::InvalidArgument("streaming: ticks must be in [1, 1024]");
+    }
+    return Status::OK();
+  }
+  Result<ScenarioInstance> Generate(Rng& rng,
+                                    const ScenarioSpec& spec) const override {
+    ScenarioInstance instance = NewInstance(spec);
+    instance.t = PrimaryCount(spec);
+    const std::size_t ticks = spec.ticks;
+    const std::size_t window = std::max<std::size_t>(1, ticks / 4);
+    const std::size_t background = spec.n - instance.t;
+
+    StreamSchedule& stream = instance.stream;
+    stream.ticks = ticks;
+    stream.arrivals = PointSet(spec.dim);
+    const std::vector<double> from = RandomInteriorCenter(
+        rng, spec.dim, spec.cluster_radius, spec.axis_length);
+    const std::vector<double> to = RandomInteriorCenter(
+        rng, spec.dim, spec.cluster_radius, spec.axis_length);
+    stream.tick_balls.reserve(ticks);
+    for (std::size_t u = 0; u < ticks; ++u) {
+      const double f = ticks == 1 ? 1.0
+                                  : static_cast<double>(u) /
+                                        static_cast<double>(ticks - 1);
+      Ball ball;
+      ball.center.resize(spec.dim);
+      for (std::size_t j = 0; j < spec.dim; ++j) {
+        ball.center[j] = from[j] + f * (to[j] - from[j]);
+      }
+      ball.radius = spec.cluster_radius;
+      stream.tick_balls.push_back(std::move(ball));
+    }
+    instance.true_balls = {stream.tick_balls.back()};
+
+    const auto arrive = [&stream](std::span<const double> p, std::size_t at,
+                                  std::size_t expiry) {
+      stream.arrivals.Add(p);
+      stream.arrival_tick.push_back(static_cast<std::uint32_t>(at));
+      stream.expiry_tick.push_back(static_cast<std::uint32_t>(expiry));
+    };
+    std::vector<double> p(spec.dim);
+    for (std::size_t u = 0; u < ticks; ++u) {
+      // Background survivors arrive evenly across ticks and never expire.
+      const std::size_t batch =
+          background / ticks + (u < background % ticks ? 1 : 0);
+      for (std::size_t i = 0; i < batch; ++i) {
+        for (double& x : p) x = rng.NextDouble() * spec.axis_length;
+        arrive(p, u, ticks);
+        AddLabeled(instance, p, -1);
+      }
+      // The tick's cluster batch around the drifted center: transient before
+      // the final tick (expires after `window` ticks, always before the
+      // end), planted truth at the final one.
+      const Ball& ball = stream.tick_balls[u];
+      for (std::size_t i = 0; i < instance.t; ++i) {
+        const auto q = SampleBall(rng, ball.center, ball.radius);
+        if (u + 1 == ticks) {
+          arrive(q, u, ticks);
+          AddLabeled(instance, q, 0);
+        } else {
+          arrive(q, u, std::min(u + window, ticks - 1));
+        }
+      }
+    }
+    // Snap the schedule exactly like the instance: surviving rows stay
+    // byte-identical between the two views.
+    instance.domain.SnapAll(stream.arrivals);
+    return Finish(std::move(instance));
+  }
+};
+
 }  // namespace
 
 Status RegisterBuiltinScenarios(ScenarioRegistry& registry) {
@@ -520,6 +610,7 @@ Status RegisterBuiltinScenarios(ScenarioRegistry& registry) {
   DPC_RETURN_IF_ERROR(add(std::make_unique<GridSnappedFamily>()));
   DPC_RETURN_IF_ERROR(add(std::make_unique<AnnulusFamily>()));
   DPC_RETURN_IF_ERROR(add(std::make_unique<NearTieFamily>()));
+  DPC_RETURN_IF_ERROR(add(std::make_unique<StreamingFamily>()));
   return Status::OK();
 }
 

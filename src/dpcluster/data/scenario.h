@@ -68,9 +68,29 @@ struct ScenarioSpec {
   double shell_thickness = 0.1;
   /// Near-tie: relative radius advantage of the decoy cluster (0 = exact tie).
   double tie_margin = 0.05;
+  /// Streaming: number of arrival/expiry ticks the schedule spans.
+  std::size_t ticks = 8;
 
   /// Shared-field validation; family-specific checks are in ValidateSpec.
   Status Validate() const;
+};
+
+/// The arrival/expiry replay schedule a streaming family records alongside
+/// its instance: every generated point in arrival order with the tick it
+/// arrives and the tick it expires (expiry == ticks means it survives to the
+/// end). The instance's own `points` hold exactly the surviving rows, in the
+/// same relative order, so replaying the schedule through an incremental
+/// IndexedDataset (Insert per arrival, Remove per expiry) ends in an active
+/// set byte-identical to indexing the instance directly — that equivalence
+/// is what dpcluster_cli --stream-ticks and the streaming benches check.
+/// `ticks == 0` means the instance has no schedule (non-streaming families).
+struct StreamSchedule {
+  std::size_t ticks = 0;
+  PointSet arrivals;                        // every point, arrival order
+  std::vector<std::uint32_t> arrival_tick;  // first tick the point is live
+  std::vector<std::uint32_t> expiry_tick;   // first tick it is gone
+  /// The drifting planted ball per tick; back() is the instance's primary.
+  std::vector<Ball> tick_balls;
 };
 
 /// A generated instance with ground truth. Points are snapped to the domain
@@ -89,6 +109,9 @@ struct ScenarioInstance {
   /// Per-point ground truth: index into true_balls, or -1 for background
   /// noise. labels.size() == points.size().
   std::vector<int> labels;
+  /// Arrival/expiry replay schedule (streaming families only; see
+  /// StreamSchedule — ticks == 0 everywhere else).
+  StreamSchedule stream;
 
   const Ball& primary() const { return true_balls.front(); }
 

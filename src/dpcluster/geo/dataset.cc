@@ -1,6 +1,7 @@
 #include "dpcluster/geo/dataset.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -15,6 +16,20 @@
 
 namespace dpcluster {
 
+namespace {
+
+// Identity tokens for Snapshot/Restore: each dataset numbering (a fresh
+// dataset, or one renumbered by Compact) gets a distinct epoch, so restoring
+// a snapshot onto the wrong dataset — or across a Compact — is rejected
+// instead of silently mismatching row ids. Mutators are single-threaded by
+// library convention, but distinct datasets may live on distinct threads.
+std::uint64_t NextSnapshotEpoch() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 // ------------------------------------------------------------ IndexedDataset
 
 IndexedDataset::IndexedDataset(PointSet points, GridDomain domain,
@@ -23,7 +38,8 @@ IndexedDataset::IndexedDataset(PointSet points, GridDomain domain,
       domain_(std::move(domain)),
       weights_(std::move(weights)),
       active_(points_.size(), 1),
-      active_count_(points_.size()) {
+      active_count_(points_.size()),
+      snapshot_epoch_(NextSnapshotEpoch()) {
   active_ids_.resize(points_.size());
   for (std::size_t i = 0; i < points_.size(); ++i) {
     active_ids_[i] = static_cast<std::uint32_t>(i);
@@ -84,6 +100,84 @@ PointSet IndexedDataset::ActiveView() const {
   return d == 0 ? PointSet() : PointSet(d, std::move(data));
 }
 
+Result<std::size_t> IndexedDataset::Insert(std::span<const double> point,
+                                           std::uint64_t weight) {
+  if (point.size() != domain_.dim()) {
+    return Status::InvalidArgument(
+        "IndexedDataset::Insert: point dimension mismatch");
+  }
+  if (weight == 0) {
+    return Status::InvalidArgument(
+        "IndexedDataset::Insert: weight must be >= 1");
+  }
+  for (const double x : point) {
+    if (!(x >= 0.0 && x <= domain_.axis_length())) {
+      return Status::InvalidArgument(
+          "IndexedDataset::Insert: point outside the domain cube (snap it "
+          "first)");
+    }
+  }
+  const std::size_t id = points_.size();
+  if (points_.empty() && points_.dim() != domain_.dim()) {
+    points_ = PointSet(domain_.dim());
+  }
+  points_.Add(point);
+  if (weights_.empty() && weight != 1) {
+    // Materialize the implicit all-ones vector: the dataset becomes weighted.
+    weights_.assign(id, 1);
+    total_mass_ = id;
+    active_mass_ = active_count_;
+  }
+  if (!weights_.empty()) {
+    weights_.push_back(weight);
+    total_mass_ += weight;
+    active_mass_ += weight;
+  }
+  active_.push_back(1);
+  ++active_count_;
+  // The new id is the maximum, so a clean ascending cache stays ascending.
+  if (!active_ids_dirty_) active_ids_.push_back(static_cast<std::uint32_t>(id));
+  ++active_version_;
+  // The cached JL projection has size() rows anchored to the old data.
+  projection_.reset();
+  if (grid_.has_value() && !grid_->Append(points_.Data())) {
+    grid_.reset();  // Projected geometry: rebuilt lazily over the new data.
+  }
+  return id;
+}
+
+std::vector<std::uint32_t> IndexedDataset::Compact() {
+  const std::span<const std::uint32_t> ids = ActiveIds();
+  std::vector<std::uint32_t> old_ids(ids.begin(), ids.end());
+  const std::size_t d = points_.dim();
+  std::vector<double> data;
+  data.reserve(old_ids.size() * d);
+  for (const std::uint32_t id : old_ids) {
+    const auto row = points_[id];
+    data.insert(data.end(), row.begin(), row.end());
+  }
+  points_ = d == 0 ? PointSet() : PointSet(d, std::move(data));
+  if (!weights_.empty()) {
+    std::vector<std::uint64_t> weights;
+    weights.reserve(old_ids.size());
+    for (const std::uint32_t id : old_ids) weights.push_back(weights_[id]);
+    weights_ = std::move(weights);
+    total_mass_ = active_mass_;
+  }
+  active_.assign(old_ids.size(), 1);
+  active_count_ = old_ids.size();
+  active_ids_.resize(old_ids.size());
+  for (std::size_t i = 0; i < old_ids.size(); ++i) {
+    active_ids_[i] = static_cast<std::uint32_t>(i);
+  }
+  active_ids_dirty_ = false;
+  ++active_version_;
+  snapshot_epoch_ = NextSnapshotEpoch();  // Old snapshots no longer apply.
+  grid_.reset();
+  projection_.reset();
+  return old_ids;
+}
+
 void IndexedDataset::Remove(std::size_t id) {
   DPC_CHECK_LT(id, active_.size());
   DPC_CHECK(active_[id]);
@@ -110,16 +204,22 @@ std::size_t IndexedDataset::RemoveWithin(const Ball& ball) {
 }
 
 IndexedDataset::Snapshot IndexedDataset::TakeSnapshot() const {
-  return {active_, active_count_};
+  return {active_, active_count_, snapshot_epoch_};
 }
 
 Status IndexedDataset::Restore(const Snapshot& snapshot) {
-  if (snapshot.active.size() != active_.size()) {
+  if (snapshot.epoch != snapshot_epoch_ ||
+      snapshot.active.size() > active_.size()) {
     return Status::InvalidArgument(
-        "IndexedDataset: snapshot is from a different dataset");
+        "IndexedDataset: snapshot is from a different dataset (or from "
+        "before a Compact)");
   }
-  active_ = snapshot.active;
+  // Rows appended after the snapshot keep their current activation.
+  std::copy(snapshot.active.begin(), snapshot.active.end(), active_.begin());
   active_count_ = snapshot.active_count;
+  for (std::size_t i = snapshot.active.size(); i < active_.size(); ++i) {
+    if (active_[i]) ++active_count_;
+  }
   if (!weights_.empty()) {
     active_mass_ = 0;
     for (std::size_t i = 0; i < active_.size(); ++i) {
@@ -324,6 +424,8 @@ Result<KnnCappedCounts> KnnCappedCounts::Build(const IndexedDataset& index,
   counts.cap_ = cap;
   counts.k_ = cap - 1;
   counts.count_scratch_.assign(n, 0);
+  const std::span<const std::uint32_t> ids = index.ActiveIds();
+  counts.ids_.assign(ids.begin(), ids.end());
   if (counts.k_ == 0) return counts;  // Every capped count is 1.
 
   std::vector<double> knn(n * counts.k_);
@@ -331,6 +433,10 @@ Result<KnnCappedCounts> KnnCappedCounts::Build(const IndexedDataset& index,
   counts.rows_.resize(n * counts.k_);
   for (std::size_t i = 0; i < knn.size(); ++i) {
     counts.rows_[i] = BumpDistanceUp(static_cast<float>(knn[i]));
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    counts.threshold_ub_ =
+        std::max(counts.threshold_ub_, counts.rows_[r * counts.k_ + counts.k_ - 1]);
   }
   return counts;
 }
@@ -431,6 +537,158 @@ Result<KnnCappedCounts> KnnCappedCounts::BuildWeighted(
                          chunks[chunk].mass.end());
   }
   return counts;
+}
+
+Status KnnCappedCounts::ApplyBatch(const IndexedDataset& index,
+                                   std::span<const std::uint32_t> added,
+                                   std::span<const std::uint32_t> removed,
+                                   ThreadPool* pool) {
+  if (weighted_ || index.weighted()) {
+    return Status::InvalidArgument(
+        "KnnCappedCounts::ApplyBatch: weighted (compressed) rows do not "
+        "support incremental maintenance; rebuild instead");
+  }
+  last_invalidated_ = 0;
+  std::vector<std::uint32_t> added_sorted(added.begin(), added.end());
+  std::sort(added_sorted.begin(), added_sorted.end());
+  std::vector<std::uint32_t> removed_sorted(removed.begin(), removed.end());
+  std::sort(removed_sorted.begin(), removed_sorted.end());
+
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  const auto old_rank_of = [this](std::uint32_t id) -> std::size_t {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    return (it != ids_.end() && *it == id)
+               ? static_cast<std::size_t>(it - ids_.begin())
+               : kNone;
+  };
+  const auto is_added = [&added_sorted](std::uint32_t id) {
+    return std::binary_search(added_sorted.begin(), added_sorted.end(), id);
+  };
+
+  std::vector<std::uint8_t> dropped(n_, 0);
+  for (const std::uint32_t q : removed_sorted) {
+    const std::size_t r = old_rank_of(q);
+    if (r == kNone) {
+      return Status::InvalidArgument(
+          "KnnCappedCounts::ApplyBatch: removed id has no row");
+    }
+    dropped[r] = 1;
+  }
+  const std::span<const std::uint32_t> now = index.ActiveIds();
+  if (now.size() != n_ - removed_sorted.size() + added_sorted.size()) {
+    return Status::InvalidArgument(
+        "KnnCappedCounts::ApplyBatch: added/removed do not reconcile the "
+        "rows with the index's active set");
+  }
+  if (cap_ > now.size()) {
+    return Status::InvalidArgument(
+        "KnnCappedCounts::ApplyBatch: cap exceeds the new active size; "
+        "rebuild with a smaller cap");
+  }
+  if (k_ == 0) {  // No distance rows to maintain; realign the id list.
+    ids_.assign(now.begin(), now.end());
+    n_ = ids_.size();
+    count_scratch_.assign(n_, 0);
+    return Status::OK();
+  }
+
+  // The reverse-neighbor sweep: candidate rows a mutated point could have
+  // influenced all lie within threshold_ub_ of its coordinates (every row
+  // threshold is a bumped float strictly above the true distance, and
+  // threshold_ub_ bounds them all), so the grid's CollectWithinPoint is an
+  // exact superset enumerator; each candidate confirms against its own row.
+  const SpatialGrid& grid = index.EnsureGrid(cap_);
+  SpatialGrid::Workspace scratch;
+  std::vector<std::uint32_t> cand;
+  const double radius = static_cast<double>(threshold_ub_);
+  const PointSet& pts = index.points();
+  const std::size_t d = pts.dim();
+  const double* data = pts.Data().data();
+  const auto row_ptr = [&](std::size_t i) {
+    return data + static_cast<std::size_t>(i) * d;
+  };
+
+  // Rows a removed point sat in can lose a neighbor: full recompute.
+  std::vector<std::uint8_t> recompute(n_, 0);
+  for (const std::uint32_t q : removed_sorted) {
+    cand.clear();
+    grid.CollectWithinPoint(pts[q], radius, scratch, cand);
+    for (const std::uint32_t x : cand) {
+      if (is_added(x)) continue;  // Fresh rows are computed below anyway.
+      const std::size_t r = old_rank_of(x);
+      if (r == kNone || dropped[r] || recompute[r]) continue;
+      const double dist =
+          std::sqrt(SquaredDistanceRows(row_ptr(x), row_ptr(q), d));
+      if (BumpDistanceUp(static_cast<float>(dist)) <= rows_[r * k_ + k_ - 1]) {
+        recompute[r] = 1;
+        ++last_invalidated_;
+      }
+    }
+  }
+
+  // Rows an added point beats absorb it in place: sorted insert, drop-last.
+  // Float narrowing is monotone, so merging bumped floats and keeping the k_
+  // smallest equals bumping the k_ smallest doubles — the rebuild's order.
+  for (const std::uint32_t p : added_sorted) {
+    cand.clear();
+    grid.CollectWithinPoint(pts[p], radius, scratch, cand);
+    for (const std::uint32_t x : cand) {
+      if (x == p || is_added(x)) continue;
+      const std::size_t r = old_rank_of(x);
+      if (r == kNone || dropped[r] || recompute[r]) continue;
+      const float v = BumpDistanceUp(static_cast<float>(
+          std::sqrt(SquaredDistanceRows(row_ptr(x), row_ptr(p), d))));
+      float* row = &rows_[r * k_];
+      if (v < row[k_ - 1]) {
+        float* at = std::upper_bound(row, row + k_, v);
+        std::copy_backward(at, row + k_ - 1, row + k_);
+        *at = v;
+      }
+    }
+  }
+
+  // Reassemble in the new rank order; fresh rows (added ids + invalidated
+  // survivors) come from one batched grid query over the final active set.
+  std::vector<std::uint32_t> new_ids(now.begin(), now.end());
+  std::vector<float> new_rows(new_ids.size() * k_);
+  std::vector<std::uint32_t> fresh_ids;
+  std::vector<std::size_t> fresh_ranks;
+  for (std::size_t r = 0; r < new_ids.size(); ++r) {
+    const std::uint32_t id = new_ids[r];
+    if (is_added(id)) {
+      fresh_ids.push_back(id);
+      fresh_ranks.push_back(r);
+      continue;
+    }
+    const std::size_t old_r = old_rank_of(id);
+    if (old_r == kNone || dropped[old_r]) {
+      return Status::InvalidArgument(
+          "KnnCappedCounts::ApplyBatch: active id has no row and was not "
+          "listed in added");
+    }
+    if (recompute[old_r]) {
+      fresh_ids.push_back(id);
+      fresh_ranks.push_back(r);
+      continue;
+    }
+    std::copy(&rows_[old_r * k_], &rows_[old_r * k_] + k_, &new_rows[r * k_]);
+  }
+  if (!fresh_ids.empty()) {
+    std::vector<double> knn(fresh_ids.size() * k_);
+    grid.BatchKnnDistancesFor(fresh_ids, k_, knn, pool, /*sorted=*/true);
+    for (std::size_t i = 0; i < fresh_ids.size(); ++i) {
+      float* row = &new_rows[fresh_ranks[i] * k_];
+      for (std::size_t j = 0; j < k_; ++j) {
+        row[j] = BumpDistanceUp(static_cast<float>(knn[i * k_ + j]));
+      }
+      threshold_ub_ = std::max(threshold_ub_, row[k_ - 1]);
+    }
+  }
+  rows_ = std::move(new_rows);
+  ids_ = std::move(new_ids);
+  n_ = ids_.size();
+  count_scratch_.assign(n_, 0);
+  return Status::OK();
 }
 
 std::size_t KnnCappedCounts::CountWithinCapped(std::size_t rank,

@@ -111,6 +111,28 @@ class IndexedDataset {
   /// consume.
   PointSet ActiveView() const;
 
+  /// Appends one row as a new active point and returns its id (== the old
+  /// size()). Amortized O(1) on the cached grid: the grid's per-cell segment
+  /// doubles in place instead of rebuilding (projected-geometry grids cannot
+  /// host new rows — their JL map is anchored to the build-time data — so
+  /// they are dropped and rebuilt lazily on the next query). The point must
+  /// have dim() coordinates and lie in the domain cube (snap first; both are
+  /// validated). `weight` attaches a multiplicity: inserting weight != 1
+  /// into an unweighted dataset materializes the all-ones weight vector
+  /// first. Queries after Insert stay bit-identical to a fresh rebuild over
+  /// the active rows at any thread count (dataset_test pins this).
+  Result<std::size_t> Insert(std::span<const double> point,
+                             std::uint64_t weight = 1);
+
+  /// Drops the removed rows for good: rebuilds storage over the active rows
+  /// (ascending original order), renumbering them 0..active_size()-1, and
+  /// discards the cached grid and projections for lazy rebuild. Returns
+  /// old_ids with old_ids[new_id] = previous id — the caller's remap for any
+  /// ids it kept. Outstanding Snapshots predate the renumbering and no
+  /// longer apply. This is the live/total compaction step the streaming
+  /// layer triggers when long-lived expiry leaves the arena mostly dead.
+  std::vector<std::uint32_t> Compact();
+
   /// Deactivates one active row (O(1) on the cached grid).
   void Remove(std::size_t id);
   /// Deactivates the listed rows (each must currently be active).
@@ -124,9 +146,15 @@ class IndexedDataset {
   struct Snapshot {
     std::vector<std::uint8_t> active;
     std::size_t active_count = 0;
+    std::uint64_t epoch = 0;  // identity token of the owning dataset
   };
   Snapshot TakeSnapshot() const;
   /// Rewinds the active set to `snapshot` (from this dataset; size-checked).
+  /// A snapshot taken before later Inserts still applies: the pre-existing
+  /// rows rewind to their snapshotted state and the appended rows keep their
+  /// current activation. Snapshots from a different dataset or from before a
+  /// Compact() (the rows were renumbered) are rejected — each snapshot
+  /// carries the identity token of the numbering it was taken under.
   Status Restore(const Snapshot& snapshot);
   /// Reactivates every row.
   void RestoreAll();
@@ -216,6 +244,7 @@ class IndexedDataset {
   mutable std::optional<SpatialGrid> grid_;  // lazy; kept in sync with active_
   IndexGeometry index_geometry_ = IndexGeometry::kAuto;
   std::uint64_t active_version_ = 0;
+  std::uint64_t snapshot_epoch_ = 0;  // fresh per dataset; bumped by Compact
   struct ProjectionCache {
     std::uint64_t seed = 0;
     std::size_t out_dim = 0;
@@ -278,6 +307,32 @@ class KnnCappedCounts {
            wrow_start_.size() * sizeof(std::size_t);
   }
 
+  /// Streaming maintenance: realigns the rows with `index`'s active set
+  /// after a batch of Inserts/Removes, recomputing only the rows the
+  /// mutation actually touched. Call AFTER mutating the index; `added` are
+  /// the newly active ids (no prior row), `removed` the deactivated ids
+  /// (their rows are dropped). The reverse-neighbor question — "whose t-NN
+  /// row did this point sit in?" — is answered by the grid itself: a
+  /// CollectWithinPoint sweep from the mutated point's coordinates within
+  /// `threshold_ub_` (a monotone upper bound on every row's t-th distance)
+  /// yields the candidate rows, and each is confirmed against its own row
+  /// threshold. Surviving rows a removed point influenced are recomputed
+  /// from the grid; rows an added point beats get an in-place sorted insert
+  /// (drop-last); everything else is untouched. The result is bit-identical
+  /// to a fresh Build over the new active set at any thread count
+  /// (dataset_test pins this). Weighted (compressed) structures do not
+  /// support incremental maintenance — rebuild those. Fails if
+  /// added/removed do not reconcile the rows with index.ActiveIds(), or if
+  /// cap() now exceeds the active size.
+  Status ApplyBatch(const IndexedDataset& index,
+                    std::span<const std::uint32_t> added,
+                    std::span<const std::uint32_t> removed,
+                    ThreadPool* pool = nullptr);
+
+  /// Pre-existing rows fully recomputed by the last ApplyBatch — the
+  /// invalidation-selectivity numerator (new rows for added ids excluded).
+  std::size_t last_invalidated() const { return last_invalidated_; }
+
   /// min(B_r(x_rank), cap) over the active points, x_rank the rank-th active
   /// point in ascending original order.
   std::size_t CountWithinCapped(std::size_t rank, double r) const;
@@ -300,6 +355,9 @@ class KnnCappedCounts {
   std::size_t cap_ = 1;
   std::size_t k_ = 0;                // row width = cap - 1 (unweighted)
   std::vector<float> rows_;          // n_ x k_, each ascending (unweighted)
+  std::vector<std::uint32_t> ids_;   // the active ids the rows describe
+  float threshold_ub_ = 0.0f;  // >= every row's last entry; never shrinks
+  std::size_t last_invalidated_ = 0;
   mutable std::vector<std::size_t> count_scratch_;  // n_ slots
 
   // Weighted (compressed) representation: per row, strictly ascending

@@ -276,27 +276,35 @@ Result<SpatialGrid> SpatialGrid::Build(const PointSet& s,
         domain.axis_length() / static_cast<double>(grid.cells_per_axis_);
   }
 
-  // Counting sort of the point ids by cell id; ascending index within a cell.
+  // Counting sort of the point ids by cell id; ascending index within a
+  // cell. Segments are laid out back to back with zero slack (cap == count),
+  // byte-identical to the classic prefix-sum CSR layout; Append() grows
+  // capacities on demand.
   const std::size_t total_cells =
       SaturatingCellCount(grid.cells_per_axis_, grid.geom_dim_);
   grid.cell_of_.resize(grid.n_);
-  grid.cell_start_.assign(total_cells + 1, 0);
+  std::vector<std::uint64_t> starts(total_cells + 1, 0);
   for (std::size_t i = 0; i < grid.n_; ++i) {
     grid.cell_of_[i] = grid.CellOf(grid.GeomRow(i));
-    ++grid.cell_start_[grid.cell_of_[i] + 1];
+    ++starts[grid.cell_of_[i] + 1];
   }
   for (std::size_t c = 0; c < total_cells; ++c) {
-    grid.cell_start_[c + 1] += grid.cell_start_[c];
-    if (grid.cell_start_[c + 1] > grid.cell_start_[c]) {
+    starts[c + 1] += starts[c];
+    if (starts[c + 1] > starts[c]) {
       grid.occupied_.push_back(c);
     }
   }
   grid.live_occupied_ = grid.occupied_.size();
-  grid.cell_end_.assign(grid.cell_start_.begin() + 1, grid.cell_start_.end());
+  grid.seg_start_.assign(starts.begin(), starts.end() - 1);
+  grid.seg_end_.assign(starts.begin() + 1, starts.end());
+  grid.seg_cap_.resize(total_cells);
+  for (std::size_t c = 0; c < total_cells; ++c) {
+    grid.seg_cap_[c] = grid.seg_end_[c] - grid.seg_start_[c];
+  }
+  grid.cell_end_ = grid.seg_end_;
   grid.cell_points_.resize(grid.n_);
   grid.pos_.resize(grid.n_);
-  std::vector<std::uint64_t> cursor(grid.cell_start_.begin(),
-                                    grid.cell_start_.end() - 1);
+  std::vector<std::uint64_t> cursor(starts.begin(), starts.end() - 1);
   for (std::size_t i = 0; i < grid.n_; ++i) {
     const std::uint64_t at = cursor[grid.cell_of_[i]]++;
     grid.cell_points_[at] = static_cast<std::uint32_t>(i);
@@ -320,7 +328,7 @@ void SpatialGrid::Remove(std::size_t point) {
   pos_[point] = static_cast<std::uint32_t>(last);
   --cell_end_[cell];
   --live_;
-  if (cell_end_[cell] == cell_start_[cell]) --live_occupied_;
+  if (cell_end_[cell] == seg_start_[cell]) --live_occupied_;
 }
 
 void SpatialGrid::ResetActive(std::span<const std::uint8_t> active) {
@@ -328,8 +336,8 @@ void SpatialGrid::ResetActive(std::span<const std::uint8_t> active) {
   live_ = 0;
   live_occupied_ = 0;
   for (const std::uint64_t cell : occupied_) {
-    const std::uint64_t lo = cell_start_[cell];
-    const std::uint64_t hi = cell_start_[cell + 1];
+    const std::uint64_t lo = seg_start_[cell];
+    const std::uint64_t hi = seg_end_[cell];
     std::uint64_t w = lo;
     for (std::uint64_t p = lo; p < hi; ++p) {
       const std::uint32_t id = cell_points_[p];
@@ -345,6 +353,55 @@ void SpatialGrid::ResetActive(std::span<const std::uint8_t> active) {
     live_ += w - lo;
     if (w > lo) ++live_occupied_;
   }
+}
+
+bool SpatialGrid::Append(std::span<const double> all_data) {
+  if (geometry_ == IndexGeometry::kProjected) return false;
+  DPC_CHECK_EQ(all_data.size(), (n_ + 1) * dim_);
+  // PointSet::Add may have reallocated the storage the grid borrows.
+  data_ = all_data;
+  const std::size_t id = n_;
+  const std::uint64_t cell = CellOf(GeomRow(id));
+
+  if (seg_end_[cell] - seg_start_[cell] == seg_cap_[cell]) {
+    // Full segment: relocate the whole used range (live prefix + dead
+    // suffix, order preserved) to the arena's end with doubled capacity. The
+    // old slots become unreferenced holes; Compact()/rebuild reclaims them.
+    const std::uint64_t used = seg_end_[cell] - seg_start_[cell];
+    const std::uint64_t live_len = cell_end_[cell] - seg_start_[cell];
+    const std::uint64_t new_cap = std::max<std::uint64_t>(2 * seg_cap_[cell], 4);
+    const std::uint64_t new_start = cell_points_.size();
+    cell_points_.resize(new_start + new_cap);
+    for (std::uint64_t i = 0; i < used; ++i) {
+      const std::uint32_t moved = cell_points_[seg_start_[cell] + i];
+      cell_points_[new_start + i] = moved;
+      pos_[moved] = static_cast<std::uint32_t>(new_start + i);
+    }
+    seg_start_[cell] = new_start;
+    seg_end_[cell] = new_start + used;
+    seg_cap_[cell] = new_cap;
+    cell_end_[cell] = new_start + live_len;
+  }
+
+  // Place the new id at the live-prefix boundary; the dead point previously
+  // holding that slot (if any) moves to the segment's used end.
+  const std::uint64_t boundary = cell_end_[cell];
+  if (boundary < seg_end_[cell]) {
+    const std::uint32_t dead = cell_points_[boundary];
+    cell_points_[seg_end_[cell]] = dead;
+    pos_[dead] = static_cast<std::uint32_t>(seg_end_[cell]);
+  }
+  cell_points_[boundary] = static_cast<std::uint32_t>(id);
+  cell_of_.push_back(cell);
+  pos_.push_back(static_cast<std::uint32_t>(boundary));
+  if (cell_end_[cell] == seg_start_[cell]) ++live_occupied_;
+  ++cell_end_[cell];
+  ++seg_end_[cell];
+  ++n_;
+  ++live_;
+  const auto it = std::lower_bound(occupied_.begin(), occupied_.end(), cell);
+  if (it == occupied_.end() || *it != cell) occupied_.insert(it, cell);
+  return true;
 }
 
 std::uint64_t SpatialGrid::CellOf(const double* p) const {
@@ -364,7 +421,7 @@ void SpatialGrid::ScanCell(std::uint64_t cell,
                            std::vector<double>& cands) const {
   const double* base = data_.data();
   const double* qp = q.data();
-  const std::uint64_t lo = cell_start_[cell];
+  const std::uint64_t lo = seg_start_[cell];
   const std::uint64_t hi = cell_end_[cell];  // Live prefix only.
   std::size_t at_out = cands.size();
   cands.resize(at_out + (hi - lo));
@@ -423,7 +480,7 @@ void SpatialGrid::ScanCellProjectedKnn(std::uint64_t cell, std::size_t query,
   const std::size_t reselect_at =
       select_k + std::max<std::size_t>(select_k, 256);
   const std::uint64_t hi = cell_end_[cell];
-  for (std::uint64_t at = cell_start_[cell]; at < hi; ++at) {
+  for (std::uint64_t at = seg_start_[cell]; at < hi; ++at) {
     const std::uint32_t id = cell_points_[at];
     const double proj_sq =
         RowSquaredDistance(qproj, pbase + id * geom_dim_, geom_dim_);
@@ -450,7 +507,7 @@ void SpatialGrid::ScanCellProjectedCount(std::uint64_t cell, std::size_t query,
   const double q_lo = res_lo_[query];
   const double q_hi = res_hi_[query];
   const std::uint64_t hi = cell_end_[cell];
-  for (std::uint64_t at = cell_start_[cell]; at < hi; ++at) {
+  for (std::uint64_t at = seg_start_[cell]; at < hi; ++at) {
     const std::uint32_t id = cell_points_[at];
     const double proj_sq =
         RowSquaredDistance(qproj, pbase + id * geom_dim_, geom_dim_);
@@ -585,7 +642,7 @@ void SpatialGrid::KnnDistances(std::size_t query, std::size_t k,
                  static_cast<double>(geom_dim_));
     if (next_ring_cells > static_cast<double>(live_occupied_)) {
       for (const std::uint64_t cell : occupied_) {
-        if (cell_end_[cell] == cell_start_[cell]) continue;  // Fully removed.
+        if (cell_end_[cell] == seg_start_[cell]) continue;  // Fully removed.
         std::uint64_t id = cell;
         std::size_t chebyshev = 0;
         for (std::size_t a = geom_dim_; a-- > 0;) {
@@ -614,7 +671,7 @@ void SpatialGrid::KnnDistances(std::size_t query, std::size_t k,
 void SpatialGrid::DenseKnnChunk(const std::uint32_t* queries, std::size_t nq,
                                 std::size_t k, double* out, bool sorted,
                                 Workspace& scratch) const {
-  const std::uint64_t start = cell_start_[0];
+  const std::uint64_t start = seg_start_[0];
   const std::uint64_t live = cell_end_[0] - start;
   std::vector<double>& block = scratch.dense_block;
   block.resize(nq * live);
@@ -751,7 +808,7 @@ std::size_t SpatialGrid::CountWithin(std::size_t query, double r,
                static_cast<double>(geom_dim_));
   if (box_cells > static_cast<double>(live_occupied_)) {
     for (const std::uint64_t cell : occupied_) {
-      if (cell_end_[cell] == cell_start_[cell]) continue;
+      if (cell_end_[cell] == seg_start_[cell]) continue;
       scan(cell);
     }
   } else {
@@ -759,7 +816,7 @@ std::size_t SpatialGrid::CountWithin(std::size_t query, double r,
     auto visit_box = [&](auto&& self, std::size_t axis,
                          std::uint64_t partial) -> void {
       if (axis == geom_dim_) {
-        if (cell_end_[partial] > cell_start_[partial]) {
+        if (cell_end_[partial] > seg_start_[partial]) {
           scan(partial);
         }
         return;
@@ -802,7 +859,7 @@ void SpatialGrid::CollectWithin(std::size_t query, double r,
   // predicate keeps the result identical across geometries).
   const auto scan = [&](std::uint64_t cell) {
     const std::uint64_t hi = cell_end_[cell];
-    for (std::uint64_t at = cell_start_[cell]; at < hi; ++at) {
+    for (std::uint64_t at = seg_start_[cell]; at < hi; ++at) {
       const std::uint32_t id = cell_points_[at];
       const double sq = RowSquaredDistance(qp, base + id * dim_, dim_);
       if (std::sqrt(sq) <= r) out.push_back(id);
@@ -823,14 +880,86 @@ void SpatialGrid::CollectWithin(std::size_t query, double r,
                static_cast<double>(geom_dim_));
   if (box_cells > static_cast<double>(live_occupied_)) {
     for (const std::uint64_t cell : occupied_) {
-      if (cell_end_[cell] == cell_start_[cell]) continue;
+      if (cell_end_[cell] == seg_start_[cell]) continue;
       scan(cell);
     }
   } else {
     auto visit_box = [&](auto&& self, std::size_t axis,
                          std::uint64_t partial) -> void {
       if (axis == geom_dim_) {
-        if (cell_end_[partial] > cell_start_[partial]) {
+        if (cell_end_[partial] > seg_start_[partial]) {
+          scan(partial);
+        }
+        return;
+      }
+      const auto rho = static_cast<std::int64_t>(rho_needed);
+      const std::int64_t lo = std::max<std::int64_t>(center[axis] - rho, 0);
+      const std::int64_t hi =
+          std::min<std::int64_t>(center[axis] + rho, m - 1);
+      for (std::int64_t c = lo; c <= hi; ++c) {
+        self(self, axis + 1,
+             partial * static_cast<std::uint64_t>(m) +
+                 static_cast<std::uint64_t>(c));
+      }
+    };
+    visit_box(visit_box, 0, 0);
+  }
+}
+
+void SpatialGrid::CollectWithinPoint(std::span<const double> p, double r,
+                                     Workspace& scratch,
+                                     std::vector<std::uint32_t>& out) const {
+  DPC_CHECK_EQ(p.size(), dim_);
+  if (r < 0.0) return;
+
+  const double* base = data_.data();
+  const double* qp = p.data();
+  const auto scan = [&](std::uint64_t cell) {
+    const std::uint64_t hi = cell_end_[cell];
+    for (std::uint64_t at = seg_start_[cell]; at < hi; ++at) {
+      const std::uint32_t id = cell_points_[at];
+      const double sq = RowSquaredDistance(qp, base + id * dim_, dim_);
+      if (std::sqrt(sq) <= r) out.push_back(id);
+    }
+  };
+
+  // Projected grids cannot place an arbitrary original-space row into a cell
+  // without re-projecting it; a full occupied scan is exact and the caller
+  // (KnnCappedCounts maintenance) already treats this as the slow path.
+  if (geometry_ == IndexGeometry::kProjected) {
+    for (const std::uint64_t cell : occupied_) {
+      if (cell_end_[cell] == seg_start_[cell]) continue;
+      scan(cell);
+    }
+    return;
+  }
+
+  const auto m = static_cast<std::int64_t>(cells_per_axis_);
+  const std::size_t max_rho = DecodeCenter(qp, scratch);
+  std::vector<std::int64_t>& center = scratch.center;
+
+  // Same covering-box argument as CollectWithin. CellOf clamps out-of-cube
+  // coordinates onto the boundary cell, which only widens the box — the
+  // predicate itself is always the exact distance.
+  const double cells_needed = r / (cell_size_ * (1.0 - 1e-9));
+  std::size_t rho_needed = max_rho;
+  if (cells_needed < static_cast<double>(max_rho)) {
+    rho_needed = static_cast<std::size_t>(std::ceil(cells_needed));
+  }
+
+  const double box_cells =
+      std::pow(2.0 * static_cast<double>(rho_needed) + 1.0,
+               static_cast<double>(geom_dim_));
+  if (box_cells > static_cast<double>(live_occupied_)) {
+    for (const std::uint64_t cell : occupied_) {
+      if (cell_end_[cell] == seg_start_[cell]) continue;
+      scan(cell);
+    }
+  } else {
+    auto visit_box = [&](auto&& self, std::size_t axis,
+                         std::uint64_t partial) -> void {
+      if (axis == geom_dim_) {
+        if (cell_end_[partial] > seg_start_[partial]) {
           scan(partial);
         }
         return;

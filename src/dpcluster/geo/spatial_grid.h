@@ -18,12 +18,22 @@
 // produces, computed by the same SquaredDistance kernel.
 //
 // Structural deletion: each cell's CSR segment is split into a live prefix
-// [cell_start, cell_end) and a dead suffix. Remove() swap-moves a point into
+// [seg_start, cell_end) and a dead suffix. Remove() swap-moves a point into
 // its cell's dead suffix in O(1); queries scan live prefixes only, so after
 // any deletion sequence every query returns exactly what a fresh Build over
 // the surviving points would return (both are exact). ResetActive()
 // re-partitions every segment from an activity mask in O(n + cells), which
 // is how IndexedDataset implements Snapshot/Restore without re-indexing.
+//
+// Structural insertion: the CSR storage is an arena of per-cell segments
+// (seg_start/seg_end/seg_cap). Build lays the segments out back to back with
+// zero slack — byte-identical to the classic prefix-sum layout — and
+// Append() places a new point at its cell's live-prefix boundary. A full
+// segment is relocated to the arena's end with doubled capacity (the old
+// slots become unreferenced holes), so insertion is amortized O(1) by the
+// usual vector-doubling argument. Queries never depend on segment addresses
+// or intra-cell order, so every answer stays bit-identical to a fresh
+// rebuild over the same live set.
 //
 // Determinism: queries return the sorted k smallest distance values, which
 // are independent of cell-enumeration order, of tie-breaking among
@@ -143,6 +153,17 @@ class SpatialGrid {
   /// the basis of IndexedDataset's Snapshot/Restore.
   void ResetActive(std::span<const std::uint8_t> active);
 
+  /// Structurally inserts point id size() — the last row of `all_data`, which
+  /// must be the indexed PointSet's current storage of (size() + 1) * dim()
+  /// doubles. Rebinds the borrowed span first (PointSet::Add may have
+  /// reallocated), then places the new point at its cell's live-prefix
+  /// boundary; a full segment is relocated with doubled capacity (amortized
+  /// O(1)). The new row must lie inside the cube the grid was built over.
+  /// Returns false without mutating anything for kProjected geometry (the
+  /// projection and cell origins are anchored to the build-time data) —
+  /// callers drop the grid and rebuild lazily instead.
+  bool Append(std::span<const double> all_data);
+
   /// The min(k, live-1) smallest distances from s[query] to the other live
   /// points (self excluded by index, so duplicate coordinates count as
   /// neighbors at distance 0; `query` must itself be live). Exact — equal to
@@ -199,6 +220,16 @@ class SpatialGrid {
   void CollectWithin(std::size_t query, double r, Workspace& scratch,
                      std::vector<std::uint32_t>& out) const;
 
+  /// CollectWithin for an arbitrary coordinate row `p` (p.size() == dim()):
+  /// appends every live id within Euclidean distance r of p, same predicate
+  /// as CollectWithin. `p` need not be an indexed point — this is how
+  /// KnnCappedCounts finds the rows a *removed* point used to influence.
+  /// Projected grids fall back to a full occupied-cell scan (still exact:
+  /// the predicate always uses original-space distances).
+  void CollectWithinPoint(std::span<const double> p, double r,
+                          Workspace& scratch,
+                          std::vector<std::uint32_t>& out) const;
+
  private:
   SpatialGrid() = default;
 
@@ -251,12 +282,17 @@ class SpatialGrid {
                                      // coordinates are signed)
   std::vector<double> res_lo_;       // certified residual-norm bounds per
   std::vector<double> res_hi_;       // point (projected; see MakeResiduals)
-  std::vector<std::uint64_t> cell_start_;  // CSR offsets, size m^d + 1
+  std::vector<std::uint64_t> seg_start_;   // segment start per cell, size m^d
+  std::vector<std::uint64_t> seg_end_;     // used end (live + dead) per cell
+  std::vector<std::uint64_t> seg_cap_;     // segment capacity per cell
   std::vector<std::uint64_t> cell_end_;    // live end per cell, size m^d
-  std::vector<std::uint32_t> cell_points_;  // point ids, cell-major; each
-                                            // cell: live prefix, dead suffix
-  std::vector<std::uint64_t> occupied_;     // cells non-empty at Build time,
-                                            // ascending (kept across removals)
+  std::vector<std::uint32_t> cell_points_;  // segment arena; each cell's
+                                            // segment: live prefix, dead
+                                            // suffix, free slack (relocated
+                                            // segments leave dead holes)
+  std::vector<std::uint64_t> occupied_;     // cells with a non-empty used
+                                            // segment, ascending (kept across
+                                            // removals, extended by Append)
   std::size_t live_occupied_ = 0;           // cells with a non-empty live prefix
   std::vector<std::uint64_t> cell_of_;      // cell id per point
   std::vector<std::uint32_t> pos_;          // position in cell_points_ per point

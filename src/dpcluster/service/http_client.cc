@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace dpcluster {
@@ -88,6 +89,154 @@ Result<HttpResponse> HttpCall(int port, std::string_view method,
   }
   response.body = reply.substr(header_end + 4);
   return response;
+}
+
+HttpConnection::~HttpConnection() { CloseSocket(); }
+
+void HttpConnection::CloseSocket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status HttpConnection::Connect() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal("socket(): " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string message = std::strerror(errno);
+    CloseSocket();
+    return Status::Internal("connect(127.0.0.1:" + std::to_string(port_) +
+                            "): " + message);
+  }
+  timeval timeout{/*tv_sec=*/60, /*tv_usec=*/0};
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  if (++connects_ > 1) ++reconnects_;
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpConnection::Call(std::string_view method,
+                                          std::string_view path,
+                                          std::string_view body) {
+  std::string request;
+  request.append(method);
+  request.append(" ");
+  request.append(path);
+  request.append(" HTTP/1.1\r\nHost: 127.0.0.1\r\n");
+  if (!body.empty() || method == "POST") {
+    request.append("Content-Type: application/json\r\nContent-Length: " +
+                   std::to_string(body.size()) + "\r\n");
+  }
+  request.append("Connection: keep-alive\r\n\r\n");
+  request.append(body);
+
+  // Two attempts: the first may land on a connection the server already
+  // closed (request cap or idle timeout fired between Calls); that shows
+  // up as a send error or EOF before any reply byte, and the request is
+  // safe to resend on a fresh socket because the daemon always writes the
+  // full reply before closing.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) {
+      const Status connected = Connect();
+      if (!connected.ok()) return connected;
+    }
+
+    bool stale = false;
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n = ::send(fd_, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        stale = true;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+
+    std::size_t header_end =
+        stale ? std::string::npos : buffer_.find("\r\n\r\n");
+    char chunk[8192];
+    while (!stale && header_end == std::string::npos) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const std::string message = std::strerror(errno);
+        CloseSocket();
+        return Status::Internal("recv(): " + message);
+      }
+      if (n == 0) {
+        if (!buffer_.empty()) {
+          CloseSocket();
+          return Status::Internal("truncated HTTP reply");
+        }
+        stale = true;
+        break;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      header_end = buffer_.find("\r\n\r\n");
+    }
+    if (stale) {
+      CloseSocket();
+      if (attempt == 0) continue;
+      return Status::Internal("connection closed before reply");
+    }
+
+    // "HTTP/1.1 NNN ..." + headers; Content-Length frames the body.
+    const std::string_view head{buffer_.data(), header_end};
+    if (head.size() < 12 || head.compare(0, 5, "HTTP/") != 0) {
+      CloseSocket();
+      return Status::Internal("unparsable HTTP reply");
+    }
+    const std::size_t space = head.find(' ');
+    if (space == std::string_view::npos || space + 4 > head.size()) {
+      CloseSocket();
+      return Status::Internal("unparsable HTTP status line");
+    }
+    HttpResponse response;
+    response.status = (head[space + 1] - '0') * 100 +
+                      (head[space + 2] - '0') * 10 + (head[space + 3] - '0');
+    std::size_t content_length = 0;
+    bool server_closes = false;
+    std::size_t cursor = head.find("\r\n") + 2;
+    while (cursor < header_end) {
+      std::size_t eol = head.find("\r\n", cursor);
+      if (eol == std::string_view::npos) eol = header_end;
+      const std::string_view line = head.substr(cursor, eol - cursor);
+      if (line.size() > 15 && line.compare(0, 15, "Content-Length:") == 0) {
+        content_length = static_cast<std::size_t>(
+            std::strtoull(line.data() + 15, nullptr, 10));
+      } else if (line.size() > 11 && line.compare(0, 11, "Connection:") == 0 &&
+                 line.find("close") != std::string_view::npos) {
+        server_closes = true;
+      }
+      cursor = eol + 2;
+    }
+    const std::size_t body_start = header_end + 4;
+    while (buffer_.size() < body_start + content_length) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        const std::string message =
+            n == 0 ? "truncated HTTP body" : std::strerror(errno);
+        CloseSocket();
+        return Status::Internal("recv(): " + message);
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    response.body = buffer_.substr(body_start, content_length);
+    buffer_.erase(0, body_start + content_length);
+    if (server_closes) CloseSocket();
+    return response;
+  }
+  return Status::Internal("unreachable");
 }
 
 Result<HttpResponse> HttpGet(int port, std::string_view path) {

@@ -1,11 +1,14 @@
-// Minimal blocking HTTP/1.1 client for the daemon's tests, bench, and CLI
-// probes: one request per connection against 127.0.0.1, Content-Length
-// bodies, no external dependencies. Not a general client — just enough to
-// drive HttpServer end to end.
+// Minimal blocking HTTP/1.1 clients for the daemon's tests, bench, and CLI
+// probes against 127.0.0.1: HttpCall (one request per connection, reads to
+// EOF) and HttpConnection (keep-alive, Content-Length-framed replies, used
+// where per-request TCP handshakes would dominate). No external
+// dependencies. Not general clients — just enough to drive HttpServer end
+// to end.
 
 #ifndef DPCLUSTER_SERVICE_HTTP_CLIENT_H_
 #define DPCLUSTER_SERVICE_HTTP_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -30,6 +33,51 @@ Result<HttpResponse> HttpGet(int port, std::string_view path);
 /// HttpCall("POST", path, body).
 Result<HttpResponse> HttpPost(int port, std::string_view path,
                               std::string_view body);
+
+/// A persistent (keep-alive) connection to 127.0.0.1:port. Each Call sends
+/// one request and parses the Content-Length-framed reply off the same
+/// socket, so a sequence of requests pays the TCP handshake once — this is
+/// what bench_service uses to measure req/s with connection reuse, and what
+/// the CLI stream replay drives append batches through. When the server
+/// closes the connection (per-connection request cap, idle timeout, drain),
+/// the next Call transparently reconnects; a request whose socket turned
+/// out to be already closed before ANY reply byte arrived is resent once on
+/// a fresh socket (the daemon writes the full reply before closing, so such
+/// a request was not served).
+class HttpConnection {
+ public:
+  explicit HttpConnection(int port) : port_(port) {}
+  ~HttpConnection();
+
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// One request/reply on the persistent socket; reconnects as needed.
+  Result<HttpResponse> Call(std::string_view method, std::string_view path,
+                            std::string_view body);
+
+  Result<HttpResponse> Post(std::string_view path, std::string_view body) {
+    return Call("POST", path, body);
+  }
+
+  Result<HttpResponse> Get(std::string_view path) {
+    return Call("GET", path, "");
+  }
+
+  /// Sockets established beyond the first; stays 0 while the server keeps
+  /// the connection alive.
+  std::uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  Status Connect();
+  void CloseSocket();
+
+  int port_;
+  int fd_ = -1;
+  std::uint64_t connects_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::string buffer_;  ///< Reply bytes past the last parsed response.
+};
 
 }  // namespace dpcluster
 

@@ -48,14 +48,16 @@ void SendAll(int fd, std::string_view bytes) {
   }
 }
 
-void SendReply(int fd, int status, std::string_view body, double queue_ms) {
+void SendReply(int fd, int status, std::string_view body, double queue_ms,
+               bool keep_alive = false) {
   std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
                      HttpStatusText(status) +
                      "\r\nContent-Type: application/json\r\n"
                      "Content-Length: " +
                      std::to_string(body.size()) +
                      "\r\nX-Queue-Millis: " + JsonNumberLexeme(queue_ms) +
-                     "\r\nConnection: close\r\n\r\n";
+                     "\r\nConnection: " +
+                     (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
   head.append(body);
   SendAll(fd, head);
 }
@@ -86,6 +88,22 @@ bool HeaderIs(std::string_view line, std::string_view name) {
     }
   }
   return line[name.size()] == ':';
+}
+
+/// Case-insensitive ASCII match of a header value token (trailing spaces
+/// tolerated, as in "Connection: close ").
+bool TokenEquals(std::string_view value, std::string_view token) {
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  if (value.size() != token.size()) return false;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(value[i])) !=
+        std::tolower(static_cast<unsigned char>(token[i]))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -190,113 +208,154 @@ void HttpServer::AcceptLoop() {
 
 void HttpServer::ServeConnection(Connection connection) {
   const int fd = connection.fd;
-  std::string buffer;
-  std::size_t header_end = std::string::npos;
+  // A kept-alive connection must not park a worker forever between
+  // requests: reads time out after idle_timeout_ms, closing the connection.
+  timeval timeout{};
+  timeout.tv_sec = options_.idle_timeout_ms / 1000;
+  timeout.tv_usec = (options_.idle_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  std::string buffer;  // May hold pipelined bytes of the next request.
   char chunk[8192];
-  bool overflow = false;
-  // Read until the blank line, then until Content-Length bytes of body.
-  while (header_end == std::string::npos) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      ::close(fd);
-      return;  // Truncated request; no reply possible.
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    header_end = buffer.find("\r\n\r\n");
-    if (buffer.size() > options_.max_request_bytes) {
-      overflow = true;
-      break;
-    }
-  }
-
-  const auto queue_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - connection.accepted_at)
-          .count();
-
-  if (overflow) {
-    const std::string body =
-        ErrorToJson(ServiceErrorCode::kPayloadTooLarge,
-                    "request exceeds " +
-                        std::to_string(options_.max_request_bytes) + " bytes")
-            .Encode();
-    SendReply(fd, HttpStatusOf(ServiceErrorCode::kPayloadTooLarge), body,
-              queue_ms);
-    DrainAndClose(fd);
-    return;
-  }
-
-  // Start line: METHOD SP PATH SP VERSION.
-  const std::string_view head{buffer.data(), header_end};
-  const std::size_t line_end = head.find("\r\n");
-  const std::string_view start_line = head.substr(0, line_end);
-  const std::size_t method_end = start_line.find(' ');
-  const std::size_t path_end = method_end == std::string_view::npos
-                                   ? std::string_view::npos
-                                   : start_line.find(' ', method_end + 1);
-  if (path_end == std::string_view::npos) {
-    const std::string body =
-        ErrorToJson(ServiceErrorCode::kParseError, "malformed request line")
-            .Encode();
-    SendReply(fd, 400, body, queue_ms);
-    DrainAndClose(fd);
-    return;
-  }
-  const std::string method{start_line.substr(0, method_end)};
-  const std::string path{
-      start_line.substr(method_end + 1, path_end - method_end - 1)};
-
-  // Headers: only Content-Length matters to this server.
-  std::size_t content_length = 0;
-  std::size_t cursor = line_end + 2;
-  while (cursor < header_end) {
-    std::size_t eol = head.find("\r\n", cursor);
-    if (eol == std::string_view::npos) eol = header_end;
-    const std::string_view line = head.substr(cursor, eol - cursor);
-    if (HeaderIs(line, "Content-Length")) {
-      std::size_t value = line.find(':') + 1;
-      while (value < line.size() && line[value] == ' ') ++value;
-      content_length = 0;
-      for (; value < line.size() &&
-             std::isdigit(static_cast<unsigned char>(line[value]));
-           ++value) {
-        content_length = content_length * 10 +
-                         static_cast<std::size_t>(line[value] - '0');
+  for (std::size_t request_index = 0;
+       request_index < options_.max_requests_per_connection;
+       ++request_index) {
+    // Read until the blank line, then until Content-Length bytes of body.
+    std::size_t header_end = buffer.find("\r\n\r\n");
+    bool overflow = buffer.size() > options_.max_request_bytes;
+    while (header_end == std::string::npos && !overflow) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        // Peer closed between requests, idle timeout, or truncation:
+        // nothing to reply to.
+        ::close(fd);
+        return;
       }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      header_end = buffer.find("\r\n\r\n");
+      overflow = buffer.size() > options_.max_request_bytes;
     }
-    cursor = eol + 2;
-  }
 
-  const std::size_t body_start = header_end + 4;
-  if (content_length > options_.max_request_bytes) {
-    const std::string body =
-        ErrorToJson(ServiceErrorCode::kPayloadTooLarge,
-                    "declared body exceeds " +
-                        std::to_string(options_.max_request_bytes) + " bytes")
-            .Encode();
-    SendReply(fd, HttpStatusOf(ServiceErrorCode::kPayloadTooLarge), body,
-              queue_ms);
-    DrainAndClose(fd);
-    return;
-  }
-  while (buffer.size() < body_start + content_length) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+    const auto queue_ms =
+        request_index > 0
+            ? 0.0
+            : std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - connection.accepted_at)
+                  .count();
+
+    if (overflow) {
+      const std::string body =
+          ErrorToJson(ServiceErrorCode::kPayloadTooLarge,
+                      "request exceeds " +
+                          std::to_string(options_.max_request_bytes) +
+                          " bytes")
+              .Encode();
+      SendReply(fd, HttpStatusOf(ServiceErrorCode::kPayloadTooLarge), body,
+                queue_ms);
+      DrainAndClose(fd);
+      return;
+    }
+
+    // Start line: METHOD SP PATH SP VERSION.
+    const std::string_view head{buffer.data(), header_end};
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view start_line = head.substr(0, line_end);
+    const std::size_t method_end = start_line.find(' ');
+    const std::size_t path_end = method_end == std::string_view::npos
+                                     ? std::string_view::npos
+                                     : start_line.find(' ', method_end + 1);
+    if (path_end == std::string_view::npos) {
+      const std::string body =
+          ErrorToJson(ServiceErrorCode::kParseError, "malformed request line")
+              .Encode();
+      SendReply(fd, 400, body, queue_ms);
+      DrainAndClose(fd);
+      return;
+    }
+    const std::string method{start_line.substr(0, method_end)};
+    const std::string path{
+        start_line.substr(method_end + 1, path_end - method_end - 1)};
+    // HTTP/1.1 defaults to keep-alive; 1.0 (and anything else) to close.
+    const std::string_view version = start_line.substr(path_end + 1);
+    bool keep_alive = version == "HTTP/1.1";
+
+    // Headers: Content-Length frames the body, Connection overrides the
+    // version's persistence default.
+    std::size_t content_length = 0;
+    std::size_t cursor = line_end + 2;
+    while (cursor < header_end) {
+      std::size_t eol = head.find("\r\n", cursor);
+      if (eol == std::string_view::npos) eol = header_end;
+      const std::string_view line = head.substr(cursor, eol - cursor);
+      if (HeaderIs(line, "Content-Length")) {
+        std::size_t value = line.find(':') + 1;
+        while (value < line.size() && line[value] == ' ') ++value;
+        content_length = 0;
+        for (; value < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[value]));
+             ++value) {
+          content_length = content_length * 10 +
+                           static_cast<std::size_t>(line[value] - '0');
+        }
+      } else if (HeaderIs(line, "Connection")) {
+        std::size_t value = line.find(':') + 1;
+        while (value < line.size() && line[value] == ' ') ++value;
+        const std::string_view token = line.substr(value);
+        if (TokenEquals(token, "close")) keep_alive = false;
+        if (TokenEquals(token, "keep-alive")) keep_alive = true;
+      }
+      cursor = eol + 2;
+    }
+
+    const std::size_t body_start = header_end + 4;
+    if (content_length > options_.max_request_bytes) {
+      const std::string body =
+          ErrorToJson(ServiceErrorCode::kPayloadTooLarge,
+                      "declared body exceeds " +
+                          std::to_string(options_.max_request_bytes) +
+                          " bytes")
+              .Encode();
+      SendReply(fd, HttpStatusOf(ServiceErrorCode::kPayloadTooLarge), body,
+                queue_ms);
+      DrainAndClose(fd);
+      return;
+    }
+    while (buffer.size() < body_start + content_length) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        ::close(fd);
+        return;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::string_view body{buffer.data() + body_start, content_length};
+
+    // The last request this connection gets: client asked to close, the
+    // per-connection cap is reached, or the server is draining (announced
+    // in the reply's Connection header so the client reconnects elsewhere).
+    const bool last =
+        !keep_alive ||
+        request_index + 1 == options_.max_requests_per_connection ||
+        service_->shutdown_requested();
+
+    const ServiceReply reply = service_->Handle(method, path, body);
+    {
+      // Before SendReply: a client that has read reply #N must see stats
+      // covering all N requests.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.served;
+      if (request_index > 0) ++stats_.reused;
+    }
+    SendReply(fd, reply.http_status, reply.body, queue_ms, !last);
+    if (last) {
+      ::shutdown(fd, SHUT_WR);
       ::close(fd);
       return;
     }
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    buffer.erase(0, body_start + content_length);
   }
-  const std::string_view body{buffer.data() + body_start, content_length};
-
-  const ServiceReply reply = service_->Handle(method, path, body);
-  SendReply(fd, reply.http_status, reply.body, queue_ms);
-  ::shutdown(fd, SHUT_WR);
-  ::close(fd);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.served;
 }
 
 void HttpServer::Stop() {

@@ -21,8 +21,13 @@
 // requests are never dropped.
 //
 // Protocol support is the minimum the service needs: GET/POST,
-// Content-Length bodies (no chunked encoding), Connection: close replies.
-// Requests above the configured header/body caps answer 413.
+// Content-Length bodies (no chunked encoding). Connections are persistent
+// by HTTP/1.1 default: a worker keeps serving requests off one connection
+// (pipelined bytes included) until the client sends Connection: close, the
+// per-connection request cap is reached, the idle timeout expires between
+// requests, or the server starts draining — so a streaming client pays the
+// TCP handshake once per batch window, not once per request. Requests above
+// the configured header/body caps answer 413 and close.
 
 #ifndef DPCLUSTER_SERVICE_HTTP_SERVER_H_
 #define DPCLUSTER_SERVICE_HTTP_SERVER_H_
@@ -51,6 +56,13 @@ struct HttpServerOptions {
   /// Hard cap on one request's bytes on the wire (start line + headers +
   /// body); larger requests answer 413 without buffering further.
   std::size_t max_request_bytes = 64u << 20;
+  /// Requests served per kept-alive connection before the server closes it
+  /// (bounds how long one client can monopolize a worker). 1 restores the
+  /// PR-8 one-request-per-connection behavior.
+  std::size_t max_requests_per_connection = 100;
+  /// Idle milliseconds a kept-alive connection may sit between requests
+  /// before the worker closes it and moves on.
+  int idle_timeout_ms = 5000;
 };
 
 class HttpServer {
@@ -58,6 +70,8 @@ class HttpServer {
   struct Stats {
     std::uint64_t accepted = 0;  ///< Connections taken from the OS.
     std::uint64_t served = 0;    ///< Requests answered by a worker.
+    std::uint64_t reused = 0;    ///< ... of which on a kept-alive reuse
+                                 ///< (request #2+ of a connection).
     std::uint64_t shed = 0;      ///< 503 QueueFull answered at the door.
   };
 

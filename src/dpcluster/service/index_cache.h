@@ -13,8 +13,17 @@
 // entry leased by another worker BYPASSES the cache — it runs index-free,
 // which by the PR-5 exactness contract releases bit-identical outputs, just
 // without the reuse speedup. No request ever blocks on another tenant's
-// index. Releasing a lease restores the full active set (RestoreAll), so
-// the next borrower always starts from the whole dataset.
+// index. Releasing a lease restores the entry's committed active set
+// (the full dataset for cached entries, the post-mutation live set for
+// streams), so the next borrower always starts from the same state.
+//
+// Streams: /v1/stream/append and /v1/stream/expire feed a server-resident
+// IndexedDataset through MutateStream — edits go through the incremental
+// Insert/Remove path so the grid survives, a live/total compaction
+// heuristic bounds dead-row density, and a per-stream version (bumped on
+// every mutation) replaces the fingerprint as the identity on solve borrows
+// (AcquireStream). Stream entries are pinned: never evicted, never
+// fingerprint-replaced.
 //
 // Eviction: least-recently-used among entries not currently leased, only
 // when inserting above capacity. Stats() exposes hit/miss/replace/evict/
@@ -33,6 +42,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -91,6 +101,19 @@ class IndexCache {
     std::uint64_t entries = 0;    ///< Current resident indexes.
   };
 
+  /// Post-call state of one streaming dataset (the /v1/stream/* reply body).
+  struct StreamStatus {
+    /// Monotone edit counter: every successful mutation — and every
+    /// compaction, which renumbers row ids — advances it. The version IS
+    /// the stream's identity on later borrows (there are no client bytes to
+    /// fingerprint), so replies carry it.
+    std::uint64_t version = 0;
+    std::size_t live = 0;   ///< Active rows.
+    std::size_t total = 0;  ///< Resident rows including expired ones.
+    bool compacted = false; ///< This call dropped expired rows (ids moved).
+    bool created = false;   ///< This call created the stream.
+  };
+
   /// `capacity` >= 1: max resident indexes.
   explicit IndexCache(std::size_t capacity);
 
@@ -100,8 +123,40 @@ class IndexCache {
   /// lease carries the entry's cached weighted summary index instead of the
   /// raw one (built on first request, reused until the bytes or the target
   /// size change); the raw index is the fallback if compression fails.
+  /// A `key` naming a resident stream always bypasses: client-supplied bytes
+  /// never replace (and so never destroy) stream state.
   Lease Acquire(const std::string& key, const PointSet& points,
                 const GridDomain& domain, const CoresetOptions& coreset = {});
+
+  /// Applies `mutate` exclusively to the stream named `key`, creating an
+  /// empty stream over `*create_domain` first when the key is absent
+  /// (absent + null domain is NotFound; a key naming a non-stream entry is
+  /// InvalidArgument). `mutate` edits the dataset through Insert/Remove and
+  /// returns the number of rows it touched (accumulated toward coreset
+  /// staleness); its error aborts the call with the mutation half-applied
+  /// only if it errored mid-batch — parsers should validate up front.
+  /// After a successful mutation the version advances and, when
+  /// live/total < compact_fraction (and any row is dead), the index is
+  /// compacted in place. A leased (busy) stream or a cache full of leased
+  /// entries is ResourceExhausted — retryable, never silently dropped.
+  Result<StreamStatus> MutateStream(
+      const std::string& key, const GridDomain* create_domain,
+      double compact_fraction,
+      const std::function<Result<std::size_t>(IndexedDataset&)>& mutate);
+
+  /// Version-tagged borrow of a live stream for a solve. No fingerprint is
+  /// verified — the stream's bytes live server-side and the returned
+  /// StreamStatus::version names exactly what the solve saw. Expired rows
+  /// still resident are compacted away first (bumping the version) so the
+  /// leased index satisfies the shared_index contract: every row active,
+  /// rows byte-identical to `*active`. With `coreset.enabled`, the cached
+  /// summary is reused until the rows edited since it was built exceed
+  /// staleness_fraction * live, then rebuilt from the current active set.
+  /// NotFound when the key names no stream; ResourceExhausted when busy.
+  Result<Lease> AcquireStream(const std::string& key,
+                              const CoresetOptions& coreset,
+                              double staleness_fraction, PointSet* active,
+                              GridDomain* domain, StreamStatus* status);
 
   Stats GetStats() const;
 
@@ -116,6 +171,16 @@ class IndexCache {
     std::size_t coreset_target = 0;  // target_size the summary was built at.
     bool leased = false;
     std::uint64_t last_used = 0;  // LRU clock value of the latest borrow.
+    /// Streaming entries (see MutateStream): the dataset is server-resident
+    /// state, not a cached view of client bytes — never fingerprint-replaced
+    /// and never LRU-evicted. `committed` is the active set as of the last
+    /// mutation; releasing a solve lease restores it (NOT RestoreAll, which
+    /// would resurrect expired rows). `edit_rows` counts rows appended +
+    /// expired since the cached coreset summary was built.
+    bool stream = false;
+    std::uint64_t version = 0;
+    std::uint64_t edit_rows = 0;
+    IndexedDataset::Snapshot committed;
   };
 
   /// Leases `entry`, handing out its coreset summary when `coreset` asks for
@@ -123,10 +188,22 @@ class IndexCache {
   Lease LeaseEntry(Entry& entry, const PointSet& points,
                    const GridDomain& domain, const CoresetOptions& coreset);
 
-  /// Marks the entry holding `index` not-leased. Entries can shift position
-  /// while a lease is out (a lower slot may be evicted), so the entry is
-  /// found by pointer identity — leased entries are never evicted.
+  /// Marks the entry holding `index` not-leased and restores the dataset the
+  /// borrower edited: committed live set for streams, full active set
+  /// otherwise. Entries can shift position while a lease is out (a lower
+  /// slot may be evicted), so the entry is found by pointer identity —
+  /// leased entries are never evicted.
   void ReleaseEntry(const IndexedDataset* index);
+
+  /// LRU slot eligible for eviction (not leased, not a stream), or
+  /// entries_.size() when none is. Call with mutex_ held.
+  std::size_t EvictionVictim() const;
+
+  /// The stream entry named `key`, creating it over `*create_domain` when
+  /// absent (null = NotFound). Errors as documented on MutateStream. Call
+  /// with mutex_ held.
+  Result<Entry*> StreamEntry(const std::string& key,
+                             const GridDomain* create_domain, bool* created);
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;

@@ -104,6 +104,20 @@ Status ParseTuning(const JsonValue& v, Tuning& tuning) {
     } else if (key == "advanced_composition") {
       DPC_ASSIGN_OR_RETURN(tuning.advanced_composition,
                            AsBoolField(key, value));
+    } else if (key == "coreset") {
+      DPC_ASSIGN_OR_RETURN(tuning.coreset, AsBoolField(key, value));
+    } else if (key == "coreset_min_points") {
+      DPC_ASSIGN_OR_RETURN(const std::uint64_t u, AsU64Field(key, value));
+      tuning.coreset_min_points = static_cast<std::size_t>(u);
+    } else if (key == "coreset_target_size") {
+      DPC_ASSIGN_OR_RETURN(const std::uint64_t u, AsU64Field(key, value));
+      tuning.coreset_target_size = static_cast<std::size_t>(u);
+    } else if (key == "stream_compact_fraction") {
+      DPC_ASSIGN_OR_RETURN(tuning.stream_compact_fraction,
+                           AsDoubleField(key, value));
+    } else if (key == "coreset_staleness_fraction") {
+      DPC_ASSIGN_OR_RETURN(tuning.coreset_staleness_fraction,
+                           AsDoubleField(key, value));
     } else if (key == "inflation") {
       DPC_ASSIGN_OR_RETURN(tuning.inflation, AsDoubleField(key, value));
     } else if (key == "max_grid_centers") {
@@ -146,6 +160,8 @@ Result<WireRequest> ParseWireRequest(const JsonValue& json) {
       DPC_ASSIGN_OR_RETURN(wire.seed, AsU64Field(key, value));
     } else if (key == "snap") {
       DPC_ASSIGN_OR_RETURN(wire.snap, AsBoolField(key, value));
+    } else if (key == "stream") {
+      DPC_ASSIGN_OR_RETURN(wire.stream, AsBoolField(key, value));
     } else if (key == "algorithm") {
       DPC_ASSIGN_OR_RETURN(wire.request.algorithm, AsStringField(key, value));
       have_algorithm = true;
@@ -197,6 +213,22 @@ Result<WireRequest> ParseWireRequest(const JsonValue& json) {
   if (!have_algorithm || wire.request.algorithm.empty()) {
     return Status::InvalidArgument("missing required field \"algorithm\"");
   }
+  if (wire.stream) {
+    // A stream solve runs over server-resident data: the body must not also
+    // carry its own geometry.
+    if (have_points) {
+      return FieldError("stream", "a stream solve must omit \"points\"");
+    }
+    if (levels > 0) {
+      return FieldError("stream",
+                        "a stream solve must omit \"levels\" (the stream "
+                        "owns its domain)");
+    }
+    if (wire.snap) {
+      return FieldError("stream", "a stream solve must omit \"snap\"");
+    }
+    return wire;
+  }
   if (!have_points) {
     return Status::InvalidArgument("missing required field \"points\"");
   }
@@ -240,6 +272,17 @@ JsonValue TuningToJson(const Tuning& tuning) {
   object.Set("refine_one_cluster", JsonValue::Bool(tuning.refine_one_cluster));
   object.Set("advanced_composition",
              JsonValue::Bool(tuning.advanced_composition));
+  object.Set("coreset", JsonValue::Bool(tuning.coreset));
+  object.Set("coreset_min_points",
+             JsonValue::Number(
+                 static_cast<std::uint64_t>(tuning.coreset_min_points)));
+  object.Set("coreset_target_size",
+             JsonValue::Number(
+                 static_cast<std::uint64_t>(tuning.coreset_target_size)));
+  object.Set("stream_compact_fraction",
+             JsonValue::Number(tuning.stream_compact_fraction));
+  object.Set("coreset_staleness_fraction",
+             JsonValue::Number(tuning.coreset_staleness_fraction));
   object.Set("inflation", JsonValue::Number(tuning.inflation));
   object.Set("max_grid_centers",
              JsonValue::Number(
@@ -254,21 +297,27 @@ JsonValue WireRequestToJson(const WireRequest& wire) {
   object.Set("dataset", JsonValue::String(wire.dataset));
   object.Set("seed", JsonValue::Number(wire.seed));
   object.Set("snap", JsonValue::Bool(wire.snap));
+  object.Set("stream", JsonValue::Bool(wire.stream));
   object.Set("algorithm", JsonValue::String(request.algorithm));
-  JsonValue points = JsonValue::Array();
-  for (std::size_t i = 0; i < request.data.size(); ++i) {
-    JsonValue row = JsonValue::Array();
-    for (const double c : request.data[i]) row.Append(JsonValue::Number(c));
-    points.Append(std::move(row));
+  // Stream solves carry no geometry of their own (the parser rejects
+  // "points"/"levels" next to "stream": true), so the encoder omits the keys
+  // to stay an exact inverse.
+  if (!wire.stream) {
+    JsonValue points = JsonValue::Array();
+    for (std::size_t i = 0; i < request.data.size(); ++i) {
+      JsonValue row = JsonValue::Array();
+      for (const double c : request.data[i]) row.Append(JsonValue::Number(c));
+      points.Append(std::move(row));
+    }
+    object.Set("points", std::move(points));
+    object.Set("levels",
+               JsonValue::Number(request.domain.has_value()
+                                     ? request.domain->levels()
+                                     : std::uint64_t{0}));
+    object.Set("axis", JsonValue::Number(request.domain.has_value()
+                                             ? request.domain->axis_length()
+                                             : 1.0));
   }
-  object.Set("points", std::move(points));
-  object.Set("levels",
-             JsonValue::Number(request.domain.has_value()
-                                   ? request.domain->levels()
-                                   : std::uint64_t{0}));
-  object.Set("axis", JsonValue::Number(request.domain.has_value()
-                                           ? request.domain->axis_length()
-                                           : 1.0));
   object.Set("epsilon", JsonValue::Number(request.budget.epsilon));
   object.Set("delta", JsonValue::Number(request.budget.delta));
   object.Set("beta", JsonValue::Number(request.beta));
@@ -284,6 +333,95 @@ JsonValue WireRequestToJson(const WireRequest& wire) {
   object.Set("label", JsonValue::String(request.label));
   object.Set("tuning", TuningToJson(request.tuning));
   return object;
+}
+
+Status ParseTuningJson(const JsonValue& json, Tuning& tuning) {
+  return ParseTuning(json, tuning);
+}
+
+namespace {
+
+/// The fields append and expire share; `key` dispatch returns false when the
+/// key belongs to neither so the caller can reject it by route.
+Result<StreamRequest> ParseStreamCommon(std::string_view body,
+                                        bool is_append) {
+  DPC_ASSIGN_OR_RETURN(const JsonValue json, JsonValue::Parse(body));
+  if (!json.is_object()) {
+    return Status::InvalidArgument("stream request must be a JSON object");
+  }
+  StreamRequest stream;
+  bool have_points = false;
+  bool have_count = false;
+  bool have_ids = false;
+  for (const auto& [key, value] : json.members()) {
+    if (key == "dataset") {
+      DPC_ASSIGN_OR_RETURN(stream.dataset, AsStringField(key, value));
+    } else if (key == "tuning") {
+      DPC_RETURN_IF_ERROR(ParseTuning(value, stream.tuning));
+    } else if (is_append && key == "points") {
+      DPC_ASSIGN_OR_RETURN(stream.points, ParsePoints(value));
+      have_points = true;
+    } else if (is_append && key == "levels") {
+      DPC_ASSIGN_OR_RETURN(stream.levels, AsU64Field(key, value));
+    } else if (is_append && key == "axis") {
+      DPC_ASSIGN_OR_RETURN(stream.axis, AsDoubleField(key, value));
+    } else if (is_append && key == "snap") {
+      DPC_ASSIGN_OR_RETURN(stream.snap, AsBoolField(key, value));
+    } else if (!is_append && key == "count") {
+      DPC_ASSIGN_OR_RETURN(stream.expire_count, AsU64Field(key, value));
+      have_count = true;
+    } else if (!is_append && key == "ids") {
+      if (!value.is_array()) {
+        return FieldError(key, "expected an array of row ids");
+      }
+      for (const JsonValue& id : value.items()) {
+        DPC_ASSIGN_OR_RETURN(const std::uint64_t u, AsU64Field(key, id));
+        if (u > 0xffffffffull) return FieldError(key, "row id out of range");
+        stream.expire_ids.push_back(static_cast<std::uint32_t>(u));
+      }
+      have_ids = true;
+    } else {
+      return FieldError(key, "unknown key");
+    }
+  }
+  if (stream.dataset.empty()) {
+    return Status::InvalidArgument("missing required field \"dataset\"");
+  }
+  if (is_append) {
+    if (!have_points) {
+      return Status::InvalidArgument("missing required field \"points\"");
+    }
+    if (stream.levels > 0) {
+      if (stream.levels < 2) return FieldError("levels", "|X| must be >= 2");
+      if (!(stream.axis > 0.0) || !std::isfinite(stream.axis)) {
+        return FieldError("axis", "must be a positive finite length");
+      }
+    } else if (stream.snap) {
+      return FieldError("snap", "requires a domain (set \"levels\")");
+    }
+  } else {
+    if (have_count == have_ids) {
+      return Status::InvalidArgument(
+          "expire takes exactly one of \"count\" or \"ids\"");
+    }
+    if (have_count && stream.expire_count == 0) {
+      return FieldError("count", "must be >= 1");
+    }
+    if (have_ids && stream.expire_ids.empty()) {
+      return FieldError("ids", "must be non-empty");
+    }
+  }
+  return stream;
+}
+
+}  // namespace
+
+Result<StreamRequest> ParseStreamAppend(std::string_view body) {
+  return ParseStreamCommon(body, /*is_append=*/true);
+}
+
+Result<StreamRequest> ParseStreamExpire(std::string_view body) {
+  return ParseStreamCommon(body, /*is_append=*/false);
 }
 
 JsonValue PrivacyParamsToJson(const PrivacyParams& params) {
@@ -346,6 +484,7 @@ const char* ServiceErrorCodeName(ServiceErrorCode code) {
     case ServiceErrorCode::kRouteNotFound: return "RouteNotFound";
     case ServiceErrorCode::kMethodNotAllowed: return "MethodNotAllowed";
     case ServiceErrorCode::kPayloadTooLarge: return "PayloadTooLarge";
+    case ServiceErrorCode::kUnknownDataset: return "UnknownDataset";
     case ServiceErrorCode::kBudgetExhausted: return "BudgetExhausted";
     case ServiceErrorCode::kQueueFull: return "QueueFull";
     case ServiceErrorCode::kShuttingDown: return "ShuttingDown";
@@ -365,6 +504,7 @@ int HttpStatusOf(ServiceErrorCode code) {
     case ServiceErrorCode::kRouteNotFound: return 404;
     case ServiceErrorCode::kMethodNotAllowed: return 405;
     case ServiceErrorCode::kPayloadTooLarge: return 413;
+    case ServiceErrorCode::kUnknownDataset: return 404;
     case ServiceErrorCode::kBudgetExhausted: return 429;
     case ServiceErrorCode::kQueueFull: return 503;
     case ServiceErrorCode::kShuttingDown: return 503;

@@ -22,6 +22,8 @@
 //     "levels": 65536,                // |X| per axis; 0 = no domain
 //     "axis": 1.0,                    // axis length of the cube
 //     "snap": false,                  // snap points onto the domain grid
+//     "stream": false,                // solve the resident stream "dataset"
+//                                     // (omit points/levels/snap then)
 //     "epsilon": 1.0, "delta": 1e-9,  // this request's budget
 //     "beta": 0.1, "t": 500, "k": 2,
 //     "inlier_fraction": 0.9, "alpha": 0.5, "block_size": 0,
@@ -35,6 +37,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "dpcluster/api/request.h"
 #include "dpcluster/api/response.h"
@@ -51,6 +54,11 @@ struct WireRequest {
   std::string dataset;
   std::uint64_t seed = 0;
   bool snap = false;
+  /// True = solve over the resident streaming dataset named by `dataset`
+  /// (fed through /v1/stream/append). The body must then omit "points" and
+  /// "levels": the data and domain live server-side, and the reply carries
+  /// the stream version the solve saw. Mutually exclusive with "points".
+  bool stream = false;
   Request request;
 };
 
@@ -71,6 +79,36 @@ JsonValue WireRequestToJson(const WireRequest& wire);
 /// The tuning sub-object (every Tuning knob, fixed order).
 JsonValue TuningToJson(const Tuning& tuning);
 
+/// Strict parse of a tuning sub-object into `tuning` (unknown keys and
+/// wrong types are InvalidArgument). The same parser ParseWireRequest uses
+/// for its "tuning" member; exposed for the stream-endpoint bodies.
+Status ParseTuningJson(const JsonValue& json, Tuning& tuning);
+
+// --- Streaming endpoints --------------------------------------------------
+
+/// One /v1/stream/append or /v1/stream/expire body. Append bodies carry
+/// "points" (plus "levels"/"axis" to create the stream on first use, and
+/// optional "snap" to snap arrivals onto the stream's grid); expire bodies
+/// carry exactly one of "count" (oldest rows first) or "ids" (row ids from
+/// append replies — invalidated whenever a reply reports "compacted").
+/// Both accept an optional "tuning" object; the endpoints read
+/// tuning.stream_compact_fraction.
+struct StreamRequest {
+  std::string dataset;
+  PointSet points;                       // append arrivals (arrival order)
+  std::uint64_t levels = 0;              // 0 = the stream must already exist
+  double axis = 1.0;
+  bool snap = false;
+  std::uint64_t expire_count = 0;        // oldest-first row count
+  std::vector<std::uint32_t> expire_ids; // explicit row ids
+  Tuning tuning;
+};
+
+/// Strict parses of the stream bodies (required fields, unknown keys, and
+/// shape errors are InvalidArgument naming the field).
+Result<StreamRequest> ParseStreamAppend(std::string_view body);
+Result<StreamRequest> ParseStreamExpire(std::string_view body);
+
 /// Encodes a served Response: released artifact (ball/balls/scalar),
 /// accounting (charged + per-phase ledger), diagnostics when present, and
 /// timing. The service wraps this with the envelope fields (ok, tenant,
@@ -89,6 +127,8 @@ enum class ServiceErrorCode {
   kRouteNotFound,     ///< No such endpoint.
   kMethodNotAllowed,  ///< Endpoint exists, wrong HTTP method.
   kPayloadTooLarge,   ///< Body or point count above the configured cap.
+  kUnknownDataset,    ///< A stream route (or "stream": true solve) named a
+                      ///< dataset with no resident stream.
   kBudgetExhausted,   ///< The (tenant, dataset) budget cannot cover this
                       ///< request; the error carries the remaining budget.
   kQueueFull,         ///< Admission queue at capacity; retry later.

@@ -1,8 +1,11 @@
 #include "dpcluster/service/service.h"
 
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "dpcluster/api/solver.h"
+#include "dpcluster/common/check.h"
 
 namespace dpcluster {
 
@@ -30,6 +33,18 @@ JsonValue BudgetToJson(const PrivacyParams& cap, const PrivacyParams& spent) {
 
 ServiceReply ReplyWith(int http_status, const JsonValue& json) {
   return ServiceReply{http_status, json.Encode()};
+}
+
+/// The wire code for an IndexCache stream error: absent stream = 404,
+/// busy/full = 503 (retryable), bad arguments = 400.
+ServiceErrorCode StreamErrorCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound: return ServiceErrorCode::kUnknownDataset;
+    case StatusCode::kResourceExhausted: return ServiceErrorCode::kQueueFull;
+    case StatusCode::kInvalidArgument:
+      return ServiceErrorCode::kInvalidRequest;
+    default: return ServiceErrorCode::kInternal;
+  }
 }
 
 }  // namespace
@@ -115,6 +130,16 @@ ServiceReply ClusterService::Handle(std::string_view method,
     }
     return Solve(body);
   }
+  if (path == "/v1/stream/append" || path == "/v1/stream/expire") {
+    if (method != "POST") {
+      return ReplyWith(405, ErrorToJson(ServiceErrorCode::kMethodNotAllowed,
+                                        std::string(path) + " accepts POST"));
+    }
+    if (shutdown_requested()) {
+      return Error(ServiceErrorCode::kShuttingDown, "server is draining");
+    }
+    return StreamMutate(body, /*append=*/path == "/v1/stream/append");
+  }
   if (path == "/v1/shutdown") {
     if (method != "POST") {
       return ReplyWith(405, ErrorToJson(ServiceErrorCode::kMethodNotAllowed,
@@ -165,6 +190,12 @@ ServiceReply ClusterService::StatsReply() const {
   requests.Set("budget_rejections",
                JsonValue::Number(stats.budget_rejections));
   reply.Set("requests", std::move(requests));
+  JsonValue stream_json = JsonValue::Object();
+  stream_json.Set("appends", JsonValue::Number(stats.stream_appends));
+  stream_json.Set("expires", JsonValue::Number(stats.stream_expires));
+  stream_json.Set("compactions",
+                  JsonValue::Number(stats.stream_compactions));
+  reply.Set("stream", std::move(stream_json));
   JsonValue cache_json = JsonValue::Object();
   cache_json.Set("hits", JsonValue::Number(cache.hits));
   cache_json.Set("misses", JsonValue::Number(cache.misses));
@@ -204,10 +235,41 @@ ServiceReply ClusterService::Solve(std::string_view body) {
   }
   WireRequest wire = std::move(*parsed);
   Request& request = wire.request;
+
+  // Stream solves ("stream": true) run over the resident streaming dataset:
+  // the lease is version-tagged (no client bytes to fingerprint) and carries
+  // the maintained index, so the solve pays no re-index. Acquired before
+  // admission because the data and domain come from the entry; an admission
+  // rejection releases the lease untouched.
+  IndexCache::Lease lease;
+  IndexCache::StreamStatus stream_status;
+  if (wire.stream) {
+    CoresetOptions coreset;
+    coreset.enabled = request.tuning.coreset;
+    coreset.min_points = request.tuning.coreset_min_points;
+    coreset.target_size = request.tuning.coreset_target_size;
+    PointSet active;
+    GridDomain stream_domain(2, 1);
+    auto acquired = cache_.AcquireStream(
+        wire.dataset, coreset, request.tuning.coreset_staleness_fraction,
+        &active, &stream_domain, &stream_status);
+    if (!acquired.ok()) {
+      return Error(StreamErrorCode(acquired.status()),
+                   acquired.status().message());
+    }
+    lease = std::move(*acquired);
+    if (active.empty()) {
+      return Error(ServiceErrorCode::kInvalidRequest,
+                   "stream \"" + wire.dataset + "\" has no live rows");
+    }
+    request.data = std::move(active);
+    request.domain = stream_domain;
+  }
+
   if (wire.snap && request.domain.has_value()) {
     request.domain->SnapAll(request.data);
   }
-  if (request.data.size() > options_.max_points) {
+  if (!wire.stream && request.data.size() > options_.max_points) {
     return Error(ServiceErrorCode::kPayloadTooLarge,
                  "request carries " + std::to_string(request.data.size()) +
                      " points; the server caps at " +
@@ -270,16 +332,16 @@ ServiceReply ClusterService::Solve(std::string_view body) {
   // or full cache bypasses (index-free run, bit-identical outputs). With the
   // coreset tuning knobs set, the lease carries the cached weighted summary
   // instead of the raw index (built once per dataset, reused across solves).
-  IndexCache::Lease lease;
-  if (request.domain.has_value() && !request.data.empty()) {
+  // Stream solves already hold their version-tagged lease from above.
+  if (!wire.stream && request.domain.has_value() && !request.data.empty()) {
     CoresetOptions coreset;
     coreset.enabled = request.tuning.coreset;
     coreset.min_points = request.tuning.coreset_min_points;
     coreset.target_size = request.tuning.coreset_target_size;
     lease = cache_.Acquire(wire.dataset, request.data, *request.domain,
                            coreset);
-    if (lease) request.shared_index = lease.index();
   }
+  if (lease) request.shared_index = lease.index();
 
   // Phase 5 — solve on a per-request Solver, seeded from the wire request so
   // responses are deterministic per (request, seed) regardless of traffic.
@@ -310,12 +372,156 @@ ServiceReply ClusterService::Solve(std::string_view body) {
   reply.Set("dataset", JsonValue::String(wire.dataset));
   reply.Set("seed", JsonValue::Number(solver_options.seed));
   reply.Set("indexed", JsonValue::Bool(static_cast<bool>(lease)));
+  if (wire.stream) {
+    JsonValue stream_json = JsonValue::Object();
+    stream_json.Set("version", JsonValue::Number(stream_status.version));
+    stream_json.Set("live", JsonValue::Number(static_cast<std::uint64_t>(
+                                stream_status.live)));
+    stream_json.Set("compacted", JsonValue::Bool(stream_status.compacted));
+    reply.Set("stream", std::move(stream_json));
+  }
   reply.Set("budget", BudgetToJson(cap, spent));
   reply.Set("response", ResponseToJson(*response));
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.solved;
   }
+  return ReplyWith(200, reply);
+}
+
+ServiceReply ClusterService::StreamMutate(std::string_view body, bool append) {
+  if (body.size() > options_.max_body_bytes) {
+    return Error(ServiceErrorCode::kPayloadTooLarge,
+                 "body exceeds " + std::to_string(options_.max_body_bytes) +
+                     " bytes");
+  }
+  auto parsed = append ? ParseStreamAppend(body) : ParseStreamExpire(body);
+  if (!parsed.ok()) {
+    return Error(ServiceErrorCode::kParseError, parsed.status().message());
+  }
+  StreamRequest stream = std::move(*parsed);
+  if (stream.points.size() > options_.max_points) {
+    return Error(ServiceErrorCode::kPayloadTooLarge,
+                 "request carries " + std::to_string(stream.points.size()) +
+                     " points; the server caps at " +
+                     std::to_string(options_.max_points));
+  }
+  std::optional<GridDomain> create_domain;
+  if (append && stream.levels > 0) {
+    create_domain.emplace(stream.levels, stream.points.dim(), stream.axis);
+  }
+
+  // The mutation body validates the whole batch before touching the dataset,
+  // so a rejected request leaves the stream exactly as it was.
+  std::size_t first_id = 0;
+  auto mutate = [&](IndexedDataset& index) -> Result<std::size_t> {
+    if (append) {
+      if (stream.points.dim() != index.domain().dim()) {
+        return Status::InvalidArgument(
+            "points are " + std::to_string(stream.points.dim()) +
+            "-dimensional; the stream is " +
+            std::to_string(index.domain().dim()) + "-dimensional");
+      }
+      if (create_domain.has_value() &&
+          (index.domain().levels() != create_domain->levels() ||
+           index.domain().axis_length() != create_domain->axis_length())) {
+        return Status::InvalidArgument(
+            "\"levels\"/\"axis\" do not match the resident stream's domain");
+      }
+      if (stream.snap) index.domain().SnapAll(stream.points);
+      const double axis = index.domain().axis_length();
+      for (std::size_t i = 0; i < stream.points.size(); ++i) {
+        for (const double x : stream.points[i]) {
+          if (!(x >= 0.0 && x <= axis)) {
+            return Status::InvalidArgument(
+                "point " + std::to_string(i) +
+                " lies outside the stream's cube (set \"snap\": true, or "
+                "rescale the coordinates)");
+          }
+        }
+      }
+      first_id = index.size();
+      for (std::size_t i = 0; i < stream.points.size(); ++i) {
+        DPC_CHECK(index.Insert(stream.points[i]).ok());  // Validated above.
+      }
+      return stream.points.size();
+    }
+    // Expire: resolve every target row up front (oldest-first for "count").
+    std::vector<std::uint32_t> doomed;
+    if (stream.expire_count > 0) {
+      const auto active = index.ActiveIds();
+      if (stream.expire_count > active.size()) {
+        return Status::InvalidArgument(
+            "\"count\" = " + std::to_string(stream.expire_count) +
+            " exceeds the " + std::to_string(active.size()) + " live rows");
+      }
+      doomed.assign(active.begin(),
+                    active.begin() +
+                        static_cast<std::ptrdiff_t>(stream.expire_count));
+    } else {
+      std::vector<std::uint8_t> seen(index.size(), 0);
+      for (const std::uint32_t id : stream.expire_ids) {
+        if (id >= index.size() || !index.IsActive(id)) {
+          return Status::InvalidArgument(
+              "row id " + std::to_string(id) +
+              " is not a live row of this stream (ids go stale when a "
+              "reply reports \"compacted\": true)");
+        }
+        if (seen[id] != 0) {
+          return Status::InvalidArgument("row id " + std::to_string(id) +
+                                         " listed twice");
+        }
+        seen[id] = 1;
+      }
+      doomed = stream.expire_ids;
+    }
+    for (const std::uint32_t id : doomed) index.Remove(id);
+    return doomed.size();
+  };
+
+  auto status = cache_.MutateStream(
+      stream.dataset, create_domain.has_value() ? &*create_domain : nullptr,
+      stream.tuning.stream_compact_fraction, mutate);
+  if (!status.ok()) {
+    return Error(StreamErrorCode(status.status()),
+                 status.status().message());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (append) {
+      ++stats_.stream_appends;
+    } else {
+      ++stats_.stream_expires;
+    }
+    if (status->compacted) ++stats_.stream_compactions;
+  }
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(true));
+  reply.Set("dataset", JsonValue::String(stream.dataset));
+  if (append) {
+    reply.Set("appended",
+              JsonValue::Number(
+                  static_cast<std::uint64_t>(stream.points.size())));
+    // Row ids [first_id, first_id + appended) — until a compaction
+    // renumbers; then the reply says so and clients re-learn ids.
+    reply.Set("first_id", status->compacted
+                              ? JsonValue::Null()
+                              : JsonValue::Number(
+                                    static_cast<std::uint64_t>(first_id)));
+  } else {
+    reply.Set("expired",
+              JsonValue::Number(stream.expire_count > 0
+                                    ? stream.expire_count
+                                    : static_cast<std::uint64_t>(
+                                          stream.expire_ids.size())));
+  }
+  reply.Set("version", JsonValue::Number(status->version));
+  reply.Set("live",
+            JsonValue::Number(static_cast<std::uint64_t>(status->live)));
+  reply.Set("total",
+            JsonValue::Number(static_cast<std::uint64_t>(status->total)));
+  reply.Set("compacted", JsonValue::Bool(status->compacted));
+  reply.Set("created", JsonValue::Bool(status->created));
   return ReplyWith(200, reply);
 }
 

@@ -6,11 +6,23 @@
 // Handle() directly, without sockets.
 //
 // Routes:
-//   GET  /healthz        liveness + serving/draining state
-//   GET  /v1/algorithms  registered algorithm names
-//   GET  /v1/stats       request counters, cache stats, per-tenant spend
-//   POST /v1/solve       one wire request (service/protocol.h) -> response
-//   POST /v1/shutdown    request graceful drain (when enabled)
+//   GET  /healthz          liveness + serving/draining state
+//   GET  /v1/algorithms    registered algorithm names
+//   GET  /v1/stats         request counters, cache stats, per-tenant spend
+//   POST /v1/solve         one wire request (service/protocol.h) -> response
+//   POST /v1/stream/append arrivals into a resident streaming dataset
+//   POST /v1/stream/expire expire rows (oldest-first count, or by id)
+//   POST /v1/shutdown      request graceful drain (when enabled)
+//
+// Streaming datasets: /v1/stream/append feeds points into a server-resident
+// IndexedDataset held by the index cache (created on first append, keyed
+// like any cached dataset). Edits ride the incremental Insert/Remove path,
+// so the spatial index is maintained, not rebuilt, per batch; expired rows
+// are compacted away once live/total drops below the request's
+// tuning.stream_compact_fraction. A solve with "stream": true then runs
+// over the live rows without shipping them: the reply echoes the stream
+// version the solve saw. Ingestion itself spends no privacy budget — only
+// solves are charged, against the same (tenant, dataset) ledger.
 //
 // Budget model: every (tenant, dataset) pair owns one privacy cap
 // (tenant-overridable, default ServiceOptions::default_budget). Admission is
@@ -82,8 +94,11 @@ class ClusterService {
   struct Stats {
     std::uint64_t requests = 0;       ///< Handle() calls, any route.
     std::uint64_t solved = 0;         ///< /v1/solve runs that released.
-    std::uint64_t rejected = 0;       ///< /v1/solve errors of any kind.
+    std::uint64_t rejected = 0;       ///< solve/stream errors of any kind.
     std::uint64_t budget_rejections = 0;  ///< ... of which BudgetExhausted.
+    std::uint64_t stream_appends = 0;     ///< /v1/stream/append successes.
+    std::uint64_t stream_expires = 0;     ///< /v1/stream/expire successes.
+    std::uint64_t stream_compactions = 0; ///< Mutations that compacted.
   };
 
   explicit ClusterService(ServiceOptions options = {});
@@ -118,6 +133,8 @@ class ClusterService {
   };
 
   ServiceReply Solve(std::string_view body);
+  /// The /v1/stream/append and /v1/stream/expire handlers (`append` picks).
+  ServiceReply StreamMutate(std::string_view body, bool append);
   ServiceReply Health() const;
   ServiceReply Algorithms() const;
   ServiceReply StatsReply() const;

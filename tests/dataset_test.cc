@@ -257,6 +257,200 @@ TEST(KnnCappedCountsTest, AgreesWithMatrixAfterRemoval) {
   }
 }
 
+// Structural insertion: after interleaved Insert / Remove / Snapshot /
+// Restore, every query must still equal a fresh grid built over ActiveView —
+// same bytes, any thread count (the other half of the deletion contract).
+TEST(IndexedDatasetTest, InsertMatchesFreshRebuild) {
+  std::uint64_t seed = 200;
+  for (const auto& [n, dim] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {90, 1}, {160, 2}, {120, 3}, {100, 32}}) {
+    Rng rng(++seed);
+    const GridDomain domain(1u << 8, dim);
+    PointSet all = testing_util::UniformCube(rng, n, dim);
+    domain.SnapAll(all);
+
+    // Start from the first two thirds, warm the grid, then stream edits.
+    const std::size_t n0 = (2 * n) / 3;
+    PointSet head(dim);
+    for (std::size_t i = 0; i < n0; ++i) head.Add(all[i]);
+    ASSERT_OK_AND_ASSIGN(IndexedDataset index,
+                         IndexedDataset::Create(std::move(head), domain));
+    std::vector<double> warm(n0 * 2);
+    index.BatchKnn(2, warm, nullptr);
+    ASSERT_TRUE(index.grid_built());
+
+    const IndexedDataset::Snapshot snap = index.TakeSnapshot();
+    index.Remove(EveryThird(n0));
+    for (std::size_t i = n0; i < n; ++i) {
+      ASSERT_OK_AND_ASSIGN(const std::size_t id, index.Insert(all[i]));
+      EXPECT_EQ(id, i);
+    }
+    // Rewind the head removals; the streamed-in tail stays active.
+    ASSERT_OK(index.Restore(snap));
+    EXPECT_EQ(index.active_size(), n);
+    index.Remove(EveryThird(n0));
+    // The grid survived the whole interleaving without a rebuild.
+    EXPECT_TRUE(index.grid_built());
+
+    const PointSet view = index.ActiveView();
+    const std::size_t m = index.active_size();
+    for (const std::size_t k : {std::size_t{1}, std::size_t{4}, m - 1}) {
+      ASSERT_OK_AND_ASSIGN(SpatialGrid fresh,
+                           SpatialGrid::Build(view, domain, k));
+      std::vector<double> want(m * k);
+      fresh.BatchKnnDistances(k, want, nullptr, /*sorted=*/true);
+      std::vector<double> got(m * k);
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        ThreadPool pool(threads);
+        index.BatchKnn(k, got, &pool, /*sorted=*/true);
+        EXPECT_EQ(got, want) << "n=" << n << " d=" << dim << " k=" << k
+                             << " threads=" << threads;
+      }
+    }
+    // Counting queries agree with brute force over the view too.
+    std::vector<std::size_t> counts(m);
+    index.BatchCountWithin(0.2, counts, nullptr);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::size_t want = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (Distance(view[i], view[j]) <= 0.2) ++want;
+      }
+      EXPECT_EQ(counts[i], want) << "i=" << i;
+    }
+  }
+}
+
+TEST(IndexedDatasetTest, InsertValidatesItsArguments) {
+  Rng rng(20);
+  IndexedDataset index = MakeIndexed(rng, 30, 2);
+  const std::vector<double> bad_dim{0.5};
+  EXPECT_FALSE(index.Insert(bad_dim).ok());
+  const std::vector<double> outside{0.5, 1.5};
+  EXPECT_FALSE(index.Insert(outside).ok());
+  const std::vector<double> zero_weight{0.5, 0.5};
+  EXPECT_FALSE(index.Insert(zero_weight, 0).ok());
+  EXPECT_EQ(index.size(), 30u);
+
+  // A weighted insert into an unweighted dataset materializes all-ones.
+  EXPECT_FALSE(index.weighted());
+  ASSERT_OK_AND_ASSIGN(const std::size_t id, index.Insert(zero_weight, 3));
+  EXPECT_EQ(id, 30u);
+  EXPECT_TRUE(index.weighted());
+  EXPECT_EQ(index.weight(0), 1u);
+  EXPECT_EQ(index.weight(30), 3u);
+  EXPECT_EQ(index.active_mass(), 33u);
+  EXPECT_EQ(index.total_mass(), 33u);
+}
+
+TEST(IndexedDatasetTest, CompactRenumbersActiveRows) {
+  Rng rng(21);
+  IndexedDataset index = MakeIndexed(rng, 80, 2);
+  std::vector<double> warm(80 * 2);
+  index.BatchKnn(2, warm, nullptr);
+  index.Remove(EveryThird(80));
+  const PointSet before = index.ActiveView();
+  const IndexedDataset::Snapshot stale = index.TakeSnapshot();
+
+  const std::vector<std::uint32_t> old_ids = index.Compact();
+  EXPECT_EQ(index.size(), index.active_size());
+  EXPECT_EQ(index.active_size(), before.size());
+  ASSERT_EQ(old_ids.size(), before.size());
+  EXPECT_TRUE(std::is_sorted(old_ids.begin(), old_ids.end()));
+  // Row new_id holds the bytes old row old_ids[new_id] held.
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const auto got = index.points()[i];
+    const auto want = before[i];
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin())) << i;
+  }
+  // Queries over the compacted storage equal the pre-compaction view.
+  const std::size_t m = index.active_size();
+  std::vector<double> got(m * 3);
+  std::vector<double> want(m * 3);
+  index.BatchKnn(3, got, nullptr);
+  ASSERT_OK_AND_ASSIGN(SpatialGrid fresh, SpatialGrid::Build(before,
+                                                             index.domain(), 3));
+  fresh.BatchKnnDistances(3, want, nullptr, /*sorted=*/true);
+  EXPECT_EQ(got, want);
+  // Snapshots from before the renumbering no longer apply.
+  EXPECT_FALSE(index.Restore(stale).ok());
+}
+
+// Streaming maintenance of the t-NN rows: after a batch of edits,
+// ApplyBatch must leave the structure answering exactly like a fresh Build
+// over the new active set, at any thread count, while recomputing only a
+// subset of the surviving rows.
+TEST(KnnCappedCountsTest, ApplyBatchMatchesFreshBuild) {
+  std::uint64_t seed = 300;
+  for (const auto& [n, dim] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {120, 2}, {90, 3}}) {
+    Rng rng(++seed);
+    const GridDomain domain(1u << 8, dim);
+    PointSet all = testing_util::UniformCube(rng, n, dim);
+    domain.SnapAll(all);
+    const std::size_t n0 = (3 * n) / 4;
+    PointSet head(dim);
+    for (std::size_t i = 0; i < n0; ++i) head.Add(all[i]);
+    ASSERT_OK_AND_ASSIGN(IndexedDataset index,
+                         IndexedDataset::Create(std::move(head), domain));
+    const std::size_t t = n0 / 8;
+    ASSERT_OK_AND_ASSIGN(KnnCappedCounts counts,
+                         KnnCappedCounts::Build(index, t, n));
+
+    // Three rounds of mixed edits, rows patched after each round.
+    std::size_t next = n0;
+    std::uint32_t victim = 1;
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::uint32_t> added;
+      std::vector<std::uint32_t> removed;
+      for (std::size_t a = 0; a < n / 10 && next < n; ++a) {
+        ASSERT_OK_AND_ASSIGN(const std::size_t id, index.Insert(all[next]));
+        added.push_back(static_cast<std::uint32_t>(id));
+        ++next;
+      }
+      for (std::size_t d2 = 0; d2 < n / 16; ++d2, victim += 7) {
+        while (!index.IsActive(victim % n0)) ++victim;
+        removed.push_back(victim % n0);
+        index.Remove(static_cast<std::size_t>(victim % n0));
+      }
+      ThreadPool pool(round + 1);
+      ASSERT_OK(counts.ApplyBatch(index, added, removed, &pool));
+      EXPECT_LE(counts.last_invalidated(), index.active_size());
+
+      ASSERT_OK_AND_ASSIGN(KnnCappedCounts fresh,
+                           KnnCappedCounts::Build(index, t, n));
+      ASSERT_EQ(counts.size(), fresh.size());
+      for (std::uint64_t g = 0; g < domain.RadiusGridSize(); g += 53) {
+        const double r = domain.RadiusFromIndex(g);
+        for (std::size_t rank = 0; rank < counts.size(); rank += 3) {
+          ASSERT_EQ(counts.CountWithinCapped(rank, r),
+                    fresh.CountWithinCapped(rank, r))
+              << "round=" << round << " g=" << g << " rank=" << rank;
+        }
+        ASSERT_EQ(counts.CappedTopAverage(r, t), fresh.CappedTopAverage(r, t))
+            << "round=" << round << " g=" << g;
+      }
+    }
+  }
+}
+
+TEST(KnnCappedCountsTest, ApplyBatchRejectsInconsistentEdits) {
+  Rng rng(31);
+  IndexedDataset index = MakeIndexed(rng, 60, 2);
+  ASSERT_OK_AND_ASSIGN(KnnCappedCounts counts,
+                       KnnCappedCounts::Build(index, 6, 60));
+  // Nothing changed but edits claimed: rejected.
+  const std::vector<std::uint32_t> phantom{3};
+  EXPECT_FALSE(counts.ApplyBatch(index, {}, phantom).ok());
+  EXPECT_FALSE(counts.ApplyBatch(index, phantom, {}).ok());
+  // A no-op batch is fine.
+  EXPECT_OK(counts.ApplyBatch(index, {}, {}));
+  // Removing below cap: rejected (rebuild with a smaller cap instead).
+  std::vector<std::uint32_t> most;
+  for (std::uint32_t i = 0; i < 56; ++i) most.push_back(i);
+  index.Remove(most);
+  EXPECT_FALSE(counts.ApplyBatch(index, {}, most).ok());
+}
+
 // The per-dataset projection cache: one GEMM per (seed, out_dim), a stable
 // reference across repeated calls, and row-for-row agreement with applying
 // the same JlTransform directly.

@@ -234,7 +234,7 @@ void ExpectSameKClusterResult(const KClusterResult& got,
 TEST(KClusterIndexPropertyTest, IncrementalBitIdenticalToRebuild) {
   const ScenarioRegistry& registry = ScenarioRegistry::Global();
   const std::vector<std::string> families = registry.Names();
-  ASSERT_EQ(families.size(), 8u);
+  ASSERT_EQ(families.size(), 9u);
   std::uint64_t seed = 2500;
   for (const std::string& family : families) {
     ScenarioSpec spec;

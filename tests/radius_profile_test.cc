@@ -169,7 +169,7 @@ TEST(RadiusProfileTest, AutoCrossoverExtendsGridRangeAtHighDimension) {
 TEST(RadiusProfileTest, GridBitIdenticalToExactAcrossScenarioFamilies) {
   const ScenarioRegistry& registry = ScenarioRegistry::Global();
   const std::vector<std::string> families = registry.Names();
-  ASSERT_EQ(families.size(), 8u);
+  ASSERT_EQ(families.size(), 9u);
   ThreadPool pool(8);
   std::uint64_t seed = 900;
   for (const std::string& family : families) {

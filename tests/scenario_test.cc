@@ -41,7 +41,7 @@ TEST(ScenarioRegistryTest, GlobalHasAllBuiltinFamilies) {
   for (const char* expected :
        {"planted_cluster", "gaussian_mixture", "outlier_contaminated",
         "heavy_tailed", "axis_degenerate", "grid_snapped", "annulus",
-        "near_tie"}) {
+        "near_tie", "streaming"}) {
     EXPECT_TRUE(have.count(expected)) << "missing family " << expected;
   }
   EXPECT_GE(names.size(), 8u);

@@ -111,6 +111,11 @@ WireRequest FullWireRequest() {
   request.tuning.refine_fraction = 0.3;
   request.tuning.refine_one_cluster = true;
   request.tuning.advanced_composition = true;
+  request.tuning.coreset = true;
+  request.tuning.coreset_min_points = 4096;
+  request.tuning.coreset_target_size = 333;
+  request.tuning.stream_compact_fraction = 0.125;
+  request.tuning.coreset_staleness_fraction = 0.75;
   request.tuning.inflation = 1.5;
   request.tuning.max_grid_centers = 99999;
   return wire;
@@ -160,6 +165,11 @@ TEST(WireProtocolTest, EveryFieldSurvivesTheRoundTrip) {
   EXPECT_DOUBLE_EQ(r.tuning.refine_fraction, 0.3);
   EXPECT_TRUE(r.tuning.refine_one_cluster);
   EXPECT_TRUE(r.tuning.advanced_composition);
+  EXPECT_TRUE(r.tuning.coreset);
+  EXPECT_EQ(r.tuning.coreset_min_points, 4096u);
+  EXPECT_EQ(r.tuning.coreset_target_size, 333u);
+  EXPECT_DOUBLE_EQ(r.tuning.stream_compact_fraction, 0.125);
+  EXPECT_DOUBLE_EQ(r.tuning.coreset_staleness_fraction, 0.75);
   EXPECT_DOUBLE_EQ(r.tuning.inflation, 1.5);
   EXPECT_EQ(r.tuning.max_grid_centers, 99999u);
 }
@@ -211,6 +221,89 @@ TEST(WireProtocolTest, RejectsMalformedWireRequests) {
            R"( "tuning": {"profile_index": "never"}})",
        }) {
     EXPECT_FALSE(ParseWireRequest(bad).ok()) << bad;
+  }
+}
+
+// --- Stream wire format ---------------------------------------------------
+
+TEST(WireProtocolTest, StreamSolveRoundTripsAndOwnsNoGeometry) {
+  WireRequest wire;
+  wire.dataset = "sensors/live";
+  wire.seed = 42;
+  wire.stream = true;
+  wire.request.algorithm = "one_cluster";
+  wire.request.t = 96;
+  wire.request.budget = {2.0, 1e-9};
+  const std::string encoded = WireRequestToJson(wire).Encode();
+  ASSERT_OK_AND_ASSIGN(const WireRequest back, ParseWireRequest(encoded));
+  EXPECT_TRUE(back.stream);
+  EXPECT_EQ(back.dataset, "sensors/live");
+  EXPECT_EQ(back.request.t, 96u);
+  EXPECT_TRUE(back.request.data.empty());
+  EXPECT_FALSE(back.request.domain.has_value());
+  // Exact inverse: the encoder omits "points"/"levels" for stream solves.
+  EXPECT_EQ(WireRequestToJson(back).Encode(), encoded);
+
+  // A stream solve must not also carry client-side geometry.
+  const std::string base =
+      R"({"dataset": "d", "algorithm": "a", "stream": true)";
+  for (const char* bad : {
+           R"(, "points": [[1]]})",  // stream + points
+           R"(, "levels": 1024})",   // stream + levels
+           R"(, "snap": true})",     // stream + snap
+       }) {
+    EXPECT_FALSE(ParseWireRequest(base + std::string(bad)).ok()) << bad;
+  }
+}
+
+TEST(WireProtocolTest, ParseStreamAppendIsStrict) {
+  ASSERT_OK_AND_ASSIGN(
+      const StreamRequest append,
+      ParseStreamAppend(
+          R"({"dataset": "s", "points": [[0.25, 0.5], [0.75, 1.0]],)"
+          R"( "levels": 1024, "axis": 2.0, "snap": true,)"
+          R"( "tuning": {"stream_compact_fraction": 0.1}})"));
+  EXPECT_EQ(append.dataset, "s");
+  ASSERT_EQ(append.points.size(), 2u);
+  EXPECT_EQ(append.points.dim(), 2u);
+  EXPECT_EQ(append.levels, 1024u);
+  EXPECT_DOUBLE_EQ(append.axis, 2.0);
+  EXPECT_TRUE(append.snap);
+  EXPECT_DOUBLE_EQ(append.tuning.stream_compact_fraction, 0.1);
+
+  for (const char* bad : {
+           R"({"points": [[1]]})",                       // no dataset
+           R"({"dataset": "s"})",                        // no points
+           R"({"dataset": "s", "points": [[1],[1,2]]})", // ragged rows
+           R"({"dataset": "s", "points": [[1]], "levels": 1})",
+           R"({"dataset": "s", "points": [[1]], "snap": true})",  // no domain
+           R"({"dataset": "s", "points": [[1]], "count": 1})",    // expire key
+           R"({"dataset": "s", "points": [[1]], "bogus": 1})",
+       }) {
+    EXPECT_FALSE(ParseStreamAppend(bad).ok()) << bad;
+  }
+}
+
+TEST(WireProtocolTest, ParseStreamExpireIsStrict) {
+  ASSERT_OK_AND_ASSIGN(
+      const StreamRequest by_count,
+      ParseStreamExpire(R"({"dataset": "s", "count": 12})"));
+  EXPECT_EQ(by_count.expire_count, 12u);
+  ASSERT_OK_AND_ASSIGN(
+      const StreamRequest by_ids,
+      ParseStreamExpire(R"({"dataset": "s", "ids": [3, 1, 2]})"));
+  ASSERT_EQ(by_ids.expire_ids.size(), 3u);
+  EXPECT_EQ(by_ids.expire_ids[0], 3u);
+
+  for (const char* bad : {
+           R"({"dataset": "s"})",                        // neither selector
+           R"({"dataset": "s", "count": 1, "ids": [0]})",// both selectors
+           R"({"dataset": "s", "count": 0})",
+           R"({"dataset": "s", "ids": []})",
+           R"({"dataset": "s", "ids": [4294967296]})",   // > uint32
+           R"({"dataset": "s", "points": [[1]]})",       // append key
+       }) {
+    EXPECT_FALSE(ParseStreamExpire(bad).ok()) << bad;
   }
 }
 

@@ -235,6 +235,168 @@ TEST(ServiceCacheTest, CachedAndColdRunsReleaseIdenticalAnswers) {
   EXPECT_TRUE(warm_body.Find("indexed")->AsBool());
 }
 
+// --- Streaming datasets ---------------------------------------------------
+
+/// Reads an integer reply field, failing the test (not crashing) when the
+/// key is absent or not a JSON integer.
+std::uint64_t U64(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  EXPECT_NE(value, nullptr) << key;
+  if (value == nullptr) return ~0ull;
+  const auto parsed = value->AsU64();
+  EXPECT_TRUE(parsed.ok()) << key;
+  return parsed.ok() ? *parsed : ~0ull;
+}
+
+std::string AppendBody(const std::string& dataset, const PointSet& points,
+                       std::uint64_t levels = 0, double axis = 1.0) {
+  JsonValue object = JsonValue::Object();
+  object.Set("dataset", JsonValue::String(dataset));
+  JsonValue rows = JsonValue::Array();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    JsonValue row = JsonValue::Array();
+    for (const double c : points[i]) row.Append(JsonValue::Number(c));
+    rows.Append(std::move(row));
+  }
+  object.Set("points", std::move(rows));
+  if (levels > 0) {
+    object.Set("levels", JsonValue::Number(levels));
+    object.Set("axis", JsonValue::Number(axis));
+  }
+  return object.Encode();
+}
+
+std::string StreamSolveBody(const std::string& algorithm,
+                            const std::string& dataset, std::size_t t,
+                            std::uint64_t seed = 99) {
+  WireRequest wire;
+  wire.dataset = dataset;
+  wire.seed = seed;
+  wire.stream = true;
+  wire.request.algorithm = algorithm;
+  wire.request.t = t;
+  wire.request.budget = {8.0, 1e-9};
+  return WireRequestToJson(wire).Encode();
+}
+
+TEST(ServiceStreamTest, AppendCreatesStreamAndSolvesDeterministically) {
+  ClusterService service(UnmeteredOptions());
+  const ClusterWorkload workload = SmallWorkload();
+
+  const ServiceReply appended = service.Handle(
+      "POST", "/v1/stream/append",
+      AppendBody("sensors/live", workload.points, workload.domain.levels(),
+                 workload.domain.axis_length()));
+  ASSERT_EQ(appended.http_status, 200) << appended.body;
+  JsonValue ack = MustParse(appended.body);
+  EXPECT_TRUE(ack.Find("created")->AsBool());
+  EXPECT_EQ(U64(ack, "appended"), workload.points.size());
+  EXPECT_EQ(U64(ack, "first_id"), 0u);
+  EXPECT_EQ(U64(ack, "version"), 1u);
+  EXPECT_EQ(U64(ack, "live"), workload.points.size());
+  EXPECT_EQ(U64(ack, "total"), workload.points.size());
+  EXPECT_FALSE(ack.Find("compacted")->AsBool());
+
+  // Two stream solves at the same wire seed release byte-identical
+  // artifacts: the resident index only accelerates, never perturbs.
+  const std::string solve =
+      StreamSolveBody("one_cluster", "sensors/live", workload.t);
+  const ServiceReply first = service.Handle("POST", "/v1/solve", solve);
+  const ServiceReply second = service.Handle("POST", "/v1/solve", solve);
+  ASSERT_EQ(first.http_status, 200) << first.body;
+  ASSERT_EQ(second.http_status, 200) << second.body;
+  JsonValue first_body = MustParse(first.body);
+  JsonValue second_body = MustParse(second.body);
+  // Identical released artifact and accounting (only wall_ms may differ).
+  for (const char* key : {"ball", "balls", "charged", "diagnostics"}) {
+    EXPECT_EQ(first_body.Find("response")->Find(key)->Encode(),
+              second_body.Find("response")->Find(key)->Encode())
+        << key;
+  }
+  EXPECT_TRUE(first_body.Find("indexed")->AsBool());
+  const JsonValue* stream = first_body.Find("stream");
+  ASSERT_NE(stream, nullptr);
+  EXPECT_EQ(U64(*stream, "version"), 1u);
+  EXPECT_EQ(U64(*stream, "live"), workload.points.size());
+  EXPECT_EQ(service.GetStats().stream_appends, 1u);
+}
+
+TEST(ServiceStreamTest, ExpireBumpsVersionAndCompactionInvalidatesIds) {
+  ClusterService service(UnmeteredOptions());
+  const ClusterWorkload workload = SmallWorkload();
+  const std::size_t n = workload.points.size();  // 512
+  ASSERT_EQ(service
+                .Handle("POST", "/v1/stream/append",
+                        AppendBody("churn", workload.points,
+                                   workload.domain.levels(),
+                                   workload.domain.axis_length()))
+                .http_status,
+            200);
+
+  // Oldest-first count expiry: version bumps, total stays (lazy deletion).
+  const ServiceReply by_count = service.Handle(
+      "POST", "/v1/stream/expire", R"({"dataset": "churn", "count": 16})");
+  ASSERT_EQ(by_count.http_status, 200) << by_count.body;
+  JsonValue ack = MustParse(by_count.body);
+  EXPECT_EQ(U64(ack, "expired"), 16u);
+  EXPECT_EQ(U64(ack, "version"), 2u);
+  EXPECT_EQ(U64(ack, "live"), n - 16);
+  EXPECT_EQ(U64(ack, "total"), n);
+  EXPECT_FALSE(ack.Find("compacted")->AsBool());
+
+  // Explicit row ids (handed out by append replies).
+  const ServiceReply by_ids = service.Handle(
+      "POST", "/v1/stream/expire", R"({"dataset": "churn", "ids": [16, 17]})");
+  ASSERT_EQ(by_ids.http_status, 200) << by_ids.body;
+  ack = MustParse(by_ids.body);
+  EXPECT_EQ(U64(ack, "expired"), 2u);
+  EXPECT_EQ(U64(ack, "version"), 3u);
+  EXPECT_EQ(U64(ack, "live"), n - 18);
+
+  // Dropping below live/total = 1/4 triggers compaction: ids renumber, the
+  // reply says so, and the version bumps twice (mutation + renumbering).
+  const ServiceReply big = service.Handle(
+      "POST", "/v1/stream/expire", R"({"dataset": "churn", "count": 400})");
+  ASSERT_EQ(big.http_status, 200) << big.body;
+  ack = MustParse(big.body);
+  EXPECT_TRUE(ack.Find("compacted")->AsBool());
+  EXPECT_EQ(U64(ack, "version"), 5u);
+  EXPECT_EQ(U64(ack, "live"), n - 418);
+  EXPECT_EQ(U64(ack, "total"), n - 418);  // storage reclaimed
+  EXPECT_EQ(service.GetStats().stream_compactions, 1u);
+
+  // A pre-compaction id is now out of range: the whole batch is refused and
+  // the stream is untouched (atomic validation).
+  const ServiceReply stale = service.Handle(
+      "POST", "/v1/stream/expire", R"({"dataset": "churn", "ids": [500]})");
+  EXPECT_EQ(stale.http_status, 400);
+  EXPECT_EQ(MustParse(stale.body).Find("error")->Find("code")->AsString(),
+            "InvalidRequest");
+  EXPECT_EQ(U64(MustParse(service
+                         .Handle("POST", "/v1/stream/expire",
+                                 R"({"dataset": "churn", "count": 1})")
+                         .body),
+                "live"),
+            n - 419);
+}
+
+TEST(ServiceStreamTest, MissingStreamsAreStructured404s) {
+  ClusterService service(UnmeteredOptions());
+  const auto expect_unknown = [&](const ServiceReply& reply) {
+    EXPECT_EQ(reply.http_status, 404);
+    EXPECT_EQ(MustParse(reply.body).Find("error")->Find("code")->AsString(),
+              "UnknownDataset");
+  };
+  // Solving, expiring, and appending-without-"levels" against a dataset
+  // with no resident stream all name the same structured error.
+  expect_unknown(service.Handle("POST", "/v1/solve",
+                                StreamSolveBody("one_cluster", "ghost", 8)));
+  expect_unknown(service.Handle("POST", "/v1/stream/expire",
+                                R"({"dataset": "ghost", "count": 1})"));
+  expect_unknown(service.Handle("POST", "/v1/stream/append",
+                                AppendBody("ghost", SmallWorkload().points)));
+}
+
 // --- Live HTTP server -----------------------------------------------------
 
 TEST(HttpServerTest, ServesSolvesOverLoopbackDeterministically) {
@@ -265,6 +427,60 @@ TEST(HttpServerTest, ServesSolvesOverLoopbackDeterministically) {
   EXPECT_GE(stats.accepted, 3u);
   EXPECT_EQ(stats.served, stats.accepted);
   EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(HttpServerTest, KeepAliveServesManyRequestsPerConnection) {
+  ClusterService service(UnmeteredOptions());
+  HttpServerOptions options;
+  options.workers = 2;
+  HttpServer server(&service, options);
+  ASSERT_OK(server.Start());
+
+  // One socket, many requests: GETs and a full solve POST share the
+  // connection, and the client never has to re-dial.
+  HttpConnection connection(server.port());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK_AND_ASSIGN(const HttpResponse health,
+                         connection.Get("/healthz"));
+    EXPECT_EQ(health.status, 200);
+  }
+  ASSERT_OK_AND_ASSIGN(
+      const HttpResponse solved,
+      connection.Post("/v1/solve", SolveBody(SmallWorkload(), "one_cluster",
+                                             "ka", "ka/data")));
+  EXPECT_EQ(solved.status, 200);
+  EXPECT_EQ(connection.reconnects(), 0u);
+
+  server.Stop();
+  const HttpServer::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.served, 9u);
+  EXPECT_EQ(stats.reused, 8u);
+}
+
+TEST(HttpServerTest, RequestCapClosesAndClientRedials) {
+  ClusterService service(UnmeteredOptions());
+  HttpServerOptions options;
+  options.workers = 1;
+  options.max_requests_per_connection = 3;
+  HttpServer server(&service, options);
+  ASSERT_OK(server.Start());
+
+  // The server announces "Connection: close" on every 3rd reply; the client
+  // notices and re-dials, so 7 requests ride 3 connections (3 + 3 + 1).
+  HttpConnection connection(server.port());
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_OK_AND_ASSIGN(const HttpResponse health,
+                         connection.Get("/healthz"));
+    EXPECT_EQ(health.status, 200);
+  }
+  EXPECT_EQ(connection.reconnects(), 2u);
+
+  server.Stop();
+  const HttpServer::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.served, 7u);
+  EXPECT_EQ(stats.reused, 4u);
 }
 
 TEST(HttpServerTest, ConcurrentClientsAllSucceed) {

@@ -1,0 +1,241 @@
+// Streaming-maintenance property tests: the tentpole contract of the
+// incremental index. For every registered scenario family, an IndexedDataset
+// that absorbed a stream of Inserts and Removes must answer every query
+// bit-identically to a from-scratch rebuild over its active rows — at 1, 2,
+// and 8 threads — and the incrementally patched KnnCappedCounts rows must
+// drive GoodRadius to the released bytes a rebuild-per-batch pipeline
+// produces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dpcluster/core/good_radius.h"
+#include "dpcluster/data/registry.h"
+#include "dpcluster/data/scenario.h"
+#include "dpcluster/geo/dataset.h"
+#include "dpcluster/geo/spatial_grid.h"
+#include "dpcluster/la/vector_ops.h"
+#include "dpcluster/parallel/thread_pool.h"
+#include "test_util.h"
+
+namespace dpcluster {
+namespace {
+
+// Streams the tail of `instance` into an index seeded with its head while
+// expiring a scattered subset of the head — the arrival/expiry churn the
+// service's /v1/stream endpoints produce. Returns the edited index.
+IndexedDataset ChurnedIndex(const ScenarioInstance& instance,
+                            std::vector<std::uint32_t>* added,
+                            std::vector<std::uint32_t>* removed) {
+  const std::size_t n = instance.points.size();
+  const std::size_t n0 = (2 * n) / 3;
+  PointSet head(instance.points.dim());
+  for (std::size_t i = 0; i < n0; ++i) head.Add(instance.points[i]);
+  auto created = IndexedDataset::Create(std::move(head), instance.domain);
+  EXPECT_OK(created.status());
+  IndexedDataset index = std::move(*created);
+  // Warm the grid so every edit exercises the incremental path.
+  std::vector<double> warm(n0);
+  index.BatchKnn(1, warm, nullptr);
+  EXPECT_TRUE(index.grid_built());
+
+  for (std::size_t i = 0; i < n0; i += 5) {
+    index.Remove(i);
+    if (removed != nullptr) {
+      removed->push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  for (std::size_t i = n0; i < n; ++i) {
+    auto id = index.Insert(instance.points[i]);
+    EXPECT_OK(id.status());
+    if (added != nullptr) added->push_back(static_cast<std::uint32_t>(*id));
+  }
+  EXPECT_TRUE(index.grid_built());  // Exact geometry: no rebuild happened.
+  return index;
+}
+
+class EveryFamilyStreamingTest : public ::testing::TestWithParam<std::string> {
+};
+
+// The property test the tentpole is pinned by: insert/expire churn over each
+// family's geometry, then bit-identity against a fresh rebuild at 1/2/8
+// threads.
+TEST_P(EveryFamilyStreamingTest, ChurnMatchesFreshRebuild) {
+  ScenarioSpec spec;
+  spec.scenario = GetParam();
+  spec.n = 240;
+  spec.dim = 2;
+  spec.levels = std::uint64_t{1} << 10;
+  Rng rng(91);
+  ASSERT_OK_AND_ASSIGN(ScenarioInstance instance, GenerateScenario(rng, spec));
+
+  IndexedDataset index = ChurnedIndex(instance, nullptr, nullptr);
+  const PointSet view = index.ActiveView();
+  const std::size_t m = index.active_size();
+  const std::size_t k = 6;
+  ASSERT_OK_AND_ASSIGN(SpatialGrid fresh,
+                       SpatialGrid::Build(view, instance.domain, k));
+  std::vector<double> want(m * k);
+  fresh.BatchKnnDistances(k, want, nullptr, /*sorted=*/true);
+  std::vector<double> got(m * k);
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    index.BatchKnn(k, got, &pool, /*sorted=*/true);
+    EXPECT_EQ(got, want) << "threads=" << threads;
+  }
+
+  // Counting queries too: brute force over the view is the reference.
+  std::vector<std::size_t> counts(m);
+  index.BatchCountWithin(instance.primary().radius, counts, nullptr);
+  for (std::size_t i = 0; i < m; i += 7) {
+    std::size_t expect = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (Distance(view[i], view[j]) <= instance.primary().radius) ++expect;
+    }
+    EXPECT_EQ(counts[i], expect) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, EveryFamilyStreamingTest,
+    ::testing::ValuesIn(ScenarioRegistry::Global().Names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// The streaming family's schedule contract: replaying its arrivals and
+// expiries through an incremental IndexedDataset must end in exactly the
+// instance's points — the survivors in arrival order — with queries
+// byte-identical to indexing the final state directly.
+TEST(StreamingScenarioTest, ScheduleReplayReproducesTheInstance) {
+  ScenarioSpec spec;
+  spec.scenario = "streaming";
+  spec.n = 400;
+  spec.dim = 2;
+  spec.ticks = 6;
+  Rng rng(3);
+  ASSERT_OK_AND_ASSIGN(ScenarioInstance instance, GenerateScenario(rng, spec));
+  const StreamSchedule& stream = instance.stream;
+  ASSERT_EQ(stream.ticks, 6u);
+  ASSERT_EQ(stream.tick_balls.size(), 6u);
+  ASSERT_EQ(stream.arrivals.size(), stream.arrival_tick.size());
+  ASSERT_EQ(stream.arrivals.size(), stream.expiry_tick.size());
+  ASSERT_GT(stream.arrivals.size(), instance.points.size());
+  // The primary truth is the final tick's ball.
+  EXPECT_EQ(stream.tick_balls.back().center, instance.primary().center);
+
+  ASSERT_OK_AND_ASSIGN(
+      IndexedDataset live,
+      IndexedDataset::Create(PointSet(spec.dim), instance.domain));
+  for (std::size_t u = 0; u < stream.ticks; ++u) {
+    for (std::size_t i = 0; i < stream.arrivals.size(); ++i) {
+      if (stream.expiry_tick[i] == u) live.Remove(i);
+    }
+    for (std::size_t i = 0; i < stream.arrivals.size(); ++i) {
+      if (stream.arrival_tick[i] == u) {
+        ASSERT_OK_AND_ASSIGN(const std::size_t id,
+                             live.Insert(stream.arrivals[i]));
+        ASSERT_EQ(id, i);  // Arrival order is insertion order.
+      }
+    }
+    if (u == 0) {
+      // Build the grid after the first tick so every later edit goes
+      // through the incremental structural path, not a rebuild.
+      std::vector<double> warm(live.active_size());
+      live.BatchKnn(1, warm, nullptr);
+      ASSERT_TRUE(live.grid_built());
+    }
+  }
+  EXPECT_TRUE(live.grid_built());
+  ASSERT_EQ(live.active_size(), instance.points.size());
+  const PointSet replayed = live.ActiveView();
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    const auto got = replayed[i];
+    const auto want = instance.points[i];
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin())) << i;
+  }
+
+  // Queries through the churned index equal a fresh index over the instance.
+  ASSERT_OK_AND_ASSIGN(
+      IndexedDataset fresh,
+      IndexedDataset::Create(instance.points, instance.domain));
+  const std::size_t m = live.active_size();
+  std::vector<double> got(m * 4);
+  std::vector<double> want(m * 4);
+  live.BatchKnn(4, got, nullptr);
+  fresh.BatchKnn(4, want, nullptr);
+  EXPECT_EQ(got, want);
+}
+
+// End-to-end amortization contract: GoodRadius served by incrementally
+// patched shared rows releases the same bytes as the rebuild-per-batch
+// pipeline it replaces (same Rng seed, same noise draws).
+TEST(StreamingGoodRadiusTest, SharedCountsMatchRebuildPipeline) {
+  ScenarioSpec spec;
+  spec.scenario = "planted_cluster";
+  spec.n = 300;
+  spec.dim = 2;
+  Rng gen(17);
+  ASSERT_OK_AND_ASSIGN(ScenarioInstance instance, GenerateScenario(gen, spec));
+
+  std::vector<std::uint32_t> added;
+  std::vector<std::uint32_t> removed;
+  const std::size_t n0 = (2 * spec.n) / 3;
+  const std::size_t t = 40;
+
+  // Incremental pipeline: build rows once on the head, patch through churn.
+  PointSet head(instance.points.dim());
+  for (std::size_t i = 0; i < n0; ++i) head.Add(instance.points[i]);
+  ASSERT_OK_AND_ASSIGN(IndexedDataset live,
+                       IndexedDataset::Create(std::move(head),
+                                              instance.domain));
+  ASSERT_OK_AND_ASSIGN(KnnCappedCounts rows,
+                       KnnCappedCounts::Build(live, t, spec.n));
+  for (std::size_t i = 0; i < n0; i += 5) {
+    live.Remove(i);
+    removed.push_back(static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = n0; i < spec.n; ++i) {
+    ASSERT_OK_AND_ASSIGN(const std::size_t id,
+                         live.Insert(instance.points[i]));
+    added.push_back(static_cast<std::uint32_t>(id));
+  }
+  ThreadPool pool(4);
+  ASSERT_OK(rows.ApplyBatch(live, added, removed, &pool));
+  // The stream touched a strict subset of the surviving rows.
+  EXPECT_LT(rows.last_invalidated(), live.active_size());
+
+  GoodRadiusOptions incremental;
+  incremental.engine = GoodRadiusOptions::Engine::kSparseVector;
+  incremental.max_profile_points = spec.n;
+  incremental.shared_counts = &rows;
+  Rng rng_a(7);
+  ASSERT_OK_AND_ASSIGN(GoodRadiusResult via_shared,
+                       GoodRadius(rng_a, live, t, incremental));
+
+  // Rebuild pipeline: a fresh index over the same surviving rows.
+  ASSERT_OK_AND_ASSIGN(IndexedDataset rebuilt,
+                       IndexedDataset::Create(live.ActiveView(),
+                                              instance.domain));
+  GoodRadiusOptions scratch = incremental;
+  scratch.shared_counts = nullptr;
+  Rng rng_b(7);
+  ASSERT_OK_AND_ASSIGN(GoodRadiusResult via_rebuild,
+                       GoodRadius(rng_b, rebuilt, t, scratch));
+
+  EXPECT_EQ(via_shared.radius, via_rebuild.radius);
+  EXPECT_EQ(via_shared.grid_index, via_rebuild.grid_index);
+  EXPECT_EQ(via_shared.gamma, via_rebuild.gamma);
+
+  // A mismatched shared structure is rejected, not silently served.
+  live.Remove(live.ActiveIds().front());
+  EXPECT_FALSE(GoodRadius(rng_a, live, t, incremental).ok());
+}
+
+}  // namespace
+}  // namespace dpcluster

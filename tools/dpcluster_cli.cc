@@ -38,6 +38,13 @@
 //   --coreset-min-points N  below this n run uncompressed (default 65536)
 //   --refine        spend part of the budget tightening the released radius
 //   --ledger        print the per-phase privacy ledger
+//   --stream-ticks N  replay mode: generate the "streaming" scenario family
+//                   over N arrival/expiry ticks and drive it through the
+//                   incremental index path (Insert/Remove + t-NN row
+//                   patching + one GoodRadius per tick), then check the
+//                   final active set is byte-identical to indexing the
+//                   instance directly. --seed/--levels/--axis/--epsilon/
+//                   --delta/--beta/--t apply; exit 1 on a replay mismatch.
 
 #include <algorithm>
 #include <cmath>
@@ -45,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -80,6 +88,7 @@ struct CliOptions {
   bool coreset = false;
   std::size_t coreset_target = 2048;
   std::size_t coreset_min_points = 65536;
+  std::size_t stream_ticks = 0;
 };
 
 void Usage(std::FILE* out) {
@@ -92,7 +101,11 @@ void Usage(std::FILE* out) {
                "       [--index-geometry auto|exact|projected]\n"
                "       [--subsample-cap-factor F] [--refine] [--ledger]\n"
                "       [--coreset] [--coreset-target N] [--coreset-min-points N]\n"
-               "       [--help]\n"
+               "       [--stream-ticks N] [--help]\n"
+               "--stream-ticks N replays the \"streaming\" scenario family\n"
+               "through the incremental index (Insert/Remove + t-NN row\n"
+               "patches + one GoodRadius per tick) and checks the final\n"
+               "active set against indexing the instance directly;\n"
                "see docs/TUNING.md for what each performance knob does;\n"
                "docs/OPERATIONS.md covers the resident daemon (dpcluster_serve)\n");
 }
@@ -136,6 +149,11 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return false;
       opt.coreset_min_points =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--stream-ticks") {
+      const char* v = next();
+      if (!v) return false;
+      opt.stream_ticks =
           static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--ledger") {
       opt.ledger = true;
@@ -204,7 +222,115 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
     opt.algorithm =
         opt.mode.empty() ? "one_cluster" : AlgorithmFromMode(opt.mode);
   }
-  return opt.help || opt.list || opt.demo || !opt.input.empty();
+  return opt.help || opt.list || opt.demo || opt.stream_ticks > 0 ||
+         !opt.input.empty();
+}
+
+/// The --stream-ticks replay: drives the "streaming" scenario's recorded
+/// arrival/expiry schedule through the incremental index path the service's
+/// stream endpoints use — Insert/Remove on a live IndexedDataset, t-NN rows
+/// patched per tick via KnnCappedCounts::ApplyBatch, one GoodRadius query
+/// per tick served from the patched rows — then verifies the scenario
+/// contract (data/scenario.h): the final active set is byte-identical to
+/// indexing the instance directly.
+int RunStreamReplay(const CliOptions& opt) {
+  ScenarioSpec spec;
+  spec.scenario = "streaming";
+  spec.ticks = opt.stream_ticks;
+  spec.levels = opt.levels;
+  spec.axis_length = opt.axis;
+  Rng gen(opt.seed);
+  auto instance = GenerateScenario(gen, spec);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "error: %s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+  const StreamSchedule& stream = instance->stream;
+  const std::size_t total = stream.arrivals.size();
+  const std::size_t t = opt.t > 0 ? opt.t : instance->t;
+  std::printf(
+      "# streaming replay: %zu arrivals over %zu ticks, final n=%zu t=%zu "
+      "eps=%g/tick\n",
+      total, stream.ticks, instance->points.size(), t, opt.epsilon);
+
+  auto live_or =
+      IndexedDataset::Create(PointSet(instance->points.dim()),
+                             instance->domain);
+  if (!live_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", live_or.status().ToString().c_str());
+    return 1;
+  }
+  IndexedDataset live = std::move(*live_or);
+  std::optional<KnnCappedCounts> rows;
+
+  std::size_t next_arrival = 0;  // Arrivals are recorded in tick order.
+  for (std::size_t tick = 0; tick < stream.ticks; ++tick) {
+    std::vector<std::uint32_t> added;
+    while (next_arrival < total && stream.arrival_tick[next_arrival] == tick) {
+      const auto id = live.Insert(stream.arrivals[next_arrival]);
+      if (!id.ok() || *id != next_arrival) {
+        std::fprintf(stderr, "error: insert at arrival %zu: %s\n",
+                     next_arrival, id.status().ToString().c_str());
+        return 1;
+      }
+      added.push_back(static_cast<std::uint32_t>(next_arrival));
+      ++next_arrival;
+    }
+    std::vector<std::uint32_t> removed;
+    for (std::size_t i = 0; i < next_arrival; ++i) {
+      if (stream.expiry_tick[i] == tick) {
+        removed.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    live.Remove(removed);
+
+    std::size_t patched = 0;
+    if (!rows.has_value()) {
+      auto built = KnnCappedCounts::Build(live, t, total);
+      if (!built.ok()) {
+        std::fprintf(stderr, "error: t-NN rows at tick %zu: %s\n", tick,
+                     built.status().ToString().c_str());
+        return 1;
+      }
+      rows = std::move(*built);
+    } else {
+      if (Status patch = rows->ApplyBatch(live, added, removed);
+          !patch.ok()) {
+        std::fprintf(stderr, "error: ApplyBatch at tick %zu: %s\n", tick,
+                     patch.ToString().c_str());
+        return 1;
+      }
+      patched = rows->last_invalidated();
+    }
+
+    GoodRadiusOptions radius_opts;
+    radius_opts.engine = GoodRadiusOptions::Engine::kSparseVector;
+    radius_opts.params = {opt.epsilon, opt.delta};
+    radius_opts.beta = opt.beta;
+    radius_opts.max_profile_points = total;
+    radius_opts.shared_counts = &*rows;
+    Rng query_rng(opt.seed + 101 * (tick + 1));
+    const auto radius = GoodRadius(query_rng, live, t, radius_opts);
+    std::printf("tick %2zu: +%zu -%zu live=%zu patched_rows=%zu radius=",
+                tick, added.size(), removed.size(), live.active_size(),
+                patched);
+    if (radius.ok()) {
+      std::printf("%.6f\n", radius->radius);
+    } else {
+      std::printf("- (%s)\n",
+                  std::string(radius.status().message()).c_str());
+    }
+  }
+
+  const PointSet final_view = live.ActiveView();
+  const auto want = instance->points.Data();
+  const auto got = final_view.Data();
+  const bool match = final_view.size() == instance->points.size() &&
+                     final_view.dim() == instance->points.dim() &&
+                     std::equal(got.begin(), got.end(), want.begin());
+  std::printf("replay check: incremental active set vs direct index: %s\n",
+              match ? "byte-identical (OK)" : "MISMATCH");
+  return match ? 0 : 1;
 }
 
 Result<PointSet> LoadCsv(const std::string& path) {
@@ -267,6 +393,7 @@ int main_impl(int argc, char** argv) {
     return 0;
   }
   if (opt.list) return ListAlgorithms();
+  if (opt.stream_ticks > 0) return RunStreamReplay(opt);
 
   Request request;
   request.algorithm = opt.algorithm;

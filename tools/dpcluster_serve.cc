@@ -14,6 +14,10 @@
 //   --workers W         drain loops offered to the thread pool  (default 4)
 //   --queue-depth Q     admission queue capacity; overload sheds
 //                       503 QueueFull at the door               (default 64)
+//   --max-requests-per-connection N   keep-alive requests served per
+//                       socket before Connection: close        (default 100)
+//   --idle-timeout-ms T close a kept-alive connection after T ms
+//                       without a new request                 (default 5000)
 //   --budget-eps E      default per-(tenant, dataset) epsilon cap (default 4)
 //   --budget-delta D    default per-(tenant, dataset) delta cap (default 1e-6)
 //   --tenant-budget T=E:D   cap override for tenant T (repeatable), e.g.
@@ -48,6 +52,7 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: dpcluster_serve [--port P] [--workers W] [--queue-depth Q]\n"
+      "       [--max-requests-per-connection N] [--idle-timeout-ms T]\n"
       "       [--budget-eps E] [--budget-delta D] [--tenant-budget T=E:D]\n"
       "       [--cache-capacity C] [--max-points N] [--seed S]\n"
       "       [--no-diagnostics] [--no-remote-shutdown]\n"
@@ -100,6 +105,15 @@ bool ParseArgs(int argc, char** argv, ServeOptions& opt) {
       if (!v) return false;
       opt.http.queue_depth =
           static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--max-requests-per-connection") {
+      const char* v = next();
+      if (!v) return false;
+      opt.http.max_requests_per_connection =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--idle-timeout-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opt.http.idle_timeout_ms = std::atoi(v);
     } else if (arg == "--budget-eps") {
       const char* v = next();
       if (!v) return false;
@@ -131,7 +145,9 @@ bool ParseArgs(int argc, char** argv, ServeOptions& opt) {
     }
   }
   if (opt.port < 0 || opt.port > 65535 || opt.http.workers < 1 ||
-      opt.http.queue_depth < 1 || opt.service.cache_capacity < 1 ||
+      opt.http.queue_depth < 1 ||
+      opt.http.max_requests_per_connection < 1 ||
+      opt.http.idle_timeout_ms < 1 || opt.service.cache_capacity < 1 ||
       opt.service.default_budget.epsilon <= 0.0) {
     return false;
   }
@@ -174,13 +190,18 @@ int main(int argc, char** argv) {
   const ClusterService::Stats stats = service.GetStats();
   const IndexCache::Stats cache = service.CacheStats();
   std::printf(
-      "dpcluster_serve: served=%llu shed=%llu solved=%llu rejected=%llu "
-      "(budget=%llu) cache hits=%llu misses=%llu bypasses=%llu\n",
+      "dpcluster_serve: served=%llu (reused=%llu) shed=%llu solved=%llu "
+      "rejected=%llu (budget=%llu) stream appends=%llu expires=%llu "
+      "compactions=%llu cache hits=%llu misses=%llu bypasses=%llu\n",
       static_cast<unsigned long long>(http.served),
+      static_cast<unsigned long long>(http.reused),
       static_cast<unsigned long long>(http.shed),
       static_cast<unsigned long long>(stats.solved),
       static_cast<unsigned long long>(stats.rejected),
       static_cast<unsigned long long>(stats.budget_rejections),
+      static_cast<unsigned long long>(stats.stream_appends),
+      static_cast<unsigned long long>(stats.stream_expires),
+      static_cast<unsigned long long>(stats.stream_compactions),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.bypasses));
